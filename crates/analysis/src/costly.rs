@@ -1,0 +1,163 @@
+//! Costly instruction-miss tracking and hot-code coverage (Figure 7).
+//!
+//! Following Emissary's observation that misses causing decode
+//! starvation dominate the frontend cost, the tracker records every
+//! demand instruction miss at the L2 with its latency, aggregated per
+//! instruction line. Figure 7 then asks: of the lines above the Nth
+//! percentile of accumulated miss cost, what fraction lies in TRRIP's
+//! `.text.hot` section — (a) over all code, and (b) excluding code TRRIP's
+//! compiler never saw (PLT + external libraries)?
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use trrip_mem::VirtAddr;
+
+/// Classification of the code a miss landed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CodeRegion {
+    /// TRRIP-compiled `.text.hot`.
+    Hot,
+    /// TRRIP-compiled `.text.warm`.
+    Warm,
+    /// TRRIP-compiled `.text.cold`.
+    Cold,
+    /// PLT stubs or external libraries (outside TRRIP's compile scope).
+    External,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LineCost {
+    total_latency: u64,
+    misses: u64,
+    region: Option<CodeRegion>,
+}
+
+/// Accumulates per-line miss costs.
+#[derive(Debug, Clone, Default)]
+pub struct CostlyMissTracker {
+    lines: HashMap<u64, LineCost>,
+}
+
+impl CostlyMissTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> CostlyMissTracker {
+        CostlyMissTracker::default()
+    }
+
+    /// Records one demand instruction miss of `latency` cycles for the
+    /// line containing `pc`, tagged with the region the PC belongs to.
+    pub fn record(&mut self, pc: VirtAddr, latency: u64, region: CodeRegion) {
+        let entry = self.lines.entry(pc.raw() >> 6).or_default();
+        entry.total_latency += latency;
+        entry.misses += 1;
+        entry.region = Some(region);
+    }
+
+    /// Number of distinct missing lines.
+    #[must_use]
+    pub fn distinct_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Coverage (fraction of lines in `.text.hot`) among the lines whose
+    /// accumulated miss cost is at or above the `percentile` (0–100) of
+    /// the cost distribution. `exclude_external` reproduces Figure 7b.
+    ///
+    /// Returns 0 when no lines qualify.
+    #[must_use]
+    pub fn hot_coverage(&self, percentile: f64, exclude_external: bool) -> f64 {
+        let mut costs: Vec<(u64, CodeRegion)> = self
+            .lines
+            .values()
+            .filter_map(|c| c.region.map(|r| (c.total_latency, r)))
+            .filter(|&(_, r)| !(exclude_external && r == CodeRegion::External))
+            .collect();
+        if costs.is_empty() {
+            return 0.0;
+        }
+        costs.sort_unstable_by_key(|&(cost, _)| cost);
+        let cut = ((percentile / 100.0) * costs.len() as f64).floor() as usize;
+        let top = &costs[cut.min(costs.len() - 1)..];
+        let hot = top.iter().filter(|&&(_, r)| r == CodeRegion::Hot).count();
+        hot as f64 / top.len() as f64
+    }
+
+    /// Total miss cost accumulated per region (for diagnostics).
+    #[must_use]
+    pub fn cost_by_region(&self) -> HashMap<CodeRegion, u64> {
+        let mut out = HashMap::new();
+        for c in self.lines.values() {
+            if let Some(r) = c.region {
+                *out.entry(r).or_insert(0) += c.total_latency;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pc(line: u64) -> VirtAddr {
+        VirtAddr::new(line * 64)
+    }
+
+    #[test]
+    fn coverage_over_all_lines() {
+        let mut t = CostlyMissTracker::new();
+        // Two expensive hot lines, one expensive external, many cheap cold.
+        t.record(pc(1), 400, CodeRegion::Hot);
+        t.record(pc(2), 400, CodeRegion::Hot);
+        t.record(pc(3), 400, CodeRegion::External);
+        for i in 10..20 {
+            t.record(pc(i), 10, CodeRegion::Cold);
+        }
+        // Top ~23% (above the 77th percentile) = the three expensive lines.
+        let cov = t.hot_coverage(77.0, false);
+        assert!((cov - 2.0 / 3.0).abs() < 1e-9, "coverage {cov}");
+    }
+
+    #[test]
+    fn excluding_external_raises_coverage() {
+        let mut t = CostlyMissTracker::new();
+        t.record(pc(1), 400, CodeRegion::Hot);
+        t.record(pc(2), 400, CodeRegion::External);
+        let with_ext = t.hot_coverage(0.0, false);
+        let without_ext = t.hot_coverage(0.0, true);
+        assert!((with_ext - 0.5).abs() < 1e-9);
+        assert!((without_ext - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeat_misses_accumulate() {
+        let mut t = CostlyMissTracker::new();
+        for _ in 0..10 {
+            t.record(pc(1), 40, CodeRegion::Hot); // 400 total
+        }
+        t.record(pc(2), 100, CodeRegion::Cold);
+        // Line 1 is the costliest despite smaller per-miss latency.
+        let cov = t.hot_coverage(50.0, false);
+        assert!((cov - 0.5).abs() < 1e-9 || cov == 1.0, "coverage {cov}");
+        assert_eq!(t.distinct_lines(), 2);
+    }
+
+    #[test]
+    fn empty_tracker_reports_zero() {
+        let t = CostlyMissTracker::new();
+        assert_eq!(t.hot_coverage(90.0, false), 0.0);
+    }
+
+    #[test]
+    fn cost_by_region_sums() {
+        let mut t = CostlyMissTracker::new();
+        t.record(pc(1), 100, CodeRegion::Hot);
+        t.record(pc(1), 100, CodeRegion::Hot);
+        t.record(pc(9), 50, CodeRegion::Warm);
+        let by = t.cost_by_region();
+        assert_eq!(by[&CodeRegion::Hot], 200);
+        assert_eq!(by[&CodeRegion::Warm], 50);
+    }
+}

@@ -1,0 +1,25 @@
+//! Measurement and reporting tools for the TRRIP experiments.
+//!
+//! * [`reuse`] — set-granularity reuse-distance profiling of hot
+//!   instruction lines at the L2 (Figure 3), in both the *base* form
+//!   (all unique lines counted) and the *hot-only* form (the "~"
+//!   series).
+//! * [`costly`] — costly instruction-miss tracking and hot-section
+//!   coverage (Figure 7a/7b).
+//! * [`power`] — a McPAT-style static power and area model sufficient to
+//!   rank the policies' hardware overheads (Table 4).
+//! * [`report`] — plain-text table/figure rendering shared by the
+//!   experiment binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod costly;
+pub mod power;
+pub mod report;
+pub mod reuse;
+
+pub use costly::CostlyMissTracker;
+pub use power::{PowerModel, PowerReport};
+pub use report::TextTable;
+pub use reuse::{ReuseBucket, ReuseHistogram, ReuseProfiler};

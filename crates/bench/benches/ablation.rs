@@ -1,0 +1,80 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * TRRIP variant 1 vs variant 2 (the warm/cold rules);
+//! * pseudo-FDIP on vs off (the paper credits it +1.4% geomean);
+//! * request-carried temperature vs no temperature (TRRIP vs SRRIP on
+//!   identical traces) — the co-design interface's whole value.
+//!
+//! These report *cycles per simulated kilo-instruction*, so lower is
+//! better and differences between configurations are the ablation
+//! result (Criterion's timing here measures simulator work, which is
+//! proportional to simulated activity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use trrip_core::ClassifierConfig;
+use trrip_cpu::CoreConfig;
+use trrip_policies::PolicyKind;
+use trrip_sim::{simulate, PreparedWorkload, SimConfig};
+use trrip_workloads::WorkloadSpec;
+
+fn workload() -> PreparedWorkload {
+    let mut spec = WorkloadSpec::named("ablation-wl");
+    spec.functions = 150;
+    spec.hot_rotation = 40;
+    PreparedWorkload::prepare(&spec, 150_000, ClassifierConfig::llvm_defaults())
+}
+
+fn quick(policy: PolicyKind) -> SimConfig {
+    let mut c = SimConfig::quick(policy);
+    c.instructions = 150_000;
+    c.fast_forward = 15_000;
+    c
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let w = workload();
+    let mut group = c.benchmark_group("ablation_trrip_variant");
+    group.sample_size(10);
+    for policy in [PolicyKind::Srrip, PolicyKind::Trrip1, PolicyKind::Trrip2] {
+        let config = quick(policy);
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                let r = simulate(&w, &config);
+                black_box(r.core.cycles)
+            });
+        });
+        // Print the ablation result once per configuration.
+        let r = simulate(&w, &config);
+        eprintln!(
+            "[ablation] {}: {:.1} cycles/kinstr, L2 I-MPKI {:.3}",
+            policy.name(),
+            r.core.cycles * 1000.0 / r.core.instructions as f64,
+            r.l2_inst_mpki()
+        );
+    }
+    group.finish();
+}
+
+fn bench_fdip(c: &mut Criterion) {
+    let w = workload();
+    let mut group = c.benchmark_group("ablation_fdip");
+    group.sample_size(10);
+    for (name, fdip) in [("fdip_on", true), ("fdip_off", false)] {
+        let mut config = quick(PolicyKind::Trrip1);
+        config.core = CoreConfig { fdip, ..CoreConfig::paper() };
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(simulate(&w, &config).core.cycles));
+        });
+        let r = simulate(&w, &config);
+        eprintln!(
+            "[ablation] {}: {:.1} cycles/kinstr",
+            name,
+            r.core.cycles * 1000.0 / r.core.instructions as f64
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_fdip);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Microbenchmarks of the replacement-policy hot paths: hit updates and
+//! victim selection + fill for every evaluated mechanism. TRRIP's pitch
+//! includes "negligible changes to the cache replacement policy" — its
+//! per-access cost should match SRRIP's.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trrip_core::Temperature;
+use trrip_policies::{PolicyKind, RequestInfo};
+
+fn bench_policy_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_access");
+    let sets = 256usize;
+    let ways = 8usize;
+    let candidates: Vec<usize> = (0..ways).collect();
+
+    for kind in PolicyKind::PAPER_SET {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            let mut policy = kind.build(sets, ways);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(0x9E37_79B9);
+                let set = (i as usize) & (sets - 1);
+                let req = RequestInfo::ifetch(i << 6)
+                    .with_temperature(Some(Temperature::Hot));
+                // One miss path (victim + fill) and one hit path.
+                let victim = policy.choose_victim(set, &req, &candidates);
+                policy.on_evict(set, victim);
+                policy.on_fill(set, victim, &req);
+                policy.on_hit(set, victim, &req);
+                black_box(victim)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    use trrip_core::{ClassifierConfig, TemperatureClassifier};
+    let counts: Vec<u64> = (0..100_000u64).map(|i| (i * i) % 1_000_003).collect();
+    c.bench_function("classify_100k_blocks", |b| {
+        let classifier = TemperatureClassifier::new(ClassifierConfig::llvm_defaults());
+        b.iter(|| black_box(classifier.classify_all(black_box(&counts))));
+    });
+}
+
+criterion_group!(benches, bench_policy_access, bench_classifier);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! End-to-end simulator throughput: trace generation alone, hierarchy
+//! access streaming, and a full small simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use trrip_cache::{Hierarchy, HierarchyConfig};
+use trrip_compiler::Linker;
+use trrip_core::ClassifierConfig;
+use trrip_mem::{MemoryRequest, PhysAddr, VirtAddr};
+use trrip_policies::PolicyKind;
+use trrip_sim::{simulate, PreparedWorkload, SimConfig};
+use trrip_workloads::{build_program, InputSet, TraceGenerator, WorkloadSpec};
+
+fn small_spec() -> WorkloadSpec {
+    let mut spec = WorkloadSpec::named("bench-wl");
+    spec.functions = 120;
+    spec.hot_rotation = 24;
+    spec
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let spec = small_spec();
+    let program = build_program(&spec);
+    let object = Linker::new().link_source_order(&program);
+    let mut group = c.benchmark_group("trace_generation");
+    let n = 100_000usize;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("100k_instructions", |b| {
+        b.iter(|| {
+            let generator = TraceGenerator::new(&program, &object, &spec, InputSet::Eval);
+            black_box(generator.take(n).count())
+        });
+    });
+    group.finish();
+}
+
+fn bench_hierarchy_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy_access");
+    let n = 50_000u64;
+    group.throughput(Throughput::Elements(n));
+    for policy in [PolicyKind::Srrip, PolicyKind::Trrip1] {
+        group.bench_function(policy.name(), |b| {
+            let mut h = Hierarchy::new(&HierarchyConfig::paper(policy));
+            let mut x = 0x2545F4914F6CDD1Du64;
+            b.iter(|| {
+                let mut served = 0u64;
+                for _ in 0..n {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let addr = (x >> 20) % (2 << 20);
+                    let req = MemoryRequest::fetch(PhysAddr::new(addr), VirtAddr::new(addr));
+                    served += h.access(&req).latency;
+                }
+                black_box(served)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_simulation(c: &mut Criterion) {
+    let spec = small_spec();
+    let workload = PreparedWorkload::prepare(&spec, 100_000, ClassifierConfig::llvm_defaults());
+    let mut config = SimConfig::quick(PolicyKind::Trrip1);
+    config.instructions = 200_000;
+    config.fast_forward = 20_000;
+    let mut group = c.benchmark_group("full_simulation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(config.instructions));
+    group.bench_function("200k_instructions_trrip1", |b| {
+        b.iter(|| black_box(simulate(&workload, &config).core.cycles));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_generation, bench_hierarchy_stream, bench_full_simulation);
+criterion_main!(benches);

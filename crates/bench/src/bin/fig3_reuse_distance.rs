@@ -1,0 +1,50 @@
+//! Figure 3: reuse-distance distribution of hot instruction lines at the
+//! L2, per cache set. Two series per benchmark: the base measurement
+//! (all unique lines counted between reuses) and the `~` measurement
+//! (only hot unique lines counted). The paper's key reading: base
+//! distances push past 8 (evicted from an 8-way set) while hot-only
+//! distances stay small — non-hot lines cause the evictions.
+
+use trrip_analysis::report::pct;
+use trrip_analysis::TextTable;
+use trrip_bench::{prepare_all, HarnessOptions};
+use trrip_policies::PolicyKind;
+use trrip_sim::simulate;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let mut config = options.sim_config(PolicyKind::Srrip);
+    config.measure_reuse = true;
+    let specs = options.selected_proxies();
+    let workloads = prepare_all(&specs, &config, config.classifier);
+
+    let mut table = TextTable::new(vec!["bench", "0-4", "5-8", "9-16", "16+"]);
+    for w in &workloads {
+        let r = simulate(w, &config);
+        let base = r.reuse_base.expect("reuse measured");
+        let hot = r.reuse_hot_only.expect("reuse measured");
+        let bf = base.fractions();
+        let hf = hot.fractions();
+        table.row(vec![
+            w.spec.name.clone(),
+            pct(bf[0]),
+            pct(bf[1]),
+            pct(bf[2]),
+            pct(bf[3]),
+        ]);
+        table.row(vec![
+            format!("{}~", w.spec.name),
+            pct(hf[0]),
+            pct(hf[1]),
+            pct(hf[2]),
+            pct(hf[3]),
+        ]);
+    }
+    println!("Figure 3: L2 reuse distance of hot instruction lines (fraction of accesses)");
+    println!("{table}");
+    println!(
+        "paper: short distances (0-4) dominate, but a meaningful tail sits at 9-16/16+;\n\
+         the hot-only (~) series collapses toward 0-4 — evictions come from non-hot lines"
+    );
+    options.write_report("fig3_reuse_distance.txt", &format!("{table}\n{}", table.to_csv()));
+}

@@ -1,0 +1,72 @@
+//! Table 1: the simulator configuration actually in force, printed from
+//! the live `SimConfig` so drift between code and documentation is
+//! impossible.
+
+use trrip_analysis::TextTable;
+use trrip_bench::HarnessOptions;
+use trrip_policies::PolicyKind;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let c = options.sim_config(PolicyKind::Trrip1);
+
+    let mut table = TextTable::new(vec!["component", "configuration"]);
+    table.row(vec![
+        "Core".into(),
+        format!(
+            "{}-wide dispatch, pseudo-FDIP prefetching ({} lines ahead), {}-entry ROB, {} GHz",
+            c.core.dispatch_width, c.core.fdip_max_lines, c.core.rob_entries, c.core.frequency_ghz
+        ),
+    ]);
+    table.row(vec![
+        "Branch".into(),
+        format!(
+            "{}-entry BTB, {}-entry indirect-BTB, {}-entry loop predictor, {}-entry global predictor, {}-cycle mispredict penalty",
+            c.core.predictor.btb_entries,
+            c.core.predictor.indirect_btb_entries,
+            c.core.predictor.loop_entries,
+            c.core.predictor.global_entries,
+            c.core.predictor.mispredict_penalty
+        ),
+    ]);
+    let cache_row = |cfg: &trrip_cache::CacheConfig, policy: &str, extra: &str| {
+        format!(
+            "{} kB, {}-way, {policy} replacement{extra}, {}/{} (tag/data)-cycle latency",
+            cfg.size_bytes >> 10,
+            cfg.ways,
+            cfg.tag_latency,
+            cfg.data_latency
+        )
+    };
+    table.row(vec![
+        "L1-I".into(),
+        cache_row(&c.hierarchy.l1i, "LRU", ", next-line prefetcher"),
+    ]);
+    table.row(vec![
+        "L1-D".into(),
+        cache_row(&c.hierarchy.l1d, "LRU", ", stride prefetcher"),
+    ]);
+    table.row(vec![
+        "Unified Shared L2".into(),
+        cache_row(&c.hierarchy.l2, c.hierarchy.l2_policy.name(), ", inclusive, stride prefetcher"),
+    ]);
+    table.row(vec![
+        "Unified Shared SLC".into(),
+        cache_row(&c.hierarchy.slc, "LRU", ", exclusive"),
+    ]);
+    table.row(vec![
+        "DRAM".into(),
+        format!("{}-cycle latency (flat)", c.hierarchy.dram_latency),
+    ]);
+    table.row(vec![
+        "Run control".into(),
+        format!(
+            "fast-forward {} / measure {} instructions, {} page size, {:?} overlap policy",
+            c.fast_forward, c.instructions, c.page_size, c.overlap
+        ),
+    ]);
+
+    println!("Table 1: simulator configuration");
+    println!("{table}");
+    options.write_report("table1_config.txt", &table.to_string());
+}

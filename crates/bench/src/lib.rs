@@ -1,0 +1,134 @@
+//! Shared harness code for the experiment binaries.
+//!
+//! Every table and figure of the paper has a binary under `src/bin/`;
+//! this library holds the pieces they share: command-line scale parsing,
+//! workload preparation with caching, and report writing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use trrip_core::ClassifierConfig;
+use trrip_policies::PolicyKind;
+use trrip_sim::{PreparedWorkload, SimConfig};
+use trrip_workloads::WorkloadSpec;
+
+/// Common options for experiment binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Multiplier on the default run lengths (`--scale N`).
+    pub scale: u64,
+    /// Restrict to the named benchmarks (`--bench a,b`). Empty = all.
+    pub benchmarks: Vec<String>,
+    /// Where reports are written (`--out DIR`, default `reports/`).
+    pub out_dir: PathBuf,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions { scale: 1, benchmarks: Vec::new(), out_dir: PathBuf::from("reports") }
+    }
+}
+
+impl HarnessOptions {
+    /// Parses `--scale N`, `--bench a,b`, `--out DIR` from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    #[must_use]
+    pub fn from_args() -> HarnessOptions {
+        let mut options = HarnessOptions::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = args.next().expect("--scale needs a value");
+                    options.scale = v.parse().expect("--scale must be an integer");
+                }
+                "--bench" => {
+                    let v = args.next().expect("--bench needs a value");
+                    options.benchmarks = v.split(',').map(str::to_owned).collect();
+                }
+                "--out" => {
+                    let v = args.next().expect("--out needs a value");
+                    options.out_dir = PathBuf::from(v);
+                }
+                other => panic!("unknown argument `{other}` (expected --scale/--bench/--out)"),
+            }
+        }
+        options
+    }
+
+    /// The proxy benchmark specs selected by `--bench` (all by default).
+    #[must_use]
+    pub fn selected_proxies(&self) -> Vec<WorkloadSpec> {
+        let all = trrip_workloads::proxy::all();
+        if self.benchmarks.is_empty() {
+            all
+        } else {
+            all.into_iter().filter(|s| self.benchmarks.contains(&s.name)).collect()
+        }
+    }
+
+    /// The paper config scaled by `--scale`.
+    #[must_use]
+    pub fn sim_config(&self, policy: PolicyKind) -> SimConfig {
+        SimConfig::paper(policy).scaled(self.scale)
+    }
+
+    /// Writes a report file under the output directory and echoes the
+    /// path to stderr.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory or file cannot be written.
+    pub fn write_report(&self, name: &str, contents: &str) {
+        fs::create_dir_all(&self.out_dir).expect("create report dir");
+        let path = self.out_dir.join(name);
+        fs::write(&path, contents).expect("write report");
+        eprintln!("[report written to {}]", path.display());
+    }
+}
+
+/// Prepares workloads (training run + classification) for a config.
+#[must_use]
+pub fn prepare_all(
+    specs: &[WorkloadSpec],
+    config: &SimConfig,
+    classifier: ClassifierConfig,
+) -> Vec<PreparedWorkload> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let cursor = AtomicUsize::new(0);
+    let results =
+        parking_lot::Mutex::new((0..specs.len()).map(|_| None).collect::<Vec<_>>());
+    let threads =
+        std::thread::available_parallelism().map_or(4, usize::from).min(specs.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let w = PreparedWorkload::prepare(&specs[i], config.train_instructions, classifier);
+                results.lock()[i] = Some(w);
+            });
+        }
+    });
+    results.into_inner().into_iter().map(|w| w.expect("prepared")).collect()
+}
+
+/// Appends a section to EXPERIMENTS-style output and stdout at once.
+pub fn emit(report: &mut String, line: &str) {
+    println!("{line}");
+    report.push_str(line);
+    report.push('\n');
+}
+
+/// Ensures a directory exists (no-op shortcut for binaries).
+pub fn ensure_dir(path: &Path) {
+    let _ = fs::create_dir_all(path);
+}

@@ -1,0 +1,398 @@
+//! The set-associative tag store with a pluggable replacement policy.
+
+use trrip_mem::{LineAddr, MemoryRequest};
+use trrip_policies::{ReplacementPolicy, RequestInfo};
+
+use crate::config::CacheConfig;
+use crate::stats::AccessStats;
+
+/// A line displaced by a fill, handed to the hierarchy for downstream
+/// placement (exclusive SLC) and inclusion maintenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The displaced line address.
+    pub line: LineAddr,
+    /// Whether the line was dirty (needs a writeback).
+    pub dirty: bool,
+    /// Whether the line held instructions (kind of the request that last
+    /// filled or wrote it).
+    pub instruction: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LineState {
+    tag: LineAddr,
+    valid: bool,
+    dirty: bool,
+    instruction: bool,
+}
+
+/// One cache level: tag store + replacement policy + statistics.
+///
+/// The cache is physically indexed at line granularity. It performs no
+/// timing; the [`crate::Hierarchy`] accumulates latencies from the
+/// [`CacheConfig`].
+///
+/// # Example
+///
+/// ```
+/// use trrip_cache::{Cache, CacheConfig};
+/// use trrip_policies::PolicyKind;
+/// use trrip_mem::{MemoryRequest, PhysAddr, VirtAddr};
+///
+/// let config = CacheConfig::paper_l2();
+/// let policy = PolicyKind::Trrip1.build(config.num_sets(), config.ways);
+/// let mut l2 = Cache::new(config, policy);
+/// let req = MemoryRequest::fetch(PhysAddr::new(0x4000), VirtAddr::new(0x4000));
+/// assert!(!l2.access(&req)); // cold miss
+/// l2.fill(&req);
+/// assert!(l2.access(&req)); // now hits
+/// ```
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<LineState>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: AccessStats,
+    num_sets: usize,
+}
+
+impl std::fmt::Debug for Cache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cache")
+            .field("config", &self.config)
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cache {
+    /// Creates the cache with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy was not built for this geometry (detected
+    /// lazily on out-of-range set indices).
+    #[must_use]
+    pub fn new(config: CacheConfig, policy: Box<dyn ReplacementPolicy>) -> Cache {
+        let num_sets = config.num_sets();
+        Cache {
+            lines: vec![LineState::default(); num_sets * config.ways],
+            policy,
+            stats: AccessStats::default(),
+            num_sets,
+            config,
+        }
+    }
+
+    /// The static configuration.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Resets statistics (e.g. after cache warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+
+    /// The replacement policy's display name.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Per-line policy metadata bits (for the power model).
+    #[must_use]
+    pub fn policy_line_bits(&self) -> u32 {
+        self.policy.per_line_overhead_bits()
+    }
+
+    /// Policy table storage outside line metadata, in bits.
+    #[must_use]
+    pub fn policy_extra_bits(&self) -> u64 {
+        self.policy.extra_storage_bits()
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.raw() as usize) & (self.num_sets - 1)
+    }
+
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.config.ways + way
+    }
+
+    /// Line address for the request under this cache's geometry.
+    #[must_use]
+    pub fn line_of(&self, req: &MemoryRequest) -> LineAddr {
+        self.config.line.line_of(req.paddr)
+    }
+
+    /// Whether `line` is currently resident.
+    #[must_use]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.find_way(line).is_some()
+    }
+
+    fn find_way(&self, line: LineAddr) -> Option<usize> {
+        let set = self.set_index(line);
+        (0..self.config.ways)
+            .find(|&way| {
+                let s = &self.lines[self.slot(set, way)];
+                s.valid && s.tag == line
+            })
+    }
+
+    /// Demand lookup: returns `true` on hit. Updates statistics and, on a
+    /// hit, notifies the replacement policy. A miss records nothing in the
+    /// tag store — the hierarchy decides whether and when to [`Cache::fill`].
+    pub fn access(&mut self, req: &MemoryRequest) -> bool {
+        let line = self.line_of(req);
+        let info = RequestInfo::from(req);
+        match self.find_way(line) {
+            Some(way) => {
+                let set = self.set_index(line);
+                if req.attrs.prefetch {
+                    self.stats.prefetch_hits += 1;
+                } else {
+                    self.stats.record_demand(req.kind.is_instruction(), true);
+                }
+                self.policy.on_hit(set, way, &info);
+                if req.kind.is_write() {
+                    let slot = self.slot(set, way);
+                    self.lines[slot].dirty = true;
+                }
+                true
+            }
+            None => {
+                if !req.attrs.prefetch {
+                    self.stats.record_demand(req.kind.is_instruction(), false);
+                }
+                false
+            }
+        }
+    }
+
+    /// Fills the request's line, evicting if the set is full.
+    ///
+    /// Invalid ways are used first (without consulting the policy for a
+    /// victim); otherwise the policy chooses among all valid ways. If the
+    /// line is already resident this is a no-op returning `None`
+    /// (prefetch/demand races).
+    pub fn fill(&mut self, req: &MemoryRequest) -> Option<EvictedLine> {
+        let line = self.line_of(req);
+        if self.contains(line) {
+            return None;
+        }
+        let set = self.set_index(line);
+        let info = RequestInfo::from(req);
+
+        let invalid_way =
+            (0..self.config.ways).find(|&way| !self.lines[self.slot(set, way)].valid);
+        let (way, evicted) = match invalid_way {
+            Some(way) => (way, None),
+            None => {
+                let candidates: Vec<usize> = (0..self.config.ways).collect();
+                let way = self.policy.choose_victim(set, &info, &candidates);
+                assert!(way < self.config.ways, "policy returned way out of range");
+                let old = self.lines[self.slot(set, way)];
+                self.policy.on_evict(set, way);
+                self.stats.evictions += 1;
+                if old.dirty {
+                    self.stats.writebacks += 1;
+                }
+                (way, Some(EvictedLine { line: old.tag, dirty: old.dirty, instruction: old.instruction }))
+            }
+        };
+
+        let slot = self.slot(set, way);
+        self.lines[slot] = LineState {
+            tag: line,
+            valid: true,
+            dirty: req.kind.is_write(),
+            instruction: req.kind.is_instruction(),
+        };
+        if req.attrs.prefetch {
+            self.stats.prefetch_fills += 1;
+        }
+        self.policy.on_fill(set, way, &info);
+        evicted
+    }
+
+    /// Invalidates `line` if resident, returning its state (for inclusive
+    /// back-invalidation bookkeeping). Counts as a back-invalidation in
+    /// the statistics.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedLine> {
+        let removed = self.extract(line);
+        if removed.is_some() {
+            self.stats.back_invalidations += 1;
+        }
+        removed
+    }
+
+    /// Removes `line` without counting a back-invalidation — used for
+    /// exclusive-cache movement (SLC → L2 promotion), which is a transfer,
+    /// not an invalidation.
+    pub fn extract(&mut self, line: LineAddr) -> Option<EvictedLine> {
+        let way = self.find_way(line)?;
+        let set = self.set_index(line);
+        let slot = self.slot(set, way);
+        let old = self.lines[slot];
+        self.lines[slot].valid = false;
+        self.lines[slot].dirty = false;
+        self.policy.on_invalidate(set, way);
+        Some(EvictedLine { line: old.tag, dirty: old.dirty, instruction: old.instruction })
+    }
+
+    /// Marks `line` dirty if resident (dirty L1 writeback landing in an
+    /// inclusive L2). Returns whether the line was found.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        match self.find_way(line) {
+            Some(way) => {
+                let set = self.set_index(line);
+                let slot = self.slot(set, way);
+                self.lines[slot].dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates over all resident lines (for invariant checks in tests).
+    pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.lines.iter().filter(|s| s.valid).map(|s| s.tag)
+    }
+
+    /// Number of resident lines.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|s| s.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trrip_mem::{PhysAddr, VirtAddr};
+    use trrip_policies::PolicyKind;
+
+    fn small_cache(kind: PolicyKind) -> Cache {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        let config = CacheConfig::new("T", 512, 2, 1, 2);
+        let policy = kind.build(config.num_sets(), config.ways);
+        Cache::new(config, policy)
+    }
+
+    fn fetch(addr: u64) -> MemoryRequest {
+        MemoryRequest::fetch(PhysAddr::new(addr), VirtAddr::new(addr))
+    }
+
+    fn store(addr: u64) -> MemoryRequest {
+        MemoryRequest::store(PhysAddr::new(addr), VirtAddr::new(addr))
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small_cache(PolicyKind::Lru);
+        let req = fetch(0x1000);
+        assert!(!c.access(&req));
+        assert!(c.fill(&req).is_none());
+        assert!(c.access(&req));
+        assert_eq!(c.stats().inst_accesses, 2);
+        assert_eq!(c.stats().inst_misses, 1);
+    }
+
+    #[test]
+    fn conflicting_lines_evict() {
+        let mut c = small_cache(PolicyKind::Lru);
+        // Three lines mapping to set 0 (line addr multiples of 4 × 64 B).
+        let a = fetch(0x0000);
+        let b = fetch(0x0400);
+        let d = fetch(0x0800);
+        c.fill(&a);
+        c.fill(&b);
+        let evicted = c.fill(&d).expect("third line must evict");
+        assert_eq!(evicted.line, c.line_of(&a));
+        assert!(!c.contains(c.line_of(&a)));
+        assert!(c.contains(c.line_of(&b)));
+        assert!(c.contains(c.line_of(&d)));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = small_cache(PolicyKind::Lru);
+        c.fill(&store(0x0000));
+        c.fill(&fetch(0x0400));
+        let evicted = c.fill(&fetch(0x0800)).unwrap();
+        assert!(evicted.dirty);
+        assert!(!evicted.instruction);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn store_hit_marks_dirty() {
+        let mut c = small_cache(PolicyKind::Lru);
+        c.fill(&fetch(0x0000)); // clean fill
+        assert!(c.access(&store(0x0000)));
+        c.fill(&fetch(0x0400));
+        let evicted = c.fill(&fetch(0x0800)).unwrap();
+        assert!(evicted.dirty, "store hit must dirty the line");
+    }
+
+    #[test]
+    fn double_fill_is_noop() {
+        let mut c = small_cache(PolicyKind::Srrip);
+        let req = fetch(0x1000);
+        c.fill(&req);
+        assert!(c.fill(&req).is_none());
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small_cache(PolicyKind::Srrip);
+        let req = fetch(0x1000);
+        c.fill(&req);
+        let line = c.line_of(&req);
+        assert!(c.invalidate(line).is_some());
+        assert!(!c.contains(line));
+        assert!(c.invalidate(line).is_none());
+        assert_eq!(c.stats().back_invalidations, 1);
+    }
+
+    #[test]
+    fn prefetch_accesses_not_in_demand_stats() {
+        let mut c = small_cache(PolicyKind::Srrip);
+        let pf = fetch(0x1000).as_prefetch();
+        assert!(!c.access(&pf));
+        c.fill(&pf);
+        assert!(c.access(&pf));
+        assert_eq!(c.stats().inst_accesses, 0);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        assert_eq!(c.stats().prefetch_hits, 1);
+    }
+
+    #[test]
+    fn all_policies_drive_the_tag_store() {
+        for kind in PolicyKind::PAPER_SET {
+            let mut c = small_cache(kind);
+            for i in 0..64 {
+                let req = fetch(i * 64);
+                if !c.access(&req) {
+                    c.fill(&req);
+                }
+            }
+            assert_eq!(c.occupancy(), 8, "{kind}: cache should be full");
+            // Re-touch a resident line: must hit.
+            let last = fetch(63 * 64);
+            assert!(c.access(&last), "{kind}: resident line must hit");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Set-associative cache model and the Table 1 memory hierarchy.
+//!
+//! * [`Cache`] — a tag store with pluggable [`trrip_policies::ReplacementPolicy`],
+//!   dirty bits, and per-kind hit/miss statistics.
+//! * [`prefetch`] — stride and next-line hardware prefetchers.
+//! * [`Hierarchy`] — the paper's memory system: private L1-I/L1-D (LRU),
+//!   a shared unified *inclusive* L2 with the policy under evaluation, an
+//!   *exclusive* SLC victim cache, and a flat-latency DRAM.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod hierarchy;
+pub mod prefetch;
+pub mod stats;
+
+pub use cache::{Cache, EvictedLine};
+pub use config::CacheConfig;
+pub use hierarchy::{AccessOutcome, Hierarchy, HierarchyConfig, ServedBy};
+pub use prefetch::{NextLinePrefetcher, StridePrefetcher};
+pub use stats::AccessStats;

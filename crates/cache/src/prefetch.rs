@@ -1,0 +1,210 @@
+//! Hardware prefetchers: per-PC stride detection and next-line.
+//!
+//! Table 1 attaches a stride prefetcher (including next-line behaviour)
+//! to every cache. The prefetchers only *propose* line addresses; the
+//! hierarchy decides which level to fill.
+
+use serde::{Deserialize, Serialize};
+use trrip_mem::{LineAddr, PhysAddr, VirtAddr};
+
+/// Per-PC stride prefetcher.
+///
+/// Classic reference-prediction-table design: each entry tracks the last
+/// address and stride for one instruction PC with a 2-bit confidence
+/// counter; once the same stride repeats, the prefetcher proposes
+/// `degree` upcoming addresses.
+///
+/// # Example
+///
+/// ```
+/// use trrip_cache::StridePrefetcher;
+/// use trrip_mem::{PhysAddr, VirtAddr};
+///
+/// let mut pf = StridePrefetcher::new(64, 2);
+/// let pc = VirtAddr::new(0x400);
+/// assert!(pf.observe(pc, PhysAddr::new(0x1000)).is_empty());
+/// assert!(pf.observe(pc, PhysAddr::new(0x1040)).is_empty()); // learns stride
+/// let proposals = pf.observe(pc, PhysAddr::new(0x1080)); // confirmed
+/// assert_eq!(proposals[0].raw(), 0x10c0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StridePrefetcher {
+    entries: Vec<StrideEntry>,
+    degree: usize,
+    mask: usize,
+}
+
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct StrideEntry {
+    pc_tag: u64,
+    last_addr: u64,
+    stride: i64,
+    confidence: u8,
+    valid: bool,
+}
+
+impl StridePrefetcher {
+    /// Creates a prefetcher with a power-of-two `table_entries` table
+    /// proposing `degree` addresses per confirmed stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_entries` is not a power of two or `degree` is 0.
+    #[must_use]
+    pub fn new(table_entries: usize, degree: usize) -> StridePrefetcher {
+        assert!(table_entries.is_power_of_two(), "table size must be a power of two");
+        assert!(degree > 0, "degree must be positive");
+        StridePrefetcher {
+            entries: vec![StrideEntry::default(); table_entries],
+            degree,
+            mask: table_entries - 1,
+        }
+    }
+
+    /// Observes a demand access and returns proposed prefetch addresses.
+    pub fn observe(&mut self, pc: VirtAddr, addr: PhysAddr) -> Vec<PhysAddr> {
+        let index = ((pc.raw() >> 2) as usize) & self.mask;
+        let entry = &mut self.entries[index];
+        let mut proposals = Vec::new();
+
+        if entry.valid && entry.pc_tag == pc.raw() {
+            let stride = addr.raw() as i64 - entry.last_addr as i64;
+            if stride == entry.stride && stride != 0 {
+                entry.confidence = (entry.confidence + 1).min(3);
+            } else {
+                entry.confidence = entry.confidence.saturating_sub(1);
+                if entry.confidence == 0 {
+                    entry.stride = stride;
+                }
+            }
+            entry.last_addr = addr.raw();
+            if entry.confidence >= 1 && entry.stride != 0 {
+                let mut next = addr.raw() as i64;
+                for _ in 0..self.degree {
+                    next += entry.stride;
+                    if next >= 0 {
+                        proposals.push(PhysAddr::new(next as u64));
+                    }
+                }
+            }
+        } else {
+            *entry = StrideEntry {
+                pc_tag: pc.raw(),
+                last_addr: addr.raw(),
+                stride: 0,
+                confidence: 0,
+                valid: true,
+            };
+        }
+        proposals
+    }
+
+    /// Storage cost of the table in bits (for the power model): tag +
+    /// last address (truncated to 32 bits as in real tables) + stride +
+    /// confidence.
+    #[must_use]
+    pub fn storage_bits(&self) -> u64 {
+        self.entries.len() as u64 * (16 + 32 + 16 + 2)
+    }
+}
+
+/// Next-line prefetcher for instruction streams: on every demand miss it
+/// proposes the following `degree` sequential lines.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NextLinePrefetcher {
+    degree: usize,
+}
+
+impl NextLinePrefetcher {
+    /// Creates a next-line prefetcher proposing `degree` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    #[must_use]
+    pub fn new(degree: usize) -> NextLinePrefetcher {
+        assert!(degree > 0, "degree must be positive");
+        NextLinePrefetcher { degree }
+    }
+
+    /// Sequential lines following `line`.
+    #[must_use]
+    pub fn propose(&self, line: LineAddr) -> Vec<LineAddr> {
+        (1..=self.degree as u64).map(|i| LineAddr(line.raw() + i)).collect()
+    }
+}
+
+impl Default for NextLinePrefetcher {
+    fn default() -> Self {
+        NextLinePrefetcher::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_detected_after_two_repeats() {
+        let mut pf = StridePrefetcher::new(16, 1);
+        let pc = VirtAddr::new(0x100);
+        assert!(pf.observe(pc, PhysAddr::new(0x1000)).is_empty());
+        assert!(pf.observe(pc, PhysAddr::new(0x1100)).is_empty());
+        let p = pf.observe(pc, PhysAddr::new(0x1200));
+        assert_eq!(p, vec![PhysAddr::new(0x1300)]);
+    }
+
+    #[test]
+    fn degree_controls_proposal_count() {
+        let mut pf = StridePrefetcher::new(16, 4);
+        let pc = VirtAddr::new(0x100);
+        pf.observe(pc, PhysAddr::new(0x1000));
+        pf.observe(pc, PhysAddr::new(0x1040));
+        let p = pf.observe(pc, PhysAddr::new(0x1080));
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[3], PhysAddr::new(0x1180));
+    }
+
+    #[test]
+    fn irregular_pattern_stays_quiet() {
+        let mut pf = StridePrefetcher::new(16, 2);
+        let pc = VirtAddr::new(0x100);
+        let addrs = [0x1000u64, 0x5000, 0x2000, 0x9000, 0x1234];
+        let mut total = 0;
+        for a in addrs {
+            total += pf.observe(pc, PhysAddr::new(a)).len();
+        }
+        assert_eq!(total, 0, "random pattern should not trigger prefetches");
+    }
+
+    #[test]
+    fn negative_stride_supported() {
+        let mut pf = StridePrefetcher::new(16, 1);
+        let pc = VirtAddr::new(0x100);
+        pf.observe(pc, PhysAddr::new(0x3000));
+        pf.observe(pc, PhysAddr::new(0x2f00));
+        let p = pf.observe(pc, PhysAddr::new(0x2e00));
+        assert_eq!(p, vec![PhysAddr::new(0x2d00)]);
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_entries() {
+        let mut pf = StridePrefetcher::new(16, 1);
+        let pc1 = VirtAddr::new(0x100);
+        let pc2 = VirtAddr::new(0x104);
+        pf.observe(pc1, PhysAddr::new(0x1000));
+        pf.observe(pc2, PhysAddr::new(0x9000));
+        pf.observe(pc1, PhysAddr::new(0x1040));
+        pf.observe(pc2, PhysAddr::new(0x9400));
+        let p1 = pf.observe(pc1, PhysAddr::new(0x1080));
+        let p2 = pf.observe(pc2, PhysAddr::new(0x9800));
+        assert_eq!(p1, vec![PhysAddr::new(0x10c0)]);
+        assert_eq!(p2, vec![PhysAddr::new(0x9c00)]);
+    }
+
+    #[test]
+    fn next_line_proposes_sequential_lines() {
+        let pf = NextLinePrefetcher::new(2);
+        assert_eq!(pf.propose(LineAddr(10)), vec![LineAddr(11), LineAddr(12)]);
+    }
+}

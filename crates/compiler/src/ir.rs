@@ -1,0 +1,259 @@
+//! The synthetic program representation.
+//!
+//! A [`Program`] is a call graph of [`Function`]s; each function is a CFG
+//! of [`BasicBlock`]s. Blocks carry everything the trace generator needs:
+//! code size, successor edges with probabilities, an optional call, and
+//! memory-operand densities. The representation deliberately has no
+//! instruction semantics — replacement-policy experiments consume address
+//! streams, and the governing statistics live here.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a call at the end of a block goes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CallTarget {
+    /// Direct call to a function of this program.
+    Function(usize),
+    /// Indirect call chosen among program functions at run time (virtual
+    /// dispatch); the walker picks a callee from the listed candidates.
+    Indirect,
+    /// Call into an external library through the PLT (invisible to
+    /// TRRIP's compiler — §4.6's "external code").
+    External(usize),
+}
+
+/// One basic block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Code bytes (multiple of the 4-byte instruction size).
+    pub size_bytes: u32,
+    /// Successor edges within the function: `(block index, probability)`.
+    /// Empty for return blocks. Probabilities should sum to 1.
+    pub successors: Vec<(usize, f64)>,
+    /// Optional call performed before transferring to the successor.
+    pub call: Option<CallTarget>,
+    /// Probability that an instruction in this block performs a load.
+    pub load_density: f32,
+    /// Probability that an instruction in this block performs a store.
+    pub store_density: f32,
+    /// Marks an indirect-dispatch block (interpreter-style `switch`):
+    /// the terminating branch is an indirect jump.
+    pub indirect_dispatch: bool,
+    /// Marks a sequential-scan block: its loads stream through memory
+    /// with a fixed stride (prefetchable by the stride prefetcher).
+    pub scan: bool,
+}
+
+impl BasicBlock {
+    /// A straight-line block of `size_bytes` falling through to `next`.
+    #[must_use]
+    pub fn straight(size_bytes: u32, next: usize) -> BasicBlock {
+        BasicBlock {
+            size_bytes,
+            successors: vec![(next, 1.0)],
+            call: None,
+            load_density: 0.0,
+            store_density: 0.0,
+            indirect_dispatch: false,
+            scan: false,
+        }
+    }
+
+    /// A return block of `size_bytes` (no successors).
+    #[must_use]
+    pub fn ret(size_bytes: u32) -> BasicBlock {
+        BasicBlock {
+            size_bytes,
+            successors: Vec::new(),
+            call: None,
+            load_density: 0.0,
+            store_density: 0.0,
+            indirect_dispatch: false,
+            scan: false,
+        }
+    }
+
+    /// Number of instructions in the block.
+    #[must_use]
+    pub fn instructions(&self) -> u32 {
+        self.size_bytes / 4
+    }
+}
+
+/// One function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Basic blocks; index 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+    /// Candidate callee set for [`CallTarget::Indirect`] calls made from
+    /// this function.
+    pub indirect_callees: Vec<usize>,
+}
+
+impl Function {
+    /// Creates a function.
+    #[must_use]
+    pub fn new(name: &str, blocks: Vec<BasicBlock>) -> Function {
+        Function { name: name.to_owned(), blocks, indirect_callees: Vec::new() }
+    }
+
+    /// Total code bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| u64::from(b.size_bytes)).sum()
+    }
+}
+
+/// A whole program: the functions TRRIP's compiler sees, plus metadata
+/// about external libraries it does not.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Program functions (compiled by TRRIP's PGO pipeline).
+    pub functions: Vec<Function>,
+    /// Entry function index.
+    pub entry: usize,
+    /// Sizes of external library functions reachable through the PLT
+    /// (bytes each). These are *not* recompiled and get no temperature.
+    pub external_functions: Vec<u64>,
+    /// Static data bytes (.data/.rodata/.bss) — contributes to the binary
+    /// size reported in Table 5.
+    pub data_bytes: u64,
+}
+
+impl Program {
+    /// Creates a program with no external code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `functions` is empty or `entry` is out of range.
+    #[must_use]
+    pub fn new(functions: Vec<Function>, entry: usize) -> Program {
+        assert!(!functions.is_empty(), "a program needs at least one function");
+        assert!(entry < functions.len(), "entry function out of range");
+        Program { functions, entry, external_functions: Vec::new(), data_bytes: 0 }
+    }
+
+    /// Total code bytes of the TRRIP-compiled text.
+    #[must_use]
+    pub fn text_bytes(&self) -> u64 {
+        self.functions.iter().map(Function::size_bytes).sum()
+    }
+
+    /// Validates CFG well-formedness: successor indices in range,
+    /// probabilities non-negative and summing to ~1 for non-return
+    /// blocks, call targets in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed element found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (fi, f) in self.functions.iter().enumerate() {
+            if f.blocks.is_empty() {
+                return Err(format!("function {fi} ({}) has no blocks", f.name));
+            }
+            for (bi, b) in f.blocks.iter().enumerate() {
+                if b.size_bytes == 0 || b.size_bytes % 4 != 0 {
+                    return Err(format!("block {fi}:{bi} has bad size {}", b.size_bytes));
+                }
+                if !b.successors.is_empty() {
+                    let sum: f64 = b.successors.iter().map(|&(_, p)| p).sum();
+                    if (sum - 1.0).abs() > 1e-6 {
+                        return Err(format!("block {fi}:{bi} edge probabilities sum to {sum}"));
+                    }
+                }
+                for &(s, p) in &b.successors {
+                    if s >= f.blocks.len() {
+                        return Err(format!("block {fi}:{bi} successor {s} out of range"));
+                    }
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("block {fi}:{bi} edge probability {p} invalid"));
+                    }
+                }
+                match b.call {
+                    Some(CallTarget::Function(c)) if c >= self.functions.len() => {
+                        return Err(format!("block {fi}:{bi} calls unknown function {c}"));
+                    }
+                    Some(CallTarget::External(e)) if e >= self.external_functions.len() => {
+                        return Err(format!("block {fi}:{bi} calls unknown external {e}"));
+                    }
+                    Some(CallTarget::Indirect) if f.indirect_callees.is_empty() => {
+                        return Err(format!(
+                            "block {fi}:{bi} makes an indirect call but {} lists no callees",
+                            f.name
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_block_function(name: &str) -> Function {
+        Function::new(name, vec![BasicBlock::straight(64, 1), BasicBlock::ret(32)])
+    }
+
+    #[test]
+    fn sizes_accumulate() {
+        let f = two_block_function("f");
+        assert_eq!(f.size_bytes(), 96);
+        let p = Program::new(vec![two_block_function("a"), two_block_function("b")], 0);
+        assert_eq!(p.text_bytes(), 192);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let p = Program::new(vec![two_block_function("a")], 0);
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        let mut f = two_block_function("a");
+        f.blocks[0].successors = vec![(1, 0.4)];
+        let p = Program::new(vec![f], 0);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_successor() {
+        let mut f = two_block_function("a");
+        f.blocks[0].successors = vec![(7, 1.0)];
+        let p = Program::new(vec![f], 0);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_call() {
+        let mut f = two_block_function("a");
+        f.blocks[0].call = Some(CallTarget::Function(9));
+        let p = Program::new(vec![f], 0);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_indirect_without_callees() {
+        let mut f = two_block_function("a");
+        f.blocks[0].call = Some(CallTarget::Indirect);
+        let p = Program::new(vec![f, two_block_function("b")], 0);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn instruction_count_from_bytes() {
+        assert_eq!(BasicBlock::ret(64).instructions(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry function out of range")]
+    fn bad_entry_panics() {
+        let _ = Program::new(vec![two_block_function("a")], 3);
+    }
+}

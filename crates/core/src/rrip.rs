@@ -1,0 +1,317 @@
+//! The shared RRIP per-set state machine and the static/bimodal cores.
+//!
+//! All RRIP-family policies — SRRIP, BRRIP, DRRIP, CLIP and TRRIP — share
+//! one eviction mechanism (`GetEvictionLine` in Algorithm 1): scan for a
+//! line whose RRPV equals the *distant* value; if none exists, age every
+//! line in the set by one and rescan. The policies differ only in the
+//! insertion and hit-promotion sub-policies, which is why [`RripSet`]
+//! exposes raw RRPV manipulation and the cores/[`crate::TrripPolicy`] layer
+//! decisions on top.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rrpv::{Rrpv, RrpvWidth};
+
+/// Per-set RRPV state and the common RRIP eviction mechanism.
+///
+/// One `RripSet` holds the RRPV registers for every way of a single cache
+/// set. It deliberately knows nothing about tags or validity — the cache's
+/// tag store owns those — so the same state machine serves every
+/// RRIP-family policy.
+///
+/// # Example
+///
+/// ```
+/// use trrip_core::{RripSet, Rrpv, RrpvWidth};
+///
+/// let w = RrpvWidth::W2;
+/// let mut set = RripSet::new(4, w);
+/// // New sets start with every way distant, so the first victim is way 0.
+/// assert_eq!(set.find_victim(), 0);
+/// set.set_rrpv(0, Rrpv::immediate());
+/// assert_eq!(set.find_victim(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RripSet {
+    rrpv: Vec<Rrpv>,
+    width: RrpvWidth,
+}
+
+impl RripSet {
+    /// Creates a set with `ways` lines, all initialized to *distant* so that
+    /// untouched ways are preferred victims.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    #[must_use]
+    pub fn new(ways: usize, width: RrpvWidth) -> RripSet {
+        assert!(ways > 0, "a cache set needs at least one way");
+        RripSet { rrpv: vec![Rrpv::distant(width); ways], width }
+    }
+
+    /// Number of ways in the set.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.rrpv.len()
+    }
+
+    /// The configured RRPV field width.
+    #[must_use]
+    pub fn width(&self) -> RrpvWidth {
+        self.width
+    }
+
+    /// The RRPV of one way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of bounds.
+    #[must_use]
+    pub fn rrpv(&self, way: usize) -> Rrpv {
+        self.rrpv[way]
+    }
+
+    /// Overwrites the RRPV of one way (insertion / promotion sub-policies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of bounds.
+    pub fn set_rrpv(&mut self, way: usize, value: Rrpv) {
+        self.rrpv[way] = value;
+    }
+
+    /// The shared RRIP eviction mechanism (`GetEvictionLine`).
+    ///
+    /// Scans from way 0 for a *distant* line; if none is found, increments
+    /// the RRPV of all ways and rescans. Guaranteed to terminate because
+    /// aging saturates at the distant value. Mutates the set (the aging is
+    /// architectural state), and returns the victim way. The victim's RRPV
+    /// is left distant; the caller then applies the insertion sub-policy.
+    pub fn find_victim(&mut self) -> usize {
+        loop {
+            if let Some(way) = self.rrpv.iter().position(|v| v.is_distant(self.width)) {
+                return way;
+            }
+            for v in &mut self.rrpv {
+                *v = v.aged(self.width);
+            }
+        }
+    }
+
+    /// Resets one way to *distant*, used when the tag store invalidates a
+    /// line (e.g. inclusive back-invalidation) so the way becomes the
+    /// preferred victim.
+    pub fn invalidate(&mut self, way: usize) {
+        self.rrpv[way] = Rrpv::distant(self.width);
+    }
+
+    /// Iterates over `(way, rrpv)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Rrpv)> + '_ {
+        self.rrpv.iter().copied().enumerate()
+    }
+}
+
+/// SRRIP (Static RRIP) insertion/promotion core.
+///
+/// *Scan-resistant*: new lines are pessimistically inserted at
+/// *intermediate* re-reference; only an actual hit promotes a line to
+/// *immediate*. This is the paper's baseline policy (all results in
+/// Figure 6 / Table 3 are normalized to SRRIP).
+///
+/// # Example
+///
+/// ```
+/// use trrip_core::{RripSet, SrripCore, RrpvWidth, Rrpv};
+///
+/// let w = RrpvWidth::W2;
+/// let core = SrripCore::new(w);
+/// let mut set = RripSet::new(8, w);
+/// let victim = set.find_victim();
+/// core.on_fill(&mut set, victim);
+/// assert_eq!(set.rrpv(victim), Rrpv::intermediate(w));
+/// core.on_hit(&mut set, victim);
+/// assert_eq!(set.rrpv(victim), Rrpv::immediate());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SrripCore {
+    width: RrpvWidth,
+}
+
+impl SrripCore {
+    /// Creates the core for a given RRPV width.
+    #[must_use]
+    pub fn new(width: RrpvWidth) -> SrripCore {
+        SrripCore { width }
+    }
+
+    /// Hit promotion: hit-priority (HP) variant, promote to *immediate*.
+    pub fn on_hit(&self, set: &mut RripSet, way: usize) {
+        set.set_rrpv(way, Rrpv::immediate());
+    }
+
+    /// Insertion: pessimistic *intermediate* re-reference prediction.
+    pub fn on_fill(&self, set: &mut RripSet, way: usize) {
+        set.set_rrpv(way, Rrpv::intermediate(self.width));
+    }
+}
+
+/// BRRIP (Bimodal RRIP) insertion core.
+///
+/// *Thrash-resistant*: inserts at *distant* most of the time, and at
+/// *intermediate* with low probability (1/32 by default, the value used in
+/// the RRIP paper), so that a fraction of a thrashing working set sticks.
+///
+/// Determinism: the "probability" is realized with a deterministic
+/// throttle counter rather than an RNG, matching common hardware
+/// implementations and keeping simulations reproducible.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrripCore {
+    width: RrpvWidth,
+    throttle: u32,
+    counter: u32,
+}
+
+impl BrripCore {
+    /// Default insertion throttle: 1 in 32 fills are *intermediate*.
+    pub const DEFAULT_THROTTLE: u32 = 32;
+
+    /// Creates the core with the default 1/32 throttle.
+    #[must_use]
+    pub fn new(width: RrpvWidth) -> BrripCore {
+        BrripCore::with_throttle(width, BrripCore::DEFAULT_THROTTLE)
+    }
+
+    /// Creates the core with a custom throttle (`1/throttle` fills are
+    /// intermediate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `throttle` is zero.
+    #[must_use]
+    pub fn with_throttle(width: RrpvWidth, throttle: u32) -> BrripCore {
+        assert!(throttle > 0, "throttle must be at least 1");
+        BrripCore { width, throttle, counter: 0 }
+    }
+
+    /// Hit promotion: same hit-priority behaviour as SRRIP.
+    pub fn on_hit(&self, set: &mut RripSet, way: usize) {
+        set.set_rrpv(way, Rrpv::immediate());
+    }
+
+    /// Insertion: *distant* except every `throttle`-th fill which is
+    /// *intermediate*.
+    pub fn on_fill(&mut self, set: &mut RripSet, way: usize) {
+        self.counter = (self.counter + 1) % self.throttle;
+        let value = if self.counter == 0 {
+            Rrpv::intermediate(self.width)
+        } else {
+            Rrpv::distant(self.width)
+        };
+        set.set_rrpv(way, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_set_prefers_way_zero() {
+        let mut set = RripSet::new(8, RrpvWidth::W2);
+        assert_eq!(set.find_victim(), 0);
+    }
+
+    #[test]
+    fn eviction_ages_until_distant_found() {
+        let w = RrpvWidth::W2;
+        let mut set = RripSet::new(4, w);
+        for way in 0..4 {
+            set.set_rrpv(way, Rrpv::immediate());
+        }
+        set.set_rrpv(2, Rrpv::intermediate(w));
+        // No distant line: mechanism ages all once (2 -> 3) and picks way 2.
+        let victim = set.find_victim();
+        assert_eq!(victim, 2);
+        // Other lines aged from immediate to near in the process.
+        assert_eq!(set.rrpv(0), Rrpv::near());
+        assert_eq!(set.rrpv(1), Rrpv::near());
+        assert_eq!(set.rrpv(3), Rrpv::near());
+    }
+
+    #[test]
+    fn eviction_picks_lowest_way_among_distant() {
+        let w = RrpvWidth::W2;
+        let mut set = RripSet::new(4, w);
+        set.set_rrpv(0, Rrpv::immediate());
+        // Ways 1..3 are distant; the scan returns the first.
+        assert_eq!(set.find_victim(), 1);
+    }
+
+    #[test]
+    fn srrip_insert_intermediate_hit_immediate() {
+        let w = RrpvWidth::W2;
+        let core = SrripCore::new(w);
+        let mut set = RripSet::new(4, w);
+        core.on_fill(&mut set, 0);
+        assert_eq!(set.rrpv(0), Rrpv::intermediate(w));
+        core.on_hit(&mut set, 0);
+        assert_eq!(set.rrpv(0), Rrpv::immediate());
+    }
+
+    #[test]
+    fn brrip_mostly_inserts_distant() {
+        let w = RrpvWidth::W2;
+        let mut core = BrripCore::new(w);
+        let mut set = RripSet::new(4, w);
+        let mut distant = 0;
+        let mut intermediate = 0;
+        for _ in 0..320 {
+            core.on_fill(&mut set, 0);
+            if set.rrpv(0) == Rrpv::distant(w) {
+                distant += 1;
+            } else {
+                intermediate += 1;
+            }
+        }
+        assert_eq!(intermediate, 10); // exactly 1/32 of 320
+        assert_eq!(distant, 310);
+    }
+
+    #[test]
+    fn invalidate_makes_way_preferred_victim() {
+        let w = RrpvWidth::W2;
+        let mut set = RripSet::new(4, w);
+        for way in 0..4 {
+            set.set_rrpv(way, Rrpv::immediate());
+        }
+        set.invalidate(3);
+        assert_eq!(set.find_victim(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_way_set_is_rejected() {
+        let _ = RripSet::new(0, RrpvWidth::W2);
+    }
+
+    #[test]
+    fn scan_resistance_srrip_keeps_reused_line() {
+        // A reused line at immediate survives a burst of scanning fills.
+        let w = RrpvWidth::W2;
+        let core = SrripCore::new(w);
+        let mut set = RripSet::new(4, w);
+        // Hot line in way 0.
+        core.on_fill(&mut set, 0);
+        core.on_hit(&mut set, 0);
+        // Scan: repeatedly fill victims; way 0 must never be chosen before
+        // the scanned lines (they sit at intermediate, aged to distant first).
+        for _ in 0..16 {
+            let v = set.find_victim();
+            assert_ne!(v, 0, "scan evicted the reused line");
+            core.on_fill(&mut set, v);
+            // Refresh the hot line as a real workload would.
+            core.on_hit(&mut set, 0);
+        }
+    }
+}

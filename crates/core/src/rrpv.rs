@@ -1,0 +1,218 @@
+//! Re-Reference Prediction Values.
+//!
+//! RRIP-family policies (Jaleel et al., ISCA 2010) attach an n-bit
+//! *Re-Reference Prediction Value* to every cache line. Lower values predict
+//! a more immediate re-reference and therefore a higher priority to stay in
+//! the cache. With the paper's 2-bit configuration the named points are:
+//!
+//! | prediction   | RRPV |
+//! |--------------|------|
+//! | immediate    | 0    |
+//! | near         | 1    |
+//! | intermediate | 2    |
+//! | distant      | 3    |
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Bit-width of the RRPV field.
+///
+/// The paper models all RRIP-based policies with 2-bit RRPVs (§4.3); wider
+/// fields are provided for sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RrpvWidth {
+    /// 1-bit RRPV (NRU-equivalent: immediate / distant only).
+    W1,
+    /// 2-bit RRPV, the paper's configuration.
+    W2,
+    /// 3-bit RRPV.
+    W3,
+}
+
+impl RrpvWidth {
+    /// The maximum raw value (the *distant* re-reference prediction).
+    #[must_use]
+    pub fn max_value(self) -> u8 {
+        match self {
+            RrpvWidth::W1 => 1,
+            RrpvWidth::W2 => 3,
+            RrpvWidth::W3 => 7,
+        }
+    }
+
+    /// Number of bits of per-line storage.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        match self {
+            RrpvWidth::W1 => 1,
+            RrpvWidth::W2 => 2,
+            RrpvWidth::W3 => 3,
+        }
+    }
+}
+
+impl Default for RrpvWidth {
+    fn default() -> Self {
+        RrpvWidth::W2
+    }
+}
+
+/// An n-bit saturating re-reference prediction value.
+///
+/// Arithmetic saturates at both ends: promoting an already-immediate line or
+/// aging an already-distant line is a no-op, exactly as in the hardware
+/// counters the field models.
+///
+/// # Example
+///
+/// ```
+/// use trrip_core::{Rrpv, RrpvWidth};
+///
+/// let w = RrpvWidth::W2;
+/// let mut v = Rrpv::intermediate(w);
+/// assert_eq!(v.raw(), 2);
+/// v = v.aged(w);
+/// assert_eq!(v, Rrpv::distant(w));
+/// v = v.aged(w); // saturates
+/// assert_eq!(v, Rrpv::distant(w));
+/// assert_eq!(v.promoted(), Rrpv::distant(w).promoted());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Rrpv(u8);
+
+impl Rrpv {
+    /// The *immediate* re-reference prediction (highest keep priority).
+    #[must_use]
+    pub fn immediate() -> Rrpv {
+        Rrpv(0)
+    }
+
+    /// The *near* re-reference prediction (RRPV 1).
+    #[must_use]
+    pub fn near() -> Rrpv {
+        Rrpv(1)
+    }
+
+    /// The *intermediate* (a.k.a. "long") re-reference prediction:
+    /// `max - 1`. SRRIP's insertion point.
+    #[must_use]
+    pub fn intermediate(width: RrpvWidth) -> Rrpv {
+        Rrpv(width.max_value() - 1)
+    }
+
+    /// The *distant* re-reference prediction: the maximum value, the
+    /// eviction candidate state. BRRIP's dominant insertion point.
+    #[must_use]
+    pub fn distant(width: RrpvWidth) -> Rrpv {
+        Rrpv(width.max_value())
+    }
+
+    /// Builds an RRPV from a raw counter value, saturating to the field
+    /// maximum for the given width.
+    #[must_use]
+    pub fn from_raw(value: u8, width: RrpvWidth) -> Rrpv {
+        Rrpv(value.min(width.max_value()))
+    }
+
+    /// The raw counter value.
+    #[must_use]
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Ages the line one step toward *distant*, saturating at the maximum.
+    #[must_use]
+    pub fn aged(self, width: RrpvWidth) -> Rrpv {
+        Rrpv((self.0 + 1).min(width.max_value()))
+    }
+
+    /// Promotes the line one step toward *immediate*, saturating at zero.
+    ///
+    /// This is TRRIP variant 2's conservative hit behaviour for warm and
+    /// cold lines: `RRPV = max(RRPV - 1, immediate)` (Algorithm 1, line 7).
+    #[must_use]
+    pub fn promoted(self) -> Rrpv {
+        Rrpv(self.0.saturating_sub(1))
+    }
+
+    /// Whether the line is in the eviction-candidate (*distant*) state.
+    #[must_use]
+    pub fn is_distant(self, width: RrpvWidth) -> bool {
+        self.0 >= width.max_value()
+    }
+
+    /// Whether the line is in the *immediate* state.
+    #[must_use]
+    pub fn is_immediate(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Rrpv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_points_match_paper_table() {
+        let w = RrpvWidth::W2;
+        assert_eq!(Rrpv::immediate().raw(), 0);
+        assert_eq!(Rrpv::near().raw(), 1);
+        assert_eq!(Rrpv::intermediate(w).raw(), 2);
+        assert_eq!(Rrpv::distant(w).raw(), 3);
+    }
+
+    #[test]
+    fn priority_order_immediate_over_distant() {
+        let w = RrpvWidth::W2;
+        // Immediate > Near > Intermediate > Distant in keep priority,
+        // i.e. ascending raw value.
+        assert!(Rrpv::immediate() < Rrpv::near());
+        assert!(Rrpv::near() < Rrpv::intermediate(w));
+        assert!(Rrpv::intermediate(w) < Rrpv::distant(w));
+    }
+
+    #[test]
+    fn aging_saturates_at_distant() {
+        let w = RrpvWidth::W2;
+        let mut v = Rrpv::immediate();
+        for _ in 0..10 {
+            v = v.aged(w);
+        }
+        assert_eq!(v, Rrpv::distant(w));
+    }
+
+    #[test]
+    fn promotion_saturates_at_immediate() {
+        let mut v = Rrpv::near();
+        v = v.promoted();
+        assert!(v.is_immediate());
+        v = v.promoted();
+        assert!(v.is_immediate());
+    }
+
+    #[test]
+    fn from_raw_saturates_per_width() {
+        assert_eq!(Rrpv::from_raw(200, RrpvWidth::W2).raw(), 3);
+        assert_eq!(Rrpv::from_raw(200, RrpvWidth::W3).raw(), 7);
+        assert_eq!(Rrpv::from_raw(2, RrpvWidth::W1).raw(), 1);
+    }
+
+    #[test]
+    fn widths_expose_storage_cost() {
+        assert_eq!(RrpvWidth::W2.bits(), 2);
+        assert_eq!(RrpvWidth::default(), RrpvWidth::W2);
+    }
+
+    #[test]
+    fn distant_checks_respect_width() {
+        assert!(Rrpv::from_raw(1, RrpvWidth::W1).is_distant(RrpvWidth::W1));
+        assert!(!Rrpv::from_raw(1, RrpvWidth::W2).is_distant(RrpvWidth::W2));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the core TRRIP state machines.
+
+use proptest::prelude::*;
+
+use trrip_core::{
+    ClassifierConfig, ProfileSummary, Rrpv, RripSet, RrpvWidth, SrripCore, Temperature,
+    TemperatureBits, TrripPolicy, TrripVariant,
+};
+
+fn arb_width() -> impl Strategy<Value = RrpvWidth> {
+    prop_oneof![Just(RrpvWidth::W1), Just(RrpvWidth::W2), Just(RrpvWidth::W3)]
+}
+
+fn arb_temperature() -> impl Strategy<Value = Option<Temperature>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(Temperature::Hot)),
+        Just(Some(Temperature::Warm)),
+        Just(Some(Temperature::Cold)),
+    ]
+}
+
+proptest! {
+    /// RRPVs never escape the configured field width under any op sequence.
+    #[test]
+    fn rrpv_stays_in_field(width in arb_width(), ops in prop::collection::vec(0u8..3, 0..64)) {
+        let mut v = Rrpv::immediate();
+        for op in ops {
+            v = match op {
+                0 => v.aged(width),
+                1 => v.promoted(),
+                _ => Rrpv::intermediate(width),
+            };
+            prop_assert!(v.raw() <= width.max_value());
+        }
+    }
+
+    /// Temperature encode/decode is a bijection over the 4 encodings.
+    #[test]
+    fn temperature_bits_round_trip(raw in 0u8..=255) {
+        let bits = TemperatureBits::from_raw(raw);
+        prop_assert_eq!(TemperatureBits::encode(bits.decode()).raw(), bits.raw());
+    }
+
+    /// find_victim always returns a distant line and terminates.
+    #[test]
+    fn victim_is_always_distant(
+        width in arb_width(),
+        ways in 1usize..16,
+        seeds in prop::collection::vec(0u8..8, 1..16),
+    ) {
+        let mut set = RripSet::new(ways, width);
+        for (way, seed) in seeds.iter().enumerate().take(ways) {
+            set.set_rrpv(way, Rrpv::from_raw(*seed, width));
+        }
+        let victim = set.find_victim();
+        prop_assert!(victim < ways);
+        prop_assert!(set.rrpv(victim).is_distant(width));
+    }
+
+    /// Aging preserves the relative order of lines in a set: if a < b
+    /// before a global age step, then a <= b after.
+    #[test]
+    fn aging_preserves_order(width in arb_width(), a in 0u8..8, b in 0u8..8) {
+        let ra = Rrpv::from_raw(a, width);
+        let rb = Rrpv::from_raw(b, width);
+        prop_assume!(ra < rb);
+        prop_assert!(ra.aged(width) <= rb.aged(width));
+    }
+
+    /// TRRIP insertion priority is monotone in temperature: for any
+    /// variant, hot inserts at a priority at least as high as warm, which
+    /// is at least as high as cold or untyped (lower RRPV = higher priority).
+    #[test]
+    fn trrip_insertion_monotone_in_temperature(
+        variant in prop_oneof![Just(TrripVariant::V1), Just(TrripVariant::V2)],
+        width in arb_width(),
+    ) {
+        let policy = TrripPolicy::new(variant, width);
+        let mut rrpv_for = |t: Option<Temperature>| {
+            let mut set = RripSet::new(4, width);
+            policy.on_fill(&mut set, 0, t);
+            set.rrpv(0)
+        };
+        let hot = rrpv_for(Some(Temperature::Hot));
+        let warm = rrpv_for(Some(Temperature::Warm));
+        let cold = rrpv_for(Some(Temperature::Cold));
+        let none = rrpv_for(None);
+        prop_assert!(hot <= warm);
+        prop_assert!(warm <= cold);
+        prop_assert_eq!(cold, none);
+    }
+
+    /// TRRIP with no temperature information is exactly SRRIP for any
+    /// interleaving of fills and hits.
+    #[test]
+    fn untyped_trrip_equals_srrip(
+        width in arb_width(),
+        ops in prop::collection::vec((0u8..2, 0usize..8), 0..64),
+    ) {
+        let trrip = TrripPolicy::new(TrripVariant::V2, width);
+        let srrip = SrripCore::new(width);
+        let mut set_t = RripSet::new(8, width);
+        let mut set_s = RripSet::new(8, width);
+        for (op, way) in ops {
+            match op {
+                0 => {
+                    trrip.on_fill(&mut set_t, way, None);
+                    srrip.on_fill(&mut set_s, way);
+                }
+                _ => {
+                    trrip.on_hit(&mut set_t, way, None);
+                    srrip.on_hit(&mut set_s, way);
+                }
+            }
+            prop_assert_eq!(&set_t, &set_s);
+        }
+    }
+
+    /// Classification is monotone in count: a larger count never gets a
+    /// colder temperature.
+    #[test]
+    fn classification_monotone_in_count(
+        counts in prop::collection::vec(0u64..1_000_000, 1..128),
+        percentile in 1u32..=100,
+    ) {
+        let config = ClassifierConfig::with_percentile_hot(f64::from(percentile) / 100.0);
+        let summary = ProfileSummary::from_counts(counts.iter().copied(), config);
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        for pair in sorted.windows(2) {
+            prop_assert!(summary.classify(pair[0]) <= summary.classify(pair[1]));
+        }
+    }
+
+    /// The hot set always covers at least the requested share of total
+    /// execution (Equation 1's contract).
+    #[test]
+    fn hot_set_covers_percentile(
+        counts in prop::collection::vec(1u64..100_000, 1..128),
+        percentile in 1u32..=100,
+    ) {
+        let fraction = f64::from(percentile) / 100.0;
+        let config = ClassifierConfig::with_percentile_hot(fraction);
+        let summary = ProfileSummary::from_counts(counts.iter().copied(), config);
+        let total: u64 = counts.iter().sum();
+        let hot_sum: u64 = counts
+            .iter()
+            .filter(|&&c| summary.classify(c) == Temperature::Hot)
+            .sum();
+        prop_assert!(
+            hot_sum as f64 + 1e-9 >= total as f64 * fraction,
+            "hot covers {hot_sum} of {total}, needed {fraction}"
+        );
+    }
+}

@@ -1,0 +1,380 @@
+//! Branch prediction: the Table 1 suite.
+//!
+//! * 1k-entry BTB for direct branch targets,
+//! * 512-entry indirect BTB (last-target),
+//! * 256-entry loop predictor (trip-count capture with confidence),
+//! * 1k-entry gshare global direction predictor,
+//! * and a return-address stack.
+//!
+//! The predictor exposes two operations: a pure [`BranchPredictor::predict`]
+//! query (used by FDIP lookahead, which must not corrupt state) and
+//! [`BranchPredictor::observe`], which predicts *and* trains, returning
+//! whether the real outcome was mispredicted.
+
+use serde::{Deserialize, Serialize};
+use trrip_mem::VirtAddr;
+
+use crate::trace::{BranchInfo, BranchKind, INSTR_BYTES};
+
+/// Sizing of the predictor structures (defaults = Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Direct-branch target buffer entries.
+    pub btb_entries: usize,
+    /// Indirect-branch target buffer entries.
+    pub indirect_btb_entries: usize,
+    /// Loop predictor entries.
+    pub loop_entries: usize,
+    /// Global (gshare) predictor entries.
+    pub global_entries: usize,
+    /// Return-address stack depth.
+    pub ras_depth: usize,
+    /// Cycles lost on a misprediction (Table 1: 8).
+    pub mispredict_penalty: u64,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            btb_entries: 1024,
+            indirect_btb_entries: 512,
+            loop_entries: 256,
+            global_entries: 1024,
+            ras_depth: 32,
+            mispredict_penalty: 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BtbEntry {
+    tag: u64,
+    target: u64,
+    valid: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LoopEntry {
+    tag: u64,
+    trip_count: u32,
+    current: u32,
+    confidence: u8,
+    valid: bool,
+}
+
+/// Prediction result for one branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchOutcome {
+    /// Predicted direction.
+    pub predicted_taken: bool,
+    /// Predicted target if taken (None = BTB miss).
+    pub predicted_target: Option<VirtAddr>,
+}
+
+/// The assembled predictor suite.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    config: PredictorConfig,
+    btb: Vec<BtbEntry>,
+    indirect_btb: Vec<BtbEntry>,
+    loops: Vec<LoopEntry>,
+    gshare: Vec<u8>,
+    history: u64,
+    ras: Vec<u64>,
+    mispredictions: u64,
+    branches: u64,
+}
+
+impl BranchPredictor {
+    /// Creates the suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table size is not a power of two.
+    #[must_use]
+    pub fn new(config: PredictorConfig) -> BranchPredictor {
+        for (name, n) in [
+            ("btb_entries", config.btb_entries),
+            ("indirect_btb_entries", config.indirect_btb_entries),
+            ("loop_entries", config.loop_entries),
+            ("global_entries", config.global_entries),
+        ] {
+            assert!(n.is_power_of_two(), "{name} must be a power of two");
+        }
+        BranchPredictor {
+            btb: vec![BtbEntry::default(); config.btb_entries],
+            indirect_btb: vec![BtbEntry::default(); config.indirect_btb_entries],
+            loops: vec![LoopEntry::default(); config.loop_entries],
+            gshare: vec![2; config.global_entries], // weakly taken
+            history: 0,
+            ras: Vec::with_capacity(config.ras_depth),
+            mispredictions: 0,
+            branches: 0,
+            config,
+        }
+    }
+
+    /// Observed branches so far.
+    #[must_use]
+    pub fn branches(&self) -> u64 {
+        self.branches
+    }
+
+    /// Mispredictions so far.
+    #[must_use]
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// Misprediction rate in `[0, 1]`.
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.branches as f64
+        }
+    }
+
+    /// Configured penalty in cycles.
+    #[must_use]
+    pub fn mispredict_penalty(&self) -> u64 {
+        self.config.mispredict_penalty
+    }
+
+    fn gshare_index(&self, pc: VirtAddr) -> usize {
+        let pc_bits = (pc.raw() >> 2) as usize;
+        (pc_bits ^ self.history as usize) & (self.config.global_entries - 1)
+    }
+
+    fn loop_index(pc: VirtAddr, entries: usize) -> usize {
+        ((pc.raw() >> 2) as usize) & (entries - 1)
+    }
+
+    /// Pure prediction query: no state is modified. Used by the FDIP
+    /// lookahead so running ahead does not train the tables.
+    #[must_use]
+    pub fn predict(&self, pc: VirtAddr, kind: BranchKind) -> BranchOutcome {
+        let predicted_taken = match kind {
+            BranchKind::Conditional => {
+                // Loop predictor overrides gshare when confident.
+                let li = BranchPredictor::loop_index(pc, self.config.loop_entries);
+                let le = &self.loops[li];
+                if le.valid && le.tag == pc.raw() && le.confidence >= 2 && le.trip_count > 0 {
+                    le.current < le.trip_count
+                } else {
+                    self.gshare[self.gshare_index(pc)] >= 2
+                }
+            }
+            // Unconditional control flow is always taken.
+            _ => true,
+        };
+        let predicted_target = if !predicted_taken {
+            None
+        } else {
+            match kind {
+                BranchKind::Return => self.ras.last().map(|&t| VirtAddr::new(t)),
+                k if k.is_indirect() => {
+                    let i = BranchPredictor::loop_index(pc, self.config.indirect_btb_entries);
+                    let e = &self.indirect_btb[i];
+                    (e.valid && e.tag == pc.raw()).then(|| VirtAddr::new(e.target))
+                }
+                _ => {
+                    let i = BranchPredictor::loop_index(pc, self.config.btb_entries);
+                    let e = &self.btb[i];
+                    (e.valid && e.tag == pc.raw()).then(|| VirtAddr::new(e.target))
+                }
+            }
+        };
+        BranchOutcome { predicted_taken, predicted_target }
+    }
+
+    /// Predicts, then trains on the real outcome. Returns `true` on a
+    /// misprediction (wrong direction, or taken with wrong/unknown target).
+    pub fn observe(&mut self, pc: VirtAddr, info: &BranchInfo) -> bool {
+        self.branches += 1;
+        let prediction = self.predict(pc, info.kind);
+
+        let direction_wrong = prediction.predicted_taken != info.taken;
+        let target_wrong = info.taken
+            && prediction
+                .predicted_target
+                .map_or(true, |t| t != info.target);
+        let mispredicted = direction_wrong || target_wrong;
+        if mispredicted {
+            self.mispredictions += 1;
+        }
+
+        // --- Training ---
+        if info.kind == BranchKind::Conditional {
+            let gi = self.gshare_index(pc);
+            let counter = &mut self.gshare[gi];
+            if info.taken {
+                *counter = (*counter + 1).min(3);
+            } else {
+                *counter = counter.saturating_sub(1);
+            }
+            self.history = (self.history << 1) | u64::from(info.taken);
+            self.train_loop(pc, info.taken);
+        }
+
+        match info.kind {
+            BranchKind::Return => {
+                self.ras.pop();
+            }
+            k if k.is_call() => {
+                if self.ras.len() == self.config.ras_depth {
+                    self.ras.remove(0);
+                }
+                self.ras.push((pc + INSTR_BYTES).raw());
+            }
+            _ => {}
+        }
+
+        if info.taken {
+            if info.kind.is_indirect() && info.kind != BranchKind::Return {
+                let i = BranchPredictor::loop_index(pc, self.config.indirect_btb_entries);
+                self.indirect_btb[i] =
+                    BtbEntry { tag: pc.raw(), target: info.target.raw(), valid: true };
+            } else if !info.kind.is_indirect() {
+                let i = BranchPredictor::loop_index(pc, self.config.btb_entries);
+                self.btb[i] = BtbEntry { tag: pc.raw(), target: info.target.raw(), valid: true };
+            }
+        }
+
+        mispredicted
+    }
+
+    fn train_loop(&mut self, pc: VirtAddr, taken: bool) {
+        let li = BranchPredictor::loop_index(pc, self.config.loop_entries);
+        let entry = &mut self.loops[li];
+        if !entry.valid || entry.tag != pc.raw() {
+            *entry = LoopEntry { tag: pc.raw(), trip_count: 0, current: 0, confidence: 0, valid: true };
+        }
+        if taken {
+            entry.current += 1;
+        } else {
+            // Loop exit: did the trip count repeat?
+            if entry.trip_count == entry.current && entry.trip_count > 0 {
+                entry.confidence = (entry.confidence + 1).min(3);
+            } else {
+                entry.trip_count = entry.current;
+                entry.confidence = 0;
+            }
+            entry.current = 0;
+        }
+    }
+}
+
+impl Default for BranchPredictor {
+    fn default() -> Self {
+        BranchPredictor::new(PredictorConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cond(taken: bool) -> BranchInfo {
+        BranchInfo { kind: BranchKind::Conditional, taken, target: VirtAddr::new(0x9000) }
+    }
+
+    #[test]
+    fn repeated_taken_branch_trains_to_correct() {
+        let mut bp = BranchPredictor::default();
+        let pc = VirtAddr::new(0x100);
+        // First encounter may mispredict (BTB cold); afterwards correct.
+        let _ = bp.observe(pc, &cond(true));
+        for _ in 0..10 {
+            assert!(!bp.observe(pc, &cond(true)), "trained branch mispredicted");
+        }
+    }
+
+    #[test]
+    fn ras_predicts_matching_returns() {
+        let mut bp = BranchPredictor::default();
+        let call_pc = VirtAddr::new(0x100);
+        let callee = VirtAddr::new(0x8000);
+        let call =
+            BranchInfo { kind: BranchKind::Call, taken: true, target: callee };
+        // Warm the call's BTB entry first.
+        bp.observe(call_pc, &call);
+        bp.observe(
+            VirtAddr::new(0x8004),
+            &BranchInfo { kind: BranchKind::Return, taken: true, target: VirtAddr::new(0x104) },
+        );
+        // Second round: both call and return should predict correctly.
+        assert!(!bp.observe(call_pc, &call));
+        assert!(!bp.observe(
+            VirtAddr::new(0x8004),
+            &BranchInfo { kind: BranchKind::Return, taken: true, target: VirtAddr::new(0x104) },
+        ));
+    }
+
+    #[test]
+    fn indirect_predicts_last_target() {
+        let mut bp = BranchPredictor::default();
+        let pc = VirtAddr::new(0x200);
+        let t1 = BranchInfo { kind: BranchKind::Indirect, taken: true, target: VirtAddr::new(0x5000) };
+        let t2 = BranchInfo { kind: BranchKind::Indirect, taken: true, target: VirtAddr::new(0x6000) };
+        bp.observe(pc, &t1);
+        assert!(!bp.observe(pc, &t1), "repeated target should hit");
+        assert!(bp.observe(pc, &t2), "changed target should miss");
+        assert!(!bp.observe(pc, &t2), "new target learned");
+    }
+
+    #[test]
+    fn loop_predictor_captures_trip_count() {
+        let mut bp = BranchPredictor::default();
+        let pc = VirtAddr::new(0x300);
+        // A loop of 5 iterations: 4 taken + 1 not-taken, repeated.
+        let run_loop = |bp: &mut BranchPredictor| {
+            let mut mispredicts = 0;
+            for i in 0..5 {
+                let taken = i < 4;
+                if bp.observe(pc, &cond(taken)) {
+                    mispredicts += 1;
+                }
+            }
+            mispredicts
+        };
+        // Train several rounds.
+        for _ in 0..6 {
+            run_loop(&mut bp);
+        }
+        // Once confident, the loop exit itself is predicted: 0 mispredicts.
+        let final_mispredicts = run_loop(&mut bp);
+        assert_eq!(final_mispredicts, 0, "loop exit should be predicted");
+    }
+
+    #[test]
+    fn predict_is_pure() {
+        let mut bp = BranchPredictor::default();
+        let pc = VirtAddr::new(0x100);
+        bp.observe(pc, &cond(true));
+        let before_rate = bp.mispredict_rate();
+        let snapshot = bp.predict(pc, BranchKind::Conditional);
+        for _ in 0..100 {
+            assert_eq!(bp.predict(pc, BranchKind::Conditional), snapshot);
+        }
+        assert_eq!(bp.mispredict_rate(), before_rate);
+        assert_eq!(bp.branches(), 1);
+    }
+
+    #[test]
+    fn mispredict_rate_reflects_random_pattern() {
+        let mut bp = BranchPredictor::default();
+        let pc = VirtAddr::new(0x400);
+        // Deterministic pseudo-random direction sequence.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            bp.observe(pc, &cond(x & 1 == 0));
+        }
+        let rate = bp.mispredict_rate();
+        assert!(rate > 0.3, "random pattern should be hard: rate {rate}");
+    }
+}

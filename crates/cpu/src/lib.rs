@@ -1,0 +1,32 @@
+//! Trace-driven out-of-order core timing model.
+//!
+//! The paper evaluates TRRIP on a Sniper-based simulator with the Table 1
+//! core: 6-wide dispatch, 128-entry ROB, a pseudo-FDIP instruction
+//! prefetcher, and the listed branch predictor suite. This crate
+//! reproduces that setup as an interval-style timing model:
+//!
+//! * [`trace`] — the instruction trace format consumed by the core.
+//! * [`branch`] — BTB (1k), indirect BTB (512), loop predictor (256),
+//!   gshare global predictor (1k) and a return-address stack.
+//! * [`backend`] — the [`MemoryBackend`](backend::MemoryBackend) trait the
+//!   core drives for fetches, loads, stores and prefetches (implemented in
+//!   `trrip-sim` over the MMU + hierarchy).
+//! * [`core`] — the timing loop with pseudo-FDIP lookahead prefetching and
+//!   decode-starvation tracking for Emissary.
+//! * [`topdown`] — Top-Down cycle attribution (retire / ifetch / mispred /
+//!   depend / issue / mem / other) as in Figures 1 and 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod branch;
+pub mod core;
+pub mod topdown;
+pub mod trace;
+
+pub use crate::core::{Core, CoreConfig, CoreResult};
+pub use backend::{MemLatency, MemoryBackend};
+pub use branch::{BranchOutcome, BranchPredictor, PredictorConfig};
+pub use topdown::{StallClass, TopDown};
+pub use trace::{BranchInfo, BranchKind, MemOp, TraceInstr};

@@ -1,0 +1,19 @@
+//! Memory primitives shared across the TRRIP simulator stack.
+//!
+//! Everything the cache hierarchy, MMU and trace generators agree on lives
+//! here: typed virtual/physical addresses, cache-line geometry, page sizes,
+//! and the [`MemoryRequest`] that carries the PBHA-style temperature
+//! attribute from the page tables down to the replacement policy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod line;
+pub mod page;
+pub mod request;
+
+pub use addr::{PhysAddr, VirtAddr};
+pub use line::{CacheLineGeometry, LineAddr};
+pub use page::{PageNumber, PageSize};
+pub use request::{AccessKind, MemoryRequest, RequestAttrs};

@@ -1,0 +1,148 @@
+//! Page sizes and page numbers.
+//!
+//! The paper's §4.9 studies 4 kB (mobile default), 16 kB (AOSP 15) and
+//! 2 MB (server huge pages); [`PageSize`] models exactly those three.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::VirtAddr;
+
+/// Supported page sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageSize {
+    /// 4 kB — the default on both mobile and server platforms.
+    Size4K,
+    /// 16 kB — supported by mobile platforms since AOSP 15.
+    Size16K,
+    /// 2 MB — server-class huge pages.
+    Size2M,
+}
+
+impl PageSize {
+    /// All supported sizes, smallest first (Table 5's columns).
+    pub const ALL: [PageSize; 3] = [PageSize::Size4K, PageSize::Size16K, PageSize::Size2M];
+
+    /// Page size in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        match self {
+            PageSize::Size4K => 4 << 10,
+            PageSize::Size16K => 16 << 10,
+            PageSize::Size2M => 2 << 20,
+        }
+    }
+
+    /// log2 of the page size (number of offset bits).
+    #[must_use]
+    pub fn offset_bits(self) -> u32 {
+        self.bytes().trailing_zeros()
+    }
+
+    /// The page containing a virtual address.
+    #[must_use]
+    pub fn page_of(self, addr: VirtAddr) -> PageNumber {
+        PageNumber(addr.raw() >> self.offset_bits())
+    }
+
+    /// The base virtual address of a page.
+    #[must_use]
+    pub fn base_of(self, page: PageNumber) -> VirtAddr {
+        VirtAddr::new(page.0 << self.offset_bits())
+    }
+
+    /// Number of pages needed to hold `len` bytes starting at `start`
+    /// (rounded up to full pages, as in Table 5).
+    #[must_use]
+    pub fn pages_spanned(self, start: VirtAddr, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = start.raw() >> self.offset_bits();
+        let last = (start.raw() + len - 1) >> self.offset_bits();
+        last - first + 1
+    }
+}
+
+impl Default for PageSize {
+    fn default() -> Self {
+        PageSize::Size4K
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PageSize::Size4K => "4kB",
+            PageSize::Size16K => "16kB",
+            PageSize::Size2M => "2MB",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A virtual page number under some [`PageSize`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PageNumber(pub u64);
+
+impl PageNumber {
+    /// The raw page number.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PageNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_platforms() {
+        assert_eq!(PageSize::Size4K.bytes(), 4096);
+        assert_eq!(PageSize::Size16K.bytes(), 16384);
+        assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn page_of_and_base_round_trip() {
+        for size in PageSize::ALL {
+            let addr = VirtAddr::new(size.bytes() * 3 + 123);
+            let page = size.page_of(addr);
+            assert_eq!(page.raw(), 3);
+            assert_eq!(size.base_of(page).raw(), size.bytes() * 3);
+        }
+    }
+
+    #[test]
+    fn pages_spanned_rounds_up() {
+        let p = PageSize::Size4K;
+        assert_eq!(p.pages_spanned(VirtAddr::new(0), 0), 0);
+        assert_eq!(p.pages_spanned(VirtAddr::new(0), 1), 1);
+        assert_eq!(p.pages_spanned(VirtAddr::new(0), 4096), 1);
+        assert_eq!(p.pages_spanned(VirtAddr::new(0), 4097), 2);
+        // A 2-byte object straddling a page boundary takes two pages.
+        assert_eq!(p.pages_spanned(VirtAddr::new(4095), 2), 2);
+    }
+
+    #[test]
+    fn bigger_pages_span_fewer() {
+        let len = 100 << 10; // 100 kB
+        let start = VirtAddr::new(0);
+        let p4 = PageSize::Size4K.pages_spanned(start, len);
+        let p16 = PageSize::Size16K.pages_spanned(start, len);
+        let p2m = PageSize::Size2M.pages_spanned(start, len);
+        assert!(p4 > p16);
+        assert!(p16 > p2m);
+        assert_eq!(p2m, 1);
+    }
+}

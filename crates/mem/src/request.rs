@@ -1,0 +1,202 @@
+//! Memory requests and the attributes that travel with them.
+//!
+//! TRRIP's defining interface decision (§3.4) is that code temperature is
+//! *not* stored in the cache: it rides along with each memory request in
+//! the same implementation-defined attribute bits ARM's PBHA feature
+//! forwards from the PTE. [`RequestAttrs`] models those bits plus the
+//! auxiliary signals other evaluated policies need (Emissary's decode
+//! starvation flag, prefetch marking).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use trrip_core::Temperature;
+
+use crate::addr::{PhysAddr, VirtAddr};
+
+/// What kind of access a request performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Instruction fetch (from the fetch unit or FDIP).
+    InstrFetch,
+    /// Data read.
+    Load,
+    /// Data write.
+    Store,
+}
+
+impl AccessKind {
+    /// Whether this is an instruction-side access.
+    #[must_use]
+    pub fn is_instruction(self) -> bool {
+        matches!(self, AccessKind::InstrFetch)
+    }
+
+    /// Whether this is a data-side access.
+    #[must_use]
+    pub fn is_data(self) -> bool {
+        !self.is_instruction()
+    }
+
+    /// Whether the access writes.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::InstrFetch => "ifetch",
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Attributes that accompany a request through the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct RequestAttrs {
+    /// Code temperature read from the PTE by the MMU (PBHA bits); `None`
+    /// for data accesses and un-annotated code pages.
+    pub temperature: Option<Temperature>,
+    /// Set by the core when the fetch that produced this request caused
+    /// decode starvation — the signal Emissary's priority bit keys on.
+    pub caused_starvation: bool,
+    /// Hardware prefetch rather than a demand access.
+    pub prefetch: bool,
+}
+
+/// A single memory request as presented to a cache level.
+///
+/// # Example
+///
+/// ```
+/// use trrip_mem::{MemoryRequest, AccessKind, PhysAddr, VirtAddr};
+/// use trrip_core::Temperature;
+///
+/// let req = MemoryRequest::fetch(PhysAddr::new(0x4000), VirtAddr::new(0x4000))
+///     .with_temperature(Some(Temperature::Hot));
+/// assert!(req.kind.is_instruction());
+/// assert_eq!(req.attrs.temperature, Some(Temperature::Hot));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemoryRequest {
+    /// Physical address (cache indexing granularity is derived from it).
+    pub paddr: PhysAddr,
+    /// Virtual program counter of the instruction issuing the access; used
+    /// for SHiP signatures and stride-prefetcher training.
+    pub pc: VirtAddr,
+    /// Access kind.
+    pub kind: AccessKind,
+    /// Attribute bits travelling with the request.
+    pub attrs: RequestAttrs,
+}
+
+impl MemoryRequest {
+    /// An instruction fetch. For fetches the PC and the accessed address
+    /// coincide (virtually), so callers pass the fetch PC explicitly.
+    #[must_use]
+    pub fn fetch(paddr: PhysAddr, pc: VirtAddr) -> MemoryRequest {
+        MemoryRequest { paddr, pc, kind: AccessKind::InstrFetch, attrs: RequestAttrs::default() }
+    }
+
+    /// A data load issued by the instruction at `pc`.
+    #[must_use]
+    pub fn load(paddr: PhysAddr, pc: VirtAddr) -> MemoryRequest {
+        MemoryRequest { paddr, pc, kind: AccessKind::Load, attrs: RequestAttrs::default() }
+    }
+
+    /// A data store issued by the instruction at `pc`.
+    #[must_use]
+    pub fn store(paddr: PhysAddr, pc: VirtAddr) -> MemoryRequest {
+        MemoryRequest { paddr, pc, kind: AccessKind::Store, attrs: RequestAttrs::default() }
+    }
+
+    /// Returns the request with the temperature attribute set (builder
+    /// style; the MMU calls this after the PTE lookup).
+    #[must_use]
+    pub fn with_temperature(mut self, temperature: Option<Temperature>) -> MemoryRequest {
+        self.attrs.temperature = temperature;
+        self
+    }
+
+    /// Returns the request flagged as having caused decode starvation.
+    #[must_use]
+    pub fn with_starvation(mut self, caused_starvation: bool) -> MemoryRequest {
+        self.attrs.caused_starvation = caused_starvation;
+        self
+    }
+
+    /// Returns the request marked as a hardware prefetch.
+    #[must_use]
+    pub fn as_prefetch(mut self) -> MemoryRequest {
+        self.attrs.prefetch = true;
+        self
+    }
+}
+
+impl fmt::Display for MemoryRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.kind, self.paddr)?;
+        if let Some(t) = self.attrs.temperature {
+            write!(f, " [{t}]")?;
+        }
+        if self.attrs.prefetch {
+            write!(f, " [pf]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let pa = PhysAddr::new(0x100);
+        let pc = VirtAddr::new(0x200);
+        assert_eq!(MemoryRequest::fetch(pa, pc).kind, AccessKind::InstrFetch);
+        assert_eq!(MemoryRequest::load(pa, pc).kind, AccessKind::Load);
+        assert_eq!(MemoryRequest::store(pa, pc).kind, AccessKind::Store);
+    }
+
+    #[test]
+    fn default_attrs_are_empty() {
+        let req = MemoryRequest::load(PhysAddr::new(0), VirtAddr::new(0));
+        assert_eq!(req.attrs.temperature, None);
+        assert!(!req.attrs.caused_starvation);
+        assert!(!req.attrs.prefetch);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let req = MemoryRequest::fetch(PhysAddr::new(0), VirtAddr::new(0))
+            .with_temperature(Some(Temperature::Warm))
+            .with_starvation(true)
+            .as_prefetch();
+        assert_eq!(req.attrs.temperature, Some(Temperature::Warm));
+        assert!(req.attrs.caused_starvation);
+        assert!(req.attrs.prefetch);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::InstrFetch.is_instruction());
+        assert!(!AccessKind::InstrFetch.is_data());
+        assert!(AccessKind::Load.is_data());
+        assert!(!AccessKind::Load.is_write());
+        assert!(AccessKind::Store.is_write());
+        assert!(AccessKind::Store.is_data());
+    }
+
+    #[test]
+    fn display_includes_temperature() {
+        let req = MemoryRequest::fetch(PhysAddr::new(0x40), VirtAddr::new(0x40))
+            .with_temperature(Some(Temperature::Hot));
+        assert_eq!(req.to_string(), "ifetch @ 0x40 [hot]");
+    }
+}

@@ -1,0 +1,24 @@
+//! The operating-system side of the TRRIP co-design (§3.3).
+//!
+//! * [`page_table`] — page tables whose entries carry two
+//!   implementation-defined bits (ARM PBHA / x86 AVL style) encoding code
+//!   temperature.
+//! * [`loader`] — the program loader: reads the ELF program headers,
+//!   allocates pages, and populates PTEs — including the temperature bits
+//!   — with configurable handling of pages that straddle sections of
+//!   different temperature (§4.9).
+//! * [`mmu`] — address translation with a TLB; attaches the PTE
+//!   temperature to outgoing memory requests. Unmapped pages are
+//!   demand-allocated without temperature (anonymous memory: heap,
+//!   stack).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loader;
+pub mod mmu;
+pub mod page_table;
+
+pub use loader::{LoadedImage, Loader, OverlapPolicy, PageStats};
+pub use mmu::{Mmu, TlbStats};
+pub use page_table::{PageTable, PageTableEntry};

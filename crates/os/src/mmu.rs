@@ -1,0 +1,194 @@
+//! The MMU: translation plus temperature-attribute forwarding
+//! (Figure 4 ⑩–⑪).
+//!
+//! Instruction fetches translate through the page table; the PTE's
+//! PBHA-style bits come back with the translation and are attached to the
+//! outgoing memory request by the simulator. A small fully-associative
+//! TLB tracks locality statistics. Unmapped pages are demand-allocated
+//! (anonymous memory — heap and stack — has no temperature).
+
+use serde::{Deserialize, Serialize};
+use trrip_core::{Temperature, TemperatureBits};
+use trrip_mem::{PageSize, PhysAddr, VirtAddr};
+
+use crate::page_table::{PageTable, PageTableEntry};
+
+/// TLB hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed (page-table walk).
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Hit rate in `[0, 1]`.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TlbEntry {
+    vpn: u64,
+    stamp: u64,
+    valid: bool,
+}
+
+/// The MMU: page table + TLB + demand allocation.
+#[derive(Debug, Clone)]
+pub struct Mmu {
+    page_table: PageTable,
+    tlb: Vec<TlbEntry>,
+    clock: u64,
+    stats: TlbStats,
+    next_anon_frame: u64,
+}
+
+impl Mmu {
+    /// Default TLB entries (unified, fully associative).
+    pub const TLB_ENTRIES: usize = 64;
+
+    /// Wraps a loaded page table. Demand allocation hands out frames
+    /// above any frame the loader used.
+    #[must_use]
+    pub fn new(page_table: PageTable) -> Mmu {
+        let max_frame =
+            page_table.iter().map(|(_, e)| e.frame).max().unwrap_or(0x100);
+        Mmu {
+            page_table,
+            tlb: vec![TlbEntry::default(); Mmu::TLB_ENTRIES],
+            clock: 0,
+            stats: TlbStats::default(),
+            next_anon_frame: max_frame + 1,
+        }
+    }
+
+    /// The page size in force.
+    #[must_use]
+    pub fn page_size(&self) -> PageSize {
+        self.page_table.page_size()
+    }
+
+    /// TLB statistics.
+    #[must_use]
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// The underlying page table.
+    #[must_use]
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// Translates `vaddr`, returning the physical address and the decoded
+    /// temperature attribute. Unmapped pages are demand-allocated as
+    /// anonymous (non-executable, no temperature) memory.
+    pub fn translate(&mut self, vaddr: VirtAddr) -> (PhysAddr, Option<Temperature>) {
+        let vpn = self.page_size().page_of(vaddr).raw();
+        self.touch_tlb(vpn);
+        match self.page_table.lookup(vaddr) {
+            Some((pa, bits)) => (pa, bits.decode()),
+            None => {
+                let frame = self.next_anon_frame;
+                self.next_anon_frame += 1;
+                self.page_table.map(
+                    vpn,
+                    PageTableEntry { frame, executable: false, pbha: TemperatureBits::NONE },
+                );
+                let offset = vaddr.offset_in(self.page_size().bytes());
+                (PhysAddr::new(frame * self.page_size().bytes() + offset), None)
+            }
+        }
+    }
+
+    fn touch_tlb(&mut self, vpn: u64) {
+        self.clock += 1;
+        if let Some(entry) = self.tlb.iter_mut().find(|e| e.valid && e.vpn == vpn) {
+            entry.stamp = self.clock;
+            self.stats.hits += 1;
+            return;
+        }
+        self.stats.misses += 1;
+        let victim = self
+            .tlb
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.stamp } else { 0 })
+            .expect("TLB is never empty");
+        *victim = TlbEntry { vpn, stamp: self.clock, valid: true };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mmu_with_hot_page() -> Mmu {
+        let mut pt = PageTable::new(PageSize::Size4K);
+        pt.map(
+            0x400,
+            PageTableEntry {
+                frame: 0x100,
+                executable: true,
+                pbha: TemperatureBits::encode(Some(Temperature::Hot)),
+            },
+        );
+        Mmu::new(pt)
+    }
+
+    #[test]
+    fn translation_returns_temperature() {
+        let mut mmu = mmu_with_hot_page();
+        let (pa, temp) = mmu.translate(VirtAddr::new(0x40_0040));
+        assert_eq!(pa.raw(), 0x100 * 4096 + 0x40);
+        assert_eq!(temp, Some(Temperature::Hot));
+    }
+
+    #[test]
+    fn demand_allocation_is_untagged_and_stable() {
+        let mut mmu = mmu_with_hot_page();
+        let (pa1, temp) = mmu.translate(VirtAddr::new(0x9000_0000));
+        assert_eq!(temp, None);
+        // Same page translates to the same frame afterwards.
+        let (pa2, _) = mmu.translate(VirtAddr::new(0x9000_0008));
+        assert_eq!(pa2.raw(), pa1.raw() + 8);
+    }
+
+    #[test]
+    fn anonymous_frames_do_not_collide_with_loaded() {
+        let mut mmu = mmu_with_hot_page();
+        let (pa, _) = mmu.translate(VirtAddr::new(0x8000_0000));
+        assert!(pa.raw() / 4096 > 0x100, "anon frame overlaps loader frame");
+    }
+
+    #[test]
+    fn tlb_hits_on_locality() {
+        let mut mmu = mmu_with_hot_page();
+        for i in 0..100 {
+            mmu.translate(VirtAddr::new(0x40_0000 + i * 8));
+        }
+        let stats = mmu.tlb_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 99);
+    }
+
+    #[test]
+    fn tlb_capacity_evicts_lru() {
+        let mut mmu = mmu_with_hot_page();
+        // Touch 65 distinct pages: first page gets evicted.
+        for vpn in 0..65u64 {
+            mmu.translate(VirtAddr::new(vpn * 4096));
+        }
+        let misses_before = mmu.tlb_stats().misses;
+        mmu.translate(VirtAddr::new(0)); // evicted → miss again
+        assert_eq!(mmu.tlb_stats().misses, misses_before + 1);
+    }
+}

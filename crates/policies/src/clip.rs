@@ -1,0 +1,161 @@
+//! CLIP — Code Line Preservation (Jaleel et al., HPCA 2015).
+//!
+//! CLIP gives *all* instruction cache lines preferential treatment: they
+//! are inserted at *immediate* re-reference, while data lines take the
+//! default RRIP path. Set-dueling selects between the base variant and a
+//! stricter one that additionally stops data lines from being promoted to
+//! *immediate* on hit (they step up by one instead), mirroring the
+//! description in §4.3 of the TRRIP paper.
+//!
+//! CLIP is the "temperature-blind" comparison point for TRRIP: §4.7 shows
+//! that treating every instruction line as hot (`percentile_hot = 100%`)
+//! behaves like CLIP and gives up most of the selective-priority benefit.
+
+use trrip_core::{Rrpv, RripSet, RrpvWidth, SrripCore};
+
+use crate::dueling::{DuelChoice, SetDueling};
+use crate::srrip::Srrip;
+use crate::{ReplacementPolicy, RequestInfo};
+
+/// CLIP with SRRIP fallback for data lines and set-dueling between the
+/// promote-data and demote-data variants.
+#[derive(Debug, Clone)]
+pub struct Clip {
+    sets: Vec<RripSet>,
+    core: SrripCore,
+    dueling: SetDueling,
+    width: RrpvWidth,
+}
+
+impl Clip {
+    /// Creates CLIP state with paper-default dueling parameters
+    /// (32 leader sets per variant, 10-bit PSEL).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize, width: RrpvWidth) -> Clip {
+        assert!(sets > 0, "cache must have at least one set");
+        Clip {
+            sets: (0..sets).map(|_| RripSet::new(ways, width)).collect(),
+            core: SrripCore::new(width),
+            dueling: SetDueling::paper_defaults(sets),
+            width,
+        }
+    }
+
+    /// Which CLIP variant currently governs a set (A = promote data on
+    /// hit, B = single-step data promotion).
+    #[must_use]
+    pub fn variant_for_set(&self, set: usize) -> DuelChoice {
+        self.dueling.choice_for_set(set)
+    }
+}
+
+impl ReplacementPolicy for Clip {
+    fn name(&self) -> &'static str {
+        "CLIP"
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, req: &RequestInfo) {
+        if req.kind.is_instruction() {
+            self.core.on_hit(&mut self.sets[set], way);
+            return;
+        }
+        match self.dueling.choice_for_set(set) {
+            // Variant A: default promotion for data lines.
+            DuelChoice::A => self.core.on_hit(&mut self.sets[set], way),
+            // Variant B: data lines never reach immediate; step up by one.
+            DuelChoice::B => {
+                let stepped = self.sets[set].rrpv(way).promoted();
+                let floor = Rrpv::near();
+                self.sets[set].set_rrpv(way, stepped.max(floor));
+            }
+        }
+    }
+
+    fn choose_victim(&mut self, set: usize, _req: &RequestInfo, candidates: &[usize]) -> usize {
+        self.dueling.record_miss(set);
+        Srrip::rrip_victim(&mut self.sets[set], self.width, candidates)
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, req: &RequestInfo) {
+        if req.kind.is_instruction() {
+            // Code Line Preservation: instructions insert at immediate.
+            self.sets[set].set_rrpv(way, Rrpv::immediate());
+        } else {
+            self.core.on_fill(&mut self.sets[set], way);
+        }
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.sets[set].invalidate(way);
+    }
+
+    fn per_line_overhead_bits(&self) -> u32 {
+        self.width.bits()
+    }
+
+    fn extra_storage_bits(&self) -> u64 {
+        self.dueling.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_fills_insert_immediate() {
+        let mut p = Clip::new(64, 8, RrpvWidth::W2);
+        let req = RequestInfo::ifetch(0x40);
+        p.on_fill(1, 0, &req);
+        assert_eq!(p.sets[1].rrpv(0), Rrpv::immediate());
+    }
+
+    #[test]
+    fn data_fills_insert_intermediate() {
+        let mut p = Clip::new(64, 8, RrpvWidth::W2);
+        let req = RequestInfo::data_load(0x40);
+        p.on_fill(1, 0, &req);
+        assert_eq!(p.sets[1].rrpv(0), Rrpv::intermediate(RrpvWidth::W2));
+    }
+
+    #[test]
+    fn variant_b_caps_data_promotion_at_near() {
+        let mut p = Clip::new(64, 8, RrpvWidth::W2);
+        let req = RequestInfo::data_load(0x40);
+        // Find a B-leader set (stride = 64/32 = 2, half = 1 → odd sets).
+        let b_set = (0..64)
+            .find(|&s| p.variant_for_set(s) == DuelChoice::B && p.dueling.leader_of(s).is_some())
+            .expect("a B leader must exist");
+        p.on_fill(b_set, 0, &req);
+        for _ in 0..5 {
+            p.on_hit(b_set, 0, &req);
+        }
+        assert_eq!(p.sets[b_set].rrpv(0), Rrpv::near());
+    }
+
+    #[test]
+    fn variant_a_promotes_data_to_immediate() {
+        let mut p = Clip::new(64, 8, RrpvWidth::W2);
+        let req = RequestInfo::data_load(0x40);
+        let a_set = 0; // set 0 is always an A leader
+        p.on_fill(a_set, 0, &req);
+        p.on_hit(a_set, 0, &req);
+        assert_eq!(p.sets[a_set].rrpv(0), Rrpv::immediate());
+    }
+
+    #[test]
+    fn instruction_hits_promote_to_immediate_in_both_variants() {
+        let mut p = Clip::new(64, 8, RrpvWidth::W2);
+        let req = RequestInfo::ifetch(0x40);
+        for set in [0usize, 1] {
+            p.on_fill(set, 0, &req);
+            p.sets[set].set_rrpv(0, Rrpv::distant(RrpvWidth::W2));
+            p.on_hit(set, 0, &req);
+            assert_eq!(p.sets[set].rrpv(0), Rrpv::immediate());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! DRRIP — Dynamic RRIP via SRRIP/BRRIP set-dueling.
+
+use trrip_core::{BrripCore, RripSet, RrpvWidth, SrripCore};
+
+use crate::dueling::{DuelChoice, SetDueling};
+use crate::srrip::Srrip;
+use crate::{ReplacementPolicy, RequestInfo};
+
+/// DRRIP: set-dueling between scan-resistant SRRIP and thrash-resistant
+/// BRRIP with the paper's parameters (32 leader sets each, 10-bit PSEL).
+///
+/// The paper observes DRRIP underperforming SRRIP on its benchmarks
+/// because the BRRIP leader sets keep paying for thrash-resistance the
+/// workloads do not need (§4.4).
+#[derive(Debug, Clone)]
+pub struct Drrip {
+    sets: Vec<RripSet>,
+    srrip: SrripCore,
+    brrip: BrripCore,
+    dueling: SetDueling,
+    width: RrpvWidth,
+}
+
+impl Drrip {
+    /// Creates DRRIP state with paper-default dueling parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize, width: RrpvWidth) -> Drrip {
+        assert!(sets > 0, "cache must have at least one set");
+        Drrip {
+            sets: (0..sets).map(|_| RripSet::new(ways, width)).collect(),
+            srrip: SrripCore::new(width),
+            brrip: BrripCore::new(width),
+            dueling: SetDueling::paper_defaults(sets),
+            width,
+        }
+    }
+
+    /// Which insertion policy a set currently runs.
+    #[must_use]
+    pub fn policy_for_set(&self, set: usize) -> DuelChoice {
+        self.dueling.choice_for_set(set)
+    }
+}
+
+impl ReplacementPolicy for Drrip {
+    fn name(&self) -> &'static str {
+        "DRRIP"
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _req: &RequestInfo) {
+        // Both policies promote identically on hit.
+        self.srrip.on_hit(&mut self.sets[set], way);
+    }
+
+    fn choose_victim(&mut self, set: usize, _req: &RequestInfo, candidates: &[usize]) -> usize {
+        self.dueling.record_miss(set);
+        Srrip::rrip_victim(&mut self.sets[set], self.width, candidates)
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _req: &RequestInfo) {
+        match self.dueling.choice_for_set(set) {
+            DuelChoice::A => self.srrip.on_fill(&mut self.sets[set], way),
+            DuelChoice::B => self.brrip.on_fill(&mut self.sets[set], way),
+        }
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.sets[set].invalidate(way);
+    }
+
+    fn per_line_overhead_bits(&self) -> u32 {
+        self.width.bits()
+    }
+
+    fn extra_storage_bits(&self) -> u64 {
+        self.dueling.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trrip_core::Rrpv;
+
+    #[test]
+    fn leader_sets_use_their_policy() {
+        let w = RrpvWidth::W2;
+        let mut p = Drrip::new(256, 8, w);
+        let req = RequestInfo::ifetch(0);
+        // Set 0 is an A (SRRIP) leader with stride 8.
+        assert_eq!(p.policy_for_set(0), DuelChoice::A);
+        p.on_fill(0, 0, &req);
+        assert_eq!(p.sets[0].rrpv(0), Rrpv::intermediate(w));
+        // Set 4 is a B (BRRIP) leader: most fills distant.
+        assert_eq!(p.policy_for_set(4), DuelChoice::B);
+        let mut distant = 0;
+        for _ in 0..31 {
+            p.on_fill(4, 1, &req);
+            if p.sets[4].rrpv(1) == Rrpv::distant(w) {
+                distant += 1;
+            }
+        }
+        assert!(distant >= 30);
+    }
+
+    #[test]
+    fn follower_switches_with_psel() {
+        let w = RrpvWidth::W2;
+        let mut p = Drrip::new(256, 8, w);
+        let req = RequestInfo::ifetch(0);
+        assert_eq!(p.policy_for_set(1), DuelChoice::A);
+        // Hammer misses into A-leader sets only.
+        for _ in 0..600 {
+            let _ = p.choose_victim(0, &req, &[0]);
+        }
+        assert_eq!(p.policy_for_set(1), DuelChoice::B);
+    }
+
+    #[test]
+    fn psel_storage_reported() {
+        let p = Drrip::new(256, 8, RrpvWidth::W2);
+        assert_eq!(p.extra_storage_bits(), 10);
+    }
+}

@@ -1,0 +1,211 @@
+//! Set-dueling infrastructure (Qureshi et al., ISCA 2007).
+//!
+//! A handful of *leader sets* are dedicated to each of two competing
+//! policies; misses in leader sets steer a saturating PSEL counter, and
+//! all remaining *follower sets* adopt whichever policy is currently
+//! winning. DRRIP and CLIP both use this with the paper's parameters:
+//! 32 leader sets per policy and a 10-bit PSEL (§4.3).
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the two dueling policies governs a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DuelChoice {
+    /// The first policy (e.g. SRRIP in DRRIP).
+    A,
+    /// The second policy (e.g. BRRIP in DRRIP).
+    B,
+}
+
+/// Leader-set assignment plus the PSEL counter.
+///
+/// Leader sets are spread evenly through the index space: policy A leads
+/// sets `k * stride`, policy B leads sets `k * stride + stride / 2`.
+///
+/// # Example
+///
+/// ```
+/// use trrip_policies::dueling::{SetDueling, DuelChoice};
+///
+/// let mut duel = SetDueling::new(256, 32, 10);
+/// // Follower sets use the PSEL winner; initially the counter is neutral
+/// // and policy A wins ties.
+/// assert_eq!(duel.choice_for_set(1), DuelChoice::A);
+/// // Misses in A-leader sets count against A.
+/// for _ in 0..600 { duel.record_miss(0); }
+/// assert_eq!(duel.choice_for_set(1), DuelChoice::B);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetDueling {
+    stride: usize,
+    half: usize,
+    psel: u32,
+    psel_max: u32,
+    psel_mid: u32,
+}
+
+impl SetDueling {
+    /// Creates dueling state for `num_sets`, with `leaders_per_policy`
+    /// leader sets each and a `psel_bits`-wide saturating counter.
+    ///
+    /// Degenerate geometries degrade gracefully: when the cache is too
+    /// small to host both leader groups (fewer than two sets per leader
+    /// pair), the leader count is clamped, and in the 1-set extreme the
+    /// cache simply runs policy A.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero or `psel_bits` exceeds 31.
+    #[must_use]
+    pub fn new(num_sets: usize, leaders_per_policy: usize, psel_bits: u32) -> SetDueling {
+        assert!(leaders_per_policy > 0, "need at least one leader set per policy");
+        assert!(num_sets > 0, "need at least one set");
+        assert!(psel_bits > 0 && psel_bits < 32, "psel_bits must be in 1..=31");
+        let leaders_per_policy = leaders_per_policy.min((num_sets / 2).max(1));
+        let stride = (num_sets / leaders_per_policy).max(1);
+        let psel_max = (1u32 << psel_bits) - 1;
+        SetDueling { stride, half: stride / 2, psel: psel_max / 2, psel_max, psel_mid: psel_max / 2 }
+    }
+
+    /// Paper configuration: 32 leader sets per policy, 10-bit PSEL
+    /// (clamped for the small caches in sensitivity sweeps).
+    #[must_use]
+    pub fn paper_defaults(num_sets: usize) -> SetDueling {
+        SetDueling::new(num_sets, 32, 10)
+    }
+
+    /// Which policy a set is a dedicated leader for, if any. In the
+    /// degenerate 1-set geometry the A check wins, so policy A runs.
+    #[must_use]
+    pub fn leader_of(&self, set: usize) -> Option<DuelChoice> {
+        let r = set % self.stride;
+        if r == 0 {
+            Some(DuelChoice::A)
+        } else if r == self.half {
+            Some(DuelChoice::B)
+        } else {
+            None
+        }
+    }
+
+    /// The policy that governs `set`: its own if it is a leader, the PSEL
+    /// winner otherwise.
+    #[must_use]
+    pub fn choice_for_set(&self, set: usize) -> DuelChoice {
+        match self.leader_of(set) {
+            Some(choice) => choice,
+            None => self.winner(),
+        }
+    }
+
+    /// The currently winning policy for follower sets.
+    #[must_use]
+    pub fn winner(&self) -> DuelChoice {
+        if self.psel > self.psel_mid {
+            DuelChoice::B
+        } else {
+            DuelChoice::A
+        }
+    }
+
+    /// Records a miss in `set`; only leader-set misses move the counter.
+    /// A miss in an A-leader increments PSEL (evidence against A), a miss
+    /// in a B-leader decrements it.
+    pub fn record_miss(&mut self, set: usize) {
+        match self.leader_of(set) {
+            Some(DuelChoice::A) => self.psel = (self.psel + 1).min(self.psel_max),
+            Some(DuelChoice::B) => self.psel = self.psel.saturating_sub(1),
+            None => {}
+        }
+    }
+
+    /// Current PSEL value (for tests and debugging).
+    #[must_use]
+    pub fn psel(&self) -> u32 {
+        self.psel
+    }
+
+    /// Storage cost of the PSEL counter in bits.
+    #[must_use]
+    pub fn storage_bits(&self) -> u64 {
+        u64::from(32 - self.psel_max.leading_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leader_layout_is_even_and_disjoint() {
+        let duel = SetDueling::new(256, 32, 10);
+        let mut a = 0;
+        let mut b = 0;
+        for set in 0..256 {
+            match duel.leader_of(set) {
+                Some(DuelChoice::A) => a += 1,
+                Some(DuelChoice::B) => b += 1,
+                None => {}
+            }
+        }
+        assert_eq!(a, 32);
+        assert_eq!(b, 32);
+    }
+
+    #[test]
+    fn follower_sets_follow_psel() {
+        let mut duel = SetDueling::new(64, 8, 4);
+        let follower = 1;
+        assert_eq!(duel.leader_of(follower), None);
+        assert_eq!(duel.choice_for_set(follower), DuelChoice::A);
+        for _ in 0..16 {
+            duel.record_miss(0); // A-leader misses
+        }
+        assert_eq!(duel.choice_for_set(follower), DuelChoice::B);
+        for _ in 0..16 {
+            duel.record_miss(duel.stride / 2); // B-leader misses
+        }
+        assert_eq!(duel.choice_for_set(follower), DuelChoice::A);
+    }
+
+    #[test]
+    fn leaders_never_follow() {
+        let mut duel = SetDueling::new(64, 8, 4);
+        for _ in 0..16 {
+            duel.record_miss(0);
+        }
+        // Even though B is winning, the A-leader still runs A.
+        assert_eq!(duel.choice_for_set(0), DuelChoice::A);
+    }
+
+    #[test]
+    fn psel_saturates() {
+        let mut duel = SetDueling::new(64, 8, 4);
+        for _ in 0..1000 {
+            duel.record_miss(0);
+        }
+        assert_eq!(duel.psel(), 15);
+        for _ in 0..2000 {
+            duel.record_miss(4); // B leader (stride 8, half 4)
+        }
+        assert_eq!(duel.psel(), 0);
+    }
+
+    #[test]
+    fn follower_misses_do_not_move_psel() {
+        let mut duel = SetDueling::new(64, 8, 4);
+        let before = duel.psel();
+        duel.record_miss(1);
+        duel.record_miss(2);
+        assert_eq!(duel.psel(), before);
+    }
+
+    #[test]
+    fn paper_defaults_fit_small_caches() {
+        // 128 kB / 64 B / 8 ways = 256 sets — the headline config.
+        let d = SetDueling::paper_defaults(256);
+        assert_eq!(d.stride, 8);
+        // Must not panic even for tiny set counts.
+        let _ = SetDueling::paper_defaults(4);
+    }
+}

@@ -1,0 +1,180 @@
+//! Emissary — Enhanced Miss Awareness replacement (Nagendra et al.,
+//! ISCA 2023), reimplemented on this infrastructure per §4.3.
+//!
+//! Emissary observes that some instruction misses are costlier than
+//! others: those that starve the decode stage. Lines whose miss caused
+//! decode starvation get a per-line priority bit, and replacement
+//! *way-locks* them: victims are drawn from non-priority lines (LRU among
+//! them) as long as at most `reserved_ways` priority lines live in the
+//! set (the paper uses 4 of 8). When priority lines exceed the
+//! reservation, the protection collapses for that set and plain LRU takes
+//! over, with the priority bits cleared to start a fresh epoch — the
+//! original proposal's recycling behaviour.
+
+use crate::lru::Lru;
+use crate::{ReplacementPolicy, RequestInfo};
+
+/// Emissary: starvation-priority way-locking built on LRU.
+#[derive(Debug, Clone)]
+pub struct Emissary {
+    lru: Lru,
+    priority: Vec<bool>,
+    ways: usize,
+    reserved_ways: usize,
+}
+
+impl Emissary {
+    /// Creates Emissary state reserving `reserved_ways` ways per set for
+    /// priority (starvation-causing) lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets`/`ways` is zero or `reserved_ways > ways`.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize, reserved_ways: usize) -> Emissary {
+        assert!(reserved_ways <= ways, "cannot reserve more ways than exist");
+        Emissary {
+            lru: Lru::new(sets, ways),
+            priority: vec![false; sets * ways],
+            ways,
+            reserved_ways,
+        }
+    }
+
+    /// Paper configuration: 4 priority ways in an 8-way set.
+    #[must_use]
+    pub fn paper_defaults(sets: usize, ways: usize) -> Emissary {
+        Emissary::new(sets, ways, (ways / 2).max(1))
+    }
+
+    fn priority_count(&self, set: usize) -> usize {
+        self.priority[set * self.ways..(set + 1) * self.ways]
+            .iter()
+            .filter(|&&p| p)
+            .count()
+    }
+
+    /// Whether the line at `(set, way)` currently holds a priority bit.
+    #[must_use]
+    pub fn is_priority(&self, set: usize, way: usize) -> bool {
+        self.priority[set * self.ways + way]
+    }
+}
+
+impl ReplacementPolicy for Emissary {
+    fn name(&self) -> &'static str {
+        "EMISSARY"
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, req: &RequestInfo) {
+        self.lru.on_hit(set, way, req);
+        if req.kind.is_instruction() && req.caused_starvation {
+            self.priority[set * self.ways + way] = true;
+        }
+    }
+
+    fn choose_victim(&mut self, set: usize, req: &RequestInfo, candidates: &[usize]) -> usize {
+        let non_priority: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&way| !self.priority[set * self.ways + way])
+            .collect();
+        if self.priority_count(set) <= self.reserved_ways && !non_priority.is_empty() {
+            self.lru.lru_way(set, &non_priority)
+        } else {
+            // Reservation exceeded (or everything is priority): fall back
+            // to plain LRU and start a fresh priority epoch for the set.
+            for way in 0..self.ways {
+                self.priority[set * self.ways + way] = false;
+            }
+            self.lru.choose_victim(set, req, candidates)
+        }
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, req: &RequestInfo) {
+        self.lru.on_fill(set, way, req);
+        self.priority[set * self.ways + way] =
+            req.kind.is_instruction() && req.caused_starvation;
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.lru.on_invalidate(set, way);
+        self.priority[set * self.ways + way] = false;
+    }
+
+    fn per_line_overhead_bits(&self) -> u32 {
+        // The priority bit, plus the underlying LRU rank state. The
+        // Emissary paper counts 2 bits per line across L1/L2.
+        1 + self.lru.per_line_overhead_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn starved_fetch(pc: u64) -> RequestInfo {
+        RequestInfo::ifetch(pc).with_starvation()
+    }
+
+    #[test]
+    fn priority_lines_are_shielded_from_eviction() {
+        let mut p = Emissary::new(1, 4, 2);
+        let all = [0usize, 1, 2, 3];
+        // Way 0 priority, ways 1..3 plain; way 1 is LRU among plain lines.
+        p.on_fill(0, 0, &starved_fetch(0x100));
+        for way in 1..4 {
+            p.on_fill(0, way, &RequestInfo::ifetch(0x200 + way as u64));
+        }
+        let victim = p.choose_victim(0, &RequestInfo::ifetch(0x900), &all);
+        assert_eq!(victim, 1);
+        assert!(p.is_priority(0, 0));
+    }
+
+    #[test]
+    fn reservation_overflow_falls_back_to_lru_and_resets_epoch() {
+        let mut p = Emissary::new(1, 4, 2);
+        let all = [0usize, 1, 2, 3];
+        // Three priority lines with a reservation of two: protection
+        // collapses, plain LRU picks the oldest line (way 0), and the
+        // epoch bits clear.
+        for way in 0..3 {
+            p.on_fill(0, way, &starved_fetch(0x100 + way as u64 * 64));
+        }
+        p.on_fill(0, 3, &RequestInfo::ifetch(0x900));
+        let victim = p.choose_victim(0, &RequestInfo::ifetch(0xa00), &all);
+        assert_eq!(victim, 0);
+        assert!((0..4).all(|w| !p.is_priority(0, w)));
+    }
+
+    #[test]
+    fn starvation_hit_promotes_to_priority() {
+        let mut p = Emissary::new(1, 4, 2);
+        p.on_fill(0, 0, &RequestInfo::ifetch(0x100));
+        assert!(!p.is_priority(0, 0));
+        p.on_hit(0, 0, &starved_fetch(0x100));
+        assert!(p.is_priority(0, 0));
+    }
+
+    #[test]
+    fn data_lines_never_gain_priority() {
+        let mut p = Emissary::new(1, 4, 2);
+        let data = RequestInfo { caused_starvation: true, ..RequestInfo::data_load(0x500) };
+        p.on_fill(0, 2, &data);
+        assert!(!p.is_priority(0, 2));
+    }
+
+    #[test]
+    fn invalidate_clears_priority() {
+        let mut p = Emissary::new(1, 4, 2);
+        p.on_fill(0, 0, &starved_fetch(0x100));
+        p.on_invalidate(0, 0);
+        assert!(!p.is_priority(0, 0));
+    }
+
+    #[test]
+    fn paper_defaults_reserve_half_the_ways() {
+        let p = Emissary::paper_defaults(64, 8);
+        assert_eq!(p.reserved_ways, 4);
+    }
+}

@@ -1,0 +1,96 @@
+//! The request view handed to replacement policies.
+
+use serde::{Deserialize, Serialize};
+use trrip_core::Temperature;
+use trrip_mem::{AccessKind, MemoryRequest, VirtAddr};
+
+/// Everything a replacement policy may observe about an access.
+///
+/// Deliberately excludes the physical address — set/way indexing is the
+/// cache's job — but keeps the PC (SHiP signatures), kind (instruction vs
+/// data sub-policies), temperature (TRRIP) and starvation flag (Emissary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RequestInfo {
+    /// Program counter of the accessing instruction.
+    pub pc: VirtAddr,
+    /// Instruction fetch, load or store.
+    pub kind: AccessKind,
+    /// Code temperature carried by the request (TRRIP attribute bits).
+    pub temperature: Option<Temperature>,
+    /// Whether this access's miss caused decode starvation (Emissary).
+    pub caused_starvation: bool,
+    /// Hardware prefetch rather than demand access.
+    pub prefetch: bool,
+}
+
+impl RequestInfo {
+    /// A plain instruction fetch, convenient for tests.
+    #[must_use]
+    pub fn ifetch(pc: u64) -> RequestInfo {
+        RequestInfo {
+            pc: VirtAddr::new(pc),
+            kind: AccessKind::InstrFetch,
+            temperature: None,
+            caused_starvation: false,
+            prefetch: false,
+        }
+    }
+
+    /// A plain data load, convenient for tests.
+    #[must_use]
+    pub fn data_load(pc: u64) -> RequestInfo {
+        RequestInfo { kind: AccessKind::Load, ..RequestInfo::ifetch(pc) }
+    }
+
+    /// Returns the info with a temperature attached.
+    #[must_use]
+    pub fn with_temperature(mut self, temperature: Option<Temperature>) -> RequestInfo {
+        self.temperature = temperature;
+        self
+    }
+
+    /// Returns the info with the starvation flag set.
+    #[must_use]
+    pub fn with_starvation(mut self) -> RequestInfo {
+        self.caused_starvation = true;
+        self
+    }
+}
+
+impl From<&MemoryRequest> for RequestInfo {
+    fn from(req: &MemoryRequest) -> RequestInfo {
+        RequestInfo {
+            pc: req.pc,
+            kind: req.kind,
+            temperature: req.attrs.temperature,
+            caused_starvation: req.attrs.caused_starvation,
+            prefetch: req.attrs.prefetch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trrip_mem::PhysAddr;
+
+    #[test]
+    fn from_memory_request_copies_attrs() {
+        let req = MemoryRequest::fetch(PhysAddr::new(0x40), VirtAddr::new(0x80))
+            .with_temperature(Some(Temperature::Hot))
+            .with_starvation(true);
+        let info = RequestInfo::from(&req);
+        assert_eq!(info.pc, VirtAddr::new(0x80));
+        assert_eq!(info.kind, AccessKind::InstrFetch);
+        assert_eq!(info.temperature, Some(Temperature::Hot));
+        assert!(info.caused_starvation);
+        assert!(!info.prefetch);
+    }
+
+    #[test]
+    fn helpers_build_expected_kinds() {
+        assert!(RequestInfo::ifetch(0).kind.is_instruction());
+        assert!(RequestInfo::data_load(0).kind.is_data());
+        assert!(RequestInfo::ifetch(0).with_starvation().caused_starvation);
+    }
+}

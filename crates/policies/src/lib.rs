@@ -1,0 +1,109 @@
+//! Cache replacement policies evaluated in the TRRIP paper.
+//!
+//! One object-safe trait, [`ReplacementPolicy`], and an implementation for
+//! every mechanism of §4.3:
+//!
+//! | policy | module | notes |
+//! |---|---|---|
+//! | LRU | [`lru`] | true-LRU stacks |
+//! | Random | [`random`] | sanity baseline (not in the paper) |
+//! | SRRIP | [`srrip`] | the paper's normalization baseline |
+//! | BRRIP | [`brrip`] | bimodal thrash-resistant insertion |
+//! | DRRIP | [`drrip`] | SRRIP/BRRIP set-dueling, 10-bit PSEL |
+//! | SHiP | [`ship`] | PC-signature hit predictor, instruction lines only |
+//! | CLIP | [`clip`] | code-line preservation with set-dueling |
+//! | Emissary | [`emissary`] | starvation-priority way-locking over LRU |
+//! | TRRIP | [`trrip`] | Algorithm 1, variants 1 and 2 |
+//!
+//! The cache model drives a policy through a fixed protocol:
+//!
+//! 1. hit  → [`ReplacementPolicy::on_hit`]
+//! 2. miss → [`ReplacementPolicy::choose_victim`] (only over valid ways;
+//!    the cache prefers invalid ways itself), then
+//!    [`ReplacementPolicy::on_evict`] for the displaced line, then
+//!    [`ReplacementPolicy::on_fill`] for the incoming one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brrip;
+pub mod clip;
+pub mod drrip;
+pub mod dueling;
+pub mod emissary;
+pub mod info;
+pub mod kind;
+pub mod lru;
+pub mod random;
+pub mod ship;
+pub mod srrip;
+pub mod trrip;
+
+pub use brrip::Brrip;
+pub use clip::Clip;
+pub use drrip::Drrip;
+pub use dueling::SetDueling;
+pub use emissary::Emissary;
+pub use info::RequestInfo;
+pub use kind::PolicyKind;
+pub use lru::Lru;
+pub use random::RandomPolicy;
+pub use ship::{Ship, ShipConfig};
+pub use srrip::Srrip;
+pub use trrip::Trrip;
+
+/// A cache replacement policy attached to one cache instance.
+///
+/// Implementations own all their per-set metadata (RRPV arrays, LRU
+/// stacks, priority bits, predictor tables). The trait is object-safe so a
+/// cache can hold a `Box<dyn ReplacementPolicy>` chosen at run time.
+pub trait ReplacementPolicy: Send {
+    /// Human-readable policy name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// A line at `(set, way)` was hit by `req`: update its priority.
+    fn on_hit(&mut self, set: usize, way: usize, req: &RequestInfo);
+
+    /// A miss in `set` needs a victim among the *valid* ways listed in
+    /// `candidates`. May mutate state (RRIP aging, Emissary epoch resets).
+    ///
+    /// `candidates` is never empty; the returned way must be one of them.
+    fn choose_victim(&mut self, set: usize, req: &RequestInfo, candidates: &[usize]) -> usize;
+
+    /// The line previously at `(set, way)` is being evicted (not merely
+    /// invalidated): predictors observe the outcome here.
+    fn on_evict(&mut self, set: usize, way: usize) {
+        let _ = (set, way);
+    }
+
+    /// A new line was filled into `(set, way)` in response to `req`.
+    fn on_fill(&mut self, set: usize, way: usize, req: &RequestInfo);
+
+    /// The line at `(set, way)` was invalidated (e.g. inclusive
+    /// back-invalidation): forget its metadata.
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        let _ = (set, way);
+    }
+
+    /// Metadata bits the policy stores **per cache line** (RRPV bits, LRU
+    /// rank, priority bits…). Feeds the Table 4 power/area model.
+    fn per_line_overhead_bits(&self) -> u32;
+
+    /// Dedicated storage outside the line metadata, in bits (e.g. SHiP's
+    /// signature counter table, PSEL counters).
+    fn extra_storage_bits(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn assert_obj(_p: &dyn ReplacementPolicy) {}
+        let lru = Lru::new(4, 4);
+        assert_obj(&lru);
+    }
+}

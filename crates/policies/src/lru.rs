@@ -1,0 +1,147 @@
+//! True-LRU replacement.
+
+use crate::{ReplacementPolicy, RequestInfo};
+
+/// Least-Recently-Used replacement with full recency stacks.
+///
+/// Each set maintains a monotonically increasing timestamp per way; the
+/// victim is the way with the smallest stamp. This is the L1 policy in the
+/// paper's Table 1 configuration and the substrate Emissary builds on.
+///
+/// # Example
+///
+/// ```
+/// use trrip_policies::{Lru, ReplacementPolicy, RequestInfo};
+///
+/// let mut lru = Lru::new(1, 4);
+/// let req = RequestInfo::ifetch(0);
+/// for way in 0..4 {
+///     lru.on_fill(0, way, &req);
+/// }
+/// lru.on_hit(0, 0, &req); // way 0 becomes MRU
+/// let victim = lru.choose_victim(0, &req, &[0, 1, 2, 3]);
+/// assert_eq!(victim, 1); // oldest untouched way
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lru {
+    ways: usize,
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl Lru {
+    /// Creates LRU state for `sets × ways` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> Lru {
+        assert!(sets > 0 && ways > 0, "cache must have at least one set and way");
+        Lru { ways, stamps: vec![0; sets * ways], clock: 0 }
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        self.clock += 1;
+        self.stamps[set * self.ways + way] = self.clock;
+    }
+
+    /// The least-recently-used way among `candidates` (read-only helper
+    /// shared with Emissary).
+    #[must_use]
+    pub fn lru_way(&self, set: usize, candidates: &[usize]) -> usize {
+        *candidates
+            .iter()
+            .min_by_key(|&&way| self.stamps[set * self.ways + way])
+            .expect("candidates must be non-empty")
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _req: &RequestInfo) {
+        self.touch(set, way);
+    }
+
+    fn choose_victim(&mut self, set: usize, _req: &RequestInfo, candidates: &[usize]) -> usize {
+        self.lru_way(set, candidates)
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _req: &RequestInfo) {
+        self.touch(set, way);
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        // Oldest possible stamp: the way becomes the preferred victim.
+        self.stamps[set * self.ways + way] = 0;
+    }
+
+    fn per_line_overhead_bits(&self) -> u32 {
+        // True LRU needs log2(ways!) bits; the common hardware estimate is
+        // log2(ways) bits per line of rank state.
+        (usize::BITS - (self.ways - 1).leading_zeros()).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_is_least_recently_touched() {
+        let mut lru = Lru::new(2, 4);
+        let req = RequestInfo::ifetch(0);
+        for way in 0..4 {
+            lru.on_fill(0, way, &req);
+        }
+        lru.on_hit(0, 0, &req);
+        lru.on_hit(0, 2, &req);
+        assert_eq!(lru.choose_victim(0, &req, &[0, 1, 2, 3]), 1);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut lru = Lru::new(2, 2);
+        let req = RequestInfo::ifetch(0);
+        lru.on_fill(0, 0, &req);
+        lru.on_fill(0, 1, &req);
+        lru.on_fill(1, 0, &req);
+        lru.on_fill(1, 1, &req);
+        lru.on_hit(0, 0, &req);
+        // Set 1 untouched by the hit: way 0 is still its LRU.
+        assert_eq!(lru.choose_victim(1, &req, &[0, 1]), 0);
+        assert_eq!(lru.choose_victim(0, &req, &[0, 1]), 1);
+    }
+
+    #[test]
+    fn invalidate_prefers_way_for_eviction() {
+        let mut lru = Lru::new(1, 4);
+        let req = RequestInfo::ifetch(0);
+        for way in 0..4 {
+            lru.on_fill(0, way, &req);
+        }
+        lru.on_invalidate(0, 3);
+        assert_eq!(lru.choose_victim(0, &req, &[0, 1, 2, 3]), 3);
+    }
+
+    #[test]
+    fn respects_candidate_restriction() {
+        let mut lru = Lru::new(1, 4);
+        let req = RequestInfo::ifetch(0);
+        for way in 0..4 {
+            lru.on_fill(0, way, &req);
+        }
+        // Way 0 is globally LRU but not a candidate.
+        assert_eq!(lru.choose_victim(0, &req, &[2, 3]), 2);
+    }
+
+    #[test]
+    fn overhead_grows_with_associativity() {
+        assert_eq!(Lru::new(1, 4).per_line_overhead_bits(), 2);
+        assert_eq!(Lru::new(1, 8).per_line_overhead_bits(), 3);
+        assert_eq!(Lru::new(1, 16).per_line_overhead_bits(), 4);
+    }
+}

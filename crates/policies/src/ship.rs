@@ -1,0 +1,270 @@
+//! SHiP — Signature-based Hit Predictor (Wu et al., MICRO 2011).
+//!
+//! SHiP augments SRRIP with a table of saturating counters (the SHCT)
+//! indexed by a *signature* — here a PC hash, as in the paper's
+//! configuration (§4.3): "a 64kB SHiP predictor at the L2 level, only
+//! applied to instruction cache blocks, using PC-based signatures". Each
+//! line remembers the signature that inserted it and an outcome bit; on a
+//! hit the SHCT learns the signature re-references, on a dead eviction it
+//! learns the opposite. Fills whose signature has a zero counter are
+//! predicted dead-on-arrival and inserted at *distant*.
+
+use serde::{Deserialize, Serialize};
+use trrip_core::{Rrpv, RripSet, RrpvWidth, SrripCore};
+use trrip_mem::VirtAddr;
+
+use crate::srrip::Srrip;
+use crate::{ReplacementPolicy, RequestInfo};
+
+/// SHiP sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShipConfig {
+    /// Number of SHCT entries (power of two).
+    pub shct_entries: usize,
+    /// Width of each saturating counter in bits.
+    pub counter_bits: u32,
+    /// Bits of the per-line stored signature.
+    pub signature_bits: u32,
+}
+
+impl ShipConfig {
+    /// The paper's 64 kB predictor: 256 Ki × 2-bit counters.
+    #[must_use]
+    pub fn paper_64kb() -> ShipConfig {
+        ShipConfig { shct_entries: 1 << 18, counter_bits: 2, signature_bits: 14 }
+    }
+
+    /// A small configuration for unit tests.
+    #[must_use]
+    pub fn tiny() -> ShipConfig {
+        ShipConfig { shct_entries: 1 << 8, counter_bits: 2, signature_bits: 8 }
+    }
+
+    /// Total SHCT storage in bits.
+    #[must_use]
+    pub fn table_bits(self) -> u64 {
+        self.shct_entries as u64 * u64::from(self.counter_bits)
+    }
+}
+
+impl Default for ShipConfig {
+    fn default() -> Self {
+        ShipConfig::paper_64kb()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LineMeta {
+    signature: u32,
+    outcome: bool,
+    tracked: bool,
+}
+
+/// SHiP-PC over SRRIP, instruction lines only.
+#[derive(Debug, Clone)]
+pub struct Ship {
+    sets: Vec<RripSet>,
+    meta: Vec<LineMeta>,
+    shct: Vec<u8>,
+    core: SrripCore,
+    config: ShipConfig,
+    width: RrpvWidth,
+    ways: usize,
+    escape_counter: u32,
+}
+
+impl Ship {
+    /// Creates SHiP state for a `sets × ways` cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets`/`ways` is zero or `shct_entries` is not a power
+    /// of two.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize, width: RrpvWidth, config: ShipConfig) -> Ship {
+        assert!(sets > 0, "cache must have at least one set");
+        assert!(
+            config.shct_entries.is_power_of_two(),
+            "SHCT entry count must be a power of two"
+        );
+        let counter_max = (1u8 << config.counter_bits) - 1;
+        Ship {
+            sets: (0..sets).map(|_| RripSet::new(ways, width)).collect(),
+            meta: vec![LineMeta::default(); sets * ways],
+            // Counters start weakly re-referenced so cold-start fills are
+            // not all predicted dead.
+            shct: vec![counter_max / 2 + 1; config.shct_entries],
+            core: SrripCore::new(width),
+            config,
+            width,
+            ways,
+            escape_counter: 0,
+        }
+    }
+
+    fn signature(&self, pc: VirtAddr) -> u32 {
+        // Fold the PC down to the signature width; instruction PCs are
+        // line-aligned-ish so drop the low bits first.
+        let folded = (pc.raw() >> 2) ^ (pc.raw() >> 17) ^ (pc.raw() >> 33);
+        (folded as u32) & ((1 << self.config.signature_bits) - 1)
+    }
+
+    fn shct_index(&self, signature: u32) -> usize {
+        (signature as usize) & (self.config.shct_entries - 1)
+    }
+
+    fn counter_max(&self) -> u8 {
+        (1u8 << self.config.counter_bits) - 1
+    }
+
+    /// Current SHCT counter for a PC (exposed for tests/analysis).
+    #[must_use]
+    pub fn counter_for_pc(&self, pc: VirtAddr) -> u8 {
+        let sig = self.signature(pc);
+        self.shct[self.shct_index(sig)]
+    }
+}
+
+impl ReplacementPolicy for Ship {
+    fn name(&self) -> &'static str {
+        "SHiP"
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _req: &RequestInfo) {
+        let idx = set * self.ways + way;
+        let meta = self.meta[idx];
+        if meta.tracked && !meta.outcome {
+            let e = self.shct_index(meta.signature);
+            self.shct[e] = (self.shct[e] + 1).min(self.counter_max());
+            self.meta[idx].outcome = true;
+        }
+        self.core.on_hit(&mut self.sets[set], way);
+    }
+
+    fn choose_victim(&mut self, set: usize, _req: &RequestInfo, candidates: &[usize]) -> usize {
+        Srrip::rrip_victim(&mut self.sets[set], self.width, candidates)
+    }
+
+    fn on_evict(&mut self, set: usize, way: usize) {
+        let idx = set * self.ways + way;
+        let meta = self.meta[idx];
+        if meta.tracked && !meta.outcome {
+            // Dead line: the signature's re-reference confidence drops.
+            let e = self.shct_index(meta.signature);
+            self.shct[e] = self.shct[e].saturating_sub(1);
+        }
+        self.meta[idx] = LineMeta::default();
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, req: &RequestInfo) {
+        let idx = set * self.ways + way;
+        if req.kind.is_instruction() {
+            let signature = self.signature(req.pc);
+            self.meta[idx] = LineMeta { signature, outcome: false, tracked: true };
+            if self.shct[self.shct_index(signature)] == 0 {
+                // Predicted dead-on-arrival: distant re-reference — with a
+                // 1/32 bimodal escape so a mispredicted signature can
+                // re-prove itself (otherwise a dead prediction is sticky:
+                // distant lines evict unreferenced and re-train to dead).
+                self.escape_counter = (self.escape_counter + 1) % 32;
+                if self.escape_counter == 0 {
+                    self.core.on_fill(&mut self.sets[set], way);
+                } else {
+                    self.sets[set].set_rrpv(way, Rrpv::distant(self.width));
+                }
+            } else {
+                self.core.on_fill(&mut self.sets[set], way);
+            }
+        } else {
+            // Data lines: plain SRRIP, no tracking.
+            self.meta[idx] = LineMeta::default();
+            self.core.on_fill(&mut self.sets[set], way);
+        }
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.meta[set * self.ways + way] = LineMeta::default();
+        self.sets[set].invalidate(way);
+    }
+
+    fn per_line_overhead_bits(&self) -> u32 {
+        // RRPV + stored signature + outcome bit.
+        self.width.bits() + self.config.signature_bits + 1
+    }
+
+    fn extra_storage_bits(&self) -> u64 {
+        self.config.table_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ship() -> Ship {
+        Ship::new(4, 4, RrpvWidth::W2, ShipConfig::tiny())
+    }
+
+    #[test]
+    fn repeated_dead_fills_predict_distant() {
+        let mut p = ship();
+        let req = RequestInfo::ifetch(0x4000);
+        // Fill and evict the same signature with no hits until its counter
+        // drains to zero.
+        for _ in 0..4 {
+            p.on_fill(0, 0, &req);
+            p.on_evict(0, 0);
+        }
+        assert_eq!(p.counter_for_pc(req.pc), 0);
+        p.on_fill(0, 0, &req);
+        assert_eq!(p.sets[0].rrpv(0), Rrpv::distant(RrpvWidth::W2));
+    }
+
+    #[test]
+    fn hits_restore_confidence() {
+        let mut p = ship();
+        let req = RequestInfo::ifetch(0x4000);
+        for _ in 0..4 {
+            p.on_fill(0, 0, &req);
+            p.on_evict(0, 0);
+        }
+        assert_eq!(p.counter_for_pc(req.pc), 0);
+        // A fill that then hits trains the counter back up.
+        p.on_fill(0, 0, &req);
+        p.on_hit(0, 0, &req);
+        assert_eq!(p.counter_for_pc(req.pc), 1);
+        p.on_evict(0, 0);
+        p.on_fill(0, 0, &req);
+        assert_eq!(p.sets[0].rrpv(0), Rrpv::intermediate(RrpvWidth::W2));
+    }
+
+    #[test]
+    fn outcome_counted_once_per_residency() {
+        let mut p = ship();
+        let req = RequestInfo::ifetch(0x4000);
+        let before = p.counter_for_pc(req.pc);
+        p.on_fill(0, 0, &req);
+        p.on_hit(0, 0, &req);
+        p.on_hit(0, 0, &req);
+        p.on_hit(0, 0, &req);
+        assert_eq!(p.counter_for_pc(req.pc), (before + 1).min(3));
+    }
+
+    #[test]
+    fn data_lines_are_untracked_srrip() {
+        let mut p = ship();
+        let req = RequestInfo::data_load(0x9000);
+        let before = p.counter_for_pc(req.pc);
+        p.on_fill(0, 1, &req);
+        assert_eq!(p.sets[0].rrpv(1), Rrpv::intermediate(RrpvWidth::W2));
+        p.on_evict(0, 1);
+        // Dead data eviction must not train the SHCT.
+        assert_eq!(p.counter_for_pc(req.pc), before);
+    }
+
+    #[test]
+    fn paper_config_is_64kb() {
+        let c = ShipConfig::paper_64kb();
+        assert_eq!(c.table_bits() / 8, 64 * 1024);
+    }
+}

@@ -1,0 +1,166 @@
+//! TRRIP adapted to the [`ReplacementPolicy`] trait.
+//!
+//! The algorithm itself lives in [`trrip_core::TrripPolicy`]; this module
+//! binds it to per-set RRPV state and the common eviction mechanism. True
+//! to §3.4, *nothing* about the request is stored per line — temperature
+//! arrives with each access and influences only the RRPV written at that
+//! moment, so the per-line overhead is exactly the baseline RRPV bits.
+
+use trrip_core::{RripSet, RrpvWidth, TrripPolicy, TrripVariant};
+
+use crate::srrip::Srrip;
+use crate::{ReplacementPolicy, RequestInfo};
+
+/// TRRIP replacement over per-set RRPV arrays.
+///
+/// # Example
+///
+/// ```
+/// use trrip_policies::{Trrip, ReplacementPolicy, RequestInfo};
+/// use trrip_core::{TrripVariant, RrpvWidth, Temperature};
+///
+/// let mut trrip = Trrip::new(64, 8, TrripVariant::V1, RrpvWidth::W2);
+/// let hot = RequestInfo::ifetch(0x40).with_temperature(Some(Temperature::Hot));
+/// let victim = trrip.choose_victim(0, &hot, &[0, 1, 2, 3, 4, 5, 6, 7]);
+/// trrip.on_fill(0, victim, &hot); // inserted at immediate re-reference
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trrip {
+    sets: Vec<RripSet>,
+    policy: TrripPolicy,
+    width: RrpvWidth,
+}
+
+impl Trrip {
+    /// Creates TRRIP state for a `sets × ways` cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize, variant: TrripVariant, width: RrpvWidth) -> Trrip {
+        assert!(sets > 0, "cache must have at least one set");
+        Trrip {
+            sets: (0..sets).map(|_| RripSet::new(ways, width)).collect(),
+            policy: TrripPolicy::new(variant, width),
+            width,
+        }
+    }
+
+    /// The configured variant.
+    #[must_use]
+    pub fn variant(&self) -> TrripVariant {
+        self.policy.variant()
+    }
+
+    /// Temperature only applies to instruction requests; data requests
+    /// take the default path even if attribute bits were somehow set
+    /// (§3.4: "TRRIP's replacement policy features only trigger on
+    /// instruction memory requests containing valid temperature
+    /// information").
+    fn effective_temperature(req: &RequestInfo) -> Option<trrip_core::Temperature> {
+        if req.kind.is_instruction() {
+            req.temperature
+        } else {
+            None
+        }
+    }
+}
+
+impl ReplacementPolicy for Trrip {
+    fn name(&self) -> &'static str {
+        self.policy.variant().name()
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, req: &RequestInfo) {
+        self.policy.on_hit(&mut self.sets[set], way, Trrip::effective_temperature(req));
+    }
+
+    fn choose_victim(&mut self, set: usize, _req: &RequestInfo, candidates: &[usize]) -> usize {
+        // Eviction is untouched RRIP (Algorithm 1 line 14).
+        Srrip::rrip_victim(&mut self.sets[set], self.width, candidates)
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, req: &RequestInfo) {
+        self.policy.on_fill(&mut self.sets[set], way, Trrip::effective_temperature(req));
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.sets[set].invalidate(way);
+    }
+
+    fn per_line_overhead_bits(&self) -> u32 {
+        // Identical to baseline RRIP: no temperature is stored in the set.
+        self.width.bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trrip_core::{Rrpv, Temperature};
+
+    fn hot_fetch(pc: u64) -> RequestInfo {
+        RequestInfo::ifetch(pc).with_temperature(Some(Temperature::Hot))
+    }
+
+    #[test]
+    fn hot_code_survives_data_pressure() {
+        // The headline behaviour: a hot instruction line being executed
+        // regularly survives a stream of data fills through its set,
+        // where SRRIP would age it out.
+        let mut trrip = Trrip::new(1, 4, TrripVariant::V1, RrpvWidth::W2);
+        let all = [0usize, 1, 2, 3];
+        let hot = hot_fetch(0x100);
+        let v = trrip.choose_victim(0, &hot, &all);
+        trrip.on_fill(0, v, &hot);
+        let hot_way = v;
+        for i in 0..32 {
+            let data = RequestInfo::data_load(0x9000 + i * 64);
+            let victim = trrip.choose_victim(0, &data, &all);
+            assert_ne!(victim, hot_way, "hot line evicted at iteration {i}");
+            trrip.on_fill(0, victim, &data);
+            trrip.on_hit(0, hot_way, &hot);
+        }
+    }
+
+    #[test]
+    fn temperature_on_data_requests_is_ignored() {
+        let mut trrip = Trrip::new(1, 4, TrripVariant::V1, RrpvWidth::W2);
+        let tagged_data =
+            RequestInfo::data_load(0x100).with_temperature(Some(Temperature::Hot));
+        trrip.on_fill(0, 0, &tagged_data);
+        assert_eq!(trrip.sets[0].rrpv(0), Rrpv::intermediate(RrpvWidth::W2));
+    }
+
+    #[test]
+    fn untyped_behaviour_matches_srrip() {
+        let mut trrip = Trrip::new(1, 4, TrripVariant::V2, RrpvWidth::W2);
+        let mut srrip = Srrip::new(1, 4, RrpvWidth::W2);
+        let req = RequestInfo::ifetch(0x40);
+        let all = [0usize, 1, 2, 3];
+        for i in 0..64 {
+            let r = RequestInfo::ifetch(0x40 + (i % 8) * 64);
+            let vt = trrip.choose_victim(0, &r, &all);
+            let vs = srrip.choose_victim(0, &r, &all);
+            assert_eq!(vt, vs);
+            trrip.on_fill(0, vt, &r);
+            srrip.on_fill(0, vs, &r);
+        }
+        let _ = req;
+    }
+
+    #[test]
+    fn name_reflects_variant() {
+        assert_eq!(Trrip::new(1, 1, TrripVariant::V1, RrpvWidth::W2).name(), "TRRIP-1");
+        assert_eq!(Trrip::new(1, 1, TrripVariant::V2, RrpvWidth::W2).name(), "TRRIP-2");
+    }
+
+    #[test]
+    fn per_line_overhead_equals_baseline_rrip() {
+        let trrip = Trrip::new(1, 8, TrripVariant::V2, RrpvWidth::W2);
+        let srrip = Srrip::new(1, 8, RrpvWidth::W2);
+        assert_eq!(trrip.per_line_overhead_bits(), srrip.per_line_overhead_bits());
+        assert_eq!(trrip.extra_storage_bits(), 0);
+    }
+}

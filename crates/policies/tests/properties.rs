@@ -1,0 +1,140 @@
+//! Property-based tests over every replacement policy: invariants that
+//! must hold for any policy under any access sequence.
+
+use proptest::prelude::*;
+use trrip_core::Temperature;
+use trrip_policies::{PolicyKind, RequestInfo};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Hit { set: usize, way: usize },
+    MissFill { set: usize },
+    Invalidate { set: usize, way: usize },
+}
+
+fn arb_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Lru),
+        Just(PolicyKind::Random),
+        Just(PolicyKind::Srrip),
+        Just(PolicyKind::Brrip),
+        Just(PolicyKind::Drrip),
+        Just(PolicyKind::Ship),
+        Just(PolicyKind::Clip),
+        Just(PolicyKind::Emissary),
+        Just(PolicyKind::Trrip1),
+        Just(PolicyKind::Trrip2),
+    ]
+}
+
+fn arb_op(sets: usize, ways: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..sets, 0..ways).prop_map(|(set, way)| Op::Hit { set, way }),
+        (0..sets).prop_map(|set| Op::MissFill { set }),
+        (0..sets, 0..ways).prop_map(|(set, way)| Op::Invalidate { set, way }),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = RequestInfo> {
+    (any::<u64>(), any::<bool>(), prop_oneof![
+        Just(None),
+        Just(Some(Temperature::Hot)),
+        Just(Some(Temperature::Warm)),
+        Just(Some(Temperature::Cold)),
+    ])
+        .prop_map(|(pc, instr, temp)| {
+            let base = if instr { RequestInfo::ifetch(pc) } else { RequestInfo::data_load(pc) };
+            base.with_temperature(temp)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The victim returned by any policy is always one of the candidates,
+    /// for arbitrary candidate subsets and interleaved operations.
+    #[test]
+    fn victim_is_always_a_candidate(
+        kind in arb_policy(),
+        ops in prop::collection::vec((arb_op(8, 4), arb_request()), 1..200),
+        candidate_mask in 1u8..16,
+    ) {
+        let mut policy = kind.build(8, 4);
+        let candidates: Vec<usize> =
+            (0..4).filter(|i| candidate_mask & (1 << i) != 0).collect();
+        for (op, req) in ops {
+            match op {
+                Op::Hit { set, way } => policy.on_hit(set, way, &req),
+                Op::MissFill { set } => {
+                    let victim = policy.choose_victim(set, &req, &candidates);
+                    prop_assert!(
+                        candidates.contains(&victim),
+                        "{}: victim {victim} not in {candidates:?}",
+                        kind.name()
+                    );
+                    policy.on_evict(set, victim);
+                    policy.on_fill(set, victim, &req);
+                }
+                Op::Invalidate { set, way } => policy.on_invalidate(set, way),
+            }
+        }
+    }
+
+    /// Policies are deterministic: the same operation sequence produces
+    /// the same victim sequence (Random included — it is seeded).
+    #[test]
+    fn policies_are_deterministic(
+        kind in arb_policy(),
+        ops in prop::collection::vec((arb_op(4, 4), arb_request()), 1..100),
+    ) {
+        let run = |ops: &[(Op, RequestInfo)]| -> Vec<usize> {
+            let mut policy = kind.build(4, 4);
+            let candidates: Vec<usize> = (0..4).collect();
+            let mut victims = Vec::new();
+            for (op, req) in ops {
+                match *op {
+                    Op::Hit { set, way } => policy.on_hit(set, way, req),
+                    Op::MissFill { set } => {
+                        let v = policy.choose_victim(set, req, &candidates);
+                        victims.push(v);
+                        policy.on_evict(set, v);
+                        policy.on_fill(set, v, req);
+                    }
+                    Op::Invalidate { set, way } => policy.on_invalidate(set, way),
+                }
+            }
+            victims
+        };
+        prop_assert_eq!(run(&ops), run(&ops));
+    }
+
+    /// A continuously-hit instruction line is never evicted in favour of
+    /// a stream of *data* fills — for every policy that tracks recency
+    /// (all but Random). Data competitors are the fair test: code-first
+    /// policies (CLIP, TRRIP) insert all/hot instruction fills at the
+    /// same top priority, where a hit line is legitimately
+    /// indistinguishable from fresh code.
+    #[test]
+    fn continuously_hit_line_survives_data_stream(
+        kind in arb_policy().prop_filter("random has no recency", |k| *k != PolicyKind::Random),
+        fills in 1usize..32,
+    ) {
+        let mut policy = kind.build(1, 4);
+        let candidates: Vec<usize> = (0..4).collect();
+        let hot = RequestInfo::ifetch(0x40).with_temperature(Some(Temperature::Hot));
+        let protected = policy.choose_victim(0, &hot, &candidates);
+        policy.on_fill(0, protected, &hot);
+        policy.on_hit(0, protected, &hot);
+        for i in 0..fills {
+            let req = RequestInfo::data_load(0x4000 + i as u64 * 64);
+            let v = policy.choose_victim(0, &req, &candidates);
+            prop_assert_ne!(
+                v, protected,
+                "{}: evicted the continuously-hit line at fill {}", kind.name(), i
+            );
+            policy.on_evict(0, v);
+            policy.on_fill(0, v, &req);
+            policy.on_hit(0, protected, &hot);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Simulation configuration (Table 1 plus run control).
+
+use serde::{Deserialize, Serialize};
+use trrip_cache::HierarchyConfig;
+use trrip_compiler::LayoutKind;
+use trrip_core::ClassifierConfig;
+use trrip_cpu::CoreConfig;
+use trrip_mem::PageSize;
+use trrip_os::OverlapPolicy;
+use trrip_policies::PolicyKind;
+
+/// Everything one simulation run needs beyond the workload itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Core timing parameters.
+    pub core: CoreConfig,
+    /// Cache hierarchy (includes the L2 policy under test).
+    pub hierarchy: HierarchyConfig,
+    /// Page size used by the loader/MMU.
+    pub page_size: PageSize,
+    /// Mixed-page temperature policy (§4.9).
+    pub overlap: OverlapPolicy,
+    /// Code layout: PGO (the paper's default) or source order.
+    pub layout: LayoutKind,
+    /// Temperature classifier percentiles (Figure 8 sweeps hot).
+    pub classifier: ClassifierConfig,
+    /// Instructions executed before measurement starts (cache and
+    /// predictor warm-up; the scaled version of Table 2's fast-forward).
+    pub fast_forward: u64,
+    /// Instructions measured (the paper runs 400 M; the synthetic traces
+    /// reach steady state much sooner).
+    pub instructions: u64,
+    /// Instructions of the training run used to collect the PGO profile.
+    pub train_instructions: u64,
+    /// Attach the Figure 3 reuse-distance profiler (costs time).
+    pub measure_reuse: bool,
+    /// Attach the Figure 7 costly-miss tracker.
+    pub track_costly: bool,
+}
+
+impl SimConfig {
+    /// The paper configuration at the default (CI-friendly) scale with
+    /// the given L2 policy.
+    #[must_use]
+    pub fn paper(policy: PolicyKind) -> SimConfig {
+        SimConfig {
+            core: CoreConfig::paper(),
+            hierarchy: HierarchyConfig::paper(policy),
+            page_size: PageSize::Size4K,
+            overlap: OverlapPolicy::default(),
+            layout: LayoutKind::Pgo,
+            classifier: ClassifierConfig::llvm_defaults(),
+            fast_forward: 300_000,
+            instructions: 3_000_000,
+            train_instructions: 1_500_000,
+            measure_reuse: false,
+            track_costly: false,
+        }
+    }
+
+    /// A fast configuration for unit/integration tests.
+    #[must_use]
+    pub fn quick(policy: PolicyKind) -> SimConfig {
+        SimConfig {
+            fast_forward: 30_000,
+            instructions: 300_000,
+            train_instructions: 200_000,
+            ..SimConfig::paper(policy)
+        }
+    }
+
+    /// Replaces the L2 policy, keeping everything else.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> SimConfig {
+        self.hierarchy.l2_policy = policy;
+        self
+    }
+
+    /// Scales all three run lengths by an integer factor (experiment
+    /// binaries expose this as `--scale`).
+    #[must_use]
+    pub fn scaled(mut self, factor: u64) -> SimConfig {
+        self.fast_forward *= factor;
+        self.instructions *= factor;
+        self.train_instructions *= factor;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table1() {
+        let c = SimConfig::paper(PolicyKind::Trrip1);
+        assert_eq!(c.core.dispatch_width, 6);
+        assert_eq!(c.core.rob_entries, 128);
+        assert_eq!(c.hierarchy.l2.size_bytes, 128 << 10);
+        assert_eq!(c.hierarchy.l2.ways, 8);
+        assert_eq!(c.hierarchy.dram_latency, 400);
+        assert_eq!(c.hierarchy.l2_policy, PolicyKind::Trrip1);
+    }
+
+    #[test]
+    fn with_policy_swaps_only_policy() {
+        let a = SimConfig::paper(PolicyKind::Srrip);
+        let b = a.clone().with_policy(PolicyKind::Clip);
+        assert_eq!(b.hierarchy.l2_policy, PolicyKind::Clip);
+        assert_eq!(a.instructions, b.instructions);
+    }
+
+    #[test]
+    fn scaling_multiplies_run_lengths() {
+        let c = SimConfig::quick(PolicyKind::Srrip).scaled(3);
+        assert_eq!(c.instructions, 900_000);
+        assert_eq!(c.fast_forward, 90_000);
+    }
+}

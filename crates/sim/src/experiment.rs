@@ -1,0 +1,151 @@
+//! Parallel policy sweeps — the engine behind Figure 6, Table 3 and the
+//! sensitivity studies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use trrip_policies::PolicyKind;
+
+use crate::config::SimConfig;
+use crate::prepare::PreparedWorkload;
+use crate::system::{simulate, SimResult};
+
+/// Results of a `workloads × policies` sweep.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// One result per (workload, policy) pair, workload-major.
+    pub results: Vec<SimResult>,
+    /// The policies swept, in order.
+    pub policies: Vec<PolicyKind>,
+    /// The benchmark names, in order.
+    pub benchmarks: Vec<String>,
+}
+
+impl SweepResult {
+    /// The result for one (benchmark, policy) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair was not part of the sweep.
+    #[must_use]
+    pub fn get(&self, benchmark: &str, policy: PolicyKind) -> &SimResult {
+        let bi = self
+            .benchmarks
+            .iter()
+            .position(|b| b == benchmark)
+            .unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
+        let pi = self
+            .policies
+            .iter()
+            .position(|&p| p == policy)
+            .unwrap_or_else(|| panic!("policy {policy} not swept"));
+        &self.results[bi * self.policies.len() + pi]
+    }
+
+    /// Per-benchmark speedups of `policy` against `baseline`, in percent,
+    /// in benchmark order.
+    #[must_use]
+    pub fn speedups(&self, policy: PolicyKind, baseline: PolicyKind) -> Vec<f64> {
+        self.benchmarks
+            .iter()
+            .map(|b| {
+                let base = self.get(b, baseline);
+                self.get(b, policy).speedup_vs(base)
+            })
+            .collect()
+    }
+}
+
+/// Runs every workload under every policy, in parallel across the
+/// machine's cores. Deterministic per (workload, policy) regardless of
+/// scheduling.
+#[must_use]
+pub fn policy_sweep(
+    workloads: &[PreparedWorkload],
+    config: &SimConfig,
+    policies: &[PolicyKind],
+) -> SweepResult {
+    let jobs: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..policies.len()).map(move |p| (w, p)))
+        .collect();
+    let results: Mutex<Vec<Option<SimResult>>> = Mutex::new(vec![None; jobs.len()]);
+    let cursor = AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism().map_or(4, usize::from).min(jobs.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (wi, pi) = jobs[i];
+                let run_config = config.clone().with_policy(policies[pi]);
+                let result = simulate(&workloads[wi], &run_config);
+                results.lock()[i] = Some(result);
+            });
+        }
+    });
+
+    SweepResult {
+        results: results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("all jobs completed"))
+            .collect(),
+        policies: policies.to_vec(),
+        benchmarks: workloads.iter().map(|w| w.spec.name.clone()).collect(),
+    }
+}
+
+/// Speedup in percent of `cycles` against `baseline_cycles`.
+#[must_use]
+pub fn speedup_vs(baseline_cycles: f64, cycles: f64) -> f64 {
+    (baseline_cycles / cycles - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trrip_core::ClassifierConfig;
+    use trrip_workloads::WorkloadSpec;
+
+    fn tiny_workload(name: &str) -> PreparedWorkload {
+        let mut spec = WorkloadSpec::named(name);
+        spec.functions = 50;
+        spec.hot_rotation = 8;
+        PreparedWorkload::prepare(&spec, 100_000, ClassifierConfig::llvm_defaults())
+    }
+
+    #[test]
+    fn sweep_covers_all_pairs() {
+        let workloads = vec![tiny_workload("wa"), tiny_workload("wb")];
+        let mut config = SimConfig::quick(PolicyKind::Srrip);
+        config.instructions = 100_000;
+        config.fast_forward = 10_000;
+        let policies = [PolicyKind::Srrip, PolicyKind::Trrip1];
+        let sweep = policy_sweep(&workloads, &config, &policies);
+        assert_eq!(sweep.results.len(), 4);
+        assert_eq!(sweep.get("wa", PolicyKind::Srrip).policy, PolicyKind::Srrip);
+        assert_eq!(sweep.get("wb", PolicyKind::Trrip1).benchmark, "wb");
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_run() {
+        let workloads = vec![tiny_workload("wx")];
+        let mut config = SimConfig::quick(PolicyKind::Srrip);
+        config.instructions = 80_000;
+        config.fast_forward = 8_000;
+        let sweep = policy_sweep(&workloads, &config, &[PolicyKind::Clip]);
+        let serial = simulate(&workloads[0], &config.clone().with_policy(PolicyKind::Clip));
+        let from_sweep = sweep.get("wx", PolicyKind::Clip);
+        assert_eq!(from_sweep.core.cycles, serial.core.cycles);
+        assert_eq!(from_sweep.l2, serial.l2);
+    }
+
+    #[test]
+    fn speedup_sign_convention() {
+        assert!((speedup_vs(110.0, 100.0) - 10.0).abs() < 1e-9);
+        assert!(speedup_vs(100.0, 110.0) < 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! The full-system TRRIP simulator: wiring the compiler, OS, core and
+//! cache substrates into runnable experiments.
+//!
+//! * [`config`] — [`SimConfig`]: the Table 1 machine plus run lengths,
+//!   page/overlap policy, layout selection and measurement hooks.
+//! * [`prepare`] — [`PreparedWorkload`]: program synthesis, the
+//!   instrumentation-PGO training run, Eq. 1–2 classification and both
+//!   (non-PGO / PGO) linked objects, shared across policy sweeps.
+//! * [`backend`] — [`SystemBackend`]: implements the core's memory
+//!   interface over the MMU (temperature attribution) and the cache
+//!   hierarchy, adds next-line + stride prefetching and prefetch
+//!   timeliness, and feeds the reuse/costly-miss profilers.
+//! * [`system`] — [`simulate`]: fast-forward, measure, collect.
+//! * [`experiment`] — parallel policy sweeps and speedup computation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod config;
+pub mod experiment;
+pub mod prepare;
+pub mod system;
+
+pub use backend::SystemBackend;
+pub use config::SimConfig;
+pub use experiment::{policy_sweep, speedup_vs, SweepResult};
+pub use prepare::PreparedWorkload;
+pub use system::{simulate, SimResult};

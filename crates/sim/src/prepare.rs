@@ -1,0 +1,143 @@
+//! Workload preparation: the Figure 4 ①–⑤ pipeline, run once per
+//! benchmark and shared across every policy in a sweep.
+
+use trrip_compiler::{
+    classify_functions, FunctionTemperatures, Linker, ObjectFile, Profile, Program,
+};
+use trrip_core::ClassifierConfig;
+use trrip_workloads::{build_program, InputSet, TraceGenerator, WorkloadSpec};
+
+/// A benchmark after compilation: program, training profile, temperature
+/// classification, and both linked binaries.
+#[derive(Debug, Clone)]
+pub struct PreparedWorkload {
+    /// The workload description.
+    pub spec: WorkloadSpec,
+    /// The synthesized program.
+    pub program: Program,
+    /// Basic-block counters from the instrumented training run.
+    pub profile: Profile,
+    /// Function temperatures under the prepared classifier config.
+    pub temps: FunctionTemperatures,
+    /// Non-PGO binary (source order, no temperature sections).
+    pub plain_object: ObjectFile,
+    /// PGO binary (Figure 5 layout, temperature program headers).
+    pub pgo_object: ObjectFile,
+}
+
+impl PreparedWorkload {
+    /// Runs the full pipeline: synthesize → instrument (training run of
+    /// `train_instructions` on the source-order binary with the train
+    /// input) → classify (Eq. 1–2 at `classifier` percentiles) → link
+    /// both layouts.
+    #[must_use]
+    pub fn prepare(
+        spec: &WorkloadSpec,
+        train_instructions: u64,
+        classifier: ClassifierConfig,
+    ) -> PreparedWorkload {
+        let program = build_program(spec);
+        let linker = Linker::new();
+        let plain_object = linker.link_source_order(&program);
+
+        // ②–③ Instrumented training run.
+        let mut generator = TraceGenerator::new(&program, &plain_object, spec, InputSet::Train);
+        for _ in 0..train_instructions {
+            let _ = generator.next();
+        }
+        let profile = generator.into_profile();
+
+        // ④ Classification and ⑤ re-optimized binary.
+        let temps = classify_functions(&program, &profile, classifier);
+        let pgo_object = linker.link_pgo(&program, &profile, &temps);
+
+        PreparedWorkload { spec: spec.clone(), program, profile, temps, plain_object, pgo_object }
+    }
+
+    /// The object file for a layout choice.
+    #[must_use]
+    pub fn object(&self, layout: trrip_compiler::LayoutKind) -> &ObjectFile {
+        match layout {
+            trrip_compiler::LayoutKind::SourceOrder => &self.plain_object,
+            trrip_compiler::LayoutKind::Pgo => &self.pgo_object,
+        }
+    }
+
+    /// Fraction of text bytes per temperature `(hot, warm, cold)` in the
+    /// PGO binary (Figure 8a).
+    #[must_use]
+    pub fn text_fractions(&self) -> (f64, f64, f64) {
+        let size = |name: &str| self.pgo_object.section_size(name) as f64;
+        let hot = size(".text.hot");
+        let warm = size(".text.warm");
+        let cold = size(".text.cold");
+        let total = (hot + warm + cold).max(1.0);
+        (hot / total, warm / total, cold / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trrip_compiler::LayoutKind;
+    use trrip_core::Temperature;
+
+    fn quick_spec() -> WorkloadSpec {
+        let mut s = WorkloadSpec::named("prep-test");
+        s.functions = 80;
+        s.hot_rotation = 12;
+        s
+    }
+
+    #[test]
+    fn pipeline_produces_all_temperatures() {
+        let w = PreparedWorkload::prepare(&quick_spec(), 300_000, ClassifierConfig::llvm_defaults());
+        let (hot, _, cold) = w.temps.histogram();
+        assert!(hot > 0, "no hot functions classified");
+        assert!(cold > 0, "no cold functions classified");
+        assert!(w.pgo_object.section_named(".text.hot").is_some());
+    }
+
+    #[test]
+    fn hot_section_holds_rotation_functions() {
+        let spec = quick_spec();
+        let w = PreparedWorkload::prepare(&spec, 300_000, ClassifierConfig::llvm_defaults());
+        let hot = w.pgo_object.section_named(".text.hot").expect("hot section");
+        // Most rotation functions should be classified hot and placed there.
+        let in_hot = (0..spec.hot_rotation)
+            .filter(|&fi| hot.contains(w.pgo_object.function_addrs[fi]))
+            .count();
+        assert!(
+            in_hot * 2 > spec.hot_rotation,
+            "only {in_hot}/{} rotation functions in .text.hot",
+            spec.hot_rotation
+        );
+    }
+
+    #[test]
+    fn object_selector_returns_right_layout() {
+        let w = PreparedWorkload::prepare(&quick_spec(), 100_000, ClassifierConfig::llvm_defaults());
+        assert!(w.object(LayoutKind::SourceOrder).section_named(".text").is_some());
+        assert!(w.object(LayoutKind::Pgo).section_named(".text.hot").is_some());
+    }
+
+    #[test]
+    fn text_fractions_sum_to_one() {
+        let w = PreparedWorkload::prepare(&quick_spec(), 200_000, ClassifierConfig::llvm_defaults());
+        let (h, wm, c) = w.text_fractions();
+        assert!((h + wm + c - 1.0).abs() < 1e-9);
+        assert!(h > 0.0);
+    }
+
+    #[test]
+    fn percentile_100_marks_everything_executed_hot() {
+        let config = ClassifierConfig { percentile_hot: 1.0, percentile_cold: 1.0 };
+        let w = PreparedWorkload::prepare(&quick_spec(), 300_000, config);
+        for (fi, t) in w.temps.as_slice().iter().enumerate() {
+            let executed = w.profile.function_max_counts()[fi] > 0;
+            if executed {
+                assert_eq!(*t, Temperature::Hot, "executed fn {fi} not hot");
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! One full simulation run: load → fast-forward → measure → collect.
+
+use serde::{Deserialize, Serialize};
+use trrip_analysis::{CostlyMissTracker, ReuseHistogram};
+use trrip_cache::{AccessStats, Hierarchy};
+use trrip_cpu::{Core, CoreResult};
+use trrip_os::{Loader, Mmu, PageStats, TlbStats};
+use trrip_policies::PolicyKind;
+use trrip_workloads::{InputSet, TraceGenerator};
+
+use crate::backend::SystemBackend;
+use crate::config::SimConfig;
+use crate::prepare::PreparedWorkload;
+
+/// Results of one run (one benchmark × one configuration).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The L2 policy that ran.
+    pub policy: PolicyKind,
+    /// Core timing and Top-Down buckets.
+    pub core: CoreResult,
+    /// L1-I statistics.
+    pub l1i: AccessStats,
+    /// L1-D statistics.
+    pub l1d: AccessStats,
+    /// L2 statistics (the paper's MPKI source).
+    pub l2: AccessStats,
+    /// SLC statistics.
+    pub slc: AccessStats,
+    /// TLB statistics.
+    pub tlb: TlbStats,
+    /// Loader page statistics (Table 5).
+    pub pages: PageStats,
+    /// Figure 3 base histogram, if measured.
+    pub reuse_base: Option<ReuseHistogram>,
+    /// Figure 3 hot-only ("~") histogram, if measured.
+    pub reuse_hot_only: Option<ReuseHistogram>,
+    /// Figure 7 costly-miss tracker, if measured.
+    #[serde(skip)]
+    pub costly: Option<CostlyMissTracker>,
+}
+
+impl SimResult {
+    /// L2 instruction MPKI over the measured instructions.
+    #[must_use]
+    pub fn l2_inst_mpki(&self) -> f64 {
+        self.l2.inst_mpki(self.core.instructions)
+    }
+
+    /// L2 data MPKI over the measured instructions.
+    #[must_use]
+    pub fn l2_data_mpki(&self) -> f64 {
+        self.l2.data_mpki(self.core.instructions)
+    }
+
+    /// Total cycles.
+    #[must_use]
+    pub fn cycles(&self) -> f64 {
+        self.core.cycles
+    }
+
+    /// Speedup of this run relative to a baseline run of the same
+    /// benchmark, in percent (the Figure 6 metric: cycle reduction for a
+    /// fixed instruction count).
+    #[must_use]
+    pub fn speedup_vs(&self, baseline: &SimResult) -> f64 {
+        (baseline.cycles() / self.cycles() - 1.0) * 100.0
+    }
+
+    /// Reduction of L2 instruction MPKI vs a baseline, in percent
+    /// (positive = fewer misses; the Table 3 metric).
+    #[must_use]
+    pub fn inst_mpki_reduction_vs(&self, baseline: &SimResult) -> f64 {
+        let base = baseline.l2_inst_mpki();
+        if base == 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.l2_inst_mpki() / base) * 100.0
+    }
+
+    /// Reduction of L2 data MPKI vs a baseline, in percent.
+    #[must_use]
+    pub fn data_mpki_reduction_vs(&self, baseline: &SimResult) -> f64 {
+        let base = baseline.l2_data_mpki();
+        if base == 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.l2_data_mpki() / base) * 100.0
+    }
+}
+
+/// Runs one benchmark under one configuration.
+#[must_use]
+pub fn simulate(workload: &PreparedWorkload, config: &SimConfig) -> SimResult {
+    let object = workload.object(config.layout);
+
+    // ⑥–⑧ Load: pages + PTEs (with temperature bits under PGO).
+    let loader = Loader::new(config.page_size).with_overlap_policy(config.overlap);
+    let image = loader.load(object);
+    let pages = image.stats;
+    let mmu = Mmu::new(image.page_table);
+
+    // ⑨–⑪ Execute.
+    let hierarchy = Hierarchy::new(&config.hierarchy);
+    let backend = SystemBackend::new(mmu, hierarchy, object, config);
+    let mut core = Core::new(config.core, backend);
+    let mut generator =
+        TraceGenerator::new(&workload.program, object, &workload.spec, InputSet::Eval);
+
+    // Fast-forward warms caches and predictors; stats reset afterwards.
+    if config.fast_forward > 0 {
+        let _ = core.run((&mut generator).take(config.fast_forward as usize));
+    }
+    core.backend_mut().arm_measurement(config.measure_reuse, config.track_costly);
+
+    let result = core.run((&mut generator).take(config.instructions as usize));
+
+    let backend = core.backend_mut();
+    let reuse = backend.take_reuse();
+    let costly = backend.take_costly();
+    let h: &Hierarchy = backend.hierarchy();
+    SimResult {
+        benchmark: workload.spec.name.clone(),
+        policy: config.hierarchy.l2_policy,
+        core: result,
+        l1i: *h.l1i().stats(),
+        l1d: *h.l1d().stats(),
+        l2: *h.l2().stats(),
+        slc: *h.slc().stats(),
+        tlb: backend.mmu().tlb_stats(),
+        pages,
+        reuse_base: reuse.as_ref().map(|r| *r.base()),
+        reuse_hot_only: reuse.as_ref().map(|r| *r.hot_only()),
+        costly,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trrip_core::ClassifierConfig;
+    use trrip_workloads::WorkloadSpec;
+
+    fn quick_workload() -> PreparedWorkload {
+        let mut spec = WorkloadSpec::named("sim-test");
+        spec.functions = 60;
+        spec.hot_rotation = 10;
+        PreparedWorkload::prepare(&spec, 150_000, ClassifierConfig::llvm_defaults())
+    }
+
+    #[test]
+    fn simulation_runs_and_counts_instructions() {
+        let w = quick_workload();
+        let config = SimConfig::quick(PolicyKind::Srrip);
+        let r = simulate(&w, &config);
+        assert_eq!(r.core.instructions, config.instructions);
+        assert!(r.core.cycles > 0.0);
+        assert!(r.core.ipc() > 0.1 && r.core.ipc() < 6.0, "ipc {}", r.core.ipc());
+        assert!(r.l2.demand_accesses() > 0);
+    }
+
+    #[test]
+    fn same_config_is_deterministic() {
+        let w = quick_workload();
+        let config = SimConfig::quick(PolicyKind::Trrip1);
+        let a = simulate(&w, &config);
+        let b = simulate(&w, &config);
+        assert_eq!(a.core.cycles, b.core.cycles);
+        assert_eq!(a.l2, b.l2);
+    }
+
+    #[test]
+    fn reuse_measurement_produces_histograms() {
+        let w = quick_workload();
+        let mut config = SimConfig::quick(PolicyKind::Srrip);
+        config.measure_reuse = true;
+        let r = simulate(&w, &config);
+        let base = r.reuse_base.expect("histogram");
+        assert!(base.total() > 0, "no hot-line reuse observed");
+    }
+
+    #[test]
+    fn mpki_metrics_are_consistent() {
+        let w = quick_workload();
+        let r = simulate(&w, &SimConfig::quick(PolicyKind::Srrip));
+        let expect = r.l2.inst_misses as f64 * 1000.0 / r.core.instructions as f64;
+        assert!((r.l2_inst_mpki() - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,151 @@
+//! The mobile system-software components of Figure 1.
+//!
+//! The paper profiles the hottest OpenHarmony components (PGO-compiled)
+//! on a Huawei Mate 60 Pro: a code interpreter, the UI framework,
+//! graphics, rendering, and the JavaScript runtime — all heavily
+//! frontend-bound even with PGO. These specs synthesize components with
+//! the same character: large shared-library-style code footprints with
+//! wide hot rotations.
+
+use crate::spec::WorkloadSpec;
+
+/// All five system components in Figure 1 order.
+#[must_use]
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![interp(), ui(), graphics(), render(), js_runtime()]
+}
+
+/// Looks a component up by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+fn component(name: &str) -> WorkloadSpec {
+    let mut s = WorkloadSpec::named(name);
+    s.train_input = "system profile".to_owned();
+    s.eval_input = "photo viewing".to_owned();
+    s.structure_seed = name.bytes().fold(0x4F48_3530u64, |a, b| {
+        a.wrapping_mul(33).wrapping_add(u64::from(b))
+    });
+    s
+}
+
+/// Bytecode/AOT interpreter component.
+#[must_use]
+pub fn interp() -> WorkloadSpec {
+    WorkloadSpec {
+        functions: 1400,
+        avg_function_bytes: 1300,
+        hot_rotation: 220,
+        dispatch_prob: 0.40,
+        indirect_call_prob: 0.30,
+        static_data_bytes: 8 << 20,
+        data_hot_frac: 0.96,
+        data_warm_frac: 0.018,
+        ..component("interp")
+    }
+}
+
+/// UI framework shared library.
+#[must_use]
+pub fn ui() -> WorkloadSpec {
+    WorkloadSpec {
+        functions: 1800,
+        avg_function_bytes: 1200,
+        hot_rotation: 260,
+        cold_visit_prob: 0.03,
+        indirect_call_prob: 0.35,
+        external_functions: 40,
+        external_call_prob: 0.05,
+        static_data_bytes: 6 << 20,
+        data_hot_frac: 0.96,
+        data_warm_frac: 0.018,
+        ..component("ui")
+    }
+}
+
+/// Graphics shared library.
+#[must_use]
+pub fn graphics() -> WorkloadSpec {
+    WorkloadSpec {
+        functions: 1200,
+        avg_function_bytes: 1350,
+        hot_rotation: 170,
+        external_functions: 32,
+        external_call_prob: 0.06,
+        static_data_bytes: 10 << 20,
+        load_density: 0.31,
+        data_hot_frac: 0.96,
+        data_warm_frac: 0.018,
+        cold_data_bytes: 16 << 20,
+        ..component("graphics")
+    }
+}
+
+/// Rendering shared library.
+#[must_use]
+pub fn render() -> WorkloadSpec {
+    WorkloadSpec {
+        functions: 1000,
+        avg_function_bytes: 1250,
+        hot_rotation: 150,
+        external_functions: 36,
+        external_call_prob: 0.08,
+        scan_block_frac: 0.22,
+        static_data_bytes: 12 << 20,
+        load_density: 0.32,
+        data_hot_frac: 0.96,
+        data_warm_frac: 0.018,
+        cold_data_bytes: 24 << 20,
+        ..component("render")
+    }
+}
+
+/// JavaScript runtime (JIT + runtime library).
+#[must_use]
+pub fn js_runtime() -> WorkloadSpec {
+    WorkloadSpec {
+        functions: 1600,
+        avg_function_bytes: 1400,
+        hot_rotation: 240,
+        dispatch_prob: 0.30,
+        indirect_call_prob: 0.35,
+        cold_visit_prob: 0.03,
+        static_data_bytes: 14 << 20,
+        data_hot_frac: 0.96,
+        data_warm_frac: 0.018,
+        cold_data_bytes: 12 << 20,
+        ..component("js_runtime")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_components_in_figure_order() {
+        let names: Vec<String> = all().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["interp", "ui", "graphics", "render", "js_runtime"]);
+    }
+
+    #[test]
+    fn all_components_validate() {
+        for s in all() {
+            assert_eq!(s.validate(), Ok(()), "{} invalid", s.name);
+        }
+    }
+
+    #[test]
+    fn components_have_large_hot_footprints() {
+        // System components are frontend-bound: hot footprint well past L1-I.
+        for s in all() {
+            assert!(
+                s.approx_hot_bytes() > 128 << 10,
+                "{} hot footprint too small for a frontend-bound component",
+                s.name
+            );
+        }
+    }
+}

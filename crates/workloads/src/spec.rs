@@ -1,0 +1,256 @@
+//! Workload specification: every knob of the synthetic benchmark model.
+
+use serde::{Deserialize, Serialize};
+
+/// Which input set a run uses (Table 2: training inputs for PGO profile
+/// collection differ from evaluation inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputSet {
+    /// Profile-collection input.
+    Train,
+    /// Measurement input.
+    Eval,
+}
+
+/// Full description of one synthetic workload.
+///
+/// Defaults are a mid-sized frontend-bound application; the per-benchmark
+/// constructors in [`crate::proxy`] override what matters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Benchmark name as it appears in the paper's figures.
+    pub name: String,
+    /// Training input label (Table 2, documentation only).
+    pub train_input: String,
+    /// Evaluation input label (Table 2, documentation only).
+    pub eval_input: String,
+    /// Instructions fast-forwarded before measurement in the paper
+    /// (Table 2, documentation only; the simulator scales this down).
+    pub paper_fast_forward: f64,
+
+    // ---- code shape ----
+    /// Number of program functions.
+    pub functions: usize,
+    /// Mean function size in bytes (sizes are spread around this).
+    pub avg_function_bytes: u32,
+    /// Width of the hot working-set rotation: how many distinct functions
+    /// the top-level driver cycles through. Controls both the hot code
+    /// footprint and the L2 reuse distance of hot lines (Figure 3).
+    pub hot_rotation: usize,
+    /// Probability a top-level dispatch leaves the rotation for a
+    /// uniformly random function (warm/cold code pollution).
+    pub cold_visit_prob: f64,
+    /// Number of external-library functions reachable via the PLT.
+    pub external_functions: usize,
+    /// Mean external function size in bytes.
+    pub avg_external_bytes: u64,
+    /// Probability that a call site targets external code (§4.6 coverage).
+    pub external_call_prob: f64,
+    /// Probability a body block ends in a call.
+    pub call_prob: f64,
+    /// Probability a call site targets the hot set (`0..hot_rotation`)
+    /// rather than a uniformly random function. Real hot code calls other
+    /// hot code (allocators, utility routines), which keeps the dynamic
+    /// footprint concentrated.
+    pub call_locality: f64,
+    /// Fraction of internal calls that are indirect (virtual dispatch).
+    pub indirect_call_prob: f64,
+    /// Fraction of functions containing an interpreter-style indirect
+    /// dispatch block.
+    pub dispatch_prob: f64,
+    /// Mean loop iterations of a function's main loop.
+    pub loop_iterations: f64,
+    /// Static data segment bytes (drives Table 5 binary size).
+    pub static_data_bytes: u64,
+
+    // ---- data behaviour ----
+    /// Probability an instruction performs a load.
+    pub load_density: f32,
+    /// Probability an instruction performs a store.
+    pub store_density: f32,
+    /// Bytes of the hot data region (L1-resident working set).
+    pub hot_data_bytes: u64,
+    /// Bytes of the warm data region (L2/SLC-resident).
+    pub warm_data_bytes: u64,
+    /// Bytes of the cold data region (DRAM-resident).
+    pub cold_data_bytes: u64,
+    /// Fraction of data accesses hitting the hot region.
+    pub data_hot_frac: f32,
+    /// Fraction of data accesses hitting the warm region.
+    pub data_warm_frac: f32,
+    /// Fraction of body blocks performing sequential scans (prefetchable).
+    pub scan_block_frac: f64,
+    /// Probability that a cold-region access revisits a recently touched
+    /// cold line instead of a fresh one. Models the long-tail reuse of
+    /// large data structures: the reuse lands beyond the L1-D but within
+    /// L2/SLC reach, so policies that throw streams away early (BRRIP)
+    /// pay for it — the paper's workloads are not thrash-friendly.
+    pub cold_reuse_frac: f32,
+
+    // ---- backend character (synthetic Top-Down stalls) ----
+    /// Per-instruction probability of a dependency stall.
+    pub depend_stall_prob: f32,
+    /// Cycles of one dependency stall.
+    pub depend_stall_cycles: u8,
+    /// Per-instruction probability of an issue-queue stall.
+    pub issue_stall_prob: f32,
+    /// Cycles of one issue stall.
+    pub issue_stall_cycles: u8,
+
+    // ---- input sets ----
+    /// Seed for the training run.
+    pub train_seed: u64,
+    /// Seed for the evaluation run.
+    pub eval_seed: u64,
+    /// Deterministic branch-probability shift applied on eval inputs
+    /// (profile/behaviour mismatch, §2.3 footnote).
+    pub input_shift: f64,
+    /// Structural seed: fixes the generated program itself.
+    pub structure_seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A named spec with default mid-size parameters.
+    #[must_use]
+    pub fn named(name: &str) -> WorkloadSpec {
+        WorkloadSpec {
+            name: name.to_owned(),
+            train_input: "train".to_owned(),
+            eval_input: "eval".to_owned(),
+            paper_fast_forward: 1e8,
+            functions: 400,
+            avg_function_bytes: 1024,
+            hot_rotation: 64,
+            cold_visit_prob: 0.02,
+            external_functions: 24,
+            avg_external_bytes: 2048,
+            external_call_prob: 0.05,
+            call_prob: 0.30,
+            call_locality: 0.92,
+            indirect_call_prob: 0.15,
+            dispatch_prob: 0.0,
+            loop_iterations: 4.0,
+            static_data_bytes: 256 << 10,
+            load_density: 0.28,
+            store_density: 0.12,
+            hot_data_bytes: 48 << 10,
+            warm_data_bytes: 384 << 10,
+            cold_data_bytes: 4 << 20,
+            data_hot_frac: 0.86,
+            data_warm_frac: 0.10,
+            scan_block_frac: 0.10,
+            cold_reuse_frac: 0.72,
+            depend_stall_prob: 0.05,
+            depend_stall_cycles: 2,
+            issue_stall_prob: 0.02,
+            issue_stall_cycles: 2,
+            train_seed: 0x7261_494e, // "raIN"
+            eval_seed: 0x4556_414c,  // "EVAL"
+            input_shift: 0.08,
+            structure_seed: 0x5354_5231,
+        }
+    }
+
+    /// Approximate program text bytes implied by the spec.
+    #[must_use]
+    pub fn approx_text_bytes(&self) -> u64 {
+        self.functions as u64 * u64::from(self.avg_function_bytes)
+    }
+
+    /// Approximate hot code footprint (rotation × mean size).
+    #[must_use]
+    pub fn approx_hot_bytes(&self) -> u64 {
+        self.hot_rotation as u64 * u64::from(self.avg_function_bytes)
+    }
+
+    /// Seed for a given input set.
+    #[must_use]
+    pub fn seed_for(&self, input: InputSet) -> u64 {
+        match input {
+            InputSet::Train => self.train_seed,
+            InputSet::Eval => self.eval_seed,
+        }
+    }
+
+    /// Checks knob sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid knob.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.functions == 0 {
+            return Err("functions must be positive".into());
+        }
+        if self.hot_rotation == 0 || self.hot_rotation > self.functions {
+            return Err(format!(
+                "hot_rotation {} must be in 1..={}",
+                self.hot_rotation, self.functions
+            ));
+        }
+        if self.avg_function_bytes < 64 {
+            return Err("avg_function_bytes must be at least 64".into());
+        }
+        let fracs = [
+            ("cold_visit_prob", self.cold_visit_prob),
+            ("external_call_prob", self.external_call_prob),
+            ("call_prob", self.call_prob),
+            ("call_locality", self.call_locality),
+            ("indirect_call_prob", self.indirect_call_prob),
+            ("dispatch_prob", self.dispatch_prob),
+            ("scan_block_frac", self.scan_block_frac),
+            ("input_shift", self.input_shift),
+        ];
+        for (name, v) in fracs {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} = {v} outside [0, 1]"));
+            }
+        }
+        if f64::from(self.data_hot_frac + self.data_warm_frac) > 1.0 {
+            return Err("data_hot_frac + data_warm_frac exceed 1".into());
+        }
+        if f64::from(self.load_density + self.store_density) > 1.0 {
+            return Err("load + store density exceed 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_valid() {
+        assert_eq!(WorkloadSpec::named("x").validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_catches_bad_rotation() {
+        let mut s = WorkloadSpec::named("x");
+        s.hot_rotation = s.functions + 1;
+        assert!(s.validate().is_err());
+        s.hot_rotation = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_fractions() {
+        let mut s = WorkloadSpec::named("x");
+        s.data_hot_frac = 0.9;
+        s.data_warm_frac = 0.3;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn seeds_differ_by_input_set() {
+        let s = WorkloadSpec::named("x");
+        assert_ne!(s.seed_for(InputSet::Train), s.seed_for(InputSet::Eval));
+    }
+
+    #[test]
+    fn footprint_estimates() {
+        let s = WorkloadSpec::named("x");
+        assert_eq!(s.approx_text_bytes(), 400 * 1024);
+        assert_eq!(s.approx_hot_bytes(), 64 * 1024);
+    }
+}

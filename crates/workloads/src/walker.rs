@@ -1,0 +1,753 @@
+//! The CFG walker: turns a program + layout + spec into the dynamic
+//! instruction/memory trace the core consumes, while collecting the
+//! instrumentation-PGO basic-block profile.
+//!
+//! The top-level *driver* models an event loop: it dispatches (via an
+//! indirect branch) into one function invocation after another. Most
+//! dispatches rotate through the spec's hot set — re-visiting a hot
+//! function only after the rest of the rotation executed, which is what
+//! produces the paper's long hot-line reuse distances (Figure 3) — and a
+//! small fraction jump to a uniformly random function (warm/cold
+//! pollution). Within a function the walker follows the CFG edge
+//! probabilities, descends into calls (bounded depth), runs PLT stubs +
+//! external bodies for external calls, and samples loads/stores from the
+//! three-tier data model (hot / warm / cold regions, plus sequential
+//! scans in scan blocks and stack traffic at call boundaries).
+//!
+//! Determinism: the same `(program, object, spec, input set)` produces
+//! the same trace. Train and eval inputs differ by seed *and* by a
+//! deterministic per-edge probability shift (`input_shift`), modelling
+//! Table 2's differing input sets.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use trrip_compiler::{CallTarget, ObjectFile, Profile, Program};
+use trrip_cpu::{BranchInfo, BranchKind, MemOp, StallClass, TraceInstr};
+use trrip_mem::VirtAddr;
+
+use crate::spec::{InputSet, WorkloadSpec};
+
+/// Virtual base of the hot data region.
+pub const HOT_DATA_BASE: u64 = 0x8000_0000;
+/// Virtual base of the warm data region.
+pub const WARM_DATA_BASE: u64 = 0x9000_0000;
+/// Virtual base of the cold data region.
+pub const COLD_DATA_BASE: u64 = 0xA000_0000;
+/// Virtual base of the data touched by external library code.
+pub const EXTERNAL_DATA_BASE: u64 = 0xB000_0000;
+/// Top of the stack region.
+pub const STACK_TOP: u64 = 0x7FFF_F000;
+
+const MAX_CALL_DEPTH: usize = 8;
+/// Recently-touched cold lines eligible for reuse. Sized so the reuse
+/// distance lands past the L1-D (64 kB) but within L2/SLC reach.
+const COLD_RING_ENTRIES: usize = 4096;
+const INVOCATION_BLOCK_CAP: u32 = 4096;
+const MAX_EXTERNAL_INSTRS: u64 = 64;
+
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    Body,
+    AfterCall { successor: Option<usize>, term_slot: Option<u32> },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    fid: usize,
+    block: usize,
+    phase: Phase,
+    return_pc: Option<VirtAddr>,
+}
+
+/// The trace generator; an infinite [`Iterator`] over [`TraceInstr`].
+///
+/// # Example
+///
+/// ```
+/// use trrip_workloads::{build_program, TraceGenerator, WorkloadSpec, InputSet};
+/// use trrip_compiler::Linker;
+///
+/// let spec = WorkloadSpec::named("demo");
+/// let program = build_program(&spec);
+/// let object = Linker::new().link_source_order(&program);
+/// let mut generator = TraceGenerator::new(&program, &object, &spec, InputSet::Train);
+/// let trace: Vec<_> = (&mut generator).take(10_000).collect();
+/// assert_eq!(trace.len(), 10_000);
+/// let profile = generator.into_profile();
+/// assert!(profile.total() > 0);
+/// ```
+#[derive(Debug)]
+pub struct TraceGenerator<'a> {
+    program: &'a Program,
+    object: &'a ObjectFile,
+    spec: &'a WorkloadSpec,
+    rng: SmallRng,
+    input: InputSet,
+    profile: Profile,
+    pending: VecDeque<TraceInstr>,
+    frames: Vec<Frame>,
+    rotation: Vec<usize>,
+    rotation_pos: usize,
+    next_top: Option<usize>,
+    scan_cursors: std::collections::HashMap<(usize, usize), u64>,
+    cold_ring: Vec<u64>,
+    cold_ring_pos: usize,
+    blocks_in_invocation: u32,
+}
+
+impl<'a> TraceGenerator<'a> {
+    /// Creates a generator for one input set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object file does not match the program shape.
+    #[must_use]
+    pub fn new(
+        program: &'a Program,
+        object: &'a ObjectFile,
+        spec: &'a WorkloadSpec,
+        input: InputSet,
+    ) -> TraceGenerator<'a> {
+        assert_eq!(
+            object.block_addrs.len(),
+            program.functions.len(),
+            "object file does not match program"
+        );
+        TraceGenerator {
+            program,
+            object,
+            spec,
+            rng: SmallRng::seed_from_u64(spec.seed_for(input)),
+            input,
+            profile: Profile::zeroed(program),
+            pending: VecDeque::with_capacity(256),
+            frames: Vec::with_capacity(MAX_CALL_DEPTH + 1),
+            rotation: (0..spec.hot_rotation).collect(),
+            rotation_pos: 0,
+            next_top: None,
+            scan_cursors: std::collections::HashMap::new(),
+            cold_ring: Vec::with_capacity(COLD_RING_ENTRIES),
+            cold_ring_pos: 0,
+            blocks_in_invocation: 0,
+        }
+    }
+
+    /// Consumes the generator and returns the collected basic-block
+    /// profile (the instrumentation-PGO output of this run).
+    #[must_use]
+    pub fn into_profile(self) -> Profile {
+        self.profile
+    }
+
+    // ---- driver ----
+
+    fn pick_top(&mut self) -> usize {
+        if self.rng.gen_bool(self.spec.cold_visit_prob) {
+            return self.rng.gen_range(0..self.program.functions.len());
+        }
+        if self.rotation_pos == 0 {
+            // Reshuffle the rotation each full pass (Fisher-Yates).
+            for i in (1..self.rotation.len()).rev() {
+                let j = self.rng.gen_range(0..=i);
+                self.rotation.swap(i, j);
+            }
+        }
+        let fid = self.rotation[self.rotation_pos];
+        self.rotation_pos = (self.rotation_pos + 1) % self.rotation.len();
+        fid
+    }
+
+    fn start_invocation(&mut self) {
+        let fid = match self.next_top.take() {
+            Some(f) => f,
+            None => self.pick_top(),
+        };
+        self.blocks_in_invocation = 0;
+        self.frames.push(Frame { fid, block: 0, phase: Phase::Body, return_pc: None });
+    }
+
+    // ---- CFG decisions ----
+
+    /// Weighted successor choice with the eval-input probability shift.
+    fn choose_successor(&mut self, fid: usize, block: usize) -> Option<usize> {
+        let blk = &self.program.functions[fid].blocks[block];
+        if blk.successors.is_empty() {
+            return None;
+        }
+        let exit_block = self.program.functions[fid].blocks.len() - 1;
+        if self.blocks_in_invocation > INVOCATION_BLOCK_CAP
+            && blk.successors.iter().any(|&(s, _)| s == exit_block)
+        {
+            return Some(exit_block);
+        }
+        let shift = if self.input == InputSet::Eval { self.spec.input_shift } else { 0.0 };
+        let weights: Vec<f64> = blk
+            .successors
+            .iter()
+            .map(|&(s, p)| {
+                let h = hash01(fid as u64, (block * 131 + s) as u64, self.spec.eval_seed);
+                (p + shift * (h - 0.5) * 2.0).clamp(0.02, 0.98)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut draw = self.rng.gen::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            draw -= w;
+            if draw <= 0.0 {
+                return Some(blk.successors[i].0);
+            }
+        }
+        Some(blk.successors[blk.successors.len() - 1].0)
+    }
+
+    // ---- data model ----
+
+    fn data_address(&mut self) -> u64 {
+        let r = self.rng.gen::<f32>();
+        let (base, span) = if r < self.spec.data_hot_frac {
+            (HOT_DATA_BASE, self.spec.hot_data_bytes)
+        } else if r < self.spec.data_hot_frac + self.spec.data_warm_frac {
+            (WARM_DATA_BASE, self.spec.warm_data_bytes)
+        } else {
+            return self.cold_address();
+        };
+        base + (self.rng.gen::<u64>() % span.max(64)) / 8 * 8
+    }
+
+    /// Cold-region access with long-tail reuse through a bounded ring of
+    /// recently touched addresses.
+    fn cold_address(&mut self) -> u64 {
+        if !self.cold_ring.is_empty() && self.rng.gen::<f32>() < self.spec.cold_reuse_frac {
+            let i = self.rng.gen_range(0..self.cold_ring.len());
+            return self.cold_ring[i];
+        }
+        let span = self.spec.cold_data_bytes.max(64);
+        let addr = COLD_DATA_BASE + (self.rng.gen::<u64>() % span) / 8 * 8;
+        if self.cold_ring.len() < COLD_RING_ENTRIES {
+            self.cold_ring.push(addr);
+        } else {
+            self.cold_ring[self.cold_ring_pos] = addr;
+            self.cold_ring_pos = (self.cold_ring_pos + 1) % COLD_RING_ENTRIES;
+        }
+        addr
+    }
+
+    fn sample_mem(&mut self, blk_load: f32, blk_store: f32) -> Option<MemOp> {
+        let r = self.rng.gen::<f32>();
+        if r < blk_load {
+            Some(MemOp { addr: VirtAddr::new(self.data_address()), store: false })
+        } else if r < blk_load + blk_store {
+            Some(MemOp { addr: VirtAddr::new(self.data_address()), store: true })
+        } else {
+            None
+        }
+    }
+
+    /// Sequential scan traffic: every eighth instruction of a scan block
+    /// loads the next cache line of the block's private streaming region
+    /// in the cold data area. The per-PC stride is constant across
+    /// executions, so the Table 1 stride prefetchers can train on it.
+    fn scan_addr(&mut self, fid: usize, block: usize, slot: u32, body: u32, n: u32) -> u64 {
+        let span = self.spec.cold_data_bytes.max(64 << 10);
+        let cursor = self.scan_cursors.entry((fid, block)).or_insert_with(|| {
+            // Spread block streams through the region.
+            (fid as u64)
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(block as u64 * 8192)
+                % span
+        });
+        let addr = COLD_DATA_BASE + (*cursor + u64::from(slot / 8) * 64) % span;
+        if slot + 8 > body {
+            // Advance by the full block's line count so each PC's stride
+            // stays constant across executions (prefetcher-trainable).
+            *cursor = (*cursor + u64::from(n.div_ceil(8)) * 64) % span;
+        }
+        addr
+    }
+
+    fn sample_stall(&mut self) -> Option<(StallClass, u8)> {
+        let r = self.rng.gen::<f32>();
+        if r < self.spec.depend_stall_prob {
+            Some((StallClass::Depend, self.spec.depend_stall_cycles))
+        } else if r < self.spec.depend_stall_prob + self.spec.issue_stall_prob {
+            Some((StallClass::Issue, self.spec.issue_stall_cycles))
+        } else {
+            None
+        }
+    }
+
+    // ---- emission ----
+
+    fn stack_addr(&self) -> u64 {
+        STACK_TOP - self.frames.len() as u64 * 256
+    }
+
+    /// Emits the terminator instruction of a block and returns nothing;
+    /// the caller applies the transition.
+    fn emit_terminator(
+        &mut self,
+        pc: VirtAddr,
+        fid: usize,
+        block: usize,
+        successor: Option<usize>,
+        return_pc: Option<VirtAddr>,
+    ) {
+        let blk = &self.program.functions[fid].blocks[block];
+        let branch = match successor {
+            None => match return_pc {
+                // Return to caller.
+                Some(target) => {
+                    BranchInfo { kind: BranchKind::Return, taken: true, target }
+                }
+                // Top-level return: the driver's indirect dispatch to the
+                // next invocation.
+                None => {
+                    let next = self.pick_top();
+                    self.next_top = Some(next);
+                    BranchInfo {
+                        kind: BranchKind::Indirect,
+                        taken: true,
+                        target: self.object.function_addrs[next],
+                    }
+                }
+            },
+            Some(s) => {
+                let target = self.object.block_addrs[fid][s];
+                let fallthrough = self.object.layout_next[fid][block] == Some(s);
+                if blk.indirect_dispatch {
+                    BranchInfo { kind: BranchKind::Indirect, taken: true, target }
+                } else if blk.successors.len() >= 2 {
+                    if fallthrough {
+                        // Not-taken conditional; record the alternative
+                        // target for completeness.
+                        let alt = blk
+                            .successors
+                            .iter()
+                            .map(|&(a, _)| a)
+                            .find(|&a| a != s)
+                            .map_or(pc + 4, |a| self.object.block_addrs[fid][a]);
+                        BranchInfo { kind: BranchKind::Conditional, taken: false, target: alt }
+                    } else {
+                        BranchInfo { kind: BranchKind::Conditional, taken: true, target }
+                    }
+                } else {
+                    BranchInfo { kind: BranchKind::Direct, taken: true, target }
+                }
+            }
+        };
+        self.pending.push_back(TraceInstr {
+            pc,
+            branch: Some(branch),
+            mem: None,
+            exec_stall: None,
+        });
+    }
+
+    /// Runs an external call inline: PLT stub, external body, return.
+    fn emit_external_call(&mut self, ext: usize, return_pc: VirtAddr) {
+        let plt = self.object.plt_addrs[ext];
+        let ext_addr = self.object.external_addrs[ext];
+        // Stub: one setup instruction + indirect jump through the GOT.
+        self.pending.push_back(TraceInstr {
+            pc: plt,
+            branch: None,
+            mem: Some(MemOp {
+                addr: VirtAddr::new(EXTERNAL_DATA_BASE + ext as u64 * 8),
+                store: false,
+            }),
+            exec_stall: None,
+        });
+        self.pending.push_back(TraceInstr {
+            pc: plt + 4,
+            branch: Some(BranchInfo { kind: BranchKind::Indirect, taken: true, target: ext_addr }),
+            mem: None,
+            exec_stall: None,
+        });
+        // External body: straight-line code with library-ish data traffic.
+        let bytes = self.program.external_functions[ext];
+        let instrs = (bytes / 4).clamp(4, MAX_EXTERNAL_INSTRS);
+        for i in 0..instrs - 1 {
+            let mem = self.sample_mem(0.30, 0.12).map(|mut m| {
+                // External code works on its own (small) buffers.
+                m.addr = VirtAddr::new(
+                    EXTERNAL_DATA_BASE + 4096 + (m.addr.raw() % (48 << 10)),
+                );
+                m
+            });
+            self.pending.push_back(TraceInstr {
+                pc: ext_addr + i * 4,
+                branch: None,
+                mem,
+                exec_stall: None,
+            });
+        }
+        self.pending.push_back(TraceInstr {
+            pc: ext_addr + (instrs - 1) * 4,
+            branch: Some(BranchInfo { kind: BranchKind::Return, taken: true, target: return_pc }),
+            mem: None,
+            exec_stall: None,
+        });
+    }
+
+    /// Emits one block (or resumes after a call) and updates frames.
+    fn step(&mut self) {
+        if self.frames.is_empty() {
+            self.start_invocation();
+        }
+        let frame = *self.frames.last().expect("frame pushed above");
+        let fid = frame.fid;
+        let block = frame.block;
+
+        match frame.phase {
+            Phase::AfterCall { successor, term_slot } => {
+                if let Some(slot) = term_slot {
+                    let addr = self.object.block_addrs[fid][block] + u64::from(slot) * 4;
+                    self.emit_terminator(addr, fid, block, successor, frame.return_pc);
+                }
+                self.transition(successor);
+            }
+            Phase::Body => {
+                self.profile.record(fid, block);
+                self.blocks_in_invocation += 1;
+
+                let blk = &self.program.functions[fid].blocks[block];
+                let n = blk.instructions().max(1);
+                let addr = self.object.block_addrs[fid][block];
+                let is_entry = block == 0;
+                let is_ret_block = blk.successors.is_empty();
+                let (load_d, store_d, scan, dispatch) =
+                    (blk.load_density, blk.store_density, blk.scan, blk.indirect_dispatch);
+
+                let successor = self.choose_successor(fid, block);
+                let fallthrough = self.object.layout_next[fid][block];
+                let need_term = is_ret_block
+                    || dispatch
+                    || match successor {
+                        Some(s) => blk.successors.len() >= 2 || fallthrough != Some(s),
+                        None => true,
+                    };
+                // A return block never calls (builder invariant).
+                let call = self.program.functions[fid].blocks[block].call.filter(|_| {
+                    !is_ret_block && self.frames.len() <= MAX_CALL_DEPTH && n >= 3
+                });
+
+                let term_slots = u32::from(need_term);
+                let call_slots = u32::from(call.is_some());
+                let body = n - (term_slots + call_slots).min(n - 1);
+
+                // Body instructions.
+                for i in 0..body {
+                    let pc = addr + u64::from(i) * 4;
+                    let mem = if is_entry && i == 0 {
+                        // Prologue: spill to the stack frame.
+                        Some(MemOp { addr: VirtAddr::new(self.stack_addr()), store: true })
+                    } else if is_ret_block && i == 0 {
+                        // Epilogue: reload from the stack frame.
+                        Some(MemOp { addr: VirtAddr::new(self.stack_addr()), store: false })
+                    } else if scan && i % 8 == 0 {
+                        Some(MemOp {
+                            addr: VirtAddr::new(self.scan_addr(fid, block, i, body, n)),
+                            store: false,
+                        })
+                    } else if scan {
+                        None
+                    } else {
+                        self.sample_mem(load_d, store_d)
+                    };
+                    let exec_stall = self.sample_stall();
+                    self.pending.push_back(TraceInstr { pc, branch: None, mem, exec_stall });
+                }
+
+                if let Some(call_target) = call {
+                    let call_pc = addr + u64::from(body) * 4;
+                    let return_pc = call_pc + 4;
+                    let term_slot = need_term.then_some(body + 1);
+                    match call_target {
+                        CallTarget::External(e) => {
+                            self.pending.push_back(TraceInstr {
+                                pc: call_pc,
+                                branch: Some(BranchInfo {
+                                    kind: BranchKind::Call,
+                                    taken: true,
+                                    target: self.object.plt_addrs[e],
+                                }),
+                                mem: None,
+                                exec_stall: None,
+                            });
+                            self.emit_external_call(e, return_pc);
+                            self.frames.last_mut().expect("frame").phase =
+                                Phase::AfterCall { successor, term_slot };
+                        }
+                        other => match self.resolve_callee(fid, other) {
+                            Some(callee) => {
+                                let kind = if matches!(other, CallTarget::Indirect) {
+                                    BranchKind::IndirectCall
+                                } else {
+                                    BranchKind::Call
+                                };
+                                self.pending.push_back(TraceInstr {
+                                    pc: call_pc,
+                                    branch: Some(BranchInfo {
+                                        kind,
+                                        taken: true,
+                                        target: self.object.function_addrs[callee],
+                                    }),
+                                    mem: None,
+                                    exec_stall: None,
+                                });
+                                self.frames.last_mut().expect("frame").phase =
+                                    Phase::AfterCall { successor, term_slot };
+                                self.frames.push(Frame {
+                                    fid: callee,
+                                    block: 0,
+                                    phase: Phase::Body,
+                                    return_pc: Some(return_pc),
+                                });
+                            }
+                            None => {
+                                // Unresolvable call: execute as a plain instr.
+                                self.pending.push_back(TraceInstr {
+                                    pc: call_pc,
+                                    branch: None,
+                                    mem: None,
+                                    exec_stall: None,
+                                });
+                                if need_term {
+                                    self.emit_terminator(
+                                        call_pc + 4,
+                                        fid,
+                                        block,
+                                        successor,
+                                        frame.return_pc,
+                                    );
+                                }
+                                self.transition(successor);
+                            }
+                        },
+                    }
+                } else {
+                    if need_term {
+                        let term_pc = addr + u64::from(body) * 4;
+                        self.emit_terminator(term_pc, fid, block, successor, frame.return_pc);
+                    }
+                    self.transition(successor);
+                }
+            }
+        }
+    }
+
+    fn resolve_callee(&mut self, fid: usize, target: CallTarget) -> Option<usize> {
+        match target {
+            CallTarget::Function(c) => Some(c),
+            CallTarget::Indirect => {
+                let callees = &self.program.functions[fid].indirect_callees;
+                if callees.is_empty() {
+                    None
+                } else {
+                    Some(callees[self.rng.gen_range(0..callees.len())])
+                }
+            }
+            CallTarget::External(_) => None,
+        }
+    }
+
+    fn transition(&mut self, successor: Option<usize>) {
+        match successor {
+            Some(s) => {
+                let frame = self.frames.last_mut().expect("non-empty frames");
+                frame.block = s;
+                frame.phase = Phase::Body;
+            }
+            None => {
+                self.frames.pop();
+            }
+        }
+    }
+}
+
+impl Iterator for TraceGenerator<'_> {
+    type Item = TraceInstr;
+
+    fn next(&mut self) -> Option<TraceInstr> {
+        while self.pending.is_empty() {
+            self.step();
+        }
+        self.pending.pop_front()
+    }
+}
+
+/// Deterministic hash to `[0, 1)` — the per-edge eval-input shift.
+fn hash01(a: u64, b: u64, seed: u64) -> f64 {
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+        .wrapping_add(seed);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_program;
+    use crate::spec::WorkloadSpec;
+    use trrip_compiler::Linker;
+
+    fn setup(spec: &WorkloadSpec) -> (Program, ObjectFile) {
+        let program = build_program(spec);
+        let object = Linker::new().link_source_order(&program);
+        (program, object)
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let spec = WorkloadSpec::named("t");
+        let (p, o) = setup(&spec);
+        let a: Vec<_> = TraceGenerator::new(&p, &o, &spec, InputSet::Train).take(5000).collect();
+        let b: Vec<_> = TraceGenerator::new(&p, &o, &spec, InputSet::Train).take(5000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn train_and_eval_traces_differ() {
+        let spec = WorkloadSpec::named("t");
+        let (p, o) = setup(&spec);
+        let a: Vec<_> = TraceGenerator::new(&p, &o, &spec, InputSet::Train).take(5000).collect();
+        let b: Vec<_> = TraceGenerator::new(&p, &o, &spec, InputSet::Eval).take(5000).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn control_flow_is_consistent() {
+        // Every PC discontinuity must be explained by a taken branch.
+        let spec = WorkloadSpec::named("t");
+        let (p, o) = setup(&spec);
+        let trace: Vec<_> =
+            TraceGenerator::new(&p, &o, &spec, InputSet::Train).take(50_000).collect();
+        for (i, pair) in trace.windows(2).enumerate() {
+            let expected = pair[0].next_pc();
+            assert_eq!(
+                pair[1].pc, expected,
+                "discontinuity at instr {i}: {:?} -> {:?}",
+                pair[0], pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn profile_concentrates_on_rotation() {
+        let mut spec = WorkloadSpec::named("t");
+        spec.cold_visit_prob = 0.02;
+        let (p, o) = setup(&spec);
+        let mut generator = TraceGenerator::new(&p, &o, &spec, InputSet::Train);
+        for _ in 0..200_000 {
+            generator.next();
+        }
+        let profile = generator.into_profile();
+        let max_counts = profile.function_max_counts();
+        // Rotation functions (0..hot_rotation) and their callees dominate.
+        let rotation_total: u64 = max_counts[..spec.hot_rotation].iter().sum();
+        let rest_total: u64 = max_counts[spec.hot_rotation..].iter().sum();
+        assert!(
+            rotation_total > rest_total,
+            "rotation {rotation_total} should dominate rest {rest_total}"
+        );
+    }
+
+    #[test]
+    fn calls_balance_returns() {
+        let spec = WorkloadSpec::named("t");
+        let (p, o) = setup(&spec);
+        let trace: Vec<_> =
+            TraceGenerator::new(&p, &o, &spec, InputSet::Train).take(100_000).collect();
+        let mut depth: i64 = 0;
+        let mut min_depth: i64 = 0;
+        for t in &trace {
+            if let Some(b) = t.branch {
+                match b.kind {
+                    BranchKind::Call | BranchKind::IndirectCall => depth += 1,
+                    BranchKind::Return => depth -= 1,
+                    _ => {}
+                }
+            }
+            min_depth = min_depth.min(depth);
+        }
+        // Returns never outnumber calls by more than the initial frame.
+        assert!(min_depth >= -1, "unbalanced returns: {min_depth}");
+    }
+
+    #[test]
+    fn memory_ops_follow_densities() {
+        let mut spec = WorkloadSpec::named("t");
+        spec.load_density = 0.3;
+        spec.store_density = 0.1;
+        let (p, o) = setup(&spec);
+        let trace: Vec<_> =
+            TraceGenerator::new(&p, &o, &spec, InputSet::Train).take(100_000).collect();
+        let loads = trace.iter().filter(|t| t.mem.is_some_and(|m| !m.store)).count();
+        let stores = trace.iter().filter(|t| t.mem.is_some_and(|m| m.store)).count();
+        let lf = loads as f64 / trace.len() as f64;
+        let sf = stores as f64 / trace.len() as f64;
+        assert!((0.15..0.45).contains(&lf), "load fraction {lf}");
+        assert!((0.04..0.25).contains(&sf), "store fraction {sf}");
+    }
+
+    #[test]
+    fn data_addresses_fall_in_declared_regions() {
+        let spec = WorkloadSpec::named("t");
+        let (p, o) = setup(&spec);
+        let trace: Vec<_> =
+            TraceGenerator::new(&p, &o, &spec, InputSet::Train).take(50_000).collect();
+        for t in &trace {
+            if let Some(m) = t.mem {
+                let a = m.addr.raw();
+                let ok = (HOT_DATA_BASE..HOT_DATA_BASE + spec.hot_data_bytes).contains(&a)
+                    || (WARM_DATA_BASE..WARM_DATA_BASE + spec.warm_data_bytes).contains(&a)
+                    || (COLD_DATA_BASE..COLD_DATA_BASE + spec.cold_data_bytes).contains(&a)
+                    || (EXTERNAL_DATA_BASE..EXTERNAL_DATA_BASE + (1 << 20)).contains(&a)
+                    || (STACK_TOP - 16 * 256..STACK_TOP).contains(&a);
+                assert!(ok, "address {a:#x} outside all regions");
+            }
+        }
+    }
+
+    #[test]
+    fn pgo_layout_reduces_taken_branches() {
+        // The PGO layout turns hot-path jumps into fall-throughs, so the
+        // same walk takes fewer taken branches.
+        let spec = WorkloadSpec::named("t");
+        let program = build_program(&spec);
+        let plain = Linker::new().link_source_order(&program);
+
+        let mut generator = TraceGenerator::new(&program, &plain, &spec, InputSet::Train);
+        for _ in 0..300_000 {
+            generator.next();
+        }
+        let profile = generator.into_profile();
+        let temps = trrip_compiler::classify_functions(
+            &program,
+            &profile,
+            trrip_core::ClassifierConfig::llvm_defaults(),
+        );
+        let pgo = Linker::new().link_pgo(&program, &profile, &temps);
+
+        let count_taken = |object: &ObjectFile| -> usize {
+            TraceGenerator::new(&program, object, &spec, InputSet::Eval)
+                .take(200_000)
+                .filter(|t| t.branch.is_some_and(|b| b.taken))
+                .count()
+        };
+        let plain_taken = count_taken(&plain);
+        let pgo_taken = count_taken(&pgo);
+        assert!(
+            pgo_taken <= plain_taken,
+            "PGO should not increase taken branches: {pgo_taken} vs {plain_taken}"
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the workload synthesis and trace generation:
+//! structural well-formedness and control-flow consistency for arbitrary
+//! spec parameters.
+
+use proptest::prelude::*;
+use trrip_compiler::Linker;
+use trrip_workloads::{build_program, InputSet, TraceGenerator, WorkloadSpec};
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        10usize..200,         // functions
+        256u32..4096,         // avg_function_bytes
+        0.0f64..0.2,          // cold_visit_prob
+        0usize..16,           // external functions
+        0.0f64..0.3,          // external_call_prob
+        0.0f64..0.5,          // call_prob
+        0.0f64..0.5,          // dispatch_prob
+        any::<u64>(),         // structure seed
+    )
+        .prop_flat_map(|(functions, avg, cold, ext, extp, callp, dispatch, seed)| {
+            (1usize..=functions).prop_map(move |rotation| {
+                let mut s = WorkloadSpec::named("prop");
+                s.functions = functions;
+                s.avg_function_bytes = avg;
+                s.hot_rotation = rotation;
+                s.cold_visit_prob = cold;
+                s.external_functions = ext;
+                s.external_call_prob = extp;
+                s.call_prob = callp;
+                s.dispatch_prob = dispatch;
+                s.structure_seed = seed;
+                s
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated program is structurally valid and every linked
+    /// object passes its own validation, for arbitrary specs.
+    #[test]
+    fn generated_programs_are_valid(spec in arb_spec()) {
+        let program = build_program(&spec);
+        prop_assert_eq!(program.validate(), Ok(()));
+        let plain = Linker::new().link_source_order(&program);
+        prop_assert_eq!(plain.validate(), Ok(()));
+    }
+
+    /// Control flow is always explainable: in any generated trace, each
+    /// next PC either falls through (+4) or is the target of a taken
+    /// branch. This is the contract the timing core relies on.
+    #[test]
+    fn traces_have_consistent_control_flow(spec in arb_spec()) {
+        let program = build_program(&spec);
+        let object = Linker::new().link_source_order(&program);
+        let trace: Vec<_> =
+            TraceGenerator::new(&program, &object, &spec, InputSet::Eval).take(5_000).collect();
+        for pair in trace.windows(2) {
+            prop_assert_eq!(pair[1].pc, pair[0].next_pc());
+        }
+    }
+
+    /// The generator never stalls: it always produces the requested
+    /// number of instructions (no CFG dead ends), and blocks keep being
+    /// recorded (blocks can be >1000 instructions for large functions,
+    /// so the bound is structural, not proportional).
+    #[test]
+    fn generator_always_makes_progress(spec in arb_spec()) {
+        let program = build_program(&spec);
+        let object = Linker::new().link_source_order(&program);
+        let mut generator = TraceGenerator::new(&program, &object, &spec, InputSet::Train);
+        let produced = (&mut generator).take(4_096).count();
+        prop_assert_eq!(produced, 4_096);
+        let profile = generator.into_profile();
+        prop_assert!(profile.total() >= 2, "only {} blocks recorded", profile.total());
+    }
+
+    /// Fetch PCs stay inside executable sections of the object.
+    #[test]
+    fn all_pcs_inside_executable_sections(spec in arb_spec()) {
+        let program = build_program(&spec);
+        let object = Linker::new().link_source_order(&program);
+        let trace: Vec<_> =
+            TraceGenerator::new(&program, &object, &spec, InputSet::Eval).take(3_000).collect();
+        for t in &trace {
+            let section = object.section_of(t.pc);
+            prop_assert!(
+                section.is_some_and(|s| s.executable),
+                "pc {} outside executable sections",
+                t.pc
+            );
+        }
+    }
+}

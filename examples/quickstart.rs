@@ -1,0 +1,52 @@
+//! Quickstart: the complete TRRIP pipeline on one synthetic program.
+//!
+//! Walks Figure 4 end to end — synthesize a program, collect an
+//! instrumentation-PGO profile, classify temperature, lay out the ELF,
+//! load it with PBHA temperature bits, and simulate TRRIP-1 against the
+//! SRRIP baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use trrip::core::ClassifierConfig;
+use trrip::policies::PolicyKind;
+use trrip::sim::{simulate, PreparedWorkload, SimConfig};
+use trrip::workloads::WorkloadSpec;
+
+fn main() {
+    // 1. Describe a workload: a mid-sized frontend-bound application.
+    let mut spec = WorkloadSpec::named("quickstart");
+    spec.functions = 200;
+    spec.hot_rotation = 48; // hot working set: ~48 functions in rotation
+
+    // 2. Compile it: training run → profile → Eq. 1–2 classification →
+    //    PGO layout with .text.hot/.warm/.cold sections.
+    let workload = PreparedWorkload::prepare(&spec, 500_000, ClassifierConfig::llvm_defaults());
+    let (hot, warm, cold) = workload.temps.histogram();
+    println!("classified functions: {hot} hot, {warm} warm, {cold} cold");
+    let (fh, fw, fc) = workload.text_fractions();
+    println!("text bytes: {:.0}% hot, {:.0}% warm, {:.0}% cold", fh * 100.0, fw * 100.0, fc * 100.0);
+
+    // 3. Simulate under the baseline and under TRRIP-1.
+    let baseline = simulate(&workload, &SimConfig::paper(PolicyKind::Srrip));
+    let trrip = simulate(&workload, &SimConfig::paper(PolicyKind::Trrip1));
+
+    println!(
+        "\nSRRIP : {:>10.0} cycles, IPC {:.2}, L2 inst MPKI {:.3}, data MPKI {:.3}",
+        baseline.cycles(),
+        baseline.core.ipc(),
+        baseline.l2_inst_mpki(),
+        baseline.l2_data_mpki()
+    );
+    println!(
+        "TRRIP : {:>10.0} cycles, IPC {:.2}, L2 inst MPKI {:.3}, data MPKI {:.3}",
+        trrip.cycles(),
+        trrip.core.ipc(),
+        trrip.l2_inst_mpki(),
+        trrip.l2_data_mpki()
+    );
+    println!(
+        "\nTRRIP-1 speedup: {:+.2}%   instruction MPKI reduction: {:+.1}%",
+        trrip.speedup_vs(&baseline),
+        trrip.inst_mpki_reduction_vs(&baseline)
+    );
+}

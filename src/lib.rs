@@ -1,0 +1,25 @@
+//! TRRIP — facade crate for the workspace.
+//!
+//! Reproduction of "A TRRIP Down Memory Lane: Temperature-Based
+//! Re-Reference Interval Prediction For Instruction Caching" (MICRO 2025).
+//! This crate re-exports every sub-crate under a stable path so examples
+//! and downstream users can depend on a single package.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for the end-to-end pipeline: synthesize a
+//! program, profile it, classify temperature, lay out the ELF, load it with
+//! PBHA temperature bits, and simulate TRRIP against SRRIP.
+
+#![forbid(unsafe_code)]
+
+pub use trrip_analysis as analysis;
+pub use trrip_cache as cache;
+pub use trrip_compiler as compiler;
+pub use trrip_core as core;
+pub use trrip_cpu as cpu;
+pub use trrip_mem as mem;
+pub use trrip_os as os;
+pub use trrip_policies as policies;
+pub use trrip_sim as sim;
+pub use trrip_workloads as workloads;
