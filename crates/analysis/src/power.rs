@@ -194,8 +194,7 @@ mod tests {
     fn more_storage_means_more_power() {
         let m = PowerModel::node_22nm();
         let small = m.evaluate(MechanismOverhead { table_bits: 1024, ..Default::default() });
-        let big =
-            m.evaluate(MechanismOverhead { table_bits: 1024 * 1024, ..Default::default() });
+        let big = m.evaluate(MechanismOverhead { table_bits: 1024 * 1024, ..Default::default() });
         assert!(big.static_w > small.static_w);
         assert!(big.area_mm2 > small.area_mm2);
     }

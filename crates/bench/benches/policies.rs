@@ -21,8 +21,7 @@ fn bench_policy_access(c: &mut Criterion) {
             b.iter(|| {
                 i = i.wrapping_add(0x9E37_79B9);
                 let set = (i as usize) & (sets - 1);
-                let req = RequestInfo::ifetch(i << 6)
-                    .with_temperature(Some(Temperature::Hot));
+                let req = RequestInfo::ifetch(i << 6).with_temperature(Some(Temperature::Hot));
                 // One miss path (victim + fill) and one hit path.
                 let victim = policy.choose_victim(set, &req, &candidates);
                 policy.on_evict(set, victim);

@@ -1,0 +1,73 @@
+//! Replay-from-disk vs regenerate-from-walker throughput, in
+//! instructions/second: the number that justifies the capture-once/
+//! replay-many workflow. Also times raw capture (encode + write).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use trrip_core::ClassifierConfig;
+use trrip_policies::PolicyKind;
+use trrip_sim::{capture_trace, PreparedWorkload, SimConfig, TraceStore};
+use trrip_trace::{SourceIter, StreamingReplay};
+use trrip_workloads::{InputSet, TraceGenerator, WorkloadSpec};
+
+const N: u64 = 200_000;
+
+fn workload() -> PreparedWorkload {
+    let mut spec = WorkloadSpec::named("trace-bench");
+    spec.functions = 120;
+    spec.hot_rotation = 30;
+    PreparedWorkload::prepare(&spec, 100_000, ClassifierConfig::llvm_defaults())
+}
+
+fn config() -> SimConfig {
+    let mut c = SimConfig::quick(PolicyKind::Srrip);
+    c.fast_forward = 0;
+    c.instructions = N;
+    c
+}
+
+fn bench_trace_paths(c: &mut Criterion) {
+    let w = workload();
+    let cfg = config();
+    let dir = std::env::temp_dir().join("trrip-replay-bench");
+    let store = TraceStore::new(&dir);
+    let path = store.ensure(&w, &cfg).expect("capture");
+
+    let mut group = c.benchmark_group("trace_source_throughput");
+    group.throughput(Throughput::Elements(N));
+
+    group.bench_function("regenerate_walker", |b| {
+        let object = w.object(cfg.layout);
+        b.iter(|| {
+            let generator = TraceGenerator::new(&w.program, object, &w.spec, InputSet::Eval);
+            black_box(generator.take(N as usize).count())
+        });
+    });
+
+    group.bench_function("replay_streaming", |b| {
+        b.iter(|| {
+            let replay = StreamingReplay::open(&path).expect("open");
+            black_box(SourceIter::new(replay).count())
+        });
+    });
+
+    group.bench_function("replay_single_thread", |b| {
+        b.iter(|| {
+            let reader = trrip_trace::open(&path).expect("open");
+            black_box(SourceIter::new(reader).count())
+        });
+    });
+
+    group.bench_function("capture_encode_write", |b| {
+        let out = dir.join("bench-capture.trrip");
+        b.iter(|| {
+            black_box(capture_trace(&w, &cfg, &out).expect("capture"));
+        });
+    });
+
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_trace_paths);
+criterion_main!(benches);

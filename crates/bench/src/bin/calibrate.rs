@@ -7,7 +7,6 @@ use trrip_analysis::report::geomean_pct;
 use trrip_analysis::TextTable;
 use trrip_bench::{prepare_all, HarnessOptions};
 use trrip_policies::PolicyKind;
-use trrip_sim::policy_sweep;
 
 /// Paper Table 3 raw SRRIP MPKI (inst, data) per benchmark.
 const PAPER_MPKI: [(&str, f64, f64); 10] = [
@@ -33,27 +32,11 @@ fn main() {
 
     let policies = PolicyKind::PAPER_SET;
     eprintln!("sweeping {} policies…", policies.len());
-    let sweep = policy_sweep(&workloads, &config, &policies);
+    let sweep = options.sweep(&workloads, &config, &policies);
 
     let mut table = TextTable::new(vec![
-        "bench",
-        "I-MPKI",
-        "(paper)",
-        "D-MPKI",
-        "(paper)",
-        "TR1 dI%",
-        "TR1 dD%",
-        "CLIP dI%",
-        "CLIP dD%",
-        "LRU",
-        "BRRIP",
-        "DRRIP",
-        "SHiP",
-        "CLIP",
-        "EMIS",
-        "TR1",
-        "TR2",
-        "ifetch%",
+        "bench", "I-MPKI", "(paper)", "D-MPKI", "(paper)", "TR1 dI%", "TR1 dD%", "CLIP dI%",
+        "CLIP dD%", "LRU", "BRRIP", "DRRIP", "SHiP", "CLIP", "EMIS", "TR1", "TR2", "ifetch%",
     ]);
     let mut tr1_speedups = Vec::new();
     let mut tr1_reductions = Vec::new();

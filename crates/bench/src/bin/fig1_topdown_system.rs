@@ -17,9 +17,7 @@ fn main() {
     let specs = trrip_workloads::mobile::all();
     let workloads = prepare_all(&specs, &config, config.classifier);
 
-    let mut table = TextTable::new(vec![
-        "component", "retire", "backend", "mispred.", "frontend",
-    ]);
+    let mut table = TextTable::new(vec!["component", "retire", "backend", "mispred.", "frontend"]);
     for w in &workloads {
         let r = simulate(w, &config);
         let td = &r.core.topdown;

@@ -23,8 +23,7 @@ fn main() {
     let mut pgo_retire_gains = 0usize;
     for w in &workloads {
         for layout in [LayoutKind::SourceOrder, LayoutKind::Pgo] {
-            let run_config =
-                trrip_sim::SimConfig { layout, ..config.clone() };
+            let run_config = trrip_sim::SimConfig { layout, ..config.clone() };
             let r = simulate(w, &run_config);
             let td = &r.core.topdown;
             let name = match layout {

@@ -25,13 +25,7 @@ fn main() {
         let hot = r.reuse_hot_only.expect("reuse measured");
         let bf = base.fractions();
         let hf = hot.fractions();
-        table.row(vec![
-            w.spec.name.clone(),
-            pct(bf[0]),
-            pct(bf[1]),
-            pct(bf[2]),
-            pct(bf[3]),
-        ]);
+        table.row(vec![w.spec.name.clone(), pct(bf[0]), pct(bf[1]), pct(bf[2]), pct(bf[3])]);
         table.row(vec![
             format!("{}~", w.spec.name),
             pct(hf[0]),

@@ -7,7 +7,6 @@ use trrip_analysis::report::geomean_pct;
 use trrip_analysis::TextTable;
 use trrip_bench::{prepare_all, HarnessOptions};
 use trrip_policies::PolicyKind;
-use trrip_sim::policy_sweep;
 
 fn main() {
     let options = HarnessOptions::from_args();
@@ -16,12 +15,10 @@ fn main() {
     eprintln!("preparing {} workloads…", specs.len());
     let workloads = prepare_all(&specs, &config, config.classifier);
     eprintln!("sweeping {} policies…", PolicyKind::PAPER_SET.len());
-    let sweep = policy_sweep(&workloads, &config, &PolicyKind::PAPER_SET);
+    let sweep = options.sweep(&workloads, &config, &PolicyKind::PAPER_SET);
 
-    let shown: Vec<PolicyKind> = PolicyKind::PAPER_SET
-        .into_iter()
-        .filter(|&p| p != PolicyKind::Srrip)
-        .collect();
+    let shown: Vec<PolicyKind> =
+        PolicyKind::PAPER_SET.into_iter().filter(|&p| p != PolicyKind::Srrip).collect();
     let mut headers = vec!["bench".to_owned()];
     headers.extend(shown.iter().map(|p| p.name().to_owned()));
     let mut table = TextTable::new(headers);

@@ -47,8 +47,5 @@ fn main() {
         "paper: (a) external-heavy benchmarks (bullet, clamscan, omnetpp, rapidjson) show\n\
          low coverage; (b) within compiled code, nearly all costly misses are hot"
     );
-    options.write_report(
-        "fig7_costly_coverage.txt",
-        &format!("(a)\n{table_a}\n(b)\n{table_b}"),
-    );
+    options.write_report("fig7_costly_coverage.txt", &format!("(a)\n{table_a}\n(b)\n{table_b}"));
 }

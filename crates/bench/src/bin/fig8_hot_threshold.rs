@@ -11,7 +11,7 @@ use trrip_analysis::TextTable;
 use trrip_bench::{prepare_all, HarnessOptions};
 use trrip_core::ClassifierConfig;
 use trrip_policies::PolicyKind;
-use trrip_sim::{policy_sweep, SimConfig};
+use trrip_sim::SimConfig;
 
 const THRESHOLDS: [f64; 5] = [0.10, 0.80, 0.99, 0.9999, 1.0];
 /// The subset of benchmarks Figure 8 plots.
@@ -48,8 +48,7 @@ fn main() {
         let config = SimConfig { classifier, ..base_config.clone() };
         eprintln!("threshold {threshold}: preparing + sweeping…");
         let workloads = prepare_all(&specs, &config, classifier);
-        let sweep =
-            policy_sweep(&workloads, &config, &[PolicyKind::Srrip, PolicyKind::Trrip1]);
+        let sweep = options.sweep(&workloads, &config, &[PolicyKind::Srrip, PolicyKind::Trrip1]);
         for (i, w) in workloads.iter().enumerate() {
             fractions[i].push(w.text_fractions());
             let base = sweep.get(&w.spec.name, PolicyKind::Srrip);
@@ -59,15 +58,9 @@ fn main() {
     }
 
     for (i, spec) in specs.iter().enumerate() {
-        for (label, pick) in [
-            ("hot", 0usize),
-            ("warm", 1),
-            ("cold", 2),
-        ] {
-            let mut row = vec![
-                if pick == 0 { spec.name.clone() } else { String::new() },
-                label.to_owned(),
-            ];
+        for (label, pick) in [("hot", 0usize), ("warm", 1), ("cold", 2)] {
+            let mut row =
+                vec![if pick == 0 { spec.name.clone() } else { String::new() }, label.to_owned()];
             for &(h, w, c) in &fractions[i] {
                 let v = [h, w, c][pick];
                 row.push(pct(v));
@@ -89,8 +82,5 @@ fn main() {
         "paper: the hot section stays small until the threshold passes 99% and the best\n\
          speedup needs selectivity — 100% (everything hot, ≈ CLIP) loses to 99%"
     );
-    options.write_report(
-        "fig8_hot_threshold.txt",
-        &format!("(a)\n{table_a}\n(b)\n{table_b}"),
-    );
+    options.write_report("fig8_hot_threshold.txt", &format!("(a)\n{table_a}\n(b)\n{table_b}"));
 }

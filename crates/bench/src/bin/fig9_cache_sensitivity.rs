@@ -10,7 +10,7 @@ use trrip_analysis::report::geomean_pct;
 use trrip_analysis::TextTable;
 use trrip_bench::{prepare_all, HarnessOptions};
 use trrip_policies::PolicyKind;
-use trrip_sim::{policy_sweep, SimConfig};
+use trrip_sim::SimConfig;
 
 fn main() {
     let options = HarnessOptions::from_args();
@@ -30,10 +30,9 @@ fn main() {
             ..base_config.clone()
         };
         eprintln!("L2 size {} kB…", size >> 10);
-        let sweep = policy_sweep(&workloads, &config, &policies);
-        for (i, &p) in [PolicyKind::Trrip1, PolicyKind::Clip, PolicyKind::Emissary]
-            .iter()
-            .enumerate()
+        let sweep = options.sweep(&workloads, &config, &policies);
+        for (i, &p) in
+            [PolicyKind::Trrip1, PolicyKind::Clip, PolicyKind::Emissary].iter().enumerate()
         {
             let speeds = sweep.speedups(p, PolicyKind::Srrip);
             per_policy[i].push(geomean_pct(&speeds));
@@ -53,8 +52,7 @@ fn main() {
     let mut headers = vec!["bench".to_owned()];
     headers.extend(ways.iter().map(|w| format!("{w}-way")));
     let mut table_b = TextTable::new(headers);
-    let mut rows: Vec<Vec<String>> =
-        workloads.iter().map(|w| vec![w.spec.name.clone()]).collect();
+    let mut rows: Vec<Vec<String>> = workloads.iter().map(|w| vec![w.spec.name.clone()]).collect();
     let mut geos = Vec::new();
     for &w in &ways {
         let config = SimConfig {
@@ -62,7 +60,7 @@ fn main() {
             ..base_config.clone()
         };
         eprintln!("L2 associativity {w}…");
-        let sweep = policy_sweep(&workloads, &config, &[PolicyKind::Srrip, PolicyKind::Trrip1]);
+        let sweep = options.sweep(&workloads, &config, &[PolicyKind::Srrip, PolicyKind::Trrip1]);
         let speeds = sweep.speedups(PolicyKind::Trrip1, PolicyKind::Srrip);
         for (i, s) in speeds.iter().enumerate() {
             rows[i].push(format!("{s:+.2}"));
@@ -82,8 +80,5 @@ fn main() {
         "paper: gains shrink with capacity (TRRIP more than CLIP/Emissary because of its\n\
          compile-scope limit) and grow with associativity"
     );
-    options.write_report(
-        "fig9_cache_sensitivity.txt",
-        &format!("(a)\n{table_a}\n(b)\n{table_b}"),
-    );
+    options.write_report("fig9_cache_sensitivity.txt", &format!("(a)\n{table_a}\n(b)\n{table_b}"));
 }

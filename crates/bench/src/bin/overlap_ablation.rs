@@ -15,7 +15,7 @@ use trrip_compiler::Linker;
 use trrip_mem::PageSize;
 use trrip_os::{Loader, OverlapPolicy};
 use trrip_policies::PolicyKind;
-use trrip_sim::{policy_sweep, SimConfig};
+use trrip_sim::SimConfig;
 
 fn main() {
     let options = HarnessOptions::from_args();
@@ -27,12 +27,11 @@ fn main() {
     let mut table = TextTable::new(vec!["page size", "FirstByte", "DropMixed", "Hottest"]);
     for size in PageSize::ALL {
         let mut row = vec![size.to_string()];
-        for overlap in
-            [OverlapPolicy::FirstByte, OverlapPolicy::DropMixed, OverlapPolicy::Hottest]
+        for overlap in [OverlapPolicy::FirstByte, OverlapPolicy::DropMixed, OverlapPolicy::Hottest]
         {
             let config = SimConfig { page_size: size, overlap, ..base.clone() };
             let sweep =
-                policy_sweep(&workloads, &config, &[PolicyKind::Srrip, PolicyKind::Trrip1]);
+                options.sweep(&workloads, &config, &[PolicyKind::Srrip, PolicyKind::Trrip1]);
             let g = geomean_pct(&sweep.speedups(PolicyKind::Trrip1, PolicyKind::Srrip));
             row.push(format!("{g:+.2}"));
         }
@@ -44,8 +43,12 @@ fn main() {
 
     // Prevention (1): page-aligned sections — mixed pages vanish but the
     // image grows.
-    let mut table_b =
-        TextTable::new(vec!["benchmark", "mixed@2MB (64B align)", "mixed@2MB (page align)", "image growth"]);
+    let mut table_b = TextTable::new(vec![
+        "benchmark",
+        "mixed@2MB (64B align)",
+        "mixed@2MB (page align)",
+        "image growth",
+    ]);
     for w in &workloads {
         let aligned_obj = Linker::new()
             .with_section_alignment(PageSize::Size2M.bytes())
@@ -66,8 +69,5 @@ fn main() {
         "§4.9: padding eliminates mixed pages at the cost of address-space/pages;\n\
          DropMixed keeps TRRIP safe (untagged pages default to RRIP) at any size"
     );
-    options.write_report(
-        "overlap_ablation.txt",
-        &format!("{table}\n{table_b}"),
-    );
+    options.write_report("overlap_ablation.txt", &format!("{table}\n{table_b}"));
 }

@@ -38,26 +38,14 @@ fn main() {
             cfg.data_latency
         )
     };
-    table.row(vec![
-        "L1-I".into(),
-        cache_row(&c.hierarchy.l1i, "LRU", ", next-line prefetcher"),
-    ]);
-    table.row(vec![
-        "L1-D".into(),
-        cache_row(&c.hierarchy.l1d, "LRU", ", stride prefetcher"),
-    ]);
+    table.row(vec!["L1-I".into(), cache_row(&c.hierarchy.l1i, "LRU", ", next-line prefetcher")]);
+    table.row(vec!["L1-D".into(), cache_row(&c.hierarchy.l1d, "LRU", ", stride prefetcher")]);
     table.row(vec![
         "Unified Shared L2".into(),
         cache_row(&c.hierarchy.l2, c.hierarchy.l2_policy.name(), ", inclusive, stride prefetcher"),
     ]);
-    table.row(vec![
-        "Unified Shared SLC".into(),
-        cache_row(&c.hierarchy.slc, "LRU", ", exclusive"),
-    ]);
-    table.row(vec![
-        "DRAM".into(),
-        format!("{}-cycle latency (flat)", c.hierarchy.dram_latency),
-    ]);
+    table.row(vec!["Unified Shared SLC".into(), cache_row(&c.hierarchy.slc, "LRU", ", exclusive")]);
+    table.row(vec!["DRAM".into(), format!("{}-cycle latency (flat)", c.hierarchy.dram_latency)]);
     table.row(vec![
         "Run control".into(),
         format!(

@@ -5,7 +5,6 @@ use trrip_analysis::report::geomean_pct;
 use trrip_analysis::TextTable;
 use trrip_bench::{prepare_all, HarnessOptions};
 use trrip_policies::PolicyKind;
-use trrip_sim::policy_sweep;
 
 fn main() {
     let options = HarnessOptions::from_args();
@@ -13,10 +12,10 @@ fn main() {
     let specs = options.selected_proxies();
     eprintln!("preparing {} workloads…", specs.len());
     let workloads = prepare_all(&specs, &config, config.classifier);
-    let sweep = policy_sweep(&workloads, &config, &PolicyKind::PAPER_SET);
+    let sweep = options.sweep(&workloads, &config, &PolicyKind::PAPER_SET);
 
     let mut report = String::new();
-    let mut emit = |s: &str, report: &mut String| {
+    let emit = |s: &str, report: &mut String| {
         println!("{s}");
         report.push_str(s);
         report.push('\n');
@@ -38,10 +37,8 @@ fn main() {
     emit(&raw.to_string(), &mut report);
 
     // Reduction block per mechanism.
-    let mechanisms: Vec<PolicyKind> = PolicyKind::PAPER_SET
-        .into_iter()
-        .filter(|&p| p != PolicyKind::Srrip)
-        .collect();
+    let mechanisms: Vec<PolicyKind> =
+        PolicyKind::PAPER_SET.into_iter().filter(|&p| p != PolicyKind::Srrip).collect();
     let mut headers = vec!["mechanism".to_owned(), "side".to_owned()];
     headers.extend(sweep.benchmarks.iter().cloned());
     headers.push("geomean".to_owned());

@@ -36,9 +36,8 @@ fn main() {
         for size in PageSize::ALL {
             // FirstByte shows the raw hot/warm page counts per the paper's
             // "rounded up to the nearest full page" accounting.
-            let image = Loader::new(size)
-                .with_overlap_policy(OverlapPolicy::FirstByte)
-                .load(&w.pgo_object);
+            let image =
+                Loader::new(size).with_overlap_policy(OverlapPolicy::FirstByte).load(&w.pgo_object);
             cells.push(format!("{}/{}", image.stats.hot, image.stats.warm));
             mixed.push(image.stats.mixed.to_string());
         }

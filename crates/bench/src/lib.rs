@@ -12,8 +12,21 @@ use std::path::{Path, PathBuf};
 
 use trrip_core::ClassifierConfig;
 use trrip_policies::PolicyKind;
-use trrip_sim::{PreparedWorkload, SimConfig};
+use trrip_sim::{policy_sweep, replay_sweep, PreparedWorkload, SimConfig, SweepResult, TraceStore};
 use trrip_workloads::WorkloadSpec;
+
+/// The usage text every experiment binary shares.
+pub const USAGE: &str = "\
+usage: <experiment> [OPTIONS]
+
+options:
+  --scale N        multiply the default run lengths by N (default 1)
+  --bench a,b      restrict to the named benchmarks (default: all)
+  --out DIR        write reports under DIR (default: reports/)
+  --trace-dir DIR  capture traces into DIR once and replay them from
+                   disk for every policy, instead of re-generating the
+                   trace per run
+  --help           print this message and exit";
 
 /// Common options for experiment binaries.
 #[derive(Debug, Clone)]
@@ -24,53 +37,118 @@ pub struct HarnessOptions {
     pub benchmarks: Vec<String>,
     /// Where reports are written (`--out DIR`, default `reports/`).
     pub out_dir: PathBuf,
+    /// Capture-once/replay-many trace directory (`--trace-dir DIR`).
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for HarnessOptions {
     fn default() -> Self {
-        HarnessOptions { scale: 1, benchmarks: Vec::new(), out_dir: PathBuf::from("reports") }
+        HarnessOptions {
+            scale: 1,
+            benchmarks: Vec::new(),
+            out_dir: PathBuf::from("reports"),
+            trace_dir: None,
+        }
     }
 }
 
 impl HarnessOptions {
-    /// Parses `--scale N`, `--bench a,b`, `--out DIR` from `std::env::args`.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed arguments.
+    /// Parses the shared flags from `std::env::args`. On `--help` it
+    /// prints the usage and exits 0; on a malformed command line it
+    /// prints the error plus usage to stderr and exits 2 — it does not
+    /// panic.
     #[must_use]
     pub fn from_args() -> HarnessOptions {
-        let mut options = HarnessOptions::default();
-        let mut args = std::env::args().skip(1);
-        while let Some(arg) = args.next() {
-            match arg.as_str() {
-                "--scale" => {
-                    let v = args.next().expect("--scale needs a value");
-                    options.scale = v.parse().expect("--scale must be an integer");
-                }
-                "--bench" => {
-                    let v = args.next().expect("--bench needs a value");
-                    options.benchmarks = v.split(',').map(str::to_owned).collect();
-                }
-                "--out" => {
-                    let v = args.next().expect("--out needs a value");
-                    options.out_dir = PathBuf::from(v);
-                }
-                other => panic!("unknown argument `{other}` (expected --scale/--bench/--out)"),
+        match HarnessOptions::try_parse(std::env::args().skip(1)) {
+            Ok(Some(options)) => options,
+            Ok(None) => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(message) => {
+                eprintln!("error: {message}\n\n{USAGE}");
+                std::process::exit(2);
             }
         }
-        options
+    }
+
+    /// The testable core of [`HarnessOptions::from_args`]: `Ok(None)`
+    /// means `--help` was requested.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message describing the malformed argument.
+    pub fn try_parse<I>(args: I) -> Result<Option<HarnessOptions>, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut options = HarnessOptions::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut value_of =
+                |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+            match arg.as_str() {
+                "--help" | "-h" => return Ok(None),
+                "--scale" => {
+                    let v = value_of("--scale")?;
+                    options.scale = v
+                        .parse()
+                        .map_err(|_| format!("--scale must be a positive integer, got `{v}`"))?;
+                    if options.scale == 0 {
+                        return Err("--scale must be at least 1".to_owned());
+                    }
+                }
+                "--bench" => {
+                    options.benchmarks =
+                        value_of("--bench")?.split(',').map(str::to_owned).collect();
+                }
+                "--out" => options.out_dir = PathBuf::from(value_of("--out")?),
+                "--trace-dir" => options.trace_dir = Some(PathBuf::from(value_of("--trace-dir")?)),
+                other => {
+                    return Err(format!(
+                        "unknown argument `{other}` (expected --scale/--bench/--out/--trace-dir)"
+                    ))
+                }
+            }
+        }
+        Ok(Some(options))
+    }
+
+    /// Runs a policy sweep with the engine the command line selected:
+    /// trace replay from `--trace-dir` (capture-once/replay-many) when
+    /// given, in-memory trace generation otherwise. Results are
+    /// bit-identical either way.
+    #[must_use]
+    pub fn sweep(
+        &self,
+        workloads: &[PreparedWorkload],
+        config: &SimConfig,
+        policies: &[PolicyKind],
+    ) -> SweepResult {
+        match &self.trace_dir {
+            Some(dir) => replay_sweep(workloads, config, policies, &TraceStore::new(dir)),
+            None => policy_sweep(workloads, config, policies),
+        }
     }
 
     /// The proxy benchmark specs selected by `--bench` (all by default).
+    /// A name that matches no known benchmark is a command-line error:
+    /// the process prints the known names to stderr and exits 2, rather
+    /// than silently sweeping an empty set.
     #[must_use]
     pub fn selected_proxies(&self) -> Vec<WorkloadSpec> {
         let all = trrip_workloads::proxy::all();
         if self.benchmarks.is_empty() {
-            all
-        } else {
-            all.into_iter().filter(|s| self.benchmarks.contains(&s.name)).collect()
+            return all;
         }
+        for name in &self.benchmarks {
+            if !all.iter().any(|s| &s.name == name) {
+                let known: Vec<&str> = all.iter().map(|s| s.name.as_str()).collect();
+                eprintln!("error: unknown benchmark `{name}` (known: {})", known.join(", "));
+                std::process::exit(2);
+            }
+        }
+        all.into_iter().filter(|s| self.benchmarks.contains(&s.name)).collect()
     }
 
     /// The paper config scaled by `--scale`.
@@ -100,25 +178,9 @@ pub fn prepare_all(
     config: &SimConfig,
     classifier: ClassifierConfig,
 ) -> Vec<PreparedWorkload> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    let cursor = AtomicUsize::new(0);
-    let results =
-        parking_lot::Mutex::new((0..specs.len()).map(|_| None).collect::<Vec<_>>());
-    let threads =
-        std::thread::available_parallelism().map_or(4, usize::from).min(specs.len().max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
-                }
-                let w = PreparedWorkload::prepare(&specs[i], config.train_instructions, classifier);
-                results.lock()[i] = Some(w);
-            });
-        }
-    });
-    results.into_inner().into_iter().map(|w| w.expect("prepared")).collect()
+    trrip_sim::parallel_map(specs.len(), |i| {
+        PreparedWorkload::prepare(&specs[i], config.train_instructions, classifier)
+    })
 }
 
 /// Appends a section to EXPERIMENTS-style output and stdout at once.
@@ -131,4 +193,56 @@ pub fn emit(report: &mut String, line: &str) {
 /// Ensures a directory exists (no-op shortcut for binaries).
 pub fn ensure_dir(path: &Path) {
     let _ = fs::create_dir_all(path);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Option<HarnessOptions>, String> {
+        HarnessOptions::try_parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let options = parse(&[
+            "--scale",
+            "3",
+            "--bench",
+            "gcc,sqlite",
+            "--out",
+            "r",
+            "--trace-dir",
+            "traces",
+        ])
+        .expect("valid")
+        .expect("not help");
+        assert_eq!(options.scale, 3);
+        assert_eq!(options.benchmarks, ["gcc", "sqlite"]);
+        assert_eq!(options.out_dir, PathBuf::from("r"));
+        assert_eq!(options.trace_dir, Some(PathBuf::from("traces")));
+    }
+
+    #[test]
+    fn help_is_not_an_error() {
+        assert!(parse(&["--help"]).expect("ok").is_none());
+        assert!(parse(&["-h"]).expect("ok").is_none());
+    }
+
+    #[test]
+    fn malformed_arguments_are_errors_not_panics() {
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "zero"]).is_err());
+        assert!(parse(&["--scale", "0"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--bench"]).is_err());
+    }
+
+    #[test]
+    fn defaults_survive_empty_args() {
+        let options = parse(&[]).expect("ok").expect("not help");
+        assert_eq!(options.scale, 1);
+        assert!(options.benchmarks.is_empty());
+        assert!(options.trace_dir.is_none());
+    }
 }

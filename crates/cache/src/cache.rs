@@ -142,11 +142,10 @@ impl Cache {
 
     fn find_way(&self, line: LineAddr) -> Option<usize> {
         let set = self.set_index(line);
-        (0..self.config.ways)
-            .find(|&way| {
-                let s = &self.lines[self.slot(set, way)];
-                s.valid && s.tag == line
-            })
+        (0..self.config.ways).find(|&way| {
+            let s = &self.lines[self.slot(set, way)];
+            s.valid && s.tag == line
+        })
     }
 
     /// Demand lookup: returns `true` on hit. Updates statistics and, on a
@@ -193,8 +192,7 @@ impl Cache {
         let set = self.set_index(line);
         let info = RequestInfo::from(req);
 
-        let invalid_way =
-            (0..self.config.ways).find(|&way| !self.lines[self.slot(set, way)].valid);
+        let invalid_way = (0..self.config.ways).find(|&way| !self.lines[self.slot(set, way)].valid);
         let (way, evicted) = match invalid_way {
             Some(way) => (way, None),
             None => {
@@ -207,7 +205,14 @@ impl Cache {
                 if old.dirty {
                     self.stats.writebacks += 1;
                 }
-                (way, Some(EvictedLine { line: old.tag, dirty: old.dirty, instruction: old.instruction }))
+                (
+                    way,
+                    Some(EvictedLine {
+                        line: old.tag,
+                        dirty: old.dirty,
+                        instruction: old.instruction,
+                    }),
+                )
             }
         };
 

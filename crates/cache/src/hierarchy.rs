@@ -100,15 +100,26 @@ impl HierarchyConfig {
     /// Same configuration with a different L2 capacity (Figure 9a sweep).
     #[must_use]
     pub fn with_l2_size(mut self, size_bytes: u64) -> HierarchyConfig {
-        self.l2 = CacheConfig::new("L2", size_bytes, self.l2.ways, self.l2.tag_latency, self.l2.data_latency);
+        self.l2 = CacheConfig::new(
+            "L2",
+            size_bytes,
+            self.l2.ways,
+            self.l2.tag_latency,
+            self.l2.data_latency,
+        );
         self
     }
 
     /// Same configuration with a different L2 associativity (Figure 9b).
     #[must_use]
     pub fn with_l2_ways(mut self, ways: usize) -> HierarchyConfig {
-        self.l2 =
-            CacheConfig::new("L2", self.l2.size_bytes, ways, self.l2.tag_latency, self.l2.data_latency);
+        self.l2 = CacheConfig::new(
+            "L2",
+            self.l2.size_bytes,
+            ways,
+            self.l2.tag_latency,
+            self.l2.data_latency,
+        );
         self
     }
 }

@@ -62,11 +62,7 @@ pub fn classify_functions(
     config: ClassifierConfig,
 ) -> FunctionTemperatures {
     let summary = ProfileSummary::from_counts(profile.all_counts(), config);
-    let temps = profile
-        .function_max_counts()
-        .iter()
-        .map(|&c| summary.classify(c))
-        .collect();
+    let temps = profile.function_max_counts().iter().map(|&c| summary.classify(c)).collect();
     let _ = program; // shape is implied by the profile; kept for API clarity
     FunctionTemperatures { temps, summary }
 }

@@ -79,11 +79,8 @@ impl Linker {
     #[must_use]
     pub fn link_source_order(&self, program: &Program) -> ObjectFile {
         let function_order: Vec<usize> = (0..program.functions.len()).collect();
-        let block_orders: Vec<Vec<usize>> = program
-            .functions
-            .iter()
-            .map(|f| (0..f.blocks.len()).collect())
-            .collect();
+        let block_orders: Vec<Vec<usize>> =
+            program.functions.iter().map(|f| (0..f.blocks.len()).collect()).collect();
         self.emit(program, &[(None, function_order)], &block_orders)
     }
 
@@ -100,10 +97,8 @@ impl Linker {
 
         // Function reordering: group by temperature, sort within a group
         // by descending hotness (stable on index for determinism).
-        let mut groups: Vec<(Option<Temperature>, Vec<usize>)> = Temperature::ALL
-            .iter()
-            .map(|&t| (Some(t), Vec::new()))
-            .collect();
+        let mut groups: Vec<(Option<Temperature>, Vec<usize>)> =
+            Temperature::ALL.iter().map(|&t| (Some(t), Vec::new())).collect();
         for fi in 0..program.functions.len() {
             let slot = match temps.of(fi) {
                 Temperature::Hot => 0,

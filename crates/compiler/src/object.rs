@@ -121,10 +121,7 @@ impl ObjectFile {
     pub fn validate(&self) -> Result<(), String> {
         for pair in self.sections.windows(2) {
             if pair[1].base < pair[0].end() {
-                return Err(format!(
-                    "sections {} and {} overlap",
-                    pair[0].name, pair[1].name
-                ));
+                return Err(format!("sections {} and {} overlap", pair[0].name, pair[1].name));
             }
         }
         for (fi, blocks) in self.block_addrs.iter().enumerate() {

@@ -19,9 +19,7 @@ impl Profile {
     /// An all-zero profile shaped like `program`.
     #[must_use]
     pub fn zeroed(program: &Program) -> Profile {
-        Profile {
-            counts: program.functions.iter().map(|f| vec![0; f.blocks.len()]).collect(),
-        }
+        Profile { counts: program.functions.iter().map(|f| vec![0; f.blocks.len()]).collect() }
     }
 
     /// Records one execution of block `block` in function `function`.
@@ -67,11 +65,7 @@ impl Profile {
     ///
     /// Panics if the two profiles have different shapes.
     pub fn merge(&mut self, other: &Profile) {
-        assert_eq!(
-            self.counts.len(),
-            other.counts.len(),
-            "profiles come from different programs"
-        );
+        assert_eq!(self.counts.len(), other.counts.len(), "profiles come from different programs");
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             assert_eq!(a.len(), b.len(), "profiles come from different programs");
             for (x, y) in a.iter_mut().zip(b) {

@@ -59,7 +59,9 @@ impl ClassifierConfig {
     /// Returns [`ClassifierConfigError`] when a percentile is outside
     /// `(0, 1]` or the cold percentile is below the hot percentile.
     pub fn validate(&self) -> Result<(), ClassifierConfigError> {
-        for (name, p) in [("percentile_hot", self.percentile_hot), ("percentile_cold", self.percentile_cold)] {
+        for (name, p) in
+            [("percentile_hot", self.percentile_hot), ("percentile_cold", self.percentile_cold)]
+        {
             if !(p > 0.0 && p <= 1.0) {
                 return Err(ClassifierConfigError::PercentileOutOfRange { name, value: p });
             }
@@ -163,8 +165,10 @@ impl ProfileSummary {
         let total_count: u64 = sorted.iter().sum();
         let max_count = sorted.first().copied().unwrap_or(0);
 
-        let hot_count_threshold = min_count_for_percentile(&sorted, total_count, config.percentile_hot);
-        let cold_count_threshold = min_count_for_percentile(&sorted, total_count, config.percentile_cold);
+        let hot_count_threshold =
+            min_count_for_percentile(&sorted, total_count, config.percentile_hot);
+        let cold_count_threshold =
+            min_count_for_percentile(&sorted, total_count, config.percentile_cold);
 
         ProfileSummary {
             total_count,
@@ -315,7 +319,7 @@ mod tests {
         // 10_000 + 400 covers >99% of the total; never-executed blocks are
         // cold regardless of thresholds.
         let mut counts = vec![10_000u64, 400];
-        counts.extend(std::iter::repeat(0).take(50));
+        counts.extend(std::iter::repeat_n(0, 50));
         let temps = classify(&counts, 0.99);
         assert_eq!(temps[0], Temperature::Hot);
         assert_eq!(temps[1], Temperature::Hot);
@@ -327,7 +331,7 @@ mod tests {
         // With percentile_cold = 99.99%, the 1-count tail falls outside the
         // coverage set and classifies cold while the mid tier stays warm.
         let mut counts = vec![1_000_000u64, 2_000];
-        counts.extend(std::iter::repeat(1).take(50));
+        counts.extend(std::iter::repeat_n(1, 50));
         let config = ClassifierConfig { percentile_hot: 0.99, percentile_cold: 0.9999 };
         let temps = TemperatureClassifier::new(config).classify_all(&counts);
         assert_eq!(temps[0], Temperature::Hot);

@@ -20,11 +20,12 @@ use serde::{Deserialize, Serialize};
 ///
 /// The paper models all RRIP-based policies with 2-bit RRPVs (§4.3); wider
 /// fields are provided for sensitivity studies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum RrpvWidth {
     /// 1-bit RRPV (NRU-equivalent: immediate / distant only).
     W1,
     /// 2-bit RRPV, the paper's configuration.
+    #[default]
     W2,
     /// 3-bit RRPV.
     W3,
@@ -49,12 +50,6 @@ impl RrpvWidth {
             RrpvWidth::W2 => 2,
             RrpvWidth::W3 => 3,
         }
-    }
-}
-
-impl Default for RrpvWidth {
-    fn default() -> Self {
-        RrpvWidth::W2
     }
 }
 

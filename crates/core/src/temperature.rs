@@ -216,10 +216,7 @@ mod tests {
 
     #[test]
     fn all_lists_hottest_first() {
-        assert_eq!(
-            Temperature::ALL,
-            [Temperature::Hot, Temperature::Warm, Temperature::Cold]
-        );
+        assert_eq!(Temperature::ALL, [Temperature::Hot, Temperature::Warm, Temperature::Cold]);
     }
 
     #[test]

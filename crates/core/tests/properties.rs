@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use trrip_core::{
-    ClassifierConfig, ProfileSummary, Rrpv, RripSet, RrpvWidth, SrripCore, Temperature,
+    ClassifierConfig, ProfileSummary, RripSet, Rrpv, RrpvWidth, SrripCore, Temperature,
     TemperatureBits, TrripPolicy, TrripVariant,
 };
 
@@ -68,6 +68,25 @@ proptest! {
         prop_assert!(ra.aged(width) <= rb.aged(width));
     }
 
+    /// Fills and hits with any temperature keep RRPVs inside the
+    /// configured field width, for both TRRIP variants.
+    #[test]
+    fn trrip_ops_stay_in_field(
+        variant in prop_oneof![Just(TrripVariant::V1), Just(TrripVariant::V2)],
+        width in arb_width(),
+        ops in prop::collection::vec((0u8..2, 0usize..4, arb_temperature()), 0..64),
+    ) {
+        let policy = TrripPolicy::new(variant, width);
+        let mut set = RripSet::new(4, width);
+        for (op, way, temp) in ops {
+            match op {
+                0 => policy.on_fill(&mut set, way, temp),
+                _ => policy.on_hit(&mut set, way, temp),
+            }
+            prop_assert!(set.rrpv(way).raw() <= width.max_value());
+        }
+    }
+
     /// TRRIP insertion priority is monotone in temperature: for any
     /// variant, hot inserts at a priority at least as high as warm, which
     /// is at least as high as cold or untyped (lower RRPV = higher priority).
@@ -77,7 +96,7 @@ proptest! {
         width in arb_width(),
     ) {
         let policy = TrripPolicy::new(variant, width);
-        let mut rrpv_for = |t: Option<Temperature>| {
+        let rrpv_for = |t: Option<Temperature>| {
             let mut set = RripSet::new(4, width);
             policy.on_fill(&mut set, 0, t);
             set.rrpv(0)

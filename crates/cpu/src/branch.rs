@@ -196,10 +196,7 @@ impl BranchPredictor {
         let prediction = self.predict(pc, info.kind);
 
         let direction_wrong = prediction.predicted_taken != info.taken;
-        let target_wrong = info.taken
-            && prediction
-                .predicted_target
-                .map_or(true, |t| t != info.target);
+        let target_wrong = info.taken && (prediction.predicted_target != Some(info.target));
         let mispredicted = direction_wrong || target_wrong;
         if mispredicted {
             self.mispredictions += 1;
@@ -249,7 +246,8 @@ impl BranchPredictor {
         let li = BranchPredictor::loop_index(pc, self.config.loop_entries);
         let entry = &mut self.loops[li];
         if !entry.valid || entry.tag != pc.raw() {
-            *entry = LoopEntry { tag: pc.raw(), trip_count: 0, current: 0, confidence: 0, valid: true };
+            *entry =
+                LoopEntry { tag: pc.raw(), trip_count: 0, current: 0, confidence: 0, valid: true };
         }
         if taken {
             entry.current += 1;
@@ -296,8 +294,7 @@ mod tests {
         let mut bp = BranchPredictor::default();
         let call_pc = VirtAddr::new(0x100);
         let callee = VirtAddr::new(0x8000);
-        let call =
-            BranchInfo { kind: BranchKind::Call, taken: true, target: callee };
+        let call = BranchInfo { kind: BranchKind::Call, taken: true, target: callee };
         // Warm the call's BTB entry first.
         bp.observe(call_pc, &call);
         bp.observe(
@@ -316,8 +313,10 @@ mod tests {
     fn indirect_predicts_last_target() {
         let mut bp = BranchPredictor::default();
         let pc = VirtAddr::new(0x200);
-        let t1 = BranchInfo { kind: BranchKind::Indirect, taken: true, target: VirtAddr::new(0x5000) };
-        let t2 = BranchInfo { kind: BranchKind::Indirect, taken: true, target: VirtAddr::new(0x6000) };
+        let t1 =
+            BranchInfo { kind: BranchKind::Indirect, taken: true, target: VirtAddr::new(0x5000) };
+        let t2 =
+            BranchInfo { kind: BranchKind::Indirect, taken: true, target: VirtAddr::new(0x6000) };
         bp.observe(pc, &t1);
         assert!(!bp.observe(pc, &t1), "repeated target should hit");
         assert!(bp.observe(pc, &t2), "changed target should miss");

@@ -279,8 +279,9 @@ impl<B: MemoryBackend> Core<B> {
                         // miss overlap (memory-level parallelism): they only
                         // pay a serialization share. Independent misses pay
                         // the full exposed latency.
-                        let overlapped = last_miss_instr
-                            .is_some_and(|li| instructions - li < u64::from(self.config.rob_entries));
+                        let overlapped = last_miss_instr.is_some_and(|li| {
+                            instructions - li < u64::from(self.config.rob_entries)
+                        });
                         let stall = if overlapped { exposed / MLP_SERIALIZATION } else { exposed };
                         topdown.mem += stall;
                         cycles += stall;
@@ -328,8 +329,7 @@ impl<B: MemoryBackend> Core<B> {
             if let Some(branch) = instr.branch {
                 let p = self.predictor.predict(instr.pc, branch.kind);
                 let direction_wrong = p.predicted_taken != branch.taken;
-                let target_wrong = branch.taken
-                    && p.predicted_target.map_or(true, |t| t != branch.target);
+                let target_wrong = branch.taken && (p.predicted_target != Some(branch.target));
                 if direction_wrong || target_wrong {
                     break; // FDIP would stream the wrong path from here.
                 }

@@ -97,8 +97,7 @@ impl TopDown {
     /// Total accounted cycles.
     #[must_use]
     pub fn total(&self) -> f64 {
-        self.retire
-            + StallClass::ALL.iter().map(|&c| self.stall(c)).sum::<f64>()
+        self.retire + StallClass::ALL.iter().map(|&c| self.stall(c)).sum::<f64>()
     }
 
     /// Fraction of total cycles in one class (`None` class = retire).
@@ -136,11 +135,8 @@ mod tests {
         let mut td = TopDown { retire: 50.0, ..Default::default() };
         td.add_stall(StallClass::Ifetch, 25.0);
         td.add_stall(StallClass::Mem, 25.0);
-        let sum: f64 = StallClass::ALL
-            .iter()
-            .map(|&c| td.fraction(Some(c)))
-            .sum::<f64>()
-            + td.fraction(None);
+        let sum: f64 =
+            StallClass::ALL.iter().map(|&c| td.fraction(Some(c))).sum::<f64>() + td.fraction(None);
         assert!((sum - 1.0).abs() < 1e-12);
         assert!((td.fraction(None) - 0.5).abs() < 1e-12);
     }

@@ -10,9 +10,10 @@ use serde::{Deserialize, Serialize};
 use crate::addr::VirtAddr;
 
 /// Supported page sizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum PageSize {
     /// 4 kB — the default on both mobile and server platforms.
+    #[default]
     Size4K,
     /// 16 kB — supported by mobile platforms since AOSP 15.
     Size16K,
@@ -62,12 +63,6 @@ impl PageSize {
         let first = start.raw() >> self.offset_bits();
         let last = (start.raw() + len - 1) >> self.offset_bits();
         last - first + 1
-    }
-}
-
-impl Default for PageSize {
-    fn default() -> Self {
-        PageSize::Size4K
     }
 }
 

@@ -14,23 +14,18 @@ use crate::page_table::{PageTable, PageTableEntry};
 
 /// How the loader tags a page overlapped by sections of different
 /// temperature (§4.9's accuracy hazard and prevention mechanisms).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum OverlapPolicy {
     /// Tag with the temperature of the section covering the page's first
     /// byte — the naive behaviour whose inaccuracy §4.9 warns about.
     FirstByte,
     /// Prevention mechanism (2): leave mixed pages untagged so TRRIP
     /// never mis-prioritizes.
+    #[default]
     DropMixed,
     /// Tag with the hottest overlapping temperature (ablation variant:
     /// errs toward over-prioritizing).
     Hottest,
-}
-
-impl Default for OverlapPolicy {
-    fn default() -> Self {
-        OverlapPolicy::DropMixed
-    }
 }
 
 /// Pages mapped per temperature class — the data behind Table 5.
@@ -236,9 +231,8 @@ mod tests {
             section(".text.hot", 0x40_0000, 6000, Some(Temperature::Hot), true),
             section(".text.warm", 0x40_0000 + 6016, 4096, Some(Temperature::Warm), true),
         ]);
-        let img = Loader::new(PageSize::Size4K)
-            .with_overlap_policy(OverlapPolicy::FirstByte)
-            .load(&obj);
+        let img =
+            Loader::new(PageSize::Size4K).with_overlap_policy(OverlapPolicy::FirstByte).load(&obj);
         // Page 1 starts inside the hot section → tagged hot (the §4.9
         // risk: warm code on that page is now treated as hot).
         let (_, bits) = img.page_table.lookup(VirtAddr::new(0x40_1000)).unwrap();
@@ -251,9 +245,8 @@ mod tests {
             section(".text.cold", 0x40_0000, 2048, Some(Temperature::Cold), true),
             section(".text.warm", 0x40_0800, 2048, Some(Temperature::Warm), true),
         ]);
-        let img = Loader::new(PageSize::Size4K)
-            .with_overlap_policy(OverlapPolicy::Hottest)
-            .load(&obj);
+        let img =
+            Loader::new(PageSize::Size4K).with_overlap_policy(OverlapPolicy::Hottest).load(&obj);
         let (_, bits) = img.page_table.lookup(VirtAddr::new(0x40_0000)).unwrap();
         assert_eq!(bits.decode(), Some(Temperature::Warm));
     }

@@ -60,8 +60,7 @@ impl Mmu {
     /// above any frame the loader used.
     #[must_use]
     pub fn new(page_table: PageTable) -> Mmu {
-        let max_frame =
-            page_table.iter().map(|(_, e)| e.frame).max().unwrap_or(0x100);
+        let max_frame = page_table.iter().map(|(_, e)| e.frame).max().unwrap_or(0x100);
         Mmu {
             page_table,
             tlb: vec![TlbEntry::default(); Mmu::TLB_ENTRIES],

@@ -125,13 +125,10 @@ mod tests {
     #[test]
     fn temperature_bits_round_trip_through_pte() {
         let mut pt = PageTable::new(PageSize::Size4K);
-        for (vpn, temp) in
-            [(1, Some(Temperature::Hot)), (2, Some(Temperature::Warm)), (3, None)]
-        {
+        for (vpn, temp) in [(1, Some(Temperature::Hot)), (2, Some(Temperature::Warm)), (3, None)] {
             pt.map(vpn, entry(vpn + 100, temp));
         }
-        for (vpn, temp) in
-            [(1u64, Some(Temperature::Hot)), (2, Some(Temperature::Warm)), (3, None)]
+        for (vpn, temp) in [(1u64, Some(Temperature::Hot)), (2, Some(Temperature::Warm)), (3, None)]
         {
             let (_, bits) = pt.lookup(VirtAddr::new(vpn * 4096)).unwrap();
             assert_eq!(bits.decode(), temp);

@@ -11,7 +11,7 @@
 //! that treating every instruction line as hot (`percentile_hot = 100%`)
 //! behaves like CLIP and gives up most of the selective-priority benefit.
 
-use trrip_core::{Rrpv, RripSet, RrpvWidth, SrripCore};
+use trrip_core::{RripSet, Rrpv, RrpvWidth, SrripCore};
 
 use crate::dueling::{DuelChoice, SetDueling};
 use crate::srrip::Srrip;

@@ -64,7 +64,13 @@ impl SetDueling {
         let leaders_per_policy = leaders_per_policy.min((num_sets / 2).max(1));
         let stride = (num_sets / leaders_per_policy).max(1);
         let psel_max = (1u32 << psel_bits) - 1;
-        SetDueling { stride, half: stride / 2, psel: psel_max / 2, psel_max, psel_mid: psel_max / 2 }
+        SetDueling {
+            stride,
+            half: stride / 2,
+            psel: psel_max / 2,
+            psel_max,
+            psel_mid: psel_max / 2,
+        }
     }
 
     /// Paper configuration: 32 leader sets per policy, 10-bit PSEL

@@ -48,10 +48,7 @@ impl Emissary {
     }
 
     fn priority_count(&self, set: usize) -> usize {
-        self.priority[set * self.ways..(set + 1) * self.ways]
-            .iter()
-            .filter(|&&p| p)
-            .count()
+        self.priority[set * self.ways..(set + 1) * self.ways].iter().filter(|&&p| p).count()
     }
 
     /// Whether the line at `(set, way)` currently holds a priority bit.
@@ -93,8 +90,7 @@ impl ReplacementPolicy for Emissary {
 
     fn on_fill(&mut self, set: usize, way: usize, req: &RequestInfo) {
         self.lru.on_fill(set, way, req);
-        self.priority[set * self.ways + way] =
-            req.kind.is_instruction() && req.caused_starvation;
+        self.priority[set * self.ways + way] = req.kind.is_instruction() && req.caused_starvation;
     }
 
     fn on_invalidate(&mut self, set: usize, way: usize) {

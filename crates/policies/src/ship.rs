@@ -10,7 +10,7 @@
 //! predicted dead-on-arrival and inserted at *distant*.
 
 use serde::{Deserialize, Serialize};
-use trrip_core::{Rrpv, RripSet, RrpvWidth, SrripCore};
+use trrip_core::{RripSet, Rrpv, RrpvWidth, SrripCore};
 use trrip_mem::VirtAddr;
 
 use crate::srrip::Srrip;
@@ -83,10 +83,7 @@ impl Ship {
     #[must_use]
     pub fn new(sets: usize, ways: usize, width: RrpvWidth, config: ShipConfig) -> Ship {
         assert!(sets > 0, "cache must have at least one set");
-        assert!(
-            config.shct_entries.is_power_of_two(),
-            "SHCT entry count must be a power of two"
-        );
+        assert!(config.shct_entries.is_power_of_two(), "SHCT entry count must be a power of two");
         let counter_max = (1u8 << config.counter_bits) - 1;
         Ship {
             sets: (0..sets).map(|_| RripSet::new(ways, width)).collect(),

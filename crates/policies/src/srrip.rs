@@ -47,9 +47,7 @@ impl Srrip {
     /// mechanism: repeatedly age until a candidate is distant.
     pub(crate) fn rrip_victim(set: &mut RripSet, width: RrpvWidth, candidates: &[usize]) -> usize {
         loop {
-            if let Some(&way) =
-                candidates.iter().find(|&&way| set.rrpv(way).is_distant(width))
-            {
+            if let Some(&way) = candidates.iter().find(|&&way| set.rrpv(way).is_distant(width)) {
                 return way;
             }
             for way in 0..set.ways() {
@@ -124,7 +122,7 @@ mod tests {
         p.on_fill(0, 0, &req);
         p.on_hit(0, 0, &req); // way0 immediate
         p.on_fill(0, 1, &req); // way1 intermediate
-        // Choosing among way1 only: ages set until way1 distant (1 step).
+                               // Choosing among way1 only: ages set until way1 distant (1 step).
         let v = p.choose_victim(0, &req, &[1]);
         assert_eq!(v, 1);
         // Way 0 aged from immediate to near as a side effect.

@@ -127,8 +127,7 @@ mod tests {
     #[test]
     fn temperature_on_data_requests_is_ignored() {
         let mut trrip = Trrip::new(1, 4, TrripVariant::V1, RrpvWidth::W2);
-        let tagged_data =
-            RequestInfo::data_load(0x100).with_temperature(Some(Temperature::Hot));
+        let tagged_data = RequestInfo::data_load(0x100).with_temperature(Some(Temperature::Hot));
         trrip.on_fill(0, 0, &tagged_data);
         assert_eq!(trrip.sets[0].rrpv(0), Rrpv::intermediate(RrpvWidth::W2));
     }

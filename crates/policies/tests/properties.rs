@@ -36,12 +36,16 @@ fn arb_op(sets: usize, ways: usize) -> impl Strategy<Value = Op> {
 }
 
 fn arb_request() -> impl Strategy<Value = RequestInfo> {
-    (any::<u64>(), any::<bool>(), prop_oneof![
-        Just(None),
-        Just(Some(Temperature::Hot)),
-        Just(Some(Temperature::Warm)),
-        Just(Some(Temperature::Cold)),
-    ])
+    (
+        any::<u64>(),
+        any::<bool>(),
+        prop_oneof![
+            Just(None),
+            Just(Some(Temperature::Hot)),
+            Just(Some(Temperature::Warm)),
+            Just(Some(Temperature::Cold)),
+        ],
+    )
         .prop_map(|(pc, instr, temp)| {
             let base = if instr { RequestInfo::ifetch(pc) } else { RequestInfo::data_load(pc) };
             base.with_temperature(temp)

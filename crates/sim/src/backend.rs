@@ -51,7 +51,12 @@ impl std::fmt::Debug for SystemBackend {
 impl SystemBackend {
     /// Builds the backend for a loaded object.
     #[must_use]
-    pub fn new(mmu: Mmu, hierarchy: Hierarchy, object: &ObjectFile, config: &SimConfig) -> SystemBackend {
+    pub fn new(
+        mmu: Mmu,
+        hierarchy: Hierarchy,
+        object: &ObjectFile,
+        config: &SimConfig,
+    ) -> SystemBackend {
         let mut code_regions = Vec::new();
         let mut hot_range = None;
         for s in &object.sections {
@@ -122,8 +127,7 @@ impl SystemBackend {
     }
 
     fn is_hot_code(&self, pc: VirtAddr) -> bool {
-        self.hot_range
-            .is_some_and(|(start, end)| pc.raw() >= start && pc.raw() < end)
+        self.hot_range.is_some_and(|(start, end)| pc.raw() >= start && pc.raw() < end)
     }
 
     fn region_of(&self, pc: VirtAddr) -> CodeRegion {

@@ -1,14 +1,27 @@
 //! Parallel policy sweeps — the engine behind Figure 6, Table 3 and the
 //! sensitivity studies.
+//!
+//! Two engines produce the same [`SweepResult`]:
+//!
+//! * [`policy_sweep`] regenerates the instruction trace with the CFG
+//!   walker for every `(workload, policy)` job — no disk, but the
+//!   generation cost is paid `policies.len()` times per workload;
+//! * [`replay_sweep`] captures each workload's trace to a
+//!   [`TraceStore`] once, then every job streams it back through a
+//!   bounded-channel decode thread ([`trrip_trace::StreamingReplay`]),
+//!   so the sweep pays generation once and decode (much cheaper)
+//!   per job. Results are bit-identical between the two engines.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 use trrip_policies::PolicyKind;
 
+use crate::capture::TraceStore;
 use crate::config::SimConfig;
 use crate::prepare::PreparedWorkload;
-use crate::system::{simulate, SimResult};
+use crate::system::{simulate, simulate_source, SimResult};
 
 /// Results of a `workloads × policies` sweep.
 #[derive(Debug)]
@@ -56,6 +69,36 @@ impl SweepResult {
     }
 }
 
+/// Runs `f(0)..f(n-1)` across up to one scoped worker per hardware
+/// thread, returning the results in index order. The shared fan-out
+/// scaffold behind every sweep and preparation pass.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (a panicking worker aborts the scope).
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let cursor = AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism().map_or(4, usize::from).min(n.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                slots.lock()[i] = Some(value);
+            });
+        }
+    });
+    slots.into_inner().into_iter().map(|v| v.expect("all jobs completed")).collect()
+}
+
 /// Runs every workload under every policy, in parallel across the
 /// machine's cores. Deterministic per (workload, policy) regardless of
 /// scheduling.
@@ -65,34 +108,61 @@ pub fn policy_sweep(
     config: &SimConfig,
     policies: &[PolicyKind],
 ) -> SweepResult {
-    let jobs: Vec<(usize, usize)> = (0..workloads.len())
-        .flat_map(|w| (0..policies.len()).map(move |p| (w, p)))
-        .collect();
-    let results: Mutex<Vec<Option<SimResult>>> = Mutex::new(vec![None; jobs.len()]);
-    let cursor = AtomicUsize::new(0);
-    let threads = std::thread::available_parallelism().map_or(4, usize::from).min(jobs.len().max(1));
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let (wi, pi) = jobs[i];
-                let run_config = config.clone().with_policy(policies[pi]);
-                let result = simulate(&workloads[wi], &run_config);
-                results.lock()[i] = Some(result);
-            });
-        }
+    let jobs: Vec<(usize, usize)> =
+        (0..workloads.len()).flat_map(|w| (0..policies.len()).map(move |p| (w, p))).collect();
+    let results = parallel_map(jobs.len(), |i| {
+        let (wi, pi) = jobs[i];
+        let run_config = config.clone().with_policy(policies[pi]);
+        simulate(&workloads[wi], &run_config)
     });
 
     SweepResult {
-        results: results
-            .into_inner()
-            .into_iter()
-            .map(|r| r.expect("all jobs completed"))
-            .collect(),
+        results,
+        policies: policies.to_vec(),
+        benchmarks: workloads.iter().map(|w| w.spec.name.clone()).collect(),
+    }
+}
+
+/// Runs every workload under every policy by streaming captured traces
+/// from `store` — capturing any that are missing first — instead of
+/// re-generating each trace per policy. One worker per hardware thread
+/// shards the `(workload, policy)` jobs; each job streams *its own*
+/// replay (decode thread + bounded channel), so jobs stay independent
+/// and the result is deterministic and bit-identical to [`policy_sweep`]
+/// regardless of scheduling.
+///
+/// # Panics
+///
+/// Panics if a trace cannot be captured or replayed (disk full, file
+/// damaged between capture and replay).
+#[must_use]
+pub fn replay_sweep(
+    workloads: &[PreparedWorkload],
+    config: &SimConfig,
+    policies: &[PolicyKind],
+    store: &TraceStore,
+) -> SweepResult {
+    // Phase 1: one capture per workload (only the missing ones pay).
+    let paths: Vec<PathBuf> = parallel_map(workloads.len(), |i| {
+        store
+            .ensure(&workloads[i], config)
+            .unwrap_or_else(|e| panic!("capturing {}: {e}", workloads[i].spec.name))
+    });
+
+    // Phase 2: shard the (workload × policy) jobs across workers, each
+    // streaming its trace from disk.
+    let jobs: Vec<(usize, usize)> =
+        (0..workloads.len()).flat_map(|w| (0..policies.len()).map(move |p| (w, p))).collect();
+    let results = parallel_map(jobs.len(), |i| {
+        let (wi, pi) = jobs[i];
+        let run_config = config.clone().with_policy(policies[pi]);
+        let replay = trrip_trace::StreamingReplay::open(&paths[wi])
+            .unwrap_or_else(|e| panic!("replaying {}: {e}", paths[wi].display()));
+        simulate_source(&workloads[wi], &run_config, replay)
+    });
+
+    SweepResult {
+        results,
         policies: policies.to_vec(),
         benchmarks: workloads.iter().map(|w| w.spec.name.clone()).collect(),
     }

@@ -10,20 +10,28 @@
 //!   interface over the MMU (temperature attribution) and the cache
 //!   hierarchy, adds next-line + stride prefetching and prefetch
 //!   timeliness, and feeds the reuse/costly-miss profilers.
-//! * [`system`] — [`simulate`]: fast-forward, measure, collect.
-//! * [`experiment`] — parallel policy sweeps and speedup computation.
+//! * [`system`] — [`simulate`] / [`simulate_source`]: fast-forward,
+//!   measure, collect — over the in-memory walker or any
+//!   [`trrip_trace::TraceSource`].
+//! * [`capture`] — [`capture_trace`] and the [`TraceStore`]: record the
+//!   walker's output to the `trrip-trace` binary format once, replay it
+//!   from disk for every subsequent run.
+//! * [`experiment`] — parallel policy sweeps (walker-driven and
+//!   trace-replay engines) and speedup computation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod capture;
 pub mod config;
 pub mod experiment;
 pub mod prepare;
 pub mod system;
 
 pub use backend::SystemBackend;
+pub use capture::{capture_length, capture_trace, TraceStore};
 pub use config::SimConfig;
-pub use experiment::{policy_sweep, speedup_vs, SweepResult};
+pub use experiment::{parallel_map, policy_sweep, replay_sweep, speedup_vs, SweepResult};
 pub use prepare::PreparedWorkload;
-pub use system::{simulate, SimResult};
+pub use system::{simulate, simulate_source, SimResult};

@@ -91,7 +91,8 @@ mod tests {
 
     #[test]
     fn pipeline_produces_all_temperatures() {
-        let w = PreparedWorkload::prepare(&quick_spec(), 300_000, ClassifierConfig::llvm_defaults());
+        let w =
+            PreparedWorkload::prepare(&quick_spec(), 300_000, ClassifierConfig::llvm_defaults());
         let (hot, _, cold) = w.temps.histogram();
         assert!(hot > 0, "no hot functions classified");
         assert!(cold > 0, "no cold functions classified");
@@ -116,14 +117,16 @@ mod tests {
 
     #[test]
     fn object_selector_returns_right_layout() {
-        let w = PreparedWorkload::prepare(&quick_spec(), 100_000, ClassifierConfig::llvm_defaults());
+        let w =
+            PreparedWorkload::prepare(&quick_spec(), 100_000, ClassifierConfig::llvm_defaults());
         assert!(w.object(LayoutKind::SourceOrder).section_named(".text").is_some());
         assert!(w.object(LayoutKind::Pgo).section_named(".text.hot").is_some());
     }
 
     #[test]
     fn text_fractions_sum_to_one() {
-        let w = PreparedWorkload::prepare(&quick_spec(), 200_000, ClassifierConfig::llvm_defaults());
+        let w =
+            PreparedWorkload::prepare(&quick_spec(), 200_000, ClassifierConfig::llvm_defaults());
         let (h, wm, c) = w.text_fractions();
         assert!((h + wm + c - 1.0).abs() < 1e-9);
         assert!(h > 0.0);

@@ -6,6 +6,7 @@ use trrip_cache::{AccessStats, Hierarchy};
 use trrip_cpu::{Core, CoreResult};
 use trrip_os::{Loader, Mmu, PageStats, TlbStats};
 use trrip_policies::PolicyKind;
+use trrip_trace::{SourceIter, TraceSource};
 use trrip_workloads::{InputSet, TraceGenerator};
 
 use crate::backend::SystemBackend;
@@ -91,9 +92,29 @@ impl SimResult {
     }
 }
 
-/// Runs one benchmark under one configuration.
+/// Runs one benchmark under one configuration, generating the trace
+/// in-memory with the CFG walker (the classic path; equivalent to
+/// [`simulate_source`] over the walker).
 #[must_use]
 pub fn simulate(workload: &PreparedWorkload, config: &SimConfig) -> SimResult {
+    let object = workload.object(config.layout);
+    let mut generator =
+        TraceGenerator::new(&workload.program, object, &workload.spec, InputSet::Eval);
+    simulate_source(workload, config, &mut generator)
+}
+
+/// Runs one benchmark under one configuration over any [`TraceSource`] —
+/// the in-memory walker or an on-disk trace captured earlier. The source
+/// must deliver `fast_forward + instructions` instructions of the
+/// workload's eval input under `config.layout` (the layout determines
+/// every PC); [`crate::capture_trace`] writes exactly that stream, which
+/// is what makes disk replay bit-identical to in-memory generation.
+#[must_use]
+pub fn simulate_source<S: TraceSource>(
+    workload: &PreparedWorkload,
+    config: &SimConfig,
+    source: S,
+) -> SimResult {
     let object = workload.object(config.layout);
 
     // ⑥–⑧ Load: pages + PTEs (with temperature bits under PGO).
@@ -106,16 +127,15 @@ pub fn simulate(workload: &PreparedWorkload, config: &SimConfig) -> SimResult {
     let hierarchy = Hierarchy::new(&config.hierarchy);
     let backend = SystemBackend::new(mmu, hierarchy, object, config);
     let mut core = Core::new(config.core, backend);
-    let mut generator =
-        TraceGenerator::new(&workload.program, object, &workload.spec, InputSet::Eval);
+    let mut stream = SourceIter::new(source);
 
     // Fast-forward warms caches and predictors; stats reset afterwards.
     if config.fast_forward > 0 {
-        let _ = core.run((&mut generator).take(config.fast_forward as usize));
+        let _ = core.run((&mut stream).take(config.fast_forward as usize));
     }
     core.backend_mut().arm_measurement(config.measure_reuse, config.track_costly);
 
-    let result = core.run((&mut generator).take(config.instructions as usize));
+    let result = core.run((&mut stream).take(config.instructions as usize));
 
     let backend = core.backend_mut();
     let reuse = backend.take_reuse();

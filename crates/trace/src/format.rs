@@ -1,0 +1,557 @@
+//! The on-disk encoding.
+//!
+//! # Layout
+//!
+//! ```text
+//! file   := header chunk*
+//! header := magic:8 version:u16 layout:u8 flags:u8 chunk_capacity:u32
+//!           instructions:u64 checksum:u64 name_len:u16 name:name_len
+//! chunk  := record_count:u32 payload_len:u32 payload:payload_len
+//! ```
+//!
+//! All fixed-width fields are little-endian. `instructions` and
+//! `checksum` ([`Checksum`] over every chunk payload byte) sit at fixed
+//! offsets so the writer can patch them when the stream ends.
+//!
+//! # Records
+//!
+//! Each record starts with a flags byte (branch kind packed into the top
+//! three bits), followed by the varint fields the flags call for:
+//!
+//! * `pc` — zigzag delta against the *expected* next PC (the previous
+//!   instruction's fall-through or taken target), so sequential flow
+//!   costs one `0x00` byte;
+//! * branch `target` — zigzag delta against `pc + 4`;
+//! * memory `addr` — zigzag delta against the previous memory operand in
+//!   the chunk (data streams revisit the same regions);
+//! * stall — class byte + cycle count byte.
+//!
+//! Delta state resets at every chunk boundary, so any chunk can be
+//! decoded knowing only the header — the property the streaming reader
+//! and future parallel decoders rely on.
+
+use std::fmt;
+
+use trrip_cpu::{BranchInfo, BranchKind, StallClass, TraceInstr};
+use trrip_mem::VirtAddr;
+
+/// File magic: `b"TRRIPTRC"`.
+pub const MAGIC: [u8; 8] = *b"TRRIPTRC";
+/// Current format version.
+pub const VERSION: u16 = 1;
+/// Records per full chunk (the streaming granularity). 64 Ki records
+/// decode to ~2.2 MiB in memory — large enough to amortize syscalls,
+/// small enough that replay memory stays flat.
+pub const CHUNK_CAPACITY: u32 = 64 * 1024;
+/// Byte offset of the `instructions` header field (for patching).
+pub const INSTRUCTIONS_OFFSET: u64 = 16;
+/// Byte offset of the `checksum` header field (for patching).
+pub const CHECKSUM_OFFSET: u64 = 24;
+/// Fixed header size before the workload name.
+pub const HEADER_FIXED_LEN: usize = 34;
+/// Longest workload name the format allows, enforced identically by the
+/// writer (panic at capture time) and the reader (corrupt-header error).
+pub const MAX_NAME_LEN: usize = 4096;
+
+/// The code layout a trace was captured under. PCs are layout-dependent,
+/// so replaying a trace under the wrong layout silently measures the
+/// wrong binary; the metadata lets callers detect that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceLayout {
+    /// Non-PGO source-order binary.
+    SourceOrder,
+    /// PGO binary with temperature sections.
+    Pgo,
+    /// Imported/foreign trace with no layout provenance.
+    Foreign,
+}
+
+impl TraceLayout {
+    /// Wire encoding.
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        match self {
+            TraceLayout::SourceOrder => 0,
+            TraceLayout::Pgo => 1,
+            TraceLayout::Foreign => 2,
+        }
+    }
+
+    /// Decodes the wire value.
+    #[must_use]
+    pub fn from_u8(raw: u8) -> Option<TraceLayout> {
+        match raw {
+            0 => Some(TraceLayout::SourceOrder),
+            1 => Some(TraceLayout::Pgo),
+            2 => Some(TraceLayout::Foreign),
+            _ => None,
+        }
+    }
+
+    /// Short name used in trace file names and reports.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            TraceLayout::SourceOrder => "plain",
+            TraceLayout::Pgo => "pgo",
+            TraceLayout::Foreign => "foreign",
+        }
+    }
+}
+
+impl fmt::Display for TraceLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Workload metadata carried by the header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Workload name (UTF-8, at most 64 KiB).
+    pub name: String,
+    /// Code layout the trace was captured under.
+    pub layout: TraceLayout,
+    /// Dynamic instructions in the trace.
+    pub instructions: u64,
+    /// [`Checksum`] (word-folded 64-bit hash — *not* FNV-1a; see that
+    /// type for the exact algorithm) over every chunk payload byte.
+    pub checksum: u64,
+    /// Records per full chunk.
+    pub chunk_capacity: u32,
+}
+
+/// Everything that can go wrong reading a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure (including truncation mid-chunk).
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is newer than this reader.
+    UnsupportedVersion(u16),
+    /// Structurally invalid content; the message says what.
+    Corrupt(String),
+    /// Payload bytes do not hash to the header checksum.
+    ChecksumMismatch {
+        /// Checksum the header promises.
+        expected: u64,
+        /// Checksum the payload actually hashes to.
+        found: u64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadMagic => f.write_str("not a trrip trace (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v} (this reader speaks {VERSION})")
+            }
+            TraceError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+            TraceError::ChecksumMismatch { expected, found } => {
+                write!(f, "trace checksum mismatch: header {expected:#018x}, payload {found:#018x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
+
+// ---- checksum ----
+
+/// Hash offset basis (FNV-1a's, reused).
+const HASH_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// Multiplicative mixing constant (splitmix64's first odd constant).
+const HASH_MULT: u64 = 0xBF58_476D_1CE4_E5B9;
+
+/// Running 64-bit payload checksum, folded a word at a time (8× faster
+/// than byte-serial FNV-1a; replay decode is checksummed on the hot
+/// path).
+///
+/// Writer and reader feed it the same slices — one `update` per chunk
+/// payload — so the word boundaries always agree; `update` call
+/// boundaries are *not* transparent and this type is deliberately not a
+/// general-purpose hasher.
+#[derive(Debug, Clone, Copy)]
+pub struct Checksum(u64);
+
+impl Checksum {
+    /// Fresh accumulator.
+    #[must_use]
+    pub fn new() -> Checksum {
+        Checksum(HASH_OFFSET)
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        let mut words = bytes.chunks_exact(8);
+        for word in &mut words {
+            let w = u64::from_le_bytes(word.try_into().expect("8 bytes"));
+            h = (h ^ w).wrapping_mul(HASH_MULT);
+            h ^= h >> 31;
+        }
+        let tail = words.remainder();
+        if !tail.is_empty() {
+            let mut w = (tail.len() as u64) << 56;
+            for (i, &b) in tail.iter().enumerate() {
+                w |= u64::from(b) << (8 * i);
+            }
+            h = (h ^ w).wrapping_mul(HASH_MULT);
+            h ^= h >> 31;
+        }
+        self.0 = h;
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        // Finalization so short payloads still avalanche.
+        let mut h = self.0;
+        h = (h ^ (h >> 33)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^ (h >> 29)
+    }
+}
+
+impl Default for Checksum {
+    fn default() -> Checksum {
+        Checksum::new()
+    }
+}
+
+// ---- varints ----
+
+/// Appends a LEB128 varint.
+pub fn push_varint(buf: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Zigzag-encodes a signed delta and appends it as a varint.
+pub fn push_signed(buf: &mut Vec<u8>, value: i64) {
+    push_varint(buf, zigzag(value));
+}
+
+/// Signed → unsigned zigzag mapping.
+#[must_use]
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Unsigned → signed zigzag inverse.
+#[must_use]
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Reads a LEB128 varint from `buf[*pos..]`, advancing `pos`.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf
+            .get(*pos)
+            .ok_or_else(|| TraceError::Corrupt("varint runs past chunk payload".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(TraceError::Corrupt("varint longer than 64 bits".into()));
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Reads a zigzag-encoded signed varint.
+pub fn read_signed(buf: &[u8], pos: &mut usize) -> Result<i64, TraceError> {
+    Ok(unzigzag(read_varint(buf, pos)?))
+}
+
+// ---- record codec ----
+
+const FLAG_BRANCH: u8 = 1 << 0;
+const FLAG_TAKEN: u8 = 1 << 1;
+const FLAG_MEM: u8 = 1 << 2;
+const FLAG_STORE: u8 = 1 << 3;
+const FLAG_STALL: u8 = 1 << 4;
+const KIND_SHIFT: u8 = 5;
+
+fn kind_to_bits(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::Direct => 1,
+        BranchKind::Indirect => 2,
+        BranchKind::Call => 3,
+        BranchKind::IndirectCall => 4,
+        BranchKind::Return => 5,
+    }
+}
+
+fn kind_from_bits(bits: u8) -> Result<BranchKind, TraceError> {
+    match bits {
+        0 => Ok(BranchKind::Conditional),
+        1 => Ok(BranchKind::Direct),
+        2 => Ok(BranchKind::Indirect),
+        3 => Ok(BranchKind::Call),
+        4 => Ok(BranchKind::IndirectCall),
+        5 => Ok(BranchKind::Return),
+        _ => Err(TraceError::Corrupt(format!("invalid branch kind {bits}"))),
+    }
+}
+
+fn stall_to_bits(class: StallClass) -> u8 {
+    match class {
+        StallClass::Ifetch => 0,
+        StallClass::Mispred => 1,
+        StallClass::Depend => 2,
+        StallClass::Issue => 3,
+        StallClass::Mem => 4,
+        StallClass::Other => 5,
+    }
+}
+
+fn stall_from_bits(bits: u8) -> Result<StallClass, TraceError> {
+    match bits {
+        0 => Ok(StallClass::Ifetch),
+        1 => Ok(StallClass::Mispred),
+        2 => Ok(StallClass::Depend),
+        3 => Ok(StallClass::Issue),
+        4 => Ok(StallClass::Mem),
+        5 => Ok(StallClass::Other),
+        _ => Err(TraceError::Corrupt(format!("invalid stall class {bits}"))),
+    }
+}
+
+/// Per-chunk delta-coding state; reset at every chunk boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaState {
+    /// The PC the next instruction lands on if flow is sequential.
+    expected_pc: u64,
+    /// Previous memory operand address.
+    prev_mem: u64,
+}
+
+impl DeltaState {
+    /// Chunk-initial state.
+    #[must_use]
+    pub fn new() -> DeltaState {
+        DeltaState { expected_pc: 0, prev_mem: 0 }
+    }
+}
+
+impl Default for DeltaState {
+    fn default() -> DeltaState {
+        DeltaState::new()
+    }
+}
+
+/// Encodes one record, updating the delta state.
+pub fn encode_record(buf: &mut Vec<u8>, state: &mut DeltaState, instr: &TraceInstr) {
+    let mut flags = 0u8;
+    if let Some(b) = instr.branch {
+        flags |= FLAG_BRANCH | (kind_to_bits(b.kind) << KIND_SHIFT);
+        if b.taken {
+            flags |= FLAG_TAKEN;
+        }
+    }
+    if let Some(m) = instr.mem {
+        flags |= FLAG_MEM;
+        if m.store {
+            flags |= FLAG_STORE;
+        }
+    }
+    if instr.exec_stall.is_some() {
+        flags |= FLAG_STALL;
+    }
+    buf.push(flags);
+
+    let pc = instr.pc.raw();
+    push_signed(buf, pc.wrapping_sub(state.expected_pc) as i64);
+    if let Some(b) = instr.branch {
+        push_signed(buf, b.target.raw().wrapping_sub(pc.wrapping_add(4)) as i64);
+    }
+    if let Some(m) = instr.mem {
+        push_signed(buf, m.addr.raw().wrapping_sub(state.prev_mem) as i64);
+        state.prev_mem = m.addr.raw();
+    }
+    if let Some((class, cycles)) = instr.exec_stall {
+        buf.push(stall_to_bits(class));
+        buf.push(cycles);
+    }
+
+    state.expected_pc = instr.next_pc().raw();
+}
+
+/// Decodes one record from `buf[*pos..]`, updating the delta state.
+pub fn decode_record(
+    buf: &[u8],
+    pos: &mut usize,
+    state: &mut DeltaState,
+) -> Result<TraceInstr, TraceError> {
+    let &flags = buf
+        .get(*pos)
+        .ok_or_else(|| TraceError::Corrupt("record flags run past chunk payload".into()))?;
+    *pos += 1;
+
+    let pc = state.expected_pc.wrapping_add(read_signed(buf, pos)? as u64);
+    let branch = if flags & FLAG_BRANCH != 0 {
+        let kind = kind_from_bits(flags >> KIND_SHIFT)?;
+        let target = pc.wrapping_add(4).wrapping_add(read_signed(buf, pos)? as u64);
+        Some(BranchInfo { kind, taken: flags & FLAG_TAKEN != 0, target: VirtAddr::new(target) })
+    } else {
+        None
+    };
+    let mem = if flags & FLAG_MEM != 0 {
+        let addr = state.prev_mem.wrapping_add(read_signed(buf, pos)? as u64);
+        state.prev_mem = addr;
+        Some(trrip_cpu::MemOp { addr: VirtAddr::new(addr), store: flags & FLAG_STORE != 0 })
+    } else {
+        None
+    };
+    let exec_stall = if flags & FLAG_STALL != 0 {
+        let class = *buf
+            .get(*pos)
+            .ok_or_else(|| TraceError::Corrupt("stall class runs past chunk payload".into()))?;
+        let cycles = *buf
+            .get(*pos + 1)
+            .ok_or_else(|| TraceError::Corrupt("stall cycles run past chunk payload".into()))?;
+        *pos += 2;
+        Some((stall_from_bits(class)?, cycles))
+    } else {
+        None
+    };
+
+    let instr = TraceInstr { pc: VirtAddr::new(pc), branch, mem, exec_stall };
+    state.expected_pc = instr.next_pc().raw();
+    Ok(instr)
+}
+
+/// Serializes the header for `meta` (count/checksum as currently known).
+///
+/// # Panics
+///
+/// Panics if the workload name exceeds [`MAX_NAME_LEN`] — the reader
+/// would reject such a file, so writing it would only produce a capture
+/// that can never replay.
+#[must_use]
+pub fn encode_header(meta: &TraceMeta) -> Vec<u8> {
+    let name = meta.name.as_bytes();
+    assert!(
+        name.len() <= MAX_NAME_LEN,
+        "workload name is {} bytes, format limit is {MAX_NAME_LEN}",
+        name.len()
+    );
+    let mut buf = Vec::with_capacity(HEADER_FIXED_LEN + name.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.push(meta.layout.as_u8());
+    buf.push(0); // flags, reserved
+    buf.extend_from_slice(&meta.chunk_capacity.to_le_bytes());
+    buf.extend_from_slice(&meta.instructions.to_le_bytes());
+    buf.extend_from_slice(&meta.checksum.to_le_bytes());
+    buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    buf.extend_from_slice(name);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, 4, -4, i64::MAX, i64::MIN, 1 << 40, -(1 << 40)] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            push_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn sequential_instrs_cost_two_bytes() {
+        let mut buf = Vec::new();
+        let mut state = DeltaState::new();
+        encode_record(&mut buf, &mut state, &TraceInstr::simple(0x1000));
+        let first = buf.len();
+        encode_record(&mut buf, &mut state, &TraceInstr::simple(0x1004));
+        // Flags byte + zero pc delta.
+        assert_eq!(buf.len() - first, 2);
+    }
+
+    #[test]
+    fn record_round_trips_all_fields() {
+        let samples = [
+            TraceInstr::simple(0x40_0000),
+            TraceInstr::jump(0x40_0004, 0x50_0000),
+            TraceInstr::cond(0x50_0000, false, 0x40_0000),
+            TraceInstr::load(0x50_0004, 0x8000_0040),
+            TraceInstr::store(0x50_0008, 0x8000_0080),
+            TraceInstr {
+                exec_stall: Some((StallClass::Depend, 9)),
+                ..TraceInstr::simple(0x50_000C)
+            },
+        ];
+        let mut buf = Vec::new();
+        let mut enc = DeltaState::new();
+        for instr in &samples {
+            encode_record(&mut buf, &mut enc, instr);
+        }
+        let mut dec = DeltaState::new();
+        let mut pos = 0;
+        for instr in &samples {
+            assert_eq!(&decode_record(&buf, &mut pos, &mut dec).unwrap(), instr);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let mut buf = Vec::new();
+        let mut state = DeltaState::new();
+        encode_record(&mut buf, &mut state, &TraceInstr::load(0x1000, 0x8000_0000));
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            let mut dec = DeltaState::new();
+            assert!(
+                decode_record(&buf[..cut], &mut pos, &mut dec).is_err(),
+                "decode succeeded on {cut}-byte prefix"
+            );
+        }
+    }
+}

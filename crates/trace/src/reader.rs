@@ -1,0 +1,204 @@
+//! Streaming chunked trace reader.
+
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+use trrip_cpu::TraceInstr;
+
+use crate::format::{
+    decode_record, Checksum, DeltaState, TraceError, TraceLayout, TraceMeta, HEADER_FIXED_LEN,
+    MAGIC, MAX_NAME_LEN, VERSION,
+};
+use crate::source::TraceSource;
+
+/// Largest chunk payload the reader will buffer (defense against a
+/// corrupt length field allocating gigabytes).
+const MAX_CHUNK_PAYLOAD: u32 = 64 << 20;
+
+/// Reads a trace file chunk by chunk: memory stays O(chunk) however long
+/// the trace is. The header is validated eagerly in [`TraceReader::new`];
+/// the payload checksum is verified when the last chunk has been read.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    source: R,
+    meta: TraceMeta,
+    /// Instructions not yet handed out.
+    remaining: u64,
+    checksum: Checksum,
+    payload: Vec<u8>,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Validates the header and positions the reader at the first chunk.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::BadMagic`] / [`TraceError::UnsupportedVersion`] /
+    /// [`TraceError::Corrupt`] for an invalid header, [`TraceError::Io`]
+    /// for underlying failures (including a file shorter than a header).
+    pub fn new(mut source: R) -> Result<TraceReader<R>, TraceError> {
+        let mut fixed = [0u8; HEADER_FIXED_LEN];
+        source.read_exact(&mut fixed)?;
+        if fixed[0..8] != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = u16::from_le_bytes([fixed[8], fixed[9]]);
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let layout = TraceLayout::from_u8(fixed[10])
+            .ok_or_else(|| TraceError::Corrupt(format!("invalid layout byte {}", fixed[10])))?;
+        let chunk_capacity = u32::from_le_bytes(fixed[12..16].try_into().expect("4 bytes"));
+        if chunk_capacity == 0 {
+            return Err(TraceError::Corrupt("zero chunk capacity".into()));
+        }
+        let instructions = u64::from_le_bytes(fixed[16..24].try_into().expect("8 bytes"));
+        let checksum = u64::from_le_bytes(fixed[24..32].try_into().expect("8 bytes"));
+        let name_len = u16::from_le_bytes([fixed[32], fixed[33]]);
+        if usize::from(name_len) > MAX_NAME_LEN {
+            return Err(TraceError::Corrupt(format!("implausible name length {name_len}")));
+        }
+        let mut name_bytes = vec![0u8; usize::from(name_len)];
+        source.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| TraceError::Corrupt("workload name is not UTF-8".into()))?;
+
+        Ok(TraceReader {
+            source,
+            meta: TraceMeta { name, layout, instructions, checksum, chunk_capacity },
+            remaining: instructions,
+            checksum: Checksum::new(),
+            payload: Vec::new(),
+        })
+    }
+
+    /// The header metadata.
+    #[must_use]
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Instructions not yet read.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Decodes the next chunk, appending its records to `out`. Returns
+    /// the number of records appended; `0` means the trace is complete
+    /// (and the checksum verified).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Corrupt`] for malformed framing or payload,
+    /// [`TraceError::ChecksumMismatch`] at EOF when payload bytes were
+    /// damaged in place, [`TraceError::Io`] for truncation and other
+    /// underlying failures.
+    pub fn read_chunk(&mut self, out: &mut Vec<TraceInstr>) -> Result<usize, TraceError> {
+        if self.remaining == 0 {
+            // Covers the empty-trace case; non-empty traces were already
+            // verified when their final chunk was produced.
+            self.verify_checksum()?;
+            return Ok(0);
+        }
+
+        let mut frame = [0u8; 8];
+        self.source.read_exact(&mut frame)?;
+        let record_count = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes"));
+        let payload_len = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+        if record_count == 0 {
+            return Err(TraceError::Corrupt("empty chunk".into()));
+        }
+        if u64::from(record_count) > self.remaining {
+            return Err(TraceError::Corrupt(format!(
+                "chunk holds {record_count} records but only {} remain",
+                self.remaining
+            )));
+        }
+        if record_count > self.meta.chunk_capacity {
+            return Err(TraceError::Corrupt(format!(
+                "chunk holds {record_count} records, capacity is {}",
+                self.meta.chunk_capacity
+            )));
+        }
+        if payload_len > MAX_CHUNK_PAYLOAD {
+            return Err(TraceError::Corrupt(format!("implausible chunk payload {payload_len}")));
+        }
+
+        self.payload.resize(payload_len as usize, 0);
+        self.source.read_exact(&mut self.payload)?;
+        self.checksum.update(&self.payload);
+
+        out.reserve(record_count as usize);
+        let mut pos = 0;
+        let mut state = DeltaState::new();
+        for _ in 0..record_count {
+            out.push(decode_record(&self.payload, &mut pos, &mut state)?);
+        }
+        if pos != self.payload.len() {
+            return Err(TraceError::Corrupt(format!(
+                "{} trailing bytes after last record of chunk",
+                self.payload.len() - pos
+            )));
+        }
+        self.remaining -= u64::from(record_count);
+        if self.remaining == 0 {
+            // Verify as part of producing the *last* chunk: consumers
+            // that stop pulling once they have every instruction (the
+            // simulator's `take(n)` does) would never issue the extra
+            // call that returns 0, and damage would pass silently.
+            self.verify_checksum()?;
+        }
+        Ok(record_count as usize)
+    }
+
+    fn verify_checksum(&self) -> Result<(), TraceError> {
+        let found = self.checksum.value();
+        if found != self.meta.checksum {
+            return Err(TraceError::ChecksumMismatch { expected: self.meta.checksum, found });
+        }
+        Ok(())
+    }
+
+    /// Reads the whole remaining trace into memory. Intended for tests
+    /// and small traces; replay paths should stream chunks instead.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceReader::read_chunk`].
+    pub fn read_to_end(&mut self) -> Result<Vec<TraceInstr>, TraceError> {
+        let mut all = Vec::new();
+        while self.read_chunk(&mut all)? > 0 {}
+        Ok(all)
+    }
+}
+
+impl<R: Read> TraceSource for TraceReader<R> {
+    /// # Panics
+    ///
+    /// Panics if the trace turns out to be corrupt mid-stream; header
+    /// problems are caught earlier, at [`TraceReader::new`]. Callers who
+    /// need recoverable errors use [`TraceReader::read_chunk`] directly.
+    fn next_batch(&mut self, out: &mut Vec<TraceInstr>) -> usize {
+        self.read_chunk(out).unwrap_or_else(|e| panic!("replaying trace {}: {e}", self.meta.name))
+    }
+}
+
+/// Opens a trace file for streaming.
+///
+/// # Errors
+///
+/// As [`TraceReader::new`], plus file-open failures.
+pub fn open(path: &Path) -> Result<TraceReader<BufReader<File>>, TraceError> {
+    TraceReader::new(BufReader::new(File::open(path)?))
+}
+
+/// Reads just the metadata of a trace file (cheap: header only).
+///
+/// # Errors
+///
+/// As [`open`].
+pub fn probe(path: &Path) -> Result<TraceMeta, TraceError> {
+    Ok(open(path)?.meta().clone())
+}

@@ -1,0 +1,114 @@
+//! The [`TraceSource`] abstraction the simulator consumes.
+
+use trrip_cpu::TraceInstr;
+
+/// A producer of instruction batches.
+///
+/// The simulator pulls batches rather than single instructions so disk
+/// readers can hand over whole decoded chunks and the walker can amortize
+/// its per-call bookkeeping; [`SourceIter`] flattens batches back into
+/// the instruction stream the timing core iterates.
+pub trait TraceSource {
+    /// Appends the next batch of instructions to `out`, returning how
+    /// many were appended. `0` means the source is exhausted (infinite
+    /// sources, like the CFG walker, never return `0` — callers bound
+    /// them with [`Iterator::take`] on the [`SourceIter`]).
+    fn next_batch(&mut self, out: &mut Vec<TraceInstr>) -> usize;
+}
+
+impl<S: TraceSource + ?Sized> TraceSource for &mut S {
+    fn next_batch(&mut self, out: &mut Vec<TraceInstr>) -> usize {
+        (**self).next_batch(out)
+    }
+}
+
+/// Adapts any [`TraceSource`] into an `Iterator<Item = TraceInstr>`.
+#[derive(Debug)]
+pub struct SourceIter<S> {
+    source: S,
+    buf: Vec<TraceInstr>,
+    pos: usize,
+}
+
+impl<S: TraceSource> SourceIter<S> {
+    /// Wraps a source.
+    #[must_use]
+    pub fn new(source: S) -> SourceIter<S> {
+        SourceIter { source, buf: Vec::new(), pos: 0 }
+    }
+
+    /// The wrapped source.
+    pub fn source_mut(&mut self) -> &mut S {
+        &mut self.source
+    }
+}
+
+impl<S: TraceSource> Iterator for SourceIter<S> {
+    type Item = TraceInstr;
+
+    fn next(&mut self) -> Option<TraceInstr> {
+        while self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            if self.source.next_batch(&mut self.buf) == 0 {
+                return None;
+            }
+        }
+        let instr = self.buf[self.pos];
+        self.pos += 1;
+        Some(instr)
+    }
+}
+
+/// A [`TraceSource`] over an in-memory instruction sequence (foreign
+/// trace imports and tests).
+#[derive(Debug)]
+pub struct VecSource {
+    instrs: std::vec::IntoIter<TraceInstr>,
+    batch: usize,
+}
+
+impl VecSource {
+    /// Wraps a vector, handing it out in batches of `batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn new(instrs: Vec<TraceInstr>, batch: usize) -> VecSource {
+        assert!(batch > 0, "batch must be positive");
+        VecSource { instrs: instrs.into_iter(), batch }
+    }
+}
+
+impl TraceSource for VecSource {
+    fn next_batch(&mut self, out: &mut Vec<TraceInstr>) -> usize {
+        let before = out.len();
+        out.extend(self.instrs.by_ref().take(self.batch));
+        out.len() - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_iter_flattens_batches() {
+        let instrs: Vec<_> = (0..10).map(|i| TraceInstr::simple(0x1000 + i * 4)).collect();
+        let collected: Vec<_> = SourceIter::new(VecSource::new(instrs.clone(), 3)).collect();
+        assert_eq!(collected, instrs);
+    }
+
+    #[test]
+    fn take_bounds_an_infinite_source() {
+        struct Forever;
+        impl TraceSource for Forever {
+            fn next_batch(&mut self, out: &mut Vec<TraceInstr>) -> usize {
+                out.push(TraceInstr::simple(0));
+                1
+            }
+        }
+        assert_eq!(SourceIter::new(Forever).take(100).count(), 100);
+    }
+}

@@ -1,0 +1,112 @@
+//! Multi-threaded streaming replay: a dedicated I/O thread decodes
+//! chunks and feeds them through a bounded channel, so disk read + varint
+//! decode overlap with simulation instead of serializing with it.
+
+use std::path::Path;
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+use trrip_cpu::TraceInstr;
+
+use crate::format::{TraceError, TraceMeta};
+use crate::reader;
+use crate::source::TraceSource;
+
+/// Decoded chunks the channel may hold before the decoder blocks. Keeps
+/// peak memory at `depth + 1` chunks while still hiding decode latency.
+const CHANNEL_DEPTH: usize = 4;
+
+/// A [`TraceSource`] that streams a trace file on a background thread.
+///
+/// The header is validated on the calling thread (so open errors are
+/// synchronous); payload decoding happens on the worker, which stops at
+/// the first error and forwards it. Dropping the replay mid-trace shuts
+/// the worker down cleanly.
+#[derive(Debug)]
+pub struct StreamingReplay {
+    meta: TraceMeta,
+    /// `Some` until dropped; taken in `Drop` so the decoder unblocks.
+    batches: Option<Receiver<Result<Vec<TraceInstr>, TraceError>>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl StreamingReplay {
+    /// Opens `path` and starts the decoder thread.
+    ///
+    /// # Errors
+    ///
+    /// Any header-validation or open failure, synchronously.
+    pub fn open(path: &Path) -> Result<StreamingReplay, TraceError> {
+        let mut source = reader::open(path)?;
+        let meta = source.meta().clone();
+        let (tx, rx) = mpsc::sync_channel(CHANNEL_DEPTH);
+        let worker = std::thread::Builder::new()
+            .name(format!("trace-decode:{}", meta.name))
+            .spawn(move || decode_loop(&mut source, &tx))
+            .map_err(TraceError::Io)?;
+        Ok(StreamingReplay { meta, batches: Some(rx), worker: Some(worker) })
+    }
+
+    /// The trace's header metadata.
+    #[must_use]
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+}
+
+fn decode_loop<R: std::io::Read>(
+    source: &mut reader::TraceReader<R>,
+    tx: &SyncSender<Result<Vec<TraceInstr>, TraceError>>,
+) {
+    loop {
+        let mut batch = Vec::new();
+        match source.read_chunk(&mut batch) {
+            Ok(0) => return,
+            Ok(_) => {
+                if tx.send(Ok(batch)).is_err() {
+                    return; // consumer dropped mid-trace
+                }
+            }
+            Err(e) => {
+                let _ = tx.send(Err(e));
+                return;
+            }
+        }
+    }
+}
+
+impl TraceSource for StreamingReplay {
+    /// # Panics
+    ///
+    /// Panics if the decoder thread reports a corrupt trace; header
+    /// problems surface earlier, in [`StreamingReplay::open`].
+    fn next_batch(&mut self, out: &mut Vec<TraceInstr>) -> usize {
+        let Some(batches) = self.batches.as_ref() else {
+            return 0;
+        };
+        match batches.recv() {
+            Ok(Ok(batch)) => {
+                let n = batch.len();
+                if out.is_empty() {
+                    *out = batch;
+                } else {
+                    out.extend(batch);
+                }
+                n
+            }
+            Ok(Err(e)) => panic!("replaying trace {}: {e}", self.meta.name),
+            Err(_) => 0, // worker finished and disconnected
+        }
+    }
+}
+
+impl Drop for StreamingReplay {
+    fn drop(&mut self) {
+        // Dropping the receiver makes the decoder's next send fail, so a
+        // worker blocked on the bounded channel exits promptly.
+        drop(self.batches.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Streaming trace writer.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use trrip_cpu::TraceInstr;
+
+use crate::format::{
+    encode_header, encode_record, Checksum, DeltaState, TraceLayout, TraceMeta, CHECKSUM_OFFSET,
+    CHUNK_CAPACITY, INSTRUCTIONS_OFFSET,
+};
+
+/// Writes a trace file incrementally: records accumulate into fixed-size
+/// chunks that are flushed as they fill, so capture memory stays O(chunk)
+/// regardless of trace length. [`TraceWriter::finish`] seeks back and
+/// patches the instruction count and checksum into the header.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write + Seek> {
+    sink: W,
+    meta: TraceMeta,
+    chunk: Vec<u8>,
+    chunk_records: u32,
+    state: DeltaState,
+    checksum: Checksum,
+}
+
+impl<W: Write + Seek> TraceWriter<W> {
+    /// Starts a trace on `sink` with the given workload identity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures writing the header.
+    pub fn new(sink: W, name: &str, layout: TraceLayout) -> io::Result<TraceWriter<W>> {
+        TraceWriter::with_chunk_capacity(sink, name, layout, CHUNK_CAPACITY)
+    }
+
+    /// [`TraceWriter::new`] with an explicit chunk granularity (tests use
+    /// small chunks to exercise boundaries).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures writing the header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_capacity` is zero.
+    pub fn with_chunk_capacity(
+        mut sink: W,
+        name: &str,
+        layout: TraceLayout,
+        chunk_capacity: u32,
+    ) -> io::Result<TraceWriter<W>> {
+        assert!(chunk_capacity > 0, "chunk capacity must be positive");
+        let meta = TraceMeta {
+            name: name.to_owned(),
+            layout,
+            instructions: 0,
+            checksum: 0,
+            chunk_capacity,
+        };
+        sink.write_all(&encode_header(&meta))?;
+        Ok(TraceWriter {
+            sink,
+            meta,
+            chunk: Vec::with_capacity(chunk_capacity as usize * 4),
+            chunk_records: 0,
+            state: DeltaState::new(),
+            checksum: Checksum::new(),
+        })
+    }
+
+    /// Appends one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures flushing a full chunk.
+    pub fn write(&mut self, instr: &TraceInstr) -> io::Result<()> {
+        encode_record(&mut self.chunk, &mut self.state, instr);
+        self.chunk_records += 1;
+        self.meta.instructions += 1;
+        if self.chunk_records == self.meta.chunk_capacity {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Appends every instruction of an iterator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_all<I: IntoIterator<Item = TraceInstr>>(&mut self, trace: I) -> io::Result<()> {
+        for instr in trace {
+            self.write(&instr)?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        if self.chunk_records == 0 {
+            return Ok(());
+        }
+        self.checksum.update(&self.chunk);
+        self.sink.write_all(&self.chunk_records.to_le_bytes())?;
+        self.sink.write_all(&(self.chunk.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&self.chunk)?;
+        self.chunk.clear();
+        self.chunk_records = 0;
+        self.state = DeltaState::new();
+        Ok(())
+    }
+
+    /// Flushes the tail chunk, patches count + checksum into the header,
+    /// and returns the final metadata.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn finish(self) -> io::Result<TraceMeta> {
+        self.finish_parts().map(|(meta, _)| meta)
+    }
+
+    /// As [`TraceWriter::finish`], but hands back the underlying sink
+    /// (in-memory writers use this to recover the bytes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn finish_into_inner(self) -> io::Result<W> {
+        self.finish_parts().map(|(_, sink)| sink)
+    }
+
+    fn finish_parts(mut self) -> io::Result<(TraceMeta, W)> {
+        self.flush_chunk()?;
+        self.meta.checksum = self.checksum.value();
+        let end = self.sink.stream_position()?;
+        self.sink.seek(SeekFrom::Start(INSTRUCTIONS_OFFSET))?;
+        self.sink.write_all(&self.meta.instructions.to_le_bytes())?;
+        debug_assert_eq!(CHECKSUM_OFFSET, INSTRUCTIONS_OFFSET + 8);
+        self.sink.write_all(&self.meta.checksum.to_le_bytes())?;
+        self.sink.seek(SeekFrom::Start(end))?;
+        self.sink.flush()?;
+        Ok((self.meta, self.sink))
+    }
+
+    /// Instructions written so far.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.meta.instructions
+    }
+}
+
+/// Creates a trace file at `path` (parent directories included).
+///
+/// # Errors
+///
+/// Propagates file-creation and header I/O failures.
+pub fn create(
+    path: &Path,
+    name: &str,
+    layout: TraceLayout,
+) -> io::Result<TraceWriter<BufWriter<File>>> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    TraceWriter::new(BufWriter::new(File::create(path)?), name, layout)
+}

@@ -53,8 +53,7 @@ pub fn build_program(spec: &WorkloadSpec) -> Program {
 fn build_function(spec: &WorkloadSpec, index: usize, rng: &mut SmallRng) -> Function {
     // Size spread: factor in [0.4, 2.9], quadratically biased small.
     let factor = 0.4 + rng.gen::<f64>().powi(2) * 2.5;
-    let total_bytes =
-        ((f64::from(spec.avg_function_bytes) * factor) as u32).max(256) / 4 * 4;
+    let total_bytes = ((f64::from(spec.avg_function_bytes) * factor) as u32).max(256) / 4 * 4;
 
     let nbody = rng.gen_range(1..=6usize);
     // entry, head, (body + error) pairs, return.
@@ -129,7 +128,7 @@ fn build_function(spec: &WorkloadSpec, index: usize, rng: &mut SmallRng) -> Func
     // Call sites: body blocks may call. Targets are biased toward the
     // hot set (call_locality) so the dynamic footprint concentrates the
     // way real programs' call graphs do.
-    let mut pick_callee = |rng: &mut SmallRng| {
+    let pick_callee = |rng: &mut SmallRng| {
         if rng.gen_bool(spec.call_locality) {
             rng.gen_range(0..spec.hot_rotation)
         } else {
@@ -139,12 +138,8 @@ fn build_function(spec: &WorkloadSpec, index: usize, rng: &mut SmallRng) -> Func
     let mut has_indirect = false;
     let mut callees = Vec::new();
     // Body blocks sit at even indices ≥ 2; error blocks (odd) never call.
-    for (_, block) in blocks
-        .iter_mut()
-        .enumerate()
-        .take(nblocks - 1)
-        .skip(2)
-        .filter(|(i, _)| i % 2 == 0)
+    for (_, block) in
+        blocks.iter_mut().enumerate().take(nblocks - 1).skip(2).filter(|(i, _)| i % 2 == 0)
     {
         if rng.gen_bool(spec.call_prob) {
             let call = if rng.gen_bool(spec.external_call_prob) && spec.external_functions > 0 {
@@ -253,23 +248,15 @@ mod tests {
         let mut spec = WorkloadSpec::named("t");
         spec.dispatch_prob = 1.0;
         let p = build_program(&spec);
-        let dispatchers = p
-            .functions
-            .iter()
-            .filter(|f| f.blocks.iter().any(|b| b.indirect_dispatch))
-            .count();
+        let dispatchers =
+            p.functions.iter().filter(|f| f.blocks.iter().any(|b| b.indirect_dispatch)).count();
         assert!(dispatchers > spec.functions / 2);
     }
 
     #[test]
     fn call_sites_exist() {
         let p = build_program(&WorkloadSpec::named("t"));
-        let calls = p
-            .functions
-            .iter()
-            .flat_map(|f| &f.blocks)
-            .filter(|b| b.call.is_some())
-            .count();
+        let calls = p.functions.iter().flat_map(|f| &f.blocks).filter(|b| b.call.is_some()).count();
         assert!(calls > 0);
     }
 }

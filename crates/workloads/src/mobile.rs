@@ -25,9 +25,8 @@ fn component(name: &str) -> WorkloadSpec {
     let mut s = WorkloadSpec::named(name);
     s.train_input = "system profile".to_owned();
     s.eval_input = "photo viewing".to_owned();
-    s.structure_seed = name.bytes().fold(0x4F48_3530u64, |a, b| {
-        a.wrapping_mul(33).wrapping_add(u64::from(b))
-    });
+    s.structure_seed =
+        name.bytes().fold(0x4F48_3530u64, |a, b| a.wrapping_mul(33).wrapping_add(u64::from(b)));
     s
 }
 

@@ -48,9 +48,8 @@ fn base(name: &str, train: &str, eval: &str, fast_forward: f64) -> WorkloadSpec 
     s.eval_input = eval.to_owned();
     s.paper_fast_forward = fast_forward;
     // Distinct structural seed per benchmark so programs differ.
-    s.structure_seed = name.bytes().fold(0x5354_5231u64, |a, b| {
-        a.wrapping_mul(31).wrapping_add(u64::from(b))
-    });
+    s.structure_seed =
+        name.bytes().fold(0x5354_5231u64, |a, b| a.wrapping_mul(31).wrapping_add(u64::from(b)));
     s
 }
 

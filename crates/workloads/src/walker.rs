@@ -253,10 +253,7 @@ impl<'a> TraceGenerator<'a> {
         let span = self.spec.cold_data_bytes.max(64 << 10);
         let cursor = self.scan_cursors.entry((fid, block)).or_insert_with(|| {
             // Spread block streams through the region.
-            (fid as u64)
-                .wrapping_mul(0x9E37_79B9)
-                .wrapping_add(block as u64 * 8192)
-                % span
+            (fid as u64).wrapping_mul(0x9E37_79B9).wrapping_add(block as u64 * 8192) % span
         });
         let addr = COLD_DATA_BASE + (*cursor + u64::from(slot / 8) * 64) % span;
         if slot + 8 > body {
@@ -298,9 +295,7 @@ impl<'a> TraceGenerator<'a> {
         let branch = match successor {
             None => match return_pc {
                 // Return to caller.
-                Some(target) => {
-                    BranchInfo { kind: BranchKind::Return, taken: true, target }
-                }
+                Some(target) => BranchInfo { kind: BranchKind::Return, taken: true, target },
                 // Top-level return: the driver's indirect dispatch to the
                 // next invocation.
                 None => {
@@ -371,9 +366,7 @@ impl<'a> TraceGenerator<'a> {
         for i in 0..instrs - 1 {
             let mem = self.sample_mem(0.30, 0.12).map(|mut m| {
                 // External code works on its own (small) buffers.
-                m.addr = VirtAddr::new(
-                    EXTERNAL_DATA_BASE + 4096 + (m.addr.raw() % (48 << 10)),
-                );
+                m.addr = VirtAddr::new(EXTERNAL_DATA_BASE + 4096 + (m.addr.raw() % (48 << 10)));
                 m
             });
             self.pending.push_back(TraceInstr {
@@ -429,9 +422,9 @@ impl<'a> TraceGenerator<'a> {
                         None => true,
                     };
                 // A return block never calls (builder invariant).
-                let call = self.program.functions[fid].blocks[block].call.filter(|_| {
-                    !is_ret_block && self.frames.len() <= MAX_CALL_DEPTH && n >= 3
-                });
+                let call = self.program.functions[fid].blocks[block]
+                    .call
+                    .filter(|_| !is_ret_block && self.frames.len() <= MAX_CALL_DEPTH && n >= 3);
 
                 let term_slots = u32::from(need_term);
                 let call_slots = u32::from(call.is_some());
@@ -575,6 +568,23 @@ impl Iterator for TraceGenerator<'_> {
             self.step();
         }
         self.pending.pop_front()
+    }
+}
+
+/// Instructions handed over per [`TraceSource::next_batch`] call.
+const SOURCE_BATCH: usize = 1024;
+
+impl trrip_trace::TraceSource for TraceGenerator<'_> {
+    /// The walker as a live trace source: generation instead of disk
+    /// replay, behind the same interface the simulator consumes. Never
+    /// exhausts — callers bound it by instruction count.
+    fn next_batch(&mut self, out: &mut Vec<TraceInstr>) -> usize {
+        out.reserve(SOURCE_BATCH);
+        for _ in 0..SOURCE_BATCH {
+            let instr = self.next().expect("walker is infinite");
+            out.push(instr);
+        }
+        SOURCE_BATCH
     }
 }
 

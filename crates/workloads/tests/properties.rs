@@ -8,14 +8,14 @@ use trrip_workloads::{build_program, InputSet, TraceGenerator, WorkloadSpec};
 
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
     (
-        10usize..200,         // functions
-        256u32..4096,         // avg_function_bytes
-        0.0f64..0.2,          // cold_visit_prob
-        0usize..16,           // external functions
-        0.0f64..0.3,          // external_call_prob
-        0.0f64..0.5,          // call_prob
-        0.0f64..0.5,          // dispatch_prob
-        any::<u64>(),         // structure seed
+        10usize..200, // functions
+        256u32..4096, // avg_function_bytes
+        0.0f64..0.2,  // cold_visit_prob
+        0usize..16,   // external functions
+        0.0f64..0.3,  // external_call_prob
+        0.0f64..0.5,  // call_prob
+        0.0f64..0.5,  // dispatch_prob
+        any::<u64>(), // structure seed
     )
         .prop_flat_map(|(functions, avg, cold, ext, extp, callp, dispatch, seed)| {
             (1usize..=functions).prop_map(move |rotation| {

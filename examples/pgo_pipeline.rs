@@ -54,7 +54,10 @@ fn main() {
 
     // ③ Load at each page size and inspect the PTE temperature bits.
     println!("\npages per temperature (DropMixed overlap policy):");
-    println!("{:>6} {:>6} {:>6} {:>6} {:>9} {:>6}", "size", "hot", "warm", "cold", "untagged", "mixed");
+    println!(
+        "{:>6} {:>6} {:>6} {:>6} {:>9} {:>6}",
+        "size", "hot", "warm", "cold", "untagged", "mixed"
+    );
     for size in PageSize::ALL {
         let image = Loader::new(size).load(&pgo);
         let s = image.stats;
@@ -70,9 +73,8 @@ fn main() {
     }
 
     // ④ The §4.9 hazard: the FirstByte policy tags mixed pages anyway.
-    let risky = Loader::new(PageSize::Size2M)
-        .with_overlap_policy(OverlapPolicy::FirstByte)
-        .load(&pgo);
+    let risky =
+        Loader::new(PageSize::Size2M).with_overlap_policy(OverlapPolicy::FirstByte).load(&pgo);
     println!(
         "\nwith 2MB pages and the FirstByte policy, {} mixed page(s) get a single \
          temperature\n(risking warm/cold code prioritized as hot — §4.9's accuracy hazard)",

@@ -11,7 +11,10 @@ fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "gcc".to_owned());
     let spec = trrip::workloads::proxy::by_name(&name)
         .unwrap_or_else(|| panic!("unknown benchmark `{name}`; see trrip_workloads::proxy"));
-    println!("benchmark: {name} ({} functions, hot rotation {})", spec.functions, spec.hot_rotation);
+    println!(
+        "benchmark: {name} ({} functions, hot rotation {})",
+        spec.functions, spec.hot_rotation
+    );
 
     let config = SimConfig::paper(PolicyKind::Srrip);
     let workload = PreparedWorkload::prepare(&spec, config.train_instructions, config.classifier);
@@ -25,10 +28,7 @@ fn main() {
         base.l2_inst_mpki(),
         base.l2_data_mpki()
     );
-    println!(
-        "{:<10} {:>9} {:>12} {:>12}",
-        "policy", "speedup%", "Δinst-MPKI%", "Δdata-MPKI%"
-    );
+    println!("{:<10} {:>9} {:>12} {:>12}", "policy", "speedup%", "Δinst-MPKI%", "Δdata-MPKI%");
     for policy in PolicyKind::PAPER_SET {
         if policy == PolicyKind::Srrip {
             continue;

@@ -24,7 +24,12 @@ fn main() {
     let (hot, warm, cold) = workload.temps.histogram();
     println!("classified functions: {hot} hot, {warm} warm, {cold} cold");
     let (fh, fw, fc) = workload.text_fractions();
-    println!("text bytes: {:.0}% hot, {:.0}% warm, {:.0}% cold", fh * 100.0, fw * 100.0, fc * 100.0);
+    println!(
+        "text bytes: {:.0}% hot, {:.0}% warm, {:.0}% cold",
+        fh * 100.0,
+        fw * 100.0,
+        fc * 100.0
+    );
 
     // 3. Simulate under the baseline and under TRRIP-1.
     let baseline = simulate(&workload, &SimConfig::paper(PolicyKind::Srrip));

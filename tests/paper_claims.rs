@@ -52,11 +52,7 @@ fn trrip_trades_small_data_mpki_increase() {
         let base = sweep.get(&w.spec.name, PolicyKind::Srrip);
         let trrip = sweep.get(&w.spec.name, PolicyKind::Trrip1);
         let dd = trrip.data_mpki_reduction_vs(base);
-        assert!(
-            dd > -60.0,
-            "{}: data MPKI explosion under TRRIP ({dd:.1}%)",
-            w.spec.name
-        );
+        assert!(dd > -60.0, "{}: data MPKI explosion under TRRIP ({dd:.1}%)", w.spec.name);
     }
 }
 
@@ -87,14 +83,17 @@ fn selectivity_beats_prioritizing_everything() {
     let selective =
         PreparedWorkload::prepare(&spec, base_config.train_instructions, base_config.classifier);
     let everything_hot = ClassifierConfig { percentile_hot: 1.0, percentile_cold: 1.0 };
-    let blanket =
-        PreparedWorkload::prepare(&spec, base_config.train_instructions, everything_hot);
+    let blanket = PreparedWorkload::prepare(&spec, base_config.train_instructions, everything_hot);
 
     let trrip_config = base_config.clone().with_policy(PolicyKind::Trrip1);
     let sel_base = trrip::sim::simulate(&selective, &base_config);
     let sel_trrip = trrip::sim::simulate(&selective, &trrip_config);
-    let all_base = trrip::sim::simulate(&blanket, &SimConfig { classifier: everything_hot, ..base_config.clone() });
-    let all_trrip = trrip::sim::simulate(&blanket, &SimConfig { classifier: everything_hot, ..trrip_config });
+    let all_base = trrip::sim::simulate(
+        &blanket,
+        &SimConfig { classifier: everything_hot, ..base_config.clone() },
+    );
+    let all_trrip =
+        trrip::sim::simulate(&blanket, &SimConfig { classifier: everything_hot, ..trrip_config });
 
     let selective_gain = sel_trrip.speedup_vs(&sel_base);
     let blanket_gain = all_trrip.speedup_vs(&all_base);

@@ -1,0 +1,231 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build image has no network access, so the real `criterion` cannot
+//! be fetched. This crate keeps the API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and the
+//! `criterion_group!` / `criterion_main!` macros — and reports mean
+//! wall-clock time (and element throughput when declared) to stderr.
+//! No statistical analysis, HTML reports, or comparison against saved
+//! baselines; swap the real crate back in for those.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Minimum measured time per sample; `iter` batches the routine until
+/// one sample takes at least this long.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+/// Declared work per `iter` call, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per routine invocation.
+    Elements(u64),
+    /// Bytes processed per routine invocation.
+    Bytes(u64),
+}
+
+/// Names one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value.
+    #[must_use]
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId { name: parameter.to_string() }
+    }
+
+    /// An id with a function name and a parameter value.
+    #[must_use]
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId { name: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, batching invocations until the sample is long
+    /// enough to measure reliably.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up invocation.
+        std::hint::black_box(routine());
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE_TIME {
+                self.total += elapsed;
+                self.iters += batch;
+                return;
+            }
+            // Scale the batch toward the target and retry.
+            let scale = (TARGET_SAMPLE_TIME.as_nanos() / elapsed.as_nanos().max(1)).max(2);
+            batch = batch.saturating_mul(scale.min(u128::from(u64::MAX)) as u64).min(1 << 24);
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.total / u32::try_from(self.iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+fn report(label: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let mean = bencher.mean();
+    let mut line = format!("{label:<50} time: {mean:>12.3?}");
+    let per_sec = |work: u64| {
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            work as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            line.push_str(&format!("  thrpt: {:>14.0} elem/s", per_sec(n)));
+        }
+        Some(Throughput::Bytes(n)) => {
+            line.push_str(&format!("  thrpt: {:>14.0} B/s", per_sec(n)));
+        }
+        None => {}
+    }
+    eprintln!("{line}");
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    report(label, &bencher, throughput);
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        run_bench(name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_owned(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes samples by
+    /// wall-clock time instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares the work per routine invocation for throughput lines.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(&mut self, id: I, f: F) -> &mut Self {
+        run_bench(&format!("{}/{id}", self.name), self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{id}", self.name), self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting is immediate; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one runner name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_accumulates_iterations() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        assert!(b.iters > 0);
+        assert!(b.total >= TARGET_SAMPLE_TIME);
+        assert!(b.mean() > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_function("f", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &5u64, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2));
+        });
+        group.finish();
+    }
+}

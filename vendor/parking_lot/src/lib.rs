@@ -1,0 +1,68 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync::Mutex` behind parking_lot's API shape (`lock()`
+//! returns the guard directly; poisoning is propagated as a panic, which
+//! matches parking_lot's no-poisoning model for the workspace's uses: a
+//! poisoned lock here means a worker thread already panicked).
+
+#![forbid(unsafe_code)]
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// A mutual-exclusion primitive with an infallible `lock()`.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex { inner: StdMutex::new(value) }
+    }
+
+    /// Acquires the lock, blocking until available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another thread panicked while holding the lock.
+    pub fn lock(&self) -> StdMutexGuard<'_, T> {
+        self.inner.lock().expect("lock poisoned: a worker thread panicked")
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another thread panicked while holding the lock.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("lock poisoned: a worker thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner_round_trip() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn contended_increments_all_land() {
+        let m = Mutex::new(0u64);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 8000);
+    }
+}

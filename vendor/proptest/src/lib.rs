@@ -1,0 +1,523 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build image has no network access, so the real `proptest` cannot
+//! be fetched. This crate reimplements the subset the workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, [`Just`], `any`,
+//! `prop_oneof!`, `prop::collection::vec`, the [`proptest!`] test macro
+//! with `#![proptest_config(..)]`, and the `prop_assert*` family.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its inputs (via the
+//!   panic message of the underlying `assert!`) but is not minimized.
+//! * **Fixed seeding** — case `i` of every test draws from a generator
+//!   seeded with `i`, so failures reproduce across runs and machines.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic random source driving strategy sampling.
+
+    /// splitmix64 stream; cheap, seedable, and good enough for sampling.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The generator for one numbered test case.
+        #[must_use]
+        pub fn for_case(case: u64) -> TestRng {
+            TestRng { state: case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5DEE_CE66_D1CE_4E5B }
+        }
+
+        /// Next 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, span)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `span` is zero.
+        pub fn below(&mut self, span: u64) -> u64 {
+            assert!(span > 0, "cannot sample an empty range");
+            let zone = u64::MAX - u64::MAX % span;
+            loop {
+                let draw = self.next_u64();
+                if draw < zone {
+                    return draw % span;
+                }
+            }
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then samples the strategy `f` derives from it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Restricts generation to values passing `predicate` (by
+        /// resampling; `whence` is reported if generation starves).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            predicate: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, whence, predicate }
+        }
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        predicate: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let value = self.inner.sample(rng);
+                if (self.predicate)(&value) {
+                    return value;
+                }
+            }
+            panic!("prop_filter starved after 1000 rejections: {}", self.whence);
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct OneOf<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Builds the union; `arms` must be non-empty.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        #[must_use]
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> OneOf<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + rng.below((self.end - self.start) as u64) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    let span = (end - start) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    start + rng.below(span + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// The full-domain strategy.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Returns the strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Full-domain strategy for primitives.
+    #[derive(Debug, Clone, Default)]
+    pub struct AnyPrimitive<T> {
+        marker: std::marker::PhantomData<T>,
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for AnyPrimitive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = AnyPrimitive<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrimitive::default()
+                }
+            }
+        )*};
+    }
+
+    arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    impl Strategy for AnyPrimitive<bool> {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() >> 63 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyPrimitive<bool>;
+
+        fn arbitrary() -> Self::Strategy {
+            AnyPrimitive::default()
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Boxes a strategy with its value type pinned, so `prop_oneof!`
+    /// arms unify without type ascription at the call site.
+    pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(strategy)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy: `size` elements of `element` (the proptest
+    /// convention: the length range is half-open).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// How many cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u64,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u64) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+
+    /// The `prop::` module path used as `prop::collection::vec(..)`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property (no shrinking; plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr,) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (@body $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategies = ($($strat,)*);
+                for case in 0..config.cases {
+                    let mut prop_rng = $crate::test_runner::TestRng::for_case(case);
+                    #[allow(unused_variables)]
+                    let ($($arg,)*) = {
+                        let ($(ref $arg,)*) = strategies;
+                        ($($crate::strategy::Strategy::sample($arg, &mut prop_rng),)*)
+                    };
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @body $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @body $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3u64..17, b in 0u8..=4, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(b <= 4);
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec((0usize..10, any::<bool>()), 1..20),
+            pick in prop_oneof![Just(1u8), Just(2u8)],
+            doubled in (0u32..50).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(pick == 1 || pick == 2);
+            prop_assert_eq!(doubled % 2, 0);
+        }
+
+        #[test]
+        fn flat_map_feeds_dependent_strategy(
+            pair in (1usize..50).prop_flat_map(|n| (Just(n), 0usize..n)),
+        ) {
+            prop_assert!(pair.1 < pair.0);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u8..10) {
+            prop_assume!(x != 5);
+            prop_assert!(x != 5);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = (0u64..1000, 0u64..1000);
+        let draw = |case| strat.sample(&mut crate::test_runner::TestRng::for_case(case));
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build image has no network access, so the real `rand` cannot be
+//! fetched. This crate reimplements exactly the surface the workspace
+//! uses — [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`],
+//! [`SeedableRng::seed_from_u64`] and the [`rngs::SmallRng`] /
+//! [`rngs::StdRng`] type names — over a xoshiro256++ generator seeded
+//! through splitmix64.
+//!
+//! Determinism is the only contract the simulator relies on (seeded runs
+//! must reproduce bit-identically); matching the real crate's stream is
+//! explicitly *not* required, and every consumer seeds via
+//! `seed_from_u64`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a generator (the subset of
+/// rand's `Standard` distribution the workspace uses).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniformly random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (uniform_u64(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, u8);
+
+/// Unbiased uniform draw from `[0, span)` by rejection sampling.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - u64::MAX % span;
+    loop {
+        let draw = rng.next_u64();
+        if draw < zone {
+            return draw % span;
+        }
+    }
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of a [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Draws `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ state, seeded via splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct Xoshiro256 {
+        s: [u64; 4],
+    }
+
+    impl RngCore for Xoshiro256 {
+        fn next_u64(&mut self) -> u64 {
+            let result =
+                (self.s[0].wrapping_add(self.s[3])).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for Xoshiro256 {
+        fn seed_from_u64(seed: u64) -> Xoshiro256 {
+            // splitmix64 expansion, as recommended by the xoshiro
+            // authors, offset so low integer seeds land mid-stream.
+            let mut x = seed ^ 0x9E37_79B9_7F4A_7C15;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Xoshiro256 { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    /// The "small fast" generator name used by the trace walker.
+    pub type SmallRng = Xoshiro256;
+
+    /// The "standard" generator name used by the random policy.
+    pub type StdRng = Xoshiro256;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_seed_sensitive() {
+        let draws = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..16).map(|_| rng.gen::<u64>()).collect::<Vec<_>>()
+        };
+        assert_eq!(draws(7), draws(7));
+        assert_ne!(draws(7), draws(8));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(0usize..=5);
+            assert!(w <= 5);
+        }
+    }
+
+    #[test]
+    fn unit_floats_land_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let f = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&f));
+            let g = rng.gen::<f32>();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 produced {hits}/10000");
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build image has no network access, so the real `serde` cannot be
+//! fetched. The workspace only uses serde as derive markers on config and
+//! result types (no actual serialization happens anywhere), so this crate
+//! provides the two traits as markers with a blanket implementation, plus
+//! the derive macros (which expand to nothing but accept `#[serde(...)]`
+//! helper attributes).
+//!
+//! Swapping the real serde back in is a two-line Cargo.toml change; no
+//! source edits are required because the API surface used is identical.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker form of `serde::Serialize`; blanket-implemented for every type.
+pub trait Serialize {}
+
+/// Marker form of `serde::Deserialize`; blanket-implemented for every type.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
