@@ -1,0 +1,90 @@
+//! Decode-once fan-out vs decode-per-consumer replay throughput, in
+//! instructions/second — the number behind the fan-out engine: an
+//! 8-policy sweep used to decode the trace 8×, the fan-out decodes it
+//! once and broadcasts shared batches. The `*_8_consumers` pair is the
+//! headline (same delivered work, decode paid 8× vs 1×); the
+//! `1_consumer` pair bounds the fan-out pipeline's own overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use trrip_core::ClassifierConfig;
+use trrip_policies::PolicyKind;
+use trrip_sim::{PreparedWorkload, SimConfig, TraceStore};
+use trrip_trace::{FanoutReplay, SourceIter, StreamingReplay};
+use trrip_workloads::WorkloadSpec;
+
+const N: u64 = 200_000;
+/// Consumers in the fan-out case: the paper's 8-policy sweep shape.
+const CONSUMERS: usize = 8;
+
+fn workload() -> PreparedWorkload {
+    let mut spec = WorkloadSpec::named("fanout-bench");
+    spec.functions = 120;
+    spec.hot_rotation = 30;
+    PreparedWorkload::prepare(&spec, 100_000, ClassifierConfig::llvm_defaults())
+}
+
+fn config() -> SimConfig {
+    let mut c = SimConfig::quick(PolicyKind::Srrip);
+    c.fast_forward = 0;
+    c.instructions = N;
+    c
+}
+
+fn drain_fanout(path: &std::path::Path, consumers: usize) -> usize {
+    let subscribers = FanoutReplay::open(path, consumers).expect("open");
+    std::thread::scope(|scope| {
+        subscribers
+            .into_iter()
+            .map(|sub| scope.spawn(move || SourceIter::new(sub).count()))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("consumer"))
+            .sum()
+    })
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let w = workload();
+    let cfg = config();
+    let dir = std::env::temp_dir().join("trrip-fanout-bench");
+    let store = TraceStore::new(&dir);
+    let path = store.ensure(&w, &cfg).expect("capture");
+
+    let mut group = c.benchmark_group("replay_fanout");
+
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("sequential_replay_1_consumer", |b| {
+        b.iter(|| {
+            let replay = StreamingReplay::open(&path).expect("open");
+            black_box(SourceIter::new(replay).count())
+        });
+    });
+    group.bench_function("fanout_1_consumer", |b| {
+        b.iter(|| black_box(drain_fanout(&path, 1)));
+    });
+
+    // 8-consumer shape: throughput counts *delivered* instructions, so
+    // the two engines are directly comparable — same work delivered,
+    // decode paid 8× (sequential) vs 1× (fan-out).
+    group.throughput(Throughput::Elements(N * CONSUMERS as u64));
+    group.bench_function("sequential_replay_8_consumers", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..CONSUMERS {
+                let replay = StreamingReplay::open(&path).expect("open");
+                total += SourceIter::new(replay).count();
+            }
+            black_box(total)
+        });
+    });
+    group.bench_function("fanout_8_consumers", |b| {
+        b.iter(|| black_box(drain_fanout(&path, CONSUMERS)));
+    });
+
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_fanout);
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! Wall-clock benchmark of the decode-once fan-out replay engine
+//! against the decode-per-job baseline, at two layers:
+//!
+//! * **replay layer** — drain one captured trace through 8 consumers:
+//!   8 independent `StreamingReplay` passes (decode ×8, what
+//!   `replay_sweep` paid per workload before the fan-out) vs one
+//!   `FanoutReplay` broadcast (decode ×1);
+//! * **sweep layer** — a full 8-policy `replay_sweep` end to end:
+//!   the legacy `replay_sweep_isolated` engine vs the fan-out engine,
+//!   simulation included.
+//!
+//! Decode work is counted with `trrip_trace::records_decoded` so the
+//! JSON carries proof, not just timings. Results append to
+//! `BENCH_replay_fanout.json` under `--out`, an array of run objects —
+//! the perf trajectory future PRs extend (`scripts/bench_replay.sh`
+//! points `--out` at the repo root).
+
+use std::path::Path;
+use std::time::Instant;
+
+use trrip_bench::HarnessOptions;
+use trrip_core::ClassifierConfig;
+use trrip_policies::PolicyKind;
+use trrip_sim::{
+    replay_sweep_isolated, replay_sweep_with, PreparedWorkload, SimConfig, TraceStore,
+};
+use trrip_trace::{records_decoded, FanoutReplay, SourceIter, StreamingReplay};
+use trrip_workloads::WorkloadSpec;
+
+/// The 8-policy sweep shape the paper's headline experiments use.
+const POLICIES: [PolicyKind; 8] = [
+    PolicyKind::Srrip,
+    PolicyKind::Lru,
+    PolicyKind::Brrip,
+    PolicyKind::Drrip,
+    PolicyKind::Ship,
+    PolicyKind::Clip,
+    PolicyKind::Emissary,
+    PolicyKind::Trrip1,
+];
+
+/// Timing repetitions; the minimum is reported (standard practice for
+/// wall-clock numbers on a shared machine).
+const REPS: usize = 3;
+
+fn workload() -> PreparedWorkload {
+    let mut spec = WorkloadSpec::named("fanout-bench");
+    spec.functions = 120;
+    spec.hot_rotation = 30;
+    PreparedWorkload::prepare(&spec, 100_000, ClassifierConfig::llvm_defaults())
+}
+
+fn time_best<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn drain_fanout(path: &Path, consumers: usize) -> usize {
+    let subscribers = FanoutReplay::open(path, consumers).expect("open fanout");
+    std::thread::scope(|scope| {
+        subscribers
+            .into_iter()
+            .map(|sub| scope.spawn(move || SourceIter::new(sub).count()))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("consumer"))
+            .sum()
+    })
+}
+
+fn append_run(path: &Path, entry: &str) {
+    let content = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let head = existing.trim_end();
+            match head.strip_suffix(']') {
+                Some(body) if body.trim_end().ends_with('[') => {
+                    format!("{}\n{entry}\n]\n", body.trim_end())
+                }
+                Some(body) => format!("{},\n{entry}\n]\n", body.trim_end()),
+                None => format!("[\n{entry}\n]\n"), // unrecognized: start fresh
+            }
+        }
+        Err(_) => format!("[\n{entry}\n]\n"),
+    };
+    std::fs::write(path, content).expect("write BENCH_replay_fanout.json");
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let options = HarnessOptions::from_args();
+    let w = workload();
+
+    // Replay-layer trace: decode-only, so use a longer run for stable
+    // timings.
+    let mut replay_cfg = SimConfig::quick(PolicyKind::Srrip);
+    replay_cfg.fast_forward = 0;
+    replay_cfg.instructions = 1_000_000 * options.scale;
+    // Sweep-layer trace: simulation dominates, keep it shorter.
+    let mut sweep_cfg = SimConfig::quick(PolicyKind::Srrip);
+    sweep_cfg.fast_forward = 40_000 * options.scale;
+    sweep_cfg.instructions = 400_000 * options.scale;
+
+    let tmp_traces = std::env::temp_dir().join("trrip-bench-replay-fanout");
+    let trace_dir = options.trace_dir.clone().unwrap_or(tmp_traces.clone());
+    let store = TraceStore::new(&trace_dir);
+    eprintln!("capturing traces under {}…", trace_dir.display());
+    let replay_path = store.ensure(&w, &replay_cfg).expect("capture replay trace");
+    let workloads = [w];
+
+    // --- Replay layer: 8 consumers, decode ×8 vs decode ×1. ---
+    let n = replay_cfg.instructions as usize;
+    eprintln!("replay layer: draining {n} instructions × {} consumers…", POLICIES.len());
+    let before = records_decoded();
+    let seq_s = time_best(|| {
+        for _ in 0..POLICIES.len() {
+            let replay = StreamingReplay::open(&replay_path).expect("open");
+            assert_eq!(SourceIter::new(replay).count(), n);
+        }
+    });
+    let seq_decoded = (records_decoded() - before) / REPS as u64;
+    let before = records_decoded();
+    let fan_s = time_best(|| {
+        assert_eq!(drain_fanout(&replay_path, POLICIES.len()), n * POLICIES.len());
+    });
+    let fan_decoded = (records_decoded() - before) / REPS as u64;
+    let replay_speedup = seq_s / fan_s;
+
+    // --- Sweep layer: full 8-policy replay_sweep, both engines. ---
+    eprintln!("sweep layer: 8-policy replay_sweep, both engines…");
+    store.ensure(&workloads[0], &sweep_cfg).expect("capture sweep trace");
+    let before = records_decoded();
+    let mut isolated = None;
+    let sweep_iso_s = time_best(|| {
+        isolated = Some(replay_sweep_isolated(&workloads, &sweep_cfg, &POLICIES, &store));
+    });
+    let sweep_iso_decoded = (records_decoded() - before) / REPS as u64;
+    let before = records_decoded();
+    let mut fanned = None;
+    let sweep_fan_s = time_best(|| {
+        fanned = Some(replay_sweep_with(options.jobs, &workloads, &sweep_cfg, &POLICIES, &store));
+    });
+    let sweep_fan_decoded = (records_decoded() - before) / REPS as u64;
+    let sweep_speedup = sweep_iso_s / sweep_fan_s;
+
+    // Cross-check: the engines must agree bit-for-bit.
+    let (isolated, fanned) = (isolated.expect("ran"), fanned.expect("ran"));
+    for (a, b) in isolated.results.iter().zip(&fanned.results) {
+        assert_eq!(a.core, b.core, "fan-out diverged from decode-per-job engine");
+        assert_eq!(a.l2, b.l2);
+    }
+
+    println!("replay layer  ({} consumers, {n} instr):", POLICIES.len());
+    println!("  decode-per-consumer: {seq_s:.3} s  ({seq_decoded} records decoded)");
+    println!("  decode-once fan-out: {fan_s:.3} s  ({fan_decoded} records decoded)");
+    println!("  speedup: {replay_speedup:.2}x");
+    println!("sweep layer   ({}-policy replay_sweep):", POLICIES.len());
+    println!("  decode-per-job:      {sweep_iso_s:.3} s  ({sweep_iso_decoded} records decoded)");
+    println!("  decode-once fan-out: {sweep_fan_s:.3} s  ({sweep_fan_decoded} records decoded)");
+    println!("  speedup: {sweep_speedup:.2}x");
+
+    let entry = format!(
+        "  {{\n    \"bench\": \"replay_fanout\",\n    \"policies\": {policies},\n    \
+         \"jobs\": {jobs},\n    \"replay_instructions\": {replay_n},\n    \
+         \"sweep_instructions\": {sweep_n},\n    \
+         \"replay_decode_per_consumer_s\": {seq_s:.4},\n    \
+         \"replay_fanout_s\": {fan_s:.4},\n    \
+         \"replay_speedup\": {replay_speedup:.3},\n    \
+         \"replay_records_decoded_before\": {seq_decoded},\n    \
+         \"replay_records_decoded_after\": {fan_decoded},\n    \
+         \"sweep_decode_per_job_s\": {sweep_iso_s:.4},\n    \
+         \"sweep_fanout_s\": {sweep_fan_s:.4},\n    \
+         \"sweep_speedup\": {sweep_speedup:.3},\n    \
+         \"sweep_records_decoded_before\": {sweep_iso_decoded},\n    \
+         \"sweep_records_decoded_after\": {sweep_fan_decoded}\n  }}",
+        policies = POLICIES.len(),
+        jobs = options.jobs,
+        replay_n = replay_cfg.instructions,
+        sweep_n = trrip_sim::capture_length(&sweep_cfg),
+    );
+    std::fs::create_dir_all(&options.out_dir).expect("create out dir");
+    let json_path = options.out_dir.join("BENCH_replay_fanout.json");
+    append_run(&json_path, &entry);
+    eprintln!("[trajectory appended to {}]", json_path.display());
+    std::fs::remove_dir_all(&tmp_traces).ok();
+}

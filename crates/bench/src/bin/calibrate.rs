@@ -5,7 +5,7 @@
 
 use trrip_analysis::report::geomean_pct;
 use trrip_analysis::TextTable;
-use trrip_bench::{prepare_all, HarnessOptions};
+use trrip_bench::HarnessOptions;
 use trrip_policies::PolicyKind;
 
 /// Paper Table 3 raw SRRIP MPKI (inst, data) per benchmark.
@@ -28,7 +28,7 @@ fn main() {
     let config = options.sim_config(PolicyKind::Srrip);
 
     eprintln!("preparing {} workloads…", specs.len());
-    let workloads = prepare_all(&specs, &config, config.classifier);
+    let workloads = options.prepare(&specs, &config, config.classifier);
 
     let policies = PolicyKind::PAPER_SET;
     eprintln!("sweeping {} policies…", policies.len());

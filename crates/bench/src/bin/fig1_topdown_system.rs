@@ -5,7 +5,7 @@
 
 use trrip_analysis::report::pct;
 use trrip_analysis::TextTable;
-use trrip_bench::{prepare_all, HarnessOptions};
+use trrip_bench::HarnessOptions;
 use trrip_cpu::StallClass;
 use trrip_policies::PolicyKind;
 use trrip_sim::simulate;
@@ -15,7 +15,7 @@ fn main() {
     // Figure 1's platform runs the production policy; PGO layout.
     let config = options.sim_config(PolicyKind::Srrip);
     let specs = trrip_workloads::mobile::all();
-    let workloads = prepare_all(&specs, &config, config.classifier);
+    let workloads = options.prepare(&specs, &config, config.classifier);
 
     let mut table = TextTable::new(vec!["component", "retire", "backend", "mispred.", "frontend"]);
     for w in &workloads {

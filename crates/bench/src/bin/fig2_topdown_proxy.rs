@@ -5,7 +5,7 @@
 
 use trrip_analysis::report::pct;
 use trrip_analysis::TextTable;
-use trrip_bench::{prepare_all, HarnessOptions};
+use trrip_bench::HarnessOptions;
 use trrip_compiler::LayoutKind;
 use trrip_cpu::StallClass;
 use trrip_policies::PolicyKind;
@@ -15,7 +15,7 @@ fn main() {
     let options = HarnessOptions::from_args();
     let config = options.sim_config(PolicyKind::Srrip);
     let specs = options.selected_proxies();
-    let workloads = prepare_all(&specs, &config, config.classifier);
+    let workloads = options.prepare(&specs, &config, config.classifier);
 
     let mut table = TextTable::new(vec![
         "bench", "retire", "other", "mem", "issue", "depend", "mispred.", "ifetch",

@@ -7,7 +7,7 @@
 
 use trrip_analysis::report::pct;
 use trrip_analysis::TextTable;
-use trrip_bench::{prepare_all, HarnessOptions};
+use trrip_bench::HarnessOptions;
 use trrip_policies::PolicyKind;
 use trrip_sim::simulate;
 
@@ -16,7 +16,7 @@ fn main() {
     let mut config = options.sim_config(PolicyKind::Srrip);
     config.measure_reuse = true;
     let specs = options.selected_proxies();
-    let workloads = prepare_all(&specs, &config, config.classifier);
+    let workloads = options.prepare(&specs, &config, config.classifier);
 
     let mut table = TextTable::new(vec!["bench", "0-4", "5-8", "9-16", "16+"]);
     for w in &workloads {

@@ -5,7 +5,7 @@
 
 use trrip_analysis::report::geomean_pct;
 use trrip_analysis::TextTable;
-use trrip_bench::{prepare_all, HarnessOptions};
+use trrip_bench::HarnessOptions;
 use trrip_policies::PolicyKind;
 
 fn main() {
@@ -13,7 +13,7 @@ fn main() {
     let config = options.sim_config(PolicyKind::Srrip);
     let specs = options.selected_proxies();
     eprintln!("preparing {} workloads…", specs.len());
-    let workloads = prepare_all(&specs, &config, config.classifier);
+    let workloads = options.prepare(&specs, &config, config.classifier);
     eprintln!("sweeping {} policies…", PolicyKind::PAPER_SET.len());
     let sweep = options.sweep(&workloads, &config, &PolicyKind::PAPER_SET);
 

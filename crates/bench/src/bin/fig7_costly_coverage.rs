@@ -8,7 +8,7 @@
 //!     Emissary finds with hardware.
 
 use trrip_analysis::TextTable;
-use trrip_bench::{prepare_all, HarnessOptions};
+use trrip_bench::HarnessOptions;
 use trrip_policies::PolicyKind;
 use trrip_sim::simulate;
 
@@ -19,7 +19,7 @@ fn main() {
     let mut config = options.sim_config(PolicyKind::Trrip1);
     config.track_costly = true;
     let specs = options.selected_proxies();
-    let workloads = prepare_all(&specs, &config, config.classifier);
+    let workloads = options.prepare(&specs, &config, config.classifier);
 
     let headers: Vec<String> = std::iter::once("bench".to_owned())
         .chain(PERCENTILES.iter().map(|p| format!("{p:.0}%")))

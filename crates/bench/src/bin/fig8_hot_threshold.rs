@@ -8,7 +8,7 @@
 
 use trrip_analysis::report::pct;
 use trrip_analysis::TextTable;
-use trrip_bench::{prepare_all, HarnessOptions};
+use trrip_bench::HarnessOptions;
 use trrip_core::ClassifierConfig;
 use trrip_policies::PolicyKind;
 use trrip_sim::SimConfig;
@@ -47,7 +47,7 @@ fn main() {
         };
         let config = SimConfig { classifier, ..base_config.clone() };
         eprintln!("threshold {threshold}: preparing + sweeping…");
-        let workloads = prepare_all(&specs, &config, classifier);
+        let workloads = options.prepare(&specs, &config, classifier);
         let sweep = options.sweep(&workloads, &config, &[PolicyKind::Srrip, PolicyKind::Trrip1]);
         for (i, w) in workloads.iter().enumerate() {
             fractions[i].push(w.text_fractions());

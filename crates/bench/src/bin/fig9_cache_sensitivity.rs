@@ -8,7 +8,7 @@
 
 use trrip_analysis::report::geomean_pct;
 use trrip_analysis::TextTable;
-use trrip_bench::{prepare_all, HarnessOptions};
+use trrip_bench::HarnessOptions;
 use trrip_policies::PolicyKind;
 use trrip_sim::SimConfig;
 
@@ -17,7 +17,7 @@ fn main() {
     let base_config = options.sim_config(PolicyKind::Srrip);
     let specs = options.selected_proxies();
     eprintln!("preparing {} workloads…", specs.len());
-    let workloads = prepare_all(&specs, &base_config, base_config.classifier);
+    let workloads = options.prepare(&specs, &base_config, base_config.classifier);
 
     // ---- (a) size sweep ----
     let sizes = [128u64 << 10, 256 << 10, 512 << 10];

@@ -10,7 +10,7 @@
 
 use trrip_analysis::report::geomean_pct;
 use trrip_analysis::TextTable;
-use trrip_bench::{prepare_all, HarnessOptions};
+use trrip_bench::HarnessOptions;
 use trrip_compiler::Linker;
 use trrip_mem::PageSize;
 use trrip_os::{Loader, OverlapPolicy};
@@ -21,7 +21,7 @@ fn main() {
     let options = HarnessOptions::from_args();
     let base = options.sim_config(PolicyKind::Srrip);
     let specs = options.selected_proxies();
-    let workloads = prepare_all(&specs, &base, base.classifier);
+    let workloads = options.prepare(&specs, &base, base.classifier);
 
     // Speedup sensitivity: TRRIP-1 geomean per (page size, policy).
     let mut table = TextTable::new(vec!["page size", "FirstByte", "DropMixed", "Hottest"]);

@@ -3,7 +3,7 @@
 //! overlap-prevention mechanisms.
 
 use trrip_analysis::TextTable;
-use trrip_bench::{prepare_all, HarnessOptions};
+use trrip_bench::HarnessOptions;
 use trrip_mem::PageSize;
 use trrip_os::{Loader, OverlapPolicy};
 use trrip_policies::PolicyKind;
@@ -20,7 +20,7 @@ fn main() {
     let options = HarnessOptions::from_args();
     let config = options.sim_config(PolicyKind::Trrip1);
     let specs = options.selected_proxies();
-    let workloads = prepare_all(&specs, &config, config.classifier);
+    let workloads = options.prepare(&specs, &config, config.classifier);
 
     let mut table = TextTable::new(vec![
         "benchmark",

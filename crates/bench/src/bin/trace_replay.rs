@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use trrip_analysis::report::geomean_pct;
 use trrip_analysis::TextTable;
-use trrip_bench::{prepare_all, HarnessOptions};
+use trrip_bench::HarnessOptions;
 use trrip_policies::PolicyKind;
 use trrip_sim::{capture_length, policy_sweep, replay_sweep, TraceStore};
 
@@ -25,7 +25,7 @@ fn main() {
     let config = options.sim_config(PolicyKind::Srrip);
     let specs = options.selected_proxies();
     eprintln!("preparing {} workloads…", specs.len());
-    let workloads = prepare_all(&specs, &config, config.classifier);
+    let workloads = options.prepare(&specs, &config, config.classifier);
 
     let jobs = workloads.len() as u64 * PolicyKind::PAPER_SET.len() as u64;
     let replayed_instrs = jobs * capture_length(&config);

@@ -12,7 +12,9 @@ use std::path::{Path, PathBuf};
 
 use trrip_core::ClassifierConfig;
 use trrip_policies::PolicyKind;
-use trrip_sim::{policy_sweep, replay_sweep, PreparedWorkload, SimConfig, SweepResult, TraceStore};
+use trrip_sim::{
+    policy_sweep_with, replay_sweep_with, PreparedWorkload, SimConfig, SweepResult, TraceStore,
+};
 use trrip_workloads::WorkloadSpec;
 
 /// The usage text every experiment binary shares.
@@ -26,6 +28,8 @@ options:
   --trace-dir DIR  capture traces into DIR once and replay them from
                    disk for every policy, instead of re-generating the
                    trace per run
+  --jobs N         cap worker threads for sweeps, preparation and trace
+                   decode (default: available parallelism)
   --help           print this message and exit";
 
 /// Common options for experiment binaries.
@@ -39,6 +43,9 @@ pub struct HarnessOptions {
     pub out_dir: PathBuf,
     /// Capture-once/replay-many trace directory (`--trace-dir DIR`).
     pub trace_dir: Option<PathBuf>,
+    /// Worker-thread cap for sweeps and preparation (`--jobs N`,
+    /// default: the machine's available parallelism).
+    pub jobs: usize,
 }
 
 impl Default for HarnessOptions {
@@ -48,6 +55,7 @@ impl Default for HarnessOptions {
             benchmarks: Vec::new(),
             out_dir: PathBuf::from("reports"),
             trace_dir: None,
+            jobs: trrip_sim::default_jobs(),
         }
     }
 }
@@ -104,9 +112,19 @@ impl HarnessOptions {
                 }
                 "--out" => options.out_dir = PathBuf::from(value_of("--out")?),
                 "--trace-dir" => options.trace_dir = Some(PathBuf::from(value_of("--trace-dir")?)),
+                "--jobs" => {
+                    let v = value_of("--jobs")?;
+                    options.jobs = v
+                        .parse()
+                        .map_err(|_| format!("--jobs must be a positive integer, got `{v}`"))?;
+                    if options.jobs == 0 {
+                        return Err("--jobs must be at least 1".to_owned());
+                    }
+                }
                 other => {
                     return Err(format!(
-                        "unknown argument `{other}` (expected --scale/--bench/--out/--trace-dir)"
+                        "unknown argument `{other}` (expected \
+                         --scale/--bench/--out/--trace-dir/--jobs)"
                     ))
                 }
             }
@@ -115,9 +133,10 @@ impl HarnessOptions {
     }
 
     /// Runs a policy sweep with the engine the command line selected:
-    /// trace replay from `--trace-dir` (capture-once/replay-many) when
+    /// decode-once fan-out replay from `--trace-dir`
+    /// (capture-once/replay-many, trace decoded once per workload) when
     /// given, in-memory trace generation otherwise. Results are
-    /// bit-identical either way.
+    /// bit-identical either way; `--jobs` caps the worker threads.
     #[must_use]
     pub fn sweep(
         &self,
@@ -126,9 +145,25 @@ impl HarnessOptions {
         policies: &[PolicyKind],
     ) -> SweepResult {
         match &self.trace_dir {
-            Some(dir) => replay_sweep(workloads, config, policies, &TraceStore::new(dir)),
-            None => policy_sweep(workloads, config, policies),
+            Some(dir) => {
+                replay_sweep_with(self.jobs, workloads, config, policies, &TraceStore::new(dir))
+            }
+            None => policy_sweep_with(self.jobs, workloads, config, policies),
         }
+    }
+
+    /// Prepares workloads (training run + classification) under the
+    /// `--jobs` worker cap.
+    #[must_use]
+    pub fn prepare(
+        &self,
+        specs: &[WorkloadSpec],
+        config: &SimConfig,
+        classifier: ClassifierConfig,
+    ) -> Vec<PreparedWorkload> {
+        trrip_sim::parallel_map_with(self.jobs, specs.len(), |i| {
+            PreparedWorkload::prepare(&specs[i], config.train_instructions, classifier)
+        })
     }
 
     /// The proxy benchmark specs selected by `--bench` (all by default).
@@ -171,7 +206,10 @@ impl HarnessOptions {
     }
 }
 
-/// Prepares workloads (training run + classification) for a config.
+/// Prepares workloads (training run + classification) for a config with
+/// one worker per hardware thread. Binaries with a parsed
+/// [`HarnessOptions`] should prefer [`HarnessOptions::prepare`], which
+/// honors `--jobs`.
 #[must_use]
 pub fn prepare_all(
     specs: &[WorkloadSpec],
@@ -214,6 +252,8 @@ mod tests {
             "r",
             "--trace-dir",
             "traces",
+            "--jobs",
+            "5",
         ])
         .expect("valid")
         .expect("not help");
@@ -221,6 +261,7 @@ mod tests {
         assert_eq!(options.benchmarks, ["gcc", "sqlite"]);
         assert_eq!(options.out_dir, PathBuf::from("r"));
         assert_eq!(options.trace_dir, Some(PathBuf::from("traces")));
+        assert_eq!(options.jobs, 5);
     }
 
     #[test]
@@ -236,6 +277,10 @@ mod tests {
         assert!(parse(&["--scale", "0"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--bench"]).is_err());
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs", "many"]).is_err());
+        assert!(parse(&["--jobs", "-2"]).is_err());
     }
 
     #[test]
@@ -244,5 +289,6 @@ mod tests {
         assert_eq!(options.scale, 1);
         assert!(options.benchmarks.is_empty());
         assert!(options.trace_dir.is_none());
+        assert!(options.jobs >= 1, "default jobs must be usable");
     }
 }

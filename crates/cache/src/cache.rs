@@ -54,6 +54,9 @@ pub struct Cache {
     policy: Box<dyn ReplacementPolicy>,
     stats: AccessStats,
     num_sets: usize,
+    /// `[0, 1, …, ways-1]`, precomputed so victim selection on the miss
+    /// path never allocates a candidate list.
+    all_ways: Box<[usize]>,
 }
 
 impl std::fmt::Debug for Cache {
@@ -81,6 +84,7 @@ impl Cache {
             policy,
             stats: AccessStats::default(),
             num_sets,
+            all_ways: (0..config.ways).collect(),
             config,
         }
     }
@@ -196,8 +200,7 @@ impl Cache {
         let (way, evicted) = match invalid_way {
             Some(way) => (way, None),
             None => {
-                let candidates: Vec<usize> = (0..self.config.ways).collect();
-                let way = self.policy.choose_victim(set, &info, &candidates);
+                let way = self.policy.choose_victim(set, &info, &self.all_ways);
                 assert!(way < self.config.ways, "policy returned way out of range");
                 let old = self.lines[self.slot(set, way)];
                 self.policy.on_evict(set, way);

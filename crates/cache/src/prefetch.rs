@@ -22,9 +22,12 @@ use trrip_mem::{LineAddr, PhysAddr, VirtAddr};
 ///
 /// let mut pf = StridePrefetcher::new(64, 2);
 /// let pc = VirtAddr::new(0x400);
-/// assert!(pf.observe(pc, PhysAddr::new(0x1000)).is_empty());
-/// assert!(pf.observe(pc, PhysAddr::new(0x1040)).is_empty()); // learns stride
-/// let proposals = pf.observe(pc, PhysAddr::new(0x1080)); // confirmed
+/// let mut proposals = Vec::new(); // reused across the demand stream
+/// pf.observe(pc, PhysAddr::new(0x1000), &mut proposals);
+/// assert!(proposals.is_empty());
+/// pf.observe(pc, PhysAddr::new(0x1040), &mut proposals); // learns stride
+/// assert!(proposals.is_empty());
+/// pf.observe(pc, PhysAddr::new(0x1080), &mut proposals); // confirmed
 /// assert_eq!(proposals[0].raw(), 0x10c0);
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -61,11 +64,16 @@ impl StridePrefetcher {
         }
     }
 
-    /// Observes a demand access and returns proposed prefetch addresses.
-    pub fn observe(&mut self, pc: VirtAddr, addr: PhysAddr) -> Vec<PhysAddr> {
+    /// Observes a demand access, writing proposed prefetch addresses
+    /// into the caller-provided `proposals` (cleared first). Taking the
+    /// buffer instead of returning one keeps the per-access demand path
+    /// allocation-free: the caller hands the same buffer back every
+    /// access and the capacity of the widest proposal burst is reused
+    /// for the rest of the run.
+    pub fn observe(&mut self, pc: VirtAddr, addr: PhysAddr, proposals: &mut Vec<PhysAddr>) {
+        proposals.clear();
         let index = ((pc.raw() >> 2) as usize) & self.mask;
         let entry = &mut self.entries[index];
-        let mut proposals = Vec::new();
 
         if entry.valid && entry.pc_tag == pc.raw() {
             let stride = addr.raw() as i64 - entry.last_addr as i64;
@@ -96,7 +104,6 @@ impl StridePrefetcher {
                 valid: true,
             };
         }
-        proposals
     }
 
     /// Storage cost of the table in bits (for the power model): tag +
@@ -127,10 +134,13 @@ impl NextLinePrefetcher {
         NextLinePrefetcher { degree }
     }
 
-    /// Sequential lines following `line`.
-    #[must_use]
-    pub fn propose(&self, line: LineAddr) -> Vec<LineAddr> {
-        (1..=self.degree as u64).map(|i| LineAddr(line.raw() + i)).collect()
+    /// Sequential lines following `line`, as an allocation-free iterator
+    /// (the proposal set is dense by construction, so no buffer is
+    /// needed at all). The iterator captures nothing from `self`, so
+    /// callers may keep mutating the owning structure while draining it.
+    pub fn propose(&self, line: LineAddr) -> impl Iterator<Item = LineAddr> {
+        let degree = self.degree as u64;
+        (1..=degree).map(move |i| LineAddr(line.raw() + i))
     }
 }
 
@@ -144,23 +154,28 @@ impl Default for NextLinePrefetcher {
 mod tests {
     use super::*;
 
+    fn observe(pf: &mut StridePrefetcher, pc: VirtAddr, addr: u64) -> Vec<PhysAddr> {
+        let mut proposals = Vec::new();
+        pf.observe(pc, PhysAddr::new(addr), &mut proposals);
+        proposals
+    }
+
     #[test]
     fn stride_detected_after_two_repeats() {
         let mut pf = StridePrefetcher::new(16, 1);
         let pc = VirtAddr::new(0x100);
-        assert!(pf.observe(pc, PhysAddr::new(0x1000)).is_empty());
-        assert!(pf.observe(pc, PhysAddr::new(0x1100)).is_empty());
-        let p = pf.observe(pc, PhysAddr::new(0x1200));
-        assert_eq!(p, vec![PhysAddr::new(0x1300)]);
+        assert!(observe(&mut pf, pc, 0x1000).is_empty());
+        assert!(observe(&mut pf, pc, 0x1100).is_empty());
+        assert_eq!(observe(&mut pf, pc, 0x1200), vec![PhysAddr::new(0x1300)]);
     }
 
     #[test]
     fn degree_controls_proposal_count() {
         let mut pf = StridePrefetcher::new(16, 4);
         let pc = VirtAddr::new(0x100);
-        pf.observe(pc, PhysAddr::new(0x1000));
-        pf.observe(pc, PhysAddr::new(0x1040));
-        let p = pf.observe(pc, PhysAddr::new(0x1080));
+        observe(&mut pf, pc, 0x1000);
+        observe(&mut pf, pc, 0x1040);
+        let p = observe(&mut pf, pc, 0x1080);
         assert_eq!(p.len(), 4);
         assert_eq!(p[3], PhysAddr::new(0x1180));
     }
@@ -172,7 +187,7 @@ mod tests {
         let addrs = [0x1000u64, 0x5000, 0x2000, 0x9000, 0x1234];
         let mut total = 0;
         for a in addrs {
-            total += pf.observe(pc, PhysAddr::new(a)).len();
+            total += observe(&mut pf, pc, a).len();
         }
         assert_eq!(total, 0, "random pattern should not trigger prefetches");
     }
@@ -181,10 +196,9 @@ mod tests {
     fn negative_stride_supported() {
         let mut pf = StridePrefetcher::new(16, 1);
         let pc = VirtAddr::new(0x100);
-        pf.observe(pc, PhysAddr::new(0x3000));
-        pf.observe(pc, PhysAddr::new(0x2f00));
-        let p = pf.observe(pc, PhysAddr::new(0x2e00));
-        assert_eq!(p, vec![PhysAddr::new(0x2d00)]);
+        observe(&mut pf, pc, 0x3000);
+        observe(&mut pf, pc, 0x2f00);
+        assert_eq!(observe(&mut pf, pc, 0x2e00), vec![PhysAddr::new(0x2d00)]);
     }
 
     #[test]
@@ -192,19 +206,33 @@ mod tests {
         let mut pf = StridePrefetcher::new(16, 1);
         let pc1 = VirtAddr::new(0x100);
         let pc2 = VirtAddr::new(0x104);
-        pf.observe(pc1, PhysAddr::new(0x1000));
-        pf.observe(pc2, PhysAddr::new(0x9000));
-        pf.observe(pc1, PhysAddr::new(0x1040));
-        pf.observe(pc2, PhysAddr::new(0x9400));
-        let p1 = pf.observe(pc1, PhysAddr::new(0x1080));
-        let p2 = pf.observe(pc2, PhysAddr::new(0x9800));
-        assert_eq!(p1, vec![PhysAddr::new(0x10c0)]);
-        assert_eq!(p2, vec![PhysAddr::new(0x9c00)]);
+        observe(&mut pf, pc1, 0x1000);
+        observe(&mut pf, pc2, 0x9000);
+        observe(&mut pf, pc1, 0x1040);
+        observe(&mut pf, pc2, 0x9400);
+        assert_eq!(observe(&mut pf, pc1, 0x1080), vec![PhysAddr::new(0x10c0)]);
+        assert_eq!(observe(&mut pf, pc2, 0x9800), vec![PhysAddr::new(0x9c00)]);
+    }
+
+    #[test]
+    fn stale_proposals_are_cleared_from_a_reused_buffer() {
+        let mut pf = StridePrefetcher::new(16, 1);
+        let pc = VirtAddr::new(0x100);
+        let mut proposals = Vec::new();
+        pf.observe(pc, PhysAddr::new(0x1000), &mut proposals);
+        pf.observe(pc, PhysAddr::new(0x1100), &mut proposals);
+        pf.observe(pc, PhysAddr::new(0x1200), &mut proposals);
+        assert_eq!(proposals, vec![PhysAddr::new(0x1300)]);
+        // A non-proposing access must leave the reused buffer empty, not
+        // carrying last access's proposals.
+        pf.observe(pc, PhysAddr::new(0x9999), &mut proposals);
+        assert!(proposals.is_empty());
     }
 
     #[test]
     fn next_line_proposes_sequential_lines() {
         let pf = NextLinePrefetcher::new(2);
-        assert_eq!(pf.propose(LineAddr(10)), vec![LineAddr(11), LineAddr(12)]);
+        let proposals: Vec<LineAddr> = pf.propose(LineAddr(10)).collect();
+        assert_eq!(proposals, vec![LineAddr(11), LineAddr(12)]);
     }
 }

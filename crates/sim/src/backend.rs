@@ -1,7 +1,5 @@
 //! The memory backend: MMU + hierarchy + prefetchers + profiling hooks.
 
-use std::collections::HashMap;
-
 use trrip_analysis::costly::CodeRegion;
 use trrip_analysis::{CostlyMissTracker, ReuseProfiler};
 use trrip_cache::{Hierarchy, NextLinePrefetcher, ServedBy, StridePrefetcher};
@@ -11,6 +9,15 @@ use trrip_mem::{LineAddr, MemoryRequest, PhysAddr, VirtAddr};
 use trrip_os::Mmu;
 
 use crate::config::SimConfig;
+use crate::inflight::InflightTable;
+
+/// Modelled FDIP/prefetch request-file depth: crossing it triggers the
+/// expiry sweep, as the old 512-entry `HashMap` cap did. The
+/// [`InflightTable`] itself keeps 2× headroom above this (see its docs):
+/// the `HashMap` it replaces could overshoot the cap with unexpired
+/// entries between sweeps, and the headroom preserves that behavior for
+/// any realistic burst instead of dropping requests at exactly 512.
+const MSHR_ENTRIES: usize = 512;
 
 /// Implements [`MemoryBackend`] over the full memory system.
 ///
@@ -30,8 +37,11 @@ pub struct SystemBackend {
     mmu: Mmu,
     hierarchy: Hierarchy,
     data_stride: StridePrefetcher,
+    /// Reused proposal buffer for [`StridePrefetcher::observe`], so the
+    /// per-access data path allocates nothing.
+    stride_proposals: Vec<PhysAddr>,
     next_line: NextLinePrefetcher,
-    inflight: HashMap<u64, u64>,
+    inflight: InflightTable,
     l1_latency: u64,
     reuse: Option<ReuseProfiler>,
     costly: Option<CostlyMissTracker>,
@@ -81,8 +91,9 @@ impl SystemBackend {
             mmu,
             hierarchy,
             data_stride: StridePrefetcher::new(4096, 4),
+            stride_proposals: Vec::new(),
             next_line: NextLinePrefetcher::new(1),
-            inflight: HashMap::new(),
+            inflight: InflightTable::new(MSHR_ENTRIES),
             l1_latency: config.hierarchy.l1i.data_latency,
             reuse: None,
             costly: None,
@@ -152,10 +163,10 @@ impl SystemBackend {
     /// demand access waits for the remaining cycles.
     fn timeliness(&mut self, pa: PhysAddr, raw_latency: u64, now: u64) -> u64 {
         let line = SystemBackend::line_of(pa).raw();
-        match self.inflight.get(&line) {
-            Some(&ready) if ready > now => raw_latency.max(ready - now),
+        match self.inflight.get(line) {
+            Some(ready) if ready > now => raw_latency.max(ready - now),
             Some(_) => {
-                self.inflight.remove(&line);
+                self.inflight.remove(line);
                 raw_latency
             }
             None => raw_latency,
@@ -203,11 +214,15 @@ impl MemoryBackend for SystemBackend {
         if out.l1_miss() {
             self.observe_l2(pa, false);
         }
-        // Stride prefetcher trains on the demand stream.
-        for proposal in self.data_stride.observe(pc, pa) {
+        // Stride prefetcher trains on the demand stream. The proposal
+        // buffer is owned by the backend and reused every access.
+        let mut proposals = std::mem::take(&mut self.stride_proposals);
+        self.data_stride.observe(pc, pa, &mut proposals);
+        for &proposal in &proposals {
             let preq = MemoryRequest::load(proposal, pc);
             self.hierarchy.prefetch(&preq);
         }
+        self.stride_proposals = proposals;
         MemLatency {
             cycles: out.latency,
             l1_hit: out.served_by == ServedBy::L1,
@@ -238,10 +253,10 @@ impl MemoryBackend for SystemBackend {
         }
         let req = MemoryRequest::fetch(pa, pc).with_temperature(temperature);
         self.hierarchy.prefetch(&req);
-        self.inflight.entry(line.raw()).or_insert(now + latency);
+        self.inflight.insert_if_absent(line.raw(), now + latency);
         // Bound the in-flight set (a real FDIP queue is small).
-        if self.inflight.len() > 512 {
-            self.inflight.retain(|_, &mut ready| ready > now);
+        if self.inflight.len() > MSHR_ENTRIES {
+            self.inflight.prune_expired(now);
         }
     }
 }

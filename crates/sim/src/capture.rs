@@ -10,7 +10,9 @@
 use std::path::{Path, PathBuf};
 
 use trrip_compiler::LayoutKind;
-use trrip_trace::{probe, StreamingReplay, TraceError, TraceLayout, TraceMeta};
+use trrip_trace::{
+    probe, FanoutReplay, FanoutSubscriber, StreamingReplay, TraceError, TraceLayout, TraceMeta,
+};
 use trrip_workloads::{InputSet, TraceGenerator};
 
 use crate::config::SimConfig;
@@ -171,6 +173,28 @@ impl TraceStore {
     ) -> Result<StreamingReplay, TraceError> {
         StreamingReplay::open(&self.ensure(workload, config)?)
     }
+
+    /// Opens a decode-once fan-out of the capture for
+    /// `(workload, config)` — one subscriber per consumer, all fed from
+    /// a single decoded stream — capturing the trace first if needed.
+    /// This is how a policy sweep replays one workload under many
+    /// policies without re-decoding per policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capture and open failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `consumers` is zero.
+    pub fn open_fanout(
+        &self,
+        workload: &PreparedWorkload,
+        config: &SimConfig,
+        consumers: usize,
+    ) -> Result<Vec<FanoutSubscriber>, TraceError> {
+        FanoutReplay::open(&self.ensure(workload, config)?, consumers)
+    }
 }
 
 #[cfg(test)]
@@ -246,10 +270,13 @@ mod tests {
 
         let replayed = crate::replay_sweep(&workloads, &config, &policies, &store);
         let walked = crate::policy_sweep(&workloads, &config, &policies);
-        for (a, b) in replayed.results.iter().zip(&walked.results) {
+        let isolated = crate::replay_sweep_isolated(&workloads, &config, &policies, &store);
+        for ((a, b), c) in replayed.results.iter().zip(&walked.results).zip(&isolated.results) {
             assert_eq!(a.core, b.core);
             assert_eq!(a.l2, b.l2);
             assert_eq!(a.policy, b.policy);
+            assert_eq!(a.core, c.core, "fan-out must match decode-per-job replay");
+            assert_eq!(a.l2, c.l2);
         }
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -1,27 +1,41 @@
 //! Parallel policy sweeps — the engine behind Figure 6, Table 3 and the
 //! sensitivity studies.
 //!
-//! Two engines produce the same [`SweepResult`]:
+//! Three engines produce the same [`SweepResult`], bit-identically:
 //!
 //! * [`policy_sweep`] regenerates the instruction trace with the CFG
 //!   walker for every `(workload, policy)` job — no disk, but the
 //!   generation cost is paid `policies.len()` times per workload;
 //! * [`replay_sweep`] captures each workload's trace to a
-//!   [`TraceStore`] once, then every job streams it back through a
-//!   bounded-channel decode thread ([`trrip_trace::StreamingReplay`]),
-//!   so the sweep pays generation once and decode (much cheaper)
-//!   per job. Results are bit-identical between the two engines.
+//!   [`TraceStore`] once, then fans each capture out **decode-once**:
+//!   a [`trrip_trace::FanoutReplay`] pipeline (parallel chunk-decode
+//!   workers + an ordered broadcaster) feeds shared
+//!   `Arc<[TraceInstr]>` batches to one simulator thread per policy,
+//!   so disk I/O + varint decode is paid once per *workload*, not once
+//!   per `(workload, policy)` job;
+//! * [`replay_sweep_isolated`] is the legacy decode-per-job engine
+//!   (each job opens its own [`trrip_trace::StreamingReplay`]), kept as
+//!   the baseline for the fan-out throughput bench and as an
+//!   independent oracle in equivalence tests.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 use trrip_policies::PolicyKind;
+use trrip_trace::{FanoutOptions, FanoutReplay};
 
 use crate::capture::TraceStore;
 use crate::config::SimConfig;
 use crate::prepare::PreparedWorkload;
 use crate::system::{simulate, simulate_source, SimResult};
+
+/// Worker threads used when the caller does not cap them: one per
+/// hardware thread.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(4, usize::from)
+}
 
 /// Results of a `workloads × policies` sweep.
 #[derive(Debug)]
@@ -81,9 +95,23 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_with(default_jobs(), n, f)
+}
+
+/// [`parallel_map`] with an explicit worker cap (`--jobs` in the bench
+/// harness): at most `jobs` scoped workers, never more than `n`.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (a panicking worker aborts the scope).
+pub fn parallel_map_with<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
     let cursor = AtomicUsize::new(0);
-    let threads = std::thread::available_parallelism().map_or(4, usize::from).min(n.max(1));
+    let threads = jobs.max(1).min(n.max(1));
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -108,10 +136,21 @@ pub fn policy_sweep(
     config: &SimConfig,
     policies: &[PolicyKind],
 ) -> SweepResult {
-    let jobs: Vec<(usize, usize)> =
+    policy_sweep_with(default_jobs(), workloads, config, policies)
+}
+
+/// [`policy_sweep`] with an explicit worker cap.
+#[must_use]
+pub fn policy_sweep_with(
+    jobs: usize,
+    workloads: &[PreparedWorkload],
+    config: &SimConfig,
+    policies: &[PolicyKind],
+) -> SweepResult {
+    let pairs: Vec<(usize, usize)> =
         (0..workloads.len()).flat_map(|w| (0..policies.len()).map(move |p| (w, p))).collect();
-    let results = parallel_map(jobs.len(), |i| {
-        let (wi, pi) = jobs[i];
+    let results = parallel_map_with(jobs, pairs.len(), |i| {
+        let (wi, pi) = pairs[i];
         let run_config = config.clone().with_policy(policies[pi]);
         simulate(&workloads[wi], &run_config)
     });
@@ -124,12 +163,17 @@ pub fn policy_sweep(
 }
 
 /// Runs every workload under every policy by streaming captured traces
-/// from `store` — capturing any that are missing first — instead of
-/// re-generating each trace per policy. One worker per hardware thread
-/// shards the `(workload, policy)` jobs; each job streams *its own*
-/// replay (decode thread + bounded channel), so jobs stay independent
-/// and the result is deterministic and bit-identical to [`policy_sweep`]
-/// regardless of scheduling.
+/// from `store` — capturing any that are missing first — with the
+/// decode-once fan-out engine: per workload, one
+/// [`FanoutReplay`] pipeline decodes the capture a single time (chunks
+/// decoded on parallel workers, checksummed on read) and broadcasts the
+/// shared batches to one scoped simulator thread per policy. Decode
+/// order is the file's chunk order for every subscriber, so the result
+/// is deterministic and bit-identical to [`policy_sweep`] and
+/// [`replay_sweep_isolated`] regardless of scheduling — while the
+/// expensive disk + varint work is paid once per *workload* instead of
+/// once per job ([`trrip_trace::records_decoded`] makes that promise
+/// testable).
 ///
 /// # Panics
 ///
@@ -142,19 +186,100 @@ pub fn replay_sweep(
     policies: &[PolicyKind],
     store: &TraceStore,
 ) -> SweepResult {
+    replay_sweep_with(default_jobs(), workloads, config, policies, store)
+}
+
+/// [`replay_sweep`] with an explicit worker budget: `jobs` caps the
+/// capture workers, the decode workers, and how many workloads fan out
+/// concurrently. Within one workload the simulator-thread count is
+/// always `policies.len()` — the broadcast protocol needs every
+/// policy's consumer live at once (a policy that waited would stall
+/// the bounded channels) — so the budget is spent on concurrent
+/// workloads in waves of `jobs / policies.len()`.
+///
+/// # Panics
+///
+/// As [`replay_sweep`].
+#[must_use]
+pub fn replay_sweep_with(
+    jobs: usize,
+    workloads: &[PreparedWorkload],
+    config: &SimConfig,
+    policies: &[PolicyKind],
+    store: &TraceStore,
+) -> SweepResult {
     // Phase 1: one capture per workload (only the missing ones pay).
+    let paths: Vec<PathBuf> = parallel_map_with(jobs, workloads.len(), |i| {
+        store
+            .ensure(&workloads[i], config)
+            .unwrap_or_else(|e| panic!("capturing {}: {e}", workloads[i].spec.name))
+    });
+
+    // Phase 2: per workload, decode once and fan out to every policy.
+    // Each workload's fan-out runs `policies.len()` simulator threads,
+    // so when a sweep has fewer policies than worker slots (a 2-policy
+    // layout study on a 16-core box), whole workloads run concurrently
+    // in waves of `jobs / policies` until the slots are spent; the
+    // decode-worker budget is split across the wave.
+    let wave = (jobs / policies.len().max(1)).max(1);
+    let options = FanoutOptions {
+        decode_workers: (jobs / wave).clamp(1, FanoutOptions::default().decode_workers.max(1)),
+        ..FanoutOptions::default()
+    };
+    let per_workload: Vec<Vec<SimResult>> = parallel_map_with(wave, workloads.len(), |wi| {
+        let (workload, path) = (&workloads[wi], &paths[wi]);
+        let subscribers = FanoutReplay::with_options(path, policies.len(), options)
+            .unwrap_or_else(|e| panic!("replaying {}: {e}", path.display()));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = subscribers
+                .into_iter()
+                .zip(policies)
+                .map(|(subscriber, &policy)| {
+                    let run_config = config.clone().with_policy(policy);
+                    scope.spawn(move || simulate_source(workload, &run_config, subscriber))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        })
+    });
+
+    SweepResult {
+        results: per_workload.into_iter().flatten().collect(),
+        policies: policies.to_vec(),
+        benchmarks: workloads.iter().map(|w| w.spec.name.clone()).collect(),
+    }
+}
+
+/// The legacy decode-per-job replay engine: shards `(workload, policy)`
+/// jobs across workers, each opening its own
+/// [`trrip_trace::StreamingReplay`] — the trace is re-read and
+/// re-decoded once per job. Kept as the measured baseline for the
+/// fan-out bench and as an independent oracle in equivalence tests;
+/// sweeps should use [`replay_sweep`].
+///
+/// # Panics
+///
+/// As [`replay_sweep`].
+#[must_use]
+pub fn replay_sweep_isolated(
+    workloads: &[PreparedWorkload],
+    config: &SimConfig,
+    policies: &[PolicyKind],
+    store: &TraceStore,
+) -> SweepResult {
     let paths: Vec<PathBuf> = parallel_map(workloads.len(), |i| {
         store
             .ensure(&workloads[i], config)
             .unwrap_or_else(|e| panic!("capturing {}: {e}", workloads[i].spec.name))
     });
 
-    // Phase 2: shard the (workload × policy) jobs across workers, each
-    // streaming its trace from disk.
-    let jobs: Vec<(usize, usize)> =
+    let pairs: Vec<(usize, usize)> =
         (0..workloads.len()).flat_map(|w| (0..policies.len()).map(move |p| (w, p))).collect();
-    let results = parallel_map(jobs.len(), |i| {
-        let (wi, pi) = jobs[i];
+    let results = parallel_map(pairs.len(), |i| {
+        let (wi, pi) = pairs[i];
         let run_config = config.clone().with_policy(policies[pi]);
         let replay = trrip_trace::StreamingReplay::open(&paths[wi])
             .unwrap_or_else(|e| panic!("replaying {}: {e}", paths[wi].display()));

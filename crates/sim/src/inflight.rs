@@ -1,0 +1,286 @@
+//! A fixed-size open-addressed map from cache line to completion time,
+//! replacing the `HashMap<u64, u64>` the backend used to track in-flight
+//! prefetches. A real FDIP queue is a small fixed structure (the MSHR
+//! file); modelling it with a heap-allocating hash map put malloc/rehash
+//! on the per-prefetch path. This table never allocates after
+//! construction: linear probing with backward-shift deletion, and a
+//! preallocated scratch buffer for the expiry sweep.
+
+/// Sentinel for an empty slot. Line addresses are physical addresses
+/// shifted right by 6, so `u64::MAX` can never be a real line.
+const EMPTY: u64 = u64::MAX;
+
+/// Fibonacci multiplier spreading near-sequential line addresses across
+/// the table.
+const HASH_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    line: u64,
+    ready: u64,
+}
+
+const EMPTY_SLOT: Slot = Slot { line: EMPTY, ready: 0 };
+
+/// Fixed-capacity line → ready-cycle map for prefetch timeliness.
+///
+/// Sized to the modelled MSHR count at construction, with deliberate
+/// headroom: the occupancy limit is 2× the MSHR count (and the slot
+/// array 2× that again, keeping the load factor below one half). The
+/// `HashMap` this replaces enforced its cap only by expiry sweeps, so
+/// unexpired entries could briefly exceed it; the 2× limit absorbs any
+/// realistic such burst bit-identically. Only an insert into a table
+/// already holding 2× the MSHR count is dropped — which is what real
+/// prefetch hardware does when its request file is exhausted.
+#[derive(Debug)]
+pub struct InflightTable {
+    slots: Box<[Slot]>,
+    /// Index mask (`slots.len() - 1`).
+    mask: usize,
+    /// Right-shift mapping a hashed key to a slot index via high bits.
+    shift: u32,
+    /// Live entries.
+    len: usize,
+    /// Hard occupancy bound (half the slot array).
+    limit: usize,
+    /// Reused by [`InflightTable::prune_expired`]; capacity `limit`.
+    scratch: Vec<Slot>,
+}
+
+impl InflightTable {
+    /// A table sized for `mshr_entries` simultaneously tracked lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mshr_entries` is zero.
+    #[must_use]
+    pub fn new(mshr_entries: usize) -> InflightTable {
+        assert!(mshr_entries > 0, "MSHR count must be positive");
+        let slots = (mshr_entries * 4).next_power_of_two();
+        InflightTable {
+            slots: vec![EMPTY_SLOT; slots].into_boxed_slice(),
+            mask: slots - 1,
+            shift: 64 - slots.trailing_zeros(),
+            len: 0,
+            limit: slots / 2,
+            scratch: Vec::with_capacity(slots / 2),
+        }
+    }
+
+    /// Live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no line is tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn probe_start(&self, line: u64) -> usize {
+        ((line.wrapping_mul(HASH_MULT) >> self.shift) as usize) & self.mask
+    }
+
+    fn find(&self, line: u64) -> Option<usize> {
+        let mut i = self.probe_start(line);
+        loop {
+            let slot = self.slots[i];
+            if slot.line == EMPTY {
+                return None;
+            }
+            if slot.line == line {
+                return Some(i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// The tracked completion cycle for `line`, if any.
+    #[must_use]
+    pub fn get(&self, line: u64) -> Option<u64> {
+        self.find(line).map(|i| self.slots[i].ready)
+    }
+
+    /// Tracks `line` completing at `ready` unless it is already tracked
+    /// (the earlier prefetch wins, as with `HashMap::entry().or_insert`)
+    /// or the table is at capacity (the request is dropped, as real
+    /// prefetch hardware does when its request file is full).
+    pub fn insert_if_absent(&mut self, line: u64, ready: u64) {
+        debug_assert_ne!(line, EMPTY, "line address collides with the empty sentinel");
+        let mut i = self.probe_start(line);
+        loop {
+            let occupant = self.slots[i].line;
+            if occupant == line {
+                return;
+            }
+            if occupant == EMPTY {
+                if self.len >= self.limit {
+                    return;
+                }
+                self.slots[i] = Slot { line, ready };
+                self.len += 1;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Forgets `line` if tracked (backward-shift deletion, so probe
+    /// chains stay intact without tombstones).
+    pub fn remove(&mut self, line: u64) {
+        let Some(mut hole) = self.find(line) else {
+            return;
+        };
+        self.len -= 1;
+        let mut i = hole;
+        loop {
+            i = (i + 1) & self.mask;
+            let slot = self.slots[i];
+            if slot.line == EMPTY {
+                break;
+            }
+            // `slot` may back-fill the hole only if its home position is
+            // cyclically at or before the hole.
+            let home = self.probe_start(slot.line);
+            let home_distance = i.wrapping_sub(home) & self.mask;
+            let hole_distance = i.wrapping_sub(hole) & self.mask;
+            if home_distance >= hole_distance {
+                self.slots[hole] = slot;
+                hole = i;
+            }
+        }
+        self.slots[hole] = EMPTY_SLOT;
+    }
+
+    /// Drops every entry whose `ready` cycle is not after `now`
+    /// (equivalent to `retain(|_, ready| ready > now)`). Allocation-free:
+    /// survivors pass through the preallocated scratch buffer.
+    pub fn prune_expired(&mut self, now: u64) {
+        self.scratch.clear();
+        for slot in &mut self.slots {
+            if slot.line != EMPTY {
+                if slot.ready > now {
+                    self.scratch.push(*slot);
+                }
+                *slot = EMPTY_SLOT;
+            }
+        }
+        self.len = 0;
+        let survivors = std::mem::take(&mut self.scratch);
+        for slot in &survivors {
+            self.insert_if_absent(slot.line, slot.ready);
+        }
+        self.scratch = survivors;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut t = InflightTable::new(8);
+        t.insert_if_absent(100, 50);
+        t.insert_if_absent(200, 60);
+        assert_eq!(t.get(100), Some(50));
+        assert_eq!(t.get(200), Some(60));
+        assert_eq!(t.get(300), None);
+        t.remove(100);
+        assert_eq!(t.get(100), None);
+        assert_eq!(t.get(200), Some(60));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let mut t = InflightTable::new(8);
+        t.insert_if_absent(7, 10);
+        t.insert_if_absent(7, 99);
+        assert_eq!(t.get(7), Some(10));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn full_table_drops_new_entries() {
+        let mut t = InflightTable::new(1); // 4 slots, limit 2
+        t.insert_if_absent(1, 1);
+        t.insert_if_absent(2, 2);
+        t.insert_if_absent(3, 3);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.get(1), Some(1));
+    }
+
+    #[test]
+    fn prune_matches_retain_semantics() {
+        let mut t = InflightTable::new(16);
+        for line in 0..20u64 {
+            t.insert_if_absent(line, line * 10);
+        }
+        t.prune_expired(100); // keeps ready > 100, i.e. lines 11..20
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.get(10), None, "ready == now must expire");
+        assert_eq!(t.get(11), Some(110));
+        assert_eq!(t.get(19), Some(190));
+    }
+
+    #[test]
+    fn backward_shift_keeps_probe_chains_reachable() {
+        // Exercise collision chains: many keys in a small table, delete
+        // from the middle of chains, verify everything else stays
+        // reachable. Mirrors a HashMap oracle.
+        let mut t = InflightTable::new(16); // 64 slots, limit 32
+        let mut oracle = std::collections::HashMap::new();
+        let keys: Vec<u64> = (0..30).map(|i| i * 64 + 3).collect();
+        for &k in &keys {
+            t.insert_if_absent(k, k + 1);
+            oracle.insert(k, k + 1);
+        }
+        for &k in keys.iter().step_by(3) {
+            t.remove(k);
+            oracle.remove(&k);
+        }
+        for &k in &keys {
+            assert_eq!(t.get(k), oracle.get(&k).copied(), "key {k}");
+        }
+        assert_eq!(t.len(), oracle.len());
+    }
+
+    #[test]
+    fn randomized_against_hashmap_oracle() {
+        let mut t = InflightTable::new(32); // limit 64 — never hit below
+        let mut oracle = std::collections::HashMap::new();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..4000u64 {
+            let line = next() % 50; // small key space forces collisions
+            match next() % 4 {
+                0 | 1 => {
+                    if oracle.len() < 48 {
+                        t.insert_if_absent(line, step);
+                        oracle.entry(line).or_insert(step);
+                    }
+                }
+                2 => {
+                    t.remove(line);
+                    oracle.remove(&line);
+                }
+                _ => {
+                    let cutoff = step.saturating_sub(40);
+                    t.prune_expired(cutoff);
+                    oracle.retain(|_, &mut ready| ready > cutoff);
+                }
+            }
+            assert_eq!(t.get(line), oracle.get(&line).copied());
+            assert_eq!(t.len(), oracle.len());
+        }
+    }
+}

@@ -16,8 +16,11 @@
 //! * [`capture`] — [`capture_trace`] and the [`TraceStore`]: record the
 //!   walker's output to the `trrip-trace` binary format once, replay it
 //!   from disk for every subsequent run.
-//! * [`experiment`] — parallel policy sweeps (walker-driven and
-//!   trace-replay engines) and speedup computation.
+//! * [`experiment`] — parallel policy sweeps (walker-driven,
+//!   decode-once fan-out replay, and the legacy decode-per-job replay)
+//!   and speedup computation.
+//! * [`inflight`] — the fixed-size open-addressed prefetch-timeliness
+//!   table behind the backend's allocation-free hot path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,12 +29,17 @@ pub mod backend;
 pub mod capture;
 pub mod config;
 pub mod experiment;
+pub mod inflight;
 pub mod prepare;
 pub mod system;
 
 pub use backend::SystemBackend;
 pub use capture::{capture_length, capture_trace, TraceStore};
 pub use config::SimConfig;
-pub use experiment::{parallel_map, policy_sweep, replay_sweep, speedup_vs, SweepResult};
+pub use experiment::{
+    default_jobs, parallel_map, parallel_map_with, policy_sweep, policy_sweep_with, replay_sweep,
+    replay_sweep_isolated, replay_sweep_with, speedup_vs, SweepResult,
+};
+pub use inflight::InflightTable;
 pub use prepare::PreparedWorkload;
 pub use system::{simulate, simulate_source, SimResult};

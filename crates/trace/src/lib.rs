@@ -18,20 +18,29 @@
 //!   header validation up front and checksum verification at EOF.
 //! * [`TraceSource`] — the batch-pull interface the simulator consumes;
 //!   implemented by the reader, by [`StreamingReplay`] (a bounded-channel
-//!   pipeline that overlaps disk decode with simulation), and by the
-//!   in-memory walker in `trrip-workloads`.
+//!   pipeline that overlaps disk decode with simulation), by
+//!   [`FanoutSubscriber`], and by the in-memory walker in
+//!   `trrip-workloads`.
+//! * [`fanout`] — the decode-once fan-out engine: one parallel-decoded
+//!   stream of shared `Arc<[TraceInstr]>` batches broadcast to N
+//!   consumers, so a policy sweep pays disk + decode once per workload
+//!   instead of once per policy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fanout;
 pub mod format;
 pub mod reader;
 pub mod source;
+pub mod stats;
 pub mod stream;
 pub mod writer;
 
+pub use fanout::{FanoutOptions, FanoutReplay, FanoutSubscriber};
 pub use format::{TraceError, TraceLayout, TraceMeta, CHUNK_CAPACITY};
-pub use reader::{open, probe, TraceReader};
+pub use reader::{decode_chunk, open, probe, TraceReader};
 pub use source::{SourceIter, TraceSource};
+pub use stats::records_decoded;
 pub use stream::StreamingReplay;
 pub use writer::{create, TraceWriter};

@@ -85,17 +85,21 @@ impl<R: Read> TraceReader<R> {
         self.remaining
     }
 
-    /// Decodes the next chunk, appending its records to `out`. Returns
-    /// the number of records appended; `0` means the trace is complete
-    /// (and the checksum verified).
+    /// Reads the next chunk's raw bytes into `payload` without decoding
+    /// any records, returning the chunk's record count; `0` means the
+    /// trace is complete (and the checksum verified). Framing is
+    /// validated and the payload checksum accumulated here, so a caller
+    /// draining raw chunks still detects damaged payload bytes — the
+    /// split that lets the fan-out engine decode chunks on parallel
+    /// workers while one thread owns the file.
     ///
     /// # Errors
     ///
-    /// [`TraceError::Corrupt`] for malformed framing or payload,
+    /// [`TraceError::Corrupt`] for malformed framing,
     /// [`TraceError::ChecksumMismatch`] at EOF when payload bytes were
     /// damaged in place, [`TraceError::Io`] for truncation and other
     /// underlying failures.
-    pub fn read_chunk(&mut self, out: &mut Vec<TraceInstr>) -> Result<usize, TraceError> {
+    pub fn read_chunk_raw(&mut self, payload: &mut Vec<u8>) -> Result<u32, TraceError> {
         if self.remaining == 0 {
             // Covers the empty-trace case; non-empty traces were already
             // verified when their final chunk was produced.
@@ -126,22 +130,10 @@ impl<R: Read> TraceReader<R> {
             return Err(TraceError::Corrupt(format!("implausible chunk payload {payload_len}")));
         }
 
-        self.payload.resize(payload_len as usize, 0);
-        self.source.read_exact(&mut self.payload)?;
-        self.checksum.update(&self.payload);
+        payload.resize(payload_len as usize, 0);
+        self.source.read_exact(payload)?;
+        self.checksum.update(payload);
 
-        out.reserve(record_count as usize);
-        let mut pos = 0;
-        let mut state = DeltaState::new();
-        for _ in 0..record_count {
-            out.push(decode_record(&self.payload, &mut pos, &mut state)?);
-        }
-        if pos != self.payload.len() {
-            return Err(TraceError::Corrupt(format!(
-                "{} trailing bytes after last record of chunk",
-                self.payload.len() - pos
-            )));
-        }
         self.remaining -= u64::from(record_count);
         if self.remaining == 0 {
             // Verify as part of producing the *last* chunk: consumers
@@ -149,6 +141,27 @@ impl<R: Read> TraceReader<R> {
             // simulator's `take(n)` does) would never issue the extra
             // call that returns 0, and damage would pass silently.
             self.verify_checksum()?;
+        }
+        Ok(record_count)
+    }
+
+    /// Decodes the next chunk, appending its records to `out`. Returns
+    /// the number of records appended; `0` means the trace is complete
+    /// (and the checksum verified).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Corrupt`] for malformed framing or payload,
+    /// [`TraceError::ChecksumMismatch`] at EOF when payload bytes were
+    /// damaged in place, [`TraceError::Io`] for truncation and other
+    /// underlying failures.
+    pub fn read_chunk(&mut self, out: &mut Vec<TraceInstr>) -> Result<usize, TraceError> {
+        let mut payload = std::mem::take(&mut self.payload);
+        let result = self.read_chunk_raw(&mut payload);
+        self.payload = payload;
+        let record_count = result?;
+        if record_count > 0 {
+            decode_chunk(&self.payload, record_count, out)?;
         }
         Ok(record_count as usize)
     }
@@ -172,6 +185,37 @@ impl<R: Read> TraceReader<R> {
         while self.read_chunk(&mut all)? > 0 {}
         Ok(all)
     }
+}
+
+/// Decodes one raw chunk `payload` holding `record_count` records,
+/// appending them to `out`. Chunks are self-contained (delta state resets
+/// at every chunk boundary), so this is safe to call on any chunk in any
+/// order — the primitive behind both the streaming reader and the
+/// fan-out engine's parallel decode workers. Every decoded record counts
+/// toward [`crate::stats::records_decoded`].
+///
+/// # Errors
+///
+/// [`TraceError::Corrupt`] for malformed payload bytes.
+pub fn decode_chunk(
+    payload: &[u8],
+    record_count: u32,
+    out: &mut Vec<TraceInstr>,
+) -> Result<(), TraceError> {
+    out.reserve(record_count as usize);
+    let mut pos = 0;
+    let mut state = DeltaState::new();
+    for _ in 0..record_count {
+        out.push(decode_record(payload, &mut pos, &mut state)?);
+    }
+    if pos != payload.len() {
+        return Err(TraceError::Corrupt(format!(
+            "{} trailing bytes after last record of chunk",
+            payload.len() - pos
+        )));
+    }
+    crate::stats::count_decoded(u64::from(record_count));
+    Ok(())
 }
 
 impl<R: Read> TraceSource for TraceReader<R> {

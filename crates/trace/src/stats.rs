@@ -1,0 +1,24 @@
+//! Process-wide decode accounting.
+//!
+//! The capture-once/replay-many promise is easy to break silently: a
+//! sweep that re-decodes the same trace per policy still produces the
+//! right numbers, just slower. The counter here makes decode work
+//! observable, so a test can assert that an N-policy fan-out sweep pays
+//! varint decode exactly once per workload.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static RECORDS_DECODED: AtomicU64 = AtomicU64::new(0);
+
+/// Total trace records decoded by this process, across every reader and
+/// fan-out worker. Monotonic; sample before and after an operation and
+/// subtract. Updated once per chunk (not per record), so the hot decode
+/// path pays one relaxed atomic add per ~64 Ki records.
+#[must_use]
+pub fn records_decoded() -> u64 {
+    RECORDS_DECODED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn count_decoded(records: u64) {
+    RECORDS_DECODED.fetch_add(records, Ordering::Relaxed);
+}

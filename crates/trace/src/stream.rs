@@ -3,7 +3,7 @@
 //! decode overlap with simulation instead of serializing with it.
 
 use std::path::Path;
-use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::thread::JoinHandle;
 
 use trrip_cpu::TraceInstr;
@@ -22,11 +22,24 @@ const CHANNEL_DEPTH: usize = 4;
 /// synchronous); payload decoding happens on the worker, which stops at
 /// the first error and forwards it. Dropping the replay mid-trace shuts
 /// the worker down cleanly.
+///
+/// # Buffer reuse contract
+///
+/// Batch buffers circulate: the decoder fills a `Vec`, `next_batch`
+/// swaps it into an *empty* `out`, and the buffer the consumer handed
+/// over goes back to the decoder through a recycle channel — after the
+/// pipeline fills, the steady-state replay loop performs no allocation
+/// at all. Consumers that reuse one buffer (as [`crate::SourceIter`]
+/// does) should therefore `clear()` it between calls; passing a
+/// non-empty `out` is still correct — the batch is then appended with a
+/// single `memcpy` — but forfeits the swap.
 #[derive(Debug)]
 pub struct StreamingReplay {
     meta: TraceMeta,
     /// `Some` until dropped; taken in `Drop` so the decoder unblocks.
     batches: Option<Receiver<Result<Vec<TraceInstr>, TraceError>>>,
+    /// Returns spent batch buffers to the decoder for reuse.
+    recycle: Sender<Vec<TraceInstr>>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -40,11 +53,12 @@ impl StreamingReplay {
         let mut source = reader::open(path)?;
         let meta = source.meta().clone();
         let (tx, rx) = mpsc::sync_channel(CHANNEL_DEPTH);
+        let (recycle_tx, recycle_rx) = mpsc::channel();
         let worker = std::thread::Builder::new()
             .name(format!("trace-decode:{}", meta.name))
-            .spawn(move || decode_loop(&mut source, &tx))
+            .spawn(move || decode_loop(&mut source, &tx, &recycle_rx))
             .map_err(TraceError::Io)?;
-        Ok(StreamingReplay { meta, batches: Some(rx), worker: Some(worker) })
+        Ok(StreamingReplay { meta, batches: Some(rx), recycle: recycle_tx, worker: Some(worker) })
     }
 
     /// The trace's header metadata.
@@ -57,9 +71,13 @@ impl StreamingReplay {
 fn decode_loop<R: std::io::Read>(
     source: &mut reader::TraceReader<R>,
     tx: &SyncSender<Result<Vec<TraceInstr>, TraceError>>,
+    recycle: &Receiver<Vec<TraceInstr>>,
 ) {
     loop {
-        let mut batch = Vec::new();
+        // Reuse a buffer the consumer returned; allocate only while the
+        // pipeline is still filling.
+        let mut batch = recycle.try_recv().unwrap_or_default();
+        batch.clear();
         match source.read_chunk(&mut batch) {
             Ok(0) => return,
             Ok(_) => {
@@ -85,13 +103,17 @@ impl TraceSource for StreamingReplay {
             return 0;
         };
         match batches.recv() {
-            Ok(Ok(batch)) => {
+            Ok(Ok(mut batch)) => {
                 let n = batch.len();
                 if out.is_empty() {
-                    *out = batch;
+                    // Zero-copy hand-over; `batch` now holds the
+                    // consumer's spent allocation, ready to recycle.
+                    std::mem::swap(out, &mut batch);
                 } else {
-                    out.extend(batch);
+                    out.extend_from_slice(&batch);
                 }
+                batch.clear();
+                let _ = self.recycle.send(batch);
                 n
             }
             Ok(Err(e)) => panic!("replaying trace {}: {e}", self.meta.name),

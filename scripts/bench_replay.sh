@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Measures the decode-once fan-out replay engine against the
+# decode-per-job baseline and appends the run to BENCH_replay_fanout.json
+# at the repo root — the replay-performance trajectory. Run it from
+# anywhere; pass extra harness flags through (e.g. --scale 4 --jobs 8).
+#
+#   scripts/bench_replay.sh [harness flags...]
+#
+# The JSON is an array of run objects; every PR that touches the replay
+# path should append a fresh entry so regressions are visible in review.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+cargo run --release --bin bench_replay_fanout -- --out "$repo_root" "$@"
+echo "trajectory: $repo_root/BENCH_replay_fanout.json"

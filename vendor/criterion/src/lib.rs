@@ -12,11 +12,28 @@
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Minimum measured time per sample; `iter` batches the routine until
 /// one sample takes at least this long.
 const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+/// `cargo bench -- --test` smoke mode: run every routine exactly once
+/// and report no timings, mirroring the real criterion's flag. CI uses
+/// it to keep benches compiling and running without paying measurement
+/// time.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Reads harness flags from the process arguments. Called by the
+/// [`criterion_main!`]-generated `main`; recognizes `--test` (smoke
+/// mode) and ignores everything else, like the real harness does for
+/// filters it does not implement.
+pub fn configure_from_args() {
+    if std::env::args().skip(1).any(|arg| arg == "--test") {
+        TEST_MODE.store(true, Ordering::Relaxed);
+    }
+}
 
 /// Declared work per `iter` call, for throughput reporting.
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +81,14 @@ impl Bencher {
     /// Times `routine`, batching invocations until the sample is long
     /// enough to measure reliably.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if TEST_MODE.load(Ordering::Relaxed) {
+            // Smoke mode: one invocation, no timing loop.
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+            return;
+        }
         // One untimed warm-up invocation.
         std::hint::black_box(routine());
         let mut batch = 1u64;
@@ -94,6 +119,10 @@ impl Bencher {
 }
 
 fn report(label: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if TEST_MODE.load(Ordering::Relaxed) {
+        eprintln!("{label:<50} ok (smoke: 1 iteration)");
+        return;
+    }
     let mean = bencher.mean();
     let mut line = format!("{label:<50} time: {mean:>12.3?}");
     let per_sec = |work: u64| {
@@ -199,6 +228,7 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::configure_from_args();
             $( $group(); )+
         }
     };
