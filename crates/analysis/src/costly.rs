@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 use trrip_mem::VirtAddr;
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 /// Classification of the code a miss landed in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -94,6 +95,65 @@ impl CostlyMissTracker {
             }
         }
         out
+    }
+}
+
+fn region_to_bits(region: CodeRegion) -> u8 {
+    match region {
+        CodeRegion::Hot => 0,
+        CodeRegion::Warm => 1,
+        CodeRegion::Cold => 2,
+        CodeRegion::External => 3,
+    }
+}
+
+fn region_from_bits(bits: u8) -> Result<CodeRegion, SnapError> {
+    match bits {
+        0 => Ok(CodeRegion::Hot),
+        1 => Ok(CodeRegion::Warm),
+        2 => Ok(CodeRegion::Cold),
+        3 => Ok(CodeRegion::External),
+        _ => Err(SnapError::Corrupt(format!("invalid code region {bits}"))),
+    }
+}
+
+impl Snapshot for CostlyMissTracker {
+    fn save(&self, w: &mut SnapWriter) {
+        w.tag(b"CSTL");
+        let mut lines: Vec<(u64, LineCost)> = self.lines.iter().map(|(&l, &c)| (l, c)).collect();
+        lines.sort_unstable_by_key(|&(l, _)| l);
+        w.usize(lines.len());
+        for (line, cost) in lines {
+            w.u64(line);
+            w.u64(cost.total_latency);
+            w.u64(cost.misses);
+            match cost.region {
+                Some(region) => {
+                    w.bool(true);
+                    w.u8(region_to_bits(region));
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_tag(b"CSTL")?;
+        let len = r.usize()?;
+        self.lines.clear();
+        for _ in 0..len {
+            let line = r.u64()?;
+            let cost = LineCost {
+                total_latency: r.u64()?,
+                misses: r.u64()?,
+                region: if r.bool()? { Some(region_from_bits(r.u8()?)) } else { None }
+                    .transpose()?,
+            };
+            if self.lines.insert(line, cost).is_some() {
+                return Err(SnapError::Corrupt(format!("duplicate costly line {line:#x}")));
+            }
+        }
+        Ok(())
     }
 }
 

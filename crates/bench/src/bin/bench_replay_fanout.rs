@@ -18,7 +18,7 @@
 use std::path::Path;
 use std::time::Instant;
 
-use trrip_bench::HarnessOptions;
+use trrip_bench::{append_trajectory, HarnessOptions};
 use trrip_core::ClassifierConfig;
 use trrip_policies::PolicyKind;
 use trrip_sim::{
@@ -71,23 +71,6 @@ fn drain_fanout(path: &Path, consumers: usize) -> usize {
             .map(|h| h.join().expect("consumer"))
             .sum()
     })
-}
-
-fn append_run(path: &Path, entry: &str) {
-    let content = match std::fs::read_to_string(path) {
-        Ok(existing) => {
-            let head = existing.trim_end();
-            match head.strip_suffix(']') {
-                Some(body) if body.trim_end().ends_with('[') => {
-                    format!("{}\n{entry}\n]\n", body.trim_end())
-                }
-                Some(body) => format!("{},\n{entry}\n]\n", body.trim_end()),
-                None => format!("[\n{entry}\n]\n"), // unrecognized: start fresh
-            }
-        }
-        Err(_) => format!("[\n{entry}\n]\n"),
-    };
-    std::fs::write(path, content).expect("write BENCH_replay_fanout.json");
 }
 
 #[allow(clippy::too_many_lines)]
@@ -184,7 +167,7 @@ fn main() {
     );
     std::fs::create_dir_all(&options.out_dir).expect("create out dir");
     let json_path = options.out_dir.join("BENCH_replay_fanout.json");
-    append_run(&json_path, &entry);
+    append_trajectory(&json_path, &entry);
     eprintln!("[trajectory appended to {}]", json_path.display());
     std::fs::remove_dir_all(&tmp_traces).ok();
 }

@@ -13,7 +13,8 @@ use std::path::{Path, PathBuf};
 use trrip_core::ClassifierConfig;
 use trrip_policies::PolicyKind;
 use trrip_sim::{
-    policy_sweep_with, replay_sweep_with, PreparedWorkload, SimConfig, SweepResult, TraceStore,
+    policy_sweep_with, replay_sweep_checkpointed, replay_sweep_with, CheckpointStore,
+    PreparedWorkload, SimConfig, SweepResult, TraceStore,
 };
 use trrip_workloads::WorkloadSpec;
 
@@ -28,6 +29,10 @@ options:
   --trace-dir DIR  capture traces into DIR once and replay them from
                    disk for every policy, instead of re-generating the
                    trace per run
+  --checkpoint-dir DIR
+                   persist warmed (post-fast-forward) simulation state
+                   into DIR and restore it on later sweeps, skipping
+                   warmup; requires --trace-dir
   --jobs N         cap worker threads for sweeps, preparation and trace
                    decode (default: available parallelism)
   --help           print this message and exit";
@@ -43,6 +48,8 @@ pub struct HarnessOptions {
     pub out_dir: PathBuf,
     /// Capture-once/replay-many trace directory (`--trace-dir DIR`).
     pub trace_dir: Option<PathBuf>,
+    /// Warmed-state checkpoint directory (`--checkpoint-dir DIR`).
+    pub checkpoint_dir: Option<PathBuf>,
     /// Worker-thread cap for sweeps and preparation (`--jobs N`,
     /// default: the machine's available parallelism).
     pub jobs: usize,
@@ -55,6 +62,7 @@ impl Default for HarnessOptions {
             benchmarks: Vec::new(),
             out_dir: PathBuf::from("reports"),
             trace_dir: None,
+            checkpoint_dir: None,
             jobs: trrip_sim::default_jobs(),
         }
     }
@@ -67,7 +75,7 @@ impl HarnessOptions {
     /// panic.
     #[must_use]
     pub fn from_args() -> HarnessOptions {
-        match HarnessOptions::try_parse(std::env::args().skip(1)) {
+        let options = match HarnessOptions::try_parse(std::env::args().skip(1)) {
             Ok(Some(options)) => options,
             Ok(None) => {
                 println!("{USAGE}");
@@ -77,7 +85,38 @@ impl HarnessOptions {
                 eprintln!("error: {message}\n\n{USAGE}");
                 std::process::exit(2);
             }
+        };
+        if let Err(message) = options.validate_dirs() {
+            eprintln!("error: {message}\n\n{USAGE}");
+            std::process::exit(2);
         }
+        options
+    }
+
+    /// Validates that `--trace-dir` and `--checkpoint-dir` point at
+    /// usable directories: each must already exist as a directory or be
+    /// creatable (parents included). Split from [`HarnessOptions::try_parse`]
+    /// so parsing stays pure; [`HarnessOptions::from_args`] applies it
+    /// and rejects the command line with a clear message.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the flag and the problem.
+    pub fn validate_dirs(&self) -> Result<(), String> {
+        for (flag, dir) in
+            [("--trace-dir", &self.trace_dir), ("--checkpoint-dir", &self.checkpoint_dir)]
+        {
+            let Some(dir) = dir else { continue };
+            if dir.exists() {
+                if !dir.is_dir() {
+                    return Err(format!("{flag} {} exists but is not a directory", dir.display()));
+                }
+            } else {
+                fs::create_dir_all(dir)
+                    .map_err(|e| format!("{flag} {} cannot be created: {e}", dir.display()))?;
+            }
+        }
+        Ok(())
     }
 
     /// The testable core of [`HarnessOptions::from_args`]: `Ok(None)`
@@ -112,6 +151,9 @@ impl HarnessOptions {
                 }
                 "--out" => options.out_dir = PathBuf::from(value_of("--out")?),
                 "--trace-dir" => options.trace_dir = Some(PathBuf::from(value_of("--trace-dir")?)),
+                "--checkpoint-dir" => {
+                    options.checkpoint_dir = Some(PathBuf::from(value_of("--checkpoint-dir")?));
+                }
                 "--jobs" => {
                     let v = value_of("--jobs")?;
                     options.jobs = v
@@ -124,19 +166,26 @@ impl HarnessOptions {
                 other => {
                     return Err(format!(
                         "unknown argument `{other}` (expected \
-                         --scale/--bench/--out/--trace-dir/--jobs)"
+                         --scale/--bench/--out/--trace-dir/--checkpoint-dir/--jobs)"
                     ))
                 }
             }
+        }
+        if options.checkpoint_dir.is_some() && options.trace_dir.is_none() {
+            return Err("--checkpoint-dir requires --trace-dir (warm starts restore into the \
+                 captured-trace replay engine)"
+                .to_owned());
         }
         Ok(Some(options))
     }
 
     /// Runs a policy sweep with the engine the command line selected:
-    /// decode-once fan-out replay from `--trace-dir`
-    /// (capture-once/replay-many, trace decoded once per workload) when
-    /// given, in-memory trace generation otherwise. Results are
-    /// bit-identical either way; `--jobs` caps the worker threads.
+    /// warm-started checkpointed replay when both `--trace-dir` and
+    /// `--checkpoint-dir` are given, decode-once fan-out replay from
+    /// `--trace-dir` alone (capture-once/replay-many, trace decoded
+    /// once per workload), and in-memory trace generation otherwise.
+    /// Results are bit-identical across all three; `--jobs` caps the
+    /// worker threads.
     #[must_use]
     pub fn sweep(
         &self,
@@ -144,11 +193,19 @@ impl HarnessOptions {
         config: &SimConfig,
         policies: &[PolicyKind],
     ) -> SweepResult {
-        match &self.trace_dir {
-            Some(dir) => {
-                replay_sweep_with(self.jobs, workloads, config, policies, &TraceStore::new(dir))
+        match (&self.trace_dir, &self.checkpoint_dir) {
+            (Some(traces), Some(checkpoints)) => replay_sweep_checkpointed(
+                self.jobs,
+                workloads,
+                config,
+                policies,
+                &TraceStore::new(traces),
+                &CheckpointStore::new(checkpoints),
+            ),
+            (Some(traces), None) => {
+                replay_sweep_with(self.jobs, workloads, config, policies, &TraceStore::new(traces))
             }
-            None => policy_sweep_with(self.jobs, workloads, config, policies),
+            (None, _) => policy_sweep_with(self.jobs, workloads, config, policies),
         }
     }
 
@@ -221,6 +278,31 @@ pub fn prepare_all(
     })
 }
 
+/// Appends one run object to a `BENCH_*.json` trajectory file — a JSON
+/// array the perf-tracking binaries (`bench_replay_fanout`,
+/// `bench_checkpoint`) extend one entry per run. An unrecognized or
+/// missing file starts a fresh array.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn append_trajectory(path: &Path, entry: &str) {
+    let content = match fs::read_to_string(path) {
+        Ok(existing) => {
+            let head = existing.trim_end();
+            match head.strip_suffix(']') {
+                Some(body) if body.trim_end().ends_with('[') => {
+                    format!("{}\n{entry}\n]\n", body.trim_end())
+                }
+                Some(body) => format!("{},\n{entry}\n]\n", body.trim_end()),
+                None => format!("[\n{entry}\n]\n"), // unrecognized: start fresh
+            }
+        }
+        Err(_) => format!("[\n{entry}\n]\n"),
+    };
+    fs::write(path, content).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
+
 /// Appends a section to EXPERIMENTS-style output and stdout at once.
 pub fn emit(report: &mut String, line: &str) {
     println!("{line}");
@@ -252,6 +334,8 @@ mod tests {
             "r",
             "--trace-dir",
             "traces",
+            "--checkpoint-dir",
+            "ckpts",
             "--jobs",
             "5",
         ])
@@ -261,7 +345,65 @@ mod tests {
         assert_eq!(options.benchmarks, ["gcc", "sqlite"]);
         assert_eq!(options.out_dir, PathBuf::from("r"));
         assert_eq!(options.trace_dir, Some(PathBuf::from("traces")));
+        assert_eq!(options.checkpoint_dir, Some(PathBuf::from("ckpts")));
         assert_eq!(options.jobs, 5);
+    }
+
+    #[test]
+    fn checkpoint_dir_requires_trace_dir() {
+        let err = parse(&["--checkpoint-dir", "ckpts"]).unwrap_err();
+        assert!(err.contains("--trace-dir"), "unhelpful message: {err}");
+        assert!(parse(&["--checkpoint-dir"]).is_err(), "missing value must error");
+    }
+
+    #[test]
+    fn dir_validation_accepts_existing_and_creatable_rejects_files() {
+        let base = std::env::temp_dir().join("trrip-harness-dir-validation");
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::create_dir_all(&base).expect("test scratch dir");
+
+        // Existing directory: fine. Nested not-yet-existing: created.
+        let existing = base.join("existing");
+        std::fs::create_dir_all(&existing).expect("mkdir");
+        let fresh = base.join("fresh/nested");
+        let options = HarnessOptions {
+            trace_dir: Some(existing.clone()),
+            checkpoint_dir: Some(fresh.clone()),
+            ..HarnessOptions::default()
+        };
+        options.validate_dirs().expect("both directories usable");
+        assert!(fresh.is_dir(), "validation must create missing dirs");
+
+        // A plain file in either position is rejected, naming the flag.
+        let file = base.join("file");
+        std::fs::write(&file, b"not a dir").expect("write file");
+        for (flag, options) in [
+            (
+                "--trace-dir",
+                HarnessOptions { trace_dir: Some(file.clone()), ..HarnessOptions::default() },
+            ),
+            (
+                "--checkpoint-dir",
+                HarnessOptions {
+                    trace_dir: Some(existing),
+                    checkpoint_dir: Some(file.clone()),
+                    ..HarnessOptions::default()
+                },
+            ),
+        ] {
+            let err = options.validate_dirs().unwrap_err();
+            assert!(
+                err.contains(flag) && err.contains("not a directory"),
+                "unhelpful message for {flag}: {err}"
+            );
+        }
+
+        // An uncreatable path (parent is a file) is rejected too.
+        let uncreatable =
+            HarnessOptions { trace_dir: Some(file.join("child")), ..HarnessOptions::default() };
+        let err = uncreatable.validate_dirs().unwrap_err();
+        assert!(err.contains("cannot be created"), "unhelpful message: {err}");
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

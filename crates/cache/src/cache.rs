@@ -2,6 +2,7 @@
 
 use trrip_mem::{LineAddr, MemoryRequest};
 use trrip_policies::{ReplacementPolicy, RequestInfo};
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::config::CacheConfig;
 use crate::stats::AccessStats;
@@ -281,6 +282,57 @@ impl Cache {
     #[must_use]
     pub fn occupancy(&self) -> usize {
         self.lines.iter().filter(|s| s.valid).count()
+    }
+}
+
+const LINE_VALID: u8 = 1 << 0;
+const LINE_DIRTY: u8 = 1 << 1;
+const LINE_INSTR: u8 = 1 << 2;
+
+impl Snapshot for Cache {
+    fn save(&self, w: &mut SnapWriter) {
+        w.tag(b"CACH");
+        w.usize(self.lines.len());
+        for line in &self.lines {
+            let mut flags = 0u8;
+            if line.valid {
+                flags |= LINE_VALID;
+            }
+            if line.dirty {
+                flags |= LINE_DIRTY;
+            }
+            if line.instruction {
+                flags |= LINE_INSTR;
+            }
+            w.u8(flags);
+            if line.valid {
+                w.u64(line.tag.raw());
+            }
+        }
+        self.stats.save(w);
+        self.policy.save_state(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_tag(b"CACH")?;
+        r.expect_len("cache line count", self.lines.len())?;
+        for line in &mut self.lines {
+            let flags = r.u8()?;
+            if flags & !(LINE_VALID | LINE_DIRTY | LINE_INSTR) != 0 {
+                return Err(SnapError::Corrupt(format!("invalid line flags {flags:#x}")));
+            }
+            *line = LineState {
+                valid: flags & LINE_VALID != 0,
+                dirty: flags & LINE_DIRTY != 0,
+                instruction: flags & LINE_INSTR != 0,
+                tag: LineAddr(0),
+            };
+            if line.valid {
+                line.tag = LineAddr(r.u64()?);
+            }
+        }
+        self.stats.restore(r)?;
+        self.policy.restore_state(r)
     }
 }
 

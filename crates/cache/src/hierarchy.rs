@@ -26,6 +26,7 @@
 use serde::{Deserialize, Serialize};
 use trrip_mem::{LineAddr, MemoryRequest};
 use trrip_policies::PolicyKind;
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::cache::Cache;
 use crate::config::CacheConfig;
@@ -340,6 +341,29 @@ impl Hierarchy {
         for line in self.l2.resident_lines() {
             assert!(!self.slc.contains(line), "exclusion violated: {line} in both L2 and SLC");
         }
+    }
+}
+
+/// Snapshot of every level's tag store, statistics, and policy state.
+/// Restoring into a hierarchy built from the same [`HierarchyConfig`]
+/// reproduces the warmed state bit-identically (including the
+/// inclusion/exclusion invariants, which are a function of the tag
+/// stores).
+impl Snapshot for Hierarchy {
+    fn save(&self, w: &mut SnapWriter) {
+        w.tag(b"HIER");
+        self.l1i.save(w);
+        self.l1d.save(w);
+        self.l2.save(w);
+        self.slc.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_tag(b"HIER")?;
+        self.l1i.restore(r)?;
+        self.l1d.restore(r)?;
+        self.l2.restore(r)?;
+        self.slc.restore(r)
     }
 }
 

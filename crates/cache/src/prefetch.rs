@@ -6,6 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 use trrip_mem::{LineAddr, PhysAddr, VirtAddr};
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 /// Per-PC stride prefetcher.
 ///
@@ -112,6 +113,36 @@ impl StridePrefetcher {
     #[must_use]
     pub fn storage_bits(&self) -> u64 {
         self.entries.len() as u64 * (16 + 32 + 16 + 2)
+    }
+}
+
+impl Snapshot for StridePrefetcher {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.entries.len());
+        for e in &self.entries {
+            w.bool(e.valid);
+            if e.valid {
+                w.u64(e.pc_tag);
+                w.u64(e.last_addr);
+                w.i64(e.stride);
+                w.u8(e.confidence);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_len("stride prefetcher entries", self.entries.len())?;
+        for e in &mut self.entries {
+            *e = StrideEntry::default();
+            e.valid = r.bool()?;
+            if e.valid {
+                e.pc_tag = r.u64()?;
+                e.last_addr = r.u64()?;
+                e.stride = r.i64()?;
+                e.confidence = r.u8()?;
+            }
+        }
+        Ok(())
     }
 }
 

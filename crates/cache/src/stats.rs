@@ -3,6 +3,7 @@
 use std::ops::AddAssign;
 
 use serde::{Deserialize, Serialize};
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 /// Demand and prefetch counters for one cache level, split by
 /// instruction/data side — the raw material for Table 3's MPKI numbers.
@@ -76,6 +77,37 @@ impl AccessStats {
                 self.data_misses += 1;
             }
         }
+    }
+}
+
+impl Snapshot for AccessStats {
+    fn save(&self, w: &mut SnapWriter) {
+        for v in [
+            self.inst_accesses,
+            self.inst_misses,
+            self.data_accesses,
+            self.data_misses,
+            self.prefetch_hits,
+            self.prefetch_fills,
+            self.evictions,
+            self.writebacks,
+            self.back_invalidations,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.inst_accesses = r.u64()?;
+        self.inst_misses = r.u64()?;
+        self.data_accesses = r.u64()?;
+        self.data_misses = r.u64()?;
+        self.prefetch_hits = r.u64()?;
+        self.prefetch_fills = r.u64()?;
+        self.evictions = r.u64()?;
+        self.writebacks = r.u64()?;
+        self.back_invalidations = r.u64()?;
+        Ok(())
     }
 }
 

@@ -46,7 +46,7 @@ pub mod temperature;
 pub mod trrip;
 
 pub use classify::{ClassifierConfig, ProfileSummary, TemperatureClassifier};
-pub use rrip::{BrripCore, RripSet, SrripCore};
+pub use rrip::{restore_rrip_sets, save_rrip_sets, BrripCore, RripSet, SrripCore};
 pub use rrpv::{Rrpv, RrpvWidth};
 pub use temperature::{Temperature, TemperatureBits};
 pub use trrip::{TrripPolicy, TrripVariant};

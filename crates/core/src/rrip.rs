@@ -9,6 +9,7 @@
 //! decisions on top.
 
 use serde::{Deserialize, Serialize};
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::rrpv::{Rrpv, RrpvWidth};
 
@@ -112,6 +113,23 @@ impl RripSet {
     }
 }
 
+impl Snapshot for RripSet {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.rrpv.len());
+        for v in &self.rrpv {
+            w.u8(v.raw());
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_len("RripSet ways", self.rrpv.len())?;
+        for v in &mut self.rrpv {
+            *v = Rrpv::from_raw(r.u8()?, self.width);
+        }
+        Ok(())
+    }
+}
+
 /// SRRIP (Static RRIP) insertion/promotion core.
 ///
 /// *Scan-resistant*: new lines are pessimistically inserted at
@@ -210,6 +228,47 @@ impl BrripCore {
         };
         set.set_rrpv(way, value);
     }
+}
+
+impl Snapshot for BrripCore {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(u64::from(self.counter));
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let counter = r.u64()?;
+        if counter >= u64::from(self.throttle) {
+            return Err(SnapError::Mismatch(format!(
+                "BRRIP throttle counter {counter} out of range for throttle {}",
+                self.throttle
+            )));
+        }
+        self.counter = counter as u32;
+        Ok(())
+    }
+}
+
+/// Saves a slice of per-set RRIP state (shared by every RRIP-family
+/// policy snapshot).
+pub fn save_rrip_sets(sets: &[RripSet], w: &mut SnapWriter) {
+    w.usize(sets.len());
+    for set in sets {
+        set.save(w);
+    }
+}
+
+/// Restores per-set RRIP state written by [`save_rrip_sets`].
+///
+/// # Errors
+///
+/// Propagates codec errors; [`SnapError::Mismatch`] when the set count
+/// or geometry differs.
+pub fn restore_rrip_sets(sets: &mut [RripSet], r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+    r.expect_len("RRIP set count", sets.len())?;
+    for set in sets {
+        set.restore(r)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

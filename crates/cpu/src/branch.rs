@@ -13,6 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 use trrip_mem::VirtAddr;
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::trace::{BranchInfo, BranchKind, INSTR_BYTES};
 
@@ -267,6 +268,105 @@ impl BranchPredictor {
 impl Default for BranchPredictor {
     fn default() -> Self {
         BranchPredictor::new(PredictorConfig::default())
+    }
+}
+
+fn save_btb(w: &mut SnapWriter, table: &[BtbEntry]) {
+    w.usize(table.len());
+    for e in table {
+        w.bool(e.valid);
+        if e.valid {
+            w.u64(e.tag);
+            w.u64(e.target);
+        }
+    }
+}
+
+fn restore_btb(
+    r: &mut SnapReader<'_>,
+    what: &str,
+    table: &mut [BtbEntry],
+) -> Result<(), SnapError> {
+    r.expect_len(what, table.len())?;
+    for e in table.iter_mut() {
+        *e = BtbEntry::default();
+        e.valid = r.bool()?;
+        if e.valid {
+            e.tag = r.u64()?;
+            e.target = r.u64()?;
+        }
+    }
+    Ok(())
+}
+
+impl Snapshot for BranchPredictor {
+    fn save(&self, w: &mut SnapWriter) {
+        w.tag(b"BPRD");
+        save_btb(w, &self.btb);
+        save_btb(w, &self.indirect_btb);
+        w.usize(self.loops.len());
+        for e in &self.loops {
+            w.bool(e.valid);
+            if e.valid {
+                w.u64(e.tag);
+                w.u64(u64::from(e.trip_count));
+                w.u64(u64::from(e.current));
+                w.u8(e.confidence);
+            }
+        }
+        w.bytes_field(&self.gshare);
+        w.u64(self.history);
+        w.usize(self.ras.len());
+        for &addr in &self.ras {
+            w.u64(addr);
+        }
+        w.u64(self.mispredictions);
+        w.u64(self.branches);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_tag(b"BPRD")?;
+        restore_btb(r, "BTB entries", &mut self.btb)?;
+        restore_btb(r, "indirect BTB entries", &mut self.indirect_btb)?;
+        r.expect_len("loop predictor entries", self.loops.len())?;
+        for e in self.loops.iter_mut() {
+            *e = LoopEntry::default();
+            e.valid = r.bool()?;
+            if e.valid {
+                e.tag = r.u64()?;
+                let narrow = |v: u64| {
+                    u32::try_from(v)
+                        .map_err(|_| SnapError::Corrupt(format!("loop counter {v} overflows")))
+                };
+                e.trip_count = narrow(r.u64()?)?;
+                e.current = narrow(r.u64()?)?;
+                e.confidence = r.u8()?;
+            }
+        }
+        let gshare = r.bytes_field()?;
+        if gshare.len() != self.gshare.len() {
+            return Err(SnapError::Mismatch(format!(
+                "gshare size: snapshot has {}, instance has {}",
+                gshare.len(),
+                self.gshare.len()
+            )));
+        }
+        self.gshare.copy_from_slice(gshare);
+        self.history = r.u64()?;
+        let ras_len = r.usize()?;
+        if ras_len > self.config.ras_depth {
+            return Err(SnapError::Mismatch(format!(
+                "RAS depth: snapshot has {ras_len}, instance caps at {}",
+                self.config.ras_depth
+            )));
+        }
+        self.ras.clear();
+        for _ in 0..ras_len {
+            self.ras.push(r.u64()?);
+        }
+        self.mispredictions = r.u64()?;
+        self.branches = r.u64()?;
+        Ok(())
     }
 }
 

@@ -28,6 +28,7 @@
 use std::collections::{HashSet, VecDeque};
 
 use serde::{Deserialize, Serialize};
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::backend::MemoryBackend;
 use crate::branch::{BranchPredictor, PredictorConfig};
@@ -149,6 +150,117 @@ impl StarvedLines {
     }
 }
 
+impl Snapshot for StarvedLines {
+    fn save(&self, w: &mut SnapWriter) {
+        // The FIFO order is the architectural state; the hash set is an
+        // index over it and is rebuilt on restore.
+        w.usize(self.order.len());
+        for &line in &self.order {
+            w.u64(line);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let len = r.usize()?;
+        if len > self.capacity {
+            return Err(SnapError::Mismatch(format!(
+                "starved-line table: snapshot has {len} entries, capacity is {}",
+                self.capacity
+            )));
+        }
+        self.order.clear();
+        self.set.clear();
+        for _ in 0..len {
+            let line = r.u64()?;
+            self.order.push_back(line);
+            if !self.set.insert(line) {
+                return Err(SnapError::Corrupt(format!("duplicate starved line {line:#x}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The in-flight state of one timing run: accumulated cycles, Top-Down
+/// buckets, the FDIP lookahead window, and the MLP bookkeeping.
+///
+/// [`Core::run`] owns one internally; resumable callers create it with
+/// [`Core::begin_run`], feed instruction segments through
+/// [`Core::run_chunk`] (which leaves the lookahead window intact between
+/// segments, so a segmented run is bit-identical to an uninterrupted
+/// one), and close with [`Core::finish_run`]. The state is
+/// [`Snapshot`]-able, which is what makes *mid-measure* checkpoints
+/// exact: the window's in-flight instructions travel with it.
+#[derive(Debug)]
+pub struct RunState {
+    cycles: f64,
+    topdown: TopDown,
+    instructions: u64,
+    consumed: u64,
+    current_line: u64,
+    last_miss_instr: Option<u64>,
+    window: VecDeque<TraceInstr>,
+    branches_before: u64,
+    mispred_before: u64,
+}
+
+impl RunState {
+    /// Instructions executed (retired) so far in this run.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Instructions pulled from the input stream so far — execution lags
+    /// consumption by the lookahead window, and a resumed run must skip
+    /// exactly this many stream instructions before continuing.
+    #[must_use]
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+}
+
+impl Snapshot for RunState {
+    fn save(&self, w: &mut SnapWriter) {
+        w.tag(b"CRUN");
+        w.f64(self.cycles);
+        self.topdown.save(w);
+        w.u64(self.instructions);
+        w.u64(self.consumed);
+        w.u64(self.current_line);
+        w.bool(self.last_miss_instr.is_some());
+        if let Some(v) = self.last_miss_instr {
+            w.u64(v);
+        }
+        w.usize(self.window.len());
+        for instr in &self.window {
+            instr.save(w);
+        }
+        w.u64(self.branches_before);
+        w.u64(self.mispred_before);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_tag(b"CRUN")?;
+        self.cycles = r.f64()?;
+        self.topdown.restore(r)?;
+        self.instructions = r.u64()?;
+        self.consumed = r.u64()?;
+        self.current_line = r.u64()?;
+        self.last_miss_instr = if r.bool()? { Some(r.u64()?) } else { None };
+        let len = r.usize()?;
+        self.window.clear();
+        for _ in 0..len {
+            let mut instr = TraceInstr::simple(0);
+            instr.restore(r)?;
+            self.window.push_back(instr);
+        }
+        self.branches_before = r.u64()?;
+        self.mispred_before = r.u64()?;
+        Ok(())
+    }
+}
+
 /// The trace-driven core.
 ///
 /// # Example
@@ -202,53 +314,92 @@ impl<B: MemoryBackend> Core<B> {
     }
 
     /// Runs the trace to completion and returns timing results.
+    ///
+    /// Equivalent to [`Core::begin_run`] → one draining
+    /// [`Core::run_chunk`] → [`Core::finish_run`].
     pub fn run<I>(&mut self, trace: I) -> CoreResult
+    where
+        I: IntoIterator<Item = TraceInstr>,
+    {
+        let mut state = self.begin_run();
+        self.run_chunk(&mut state, trace, true);
+        self.finish_run(state)
+    }
+
+    /// Starts a resumable run: cycles at zero, an empty lookahead
+    /// window, and the predictor counters marked for delta reporting.
+    #[must_use]
+    pub fn begin_run(&self) -> RunState {
+        RunState {
+            cycles: 0.0,
+            topdown: TopDown::default(),
+            instructions: 0,
+            consumed: 0,
+            current_line: u64::MAX,
+            last_miss_instr: None,
+            window: VecDeque::with_capacity(self.config.fdip_lookahead_instrs.max(1) + 1),
+            branches_before: self.predictor.branches(),
+            mispred_before: self.predictor.mispredictions(),
+        }
+    }
+
+    /// Executes one segment of a run.
+    ///
+    /// With `drain = false` the core stops *pulling* when `trace` is
+    /// exhausted and leaves the partially-consumed lookahead window in
+    /// `state` — feeding the rest of the stream through another
+    /// `run_chunk` call continues bit-identically to an uninterrupted
+    /// run (the refill/pop interleaving is unchanged, only suspended).
+    /// The final segment must pass `drain = true` so the window empties
+    /// exactly as a plain [`Core::run`] would at end of trace.
+    pub fn run_chunk<I>(&mut self, state: &mut RunState, trace: I, drain: bool)
     where
         I: IntoIterator<Item = TraceInstr>,
     {
         let lookahead_cap = self.config.fdip_lookahead_instrs.max(1);
         let mut stream = trace.into_iter();
-        let mut window: VecDeque<TraceInstr> = VecDeque::with_capacity(lookahead_cap + 1);
 
         let width = f64::from(self.config.dispatch_width);
         let dispatch_cost = 1.0 / width;
         let ooo_hide = self.config.ooo_hide_cycles();
 
-        let mut cycles: f64 = 0.0;
-        let mut topdown = TopDown::default();
-        let mut instructions: u64 = 0;
-        let mut current_line = u64::MAX;
-        let mut last_miss_instr: Option<u64> = None;
-        let branches_before = self.predictor.branches();
-        let mispred_before = self.predictor.mispredictions();
-
         loop {
             // Refill the lookahead window.
-            while window.len() <= lookahead_cap {
+            let mut dry = false;
+            while state.window.len() <= lookahead_cap {
                 match stream.next() {
-                    Some(i) => window.push_back(i),
-                    None => break,
+                    Some(i) => {
+                        state.window.push_back(i);
+                        state.consumed += 1;
+                    }
+                    None => {
+                        dry = true;
+                        break;
+                    }
                 }
             }
-            let Some(instr) = window.pop_front() else { break };
-            instructions += 1;
+            if dry && !drain {
+                break; // segment over: keep the window for the next chunk
+            }
+            let Some(instr) = state.window.pop_front() else { break };
+            state.instructions += 1;
 
             // --- Fetch ---
             let line = instr.pc.raw() >> 6;
-            if line != current_line {
-                current_line = line;
+            if line != state.current_line {
+                state.current_line = line;
                 let starved_flag = self.starved.contains(line);
-                let lat = self.backend.ifetch(instr.pc, starved_flag, cycles as u64);
+                let lat = self.backend.ifetch(instr.pc, starved_flag, state.cycles as u64);
                 if !lat.l1_hit {
                     let stall = lat.cycles.saturating_sub(self.config.l1_hit_cycles) as f64;
-                    topdown.ifetch += stall;
-                    cycles += stall;
+                    state.topdown.ifetch += stall;
+                    state.cycles += stall;
                     if lat.cycles >= self.config.starvation_threshold {
                         self.starved.insert(line);
                     }
                 }
                 if self.config.fdip {
-                    self.issue_fdip(&window, line, cycles as u64);
+                    self.issue_fdip(&state.window, line, state.cycles as u64);
                 }
             }
 
@@ -256,8 +407,8 @@ impl<B: MemoryBackend> Core<B> {
             if let Some(branch) = instr.branch {
                 if self.predictor.observe(instr.pc, &branch) {
                     let penalty = self.predictor.mispredict_penalty() as f64;
-                    topdown.mispred += penalty;
-                    cycles += penalty;
+                    state.topdown.mispred += penalty;
+                    state.cycles += penalty;
                 }
             }
 
@@ -279,13 +430,13 @@ impl<B: MemoryBackend> Core<B> {
                         // miss overlap (memory-level parallelism): they only
                         // pay a serialization share. Independent misses pay
                         // the full exposed latency.
-                        let overlapped = last_miss_instr.is_some_and(|li| {
-                            instructions - li < u64::from(self.config.rob_entries)
+                        let overlapped = state.last_miss_instr.is_some_and(|li| {
+                            state.instructions - li < u64::from(self.config.rob_entries)
                         });
                         let stall = if overlapped { exposed / MLP_SERIALIZATION } else { exposed };
-                        topdown.mem += stall;
-                        cycles += stall;
-                        last_miss_instr = Some(instructions);
+                        state.topdown.mem += stall;
+                        state.cycles += stall;
+                        state.last_miss_instr = Some(state.instructions);
                     }
                 }
             }
@@ -293,22 +444,46 @@ impl<B: MemoryBackend> Core<B> {
             // --- Synthetic backend stalls from the workload model ---
             if let Some((class, extra)) = instr.exec_stall {
                 let extra = f64::from(extra);
-                topdown.add_stall(class, extra);
-                cycles += extra;
+                state.topdown.add_stall(class, extra);
+                state.cycles += extra;
             }
 
             // --- Retire ---
-            topdown.retire += dispatch_cost;
-            cycles += dispatch_cost;
+            state.topdown.retire += dispatch_cost;
+            state.cycles += dispatch_cost;
         }
+    }
 
+    /// Closes a resumable run and reports its timing results.
+    #[must_use]
+    pub fn finish_run(&self, state: RunState) -> CoreResult {
         CoreResult {
-            instructions,
-            cycles,
-            topdown,
-            branches: self.predictor.branches() - branches_before,
-            mispredictions: self.predictor.mispredictions() - mispred_before,
+            instructions: state.instructions,
+            cycles: state.cycles,
+            topdown: state.topdown,
+            branches: self.predictor.branches() - state.branches_before,
+            mispredictions: self.predictor.mispredictions() - state.mispred_before,
         }
+    }
+
+    /// Snapshot of the core's own architectural state (predictor +
+    /// starvation table), *excluding* the backend — the simulator layer
+    /// composes the full machine snapshot so it can order sections.
+    pub fn save_core_state(&self, w: &mut SnapWriter) {
+        w.tag(b"CORE");
+        self.predictor.save(w);
+        self.starved.save(w);
+    }
+
+    /// Restores state written by [`Core::save_core_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot codec and shape errors.
+    pub fn restore_core_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_tag(b"CORE")?;
+        self.predictor.restore(r)?;
+        self.starved.restore(r)
     }
 
     /// Pseudo-FDIP: prefetch the next distinct lines on the predicted
@@ -452,6 +627,63 @@ mod tests {
         let r = core.run(trace);
         assert_eq!(r.topdown.depend, 5.0);
         assert_eq!(r.topdown.issue, 3.0);
+    }
+
+    #[test]
+    fn segmented_run_matches_uninterrupted_run() {
+        // run_chunk(drain = false) must leave the lookahead window
+        // intact so a run split at ANY point — including inside the
+        // window's reach of the end — equals one continuous run.
+        let mut x = 0x243f6a8885a308d3u64;
+        let trace: Vec<TraceInstr> = (0..2000)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                match i % 5 {
+                    0 => TraceInstr::cond(0x100 + (i % 16) * 4, x & 1 == 0, 0x100),
+                    1 => TraceInstr::load(0x1000 + i * 4, 0x90000 + (x % 4096) * 64),
+                    _ => TraceInstr::simple(0x1000 + i * 4),
+                }
+            })
+            .collect();
+
+        let mut reference_core = Core::new(CoreConfig::paper(), FlatBackend::all_hits());
+        let reference = reference_core.run(trace.clone());
+
+        for split in [1usize, 47, 48, 49, 1000, 1951, 1999] {
+            let mut core = Core::new(CoreConfig::paper(), FlatBackend::all_hits());
+            let mut state = core.begin_run();
+            core.run_chunk(&mut state, trace[..split].iter().copied(), false);
+            let consumed = state.consumed() as usize;
+            assert_eq!(consumed, split, "non-drain chunk must consume its whole input");
+            core.run_chunk(&mut state, trace[consumed..].iter().copied(), true);
+            let segmented = core.finish_run(state);
+            assert_eq!(segmented, reference, "split at {split} diverged");
+        }
+    }
+
+    #[test]
+    fn run_state_snapshot_round_trips() {
+        use trrip_snap::{SnapReader, SnapWriter, Snapshot};
+        let trace: Vec<TraceInstr> =
+            (0..500).map(|i| TraceInstr::load(0x1000 + i * 4, 0x80000 + i * 512)).collect();
+        let mut core = Core::new(CoreConfig::paper(), FlatBackend::all_hits());
+        let mut state = core.begin_run();
+        core.run_chunk(&mut state, trace[..250].iter().copied(), false);
+
+        let mut bytes = SnapWriter::new();
+        state.save(&mut bytes);
+        let mut restored = core.begin_run();
+        restored.restore(&mut SnapReader::new(bytes.bytes())).expect("restore run state");
+
+        core.run_chunk(&mut state, trace[250..].iter().copied(), true);
+        let direct = core.finish_run(state);
+        let mut core2 = Core::new(CoreConfig::paper(), FlatBackend::all_hits());
+        core2.run_chunk(&mut restored, trace[250..].iter().copied(), true);
+        let resumed = core2.finish_run(restored);
+        assert_eq!(direct.instructions, resumed.instructions);
+        assert_eq!(direct.cycles, resumed.cycles);
+        assert_eq!(direct.topdown, resumed.topdown);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 use trrip_core::{Temperature, TemperatureBits};
 use trrip_mem::{PageSize, PhysAddr, VirtAddr};
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::page_table::{PageTable, PageTableEntry};
 
@@ -123,6 +124,43 @@ impl Mmu {
             .min_by_key(|e| if e.valid { e.stamp } else { 0 })
             .expect("TLB is never empty");
         *victim = TlbEntry { vpn, stamp: self.clock, valid: true };
+    }
+}
+
+impl Snapshot for Mmu {
+    fn save(&self, w: &mut SnapWriter) {
+        w.tag(b"MMU ");
+        self.page_table.save(w);
+        w.usize(self.tlb.len());
+        for e in &self.tlb {
+            w.bool(e.valid);
+            if e.valid {
+                w.u64(e.vpn);
+                w.u64(e.stamp);
+            }
+        }
+        w.u64(self.clock);
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+        w.u64(self.next_anon_frame);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_tag(b"MMU ")?;
+        self.page_table.restore(r)?;
+        r.expect_len("TLB entries", self.tlb.len())?;
+        for e in &mut self.tlb {
+            *e = TlbEntry::default();
+            e.valid = r.bool()?;
+            if e.valid {
+                e.vpn = r.u64()?;
+                e.stamp = r.u64()?;
+            }
+        }
+        self.clock = r.u64()?;
+        self.stats = TlbStats { hits: r.u64()?, misses: r.u64()? };
+        self.next_anon_frame = r.u64()?;
+        Ok(())
     }
 }
 

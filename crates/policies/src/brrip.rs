@@ -1,6 +1,7 @@
 //! BRRIP — Bimodal Re-Reference Interval Prediction.
 
-use trrip_core::{BrripCore, RripSet, RrpvWidth};
+use trrip_core::{restore_rrip_sets, save_rrip_sets, BrripCore, RripSet, RrpvWidth};
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::srrip::Srrip;
 use crate::{ReplacementPolicy, RequestInfo};
@@ -60,6 +61,16 @@ impl ReplacementPolicy for Brrip {
 
     fn per_line_overhead_bits(&self) -> u32 {
         self.width.bits()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        save_rrip_sets(&self.sets, w);
+        self.core.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        restore_rrip_sets(&mut self.sets, r)?;
+        self.core.restore(r)
     }
 }
 

@@ -11,7 +11,8 @@
 //! that treating every instruction line as hot (`percentile_hot = 100%`)
 //! behaves like CLIP and gives up most of the selective-priority benefit.
 
-use trrip_core::{RripSet, Rrpv, RrpvWidth, SrripCore};
+use trrip_core::{restore_rrip_sets, save_rrip_sets, RripSet, Rrpv, RrpvWidth, SrripCore};
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::dueling::{DuelChoice, SetDueling};
 use crate::srrip::Srrip;
@@ -99,6 +100,16 @@ impl ReplacementPolicy for Clip {
 
     fn extra_storage_bits(&self) -> u64 {
         self.dueling.storage_bits()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        save_rrip_sets(&self.sets, w);
+        self.dueling.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        restore_rrip_sets(&mut self.sets, r)?;
+        self.dueling.restore(r)
     }
 }
 

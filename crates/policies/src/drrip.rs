@@ -1,6 +1,7 @@
 //! DRRIP — Dynamic RRIP via SRRIP/BRRIP set-dueling.
 
-use trrip_core::{BrripCore, RripSet, RrpvWidth, SrripCore};
+use trrip_core::{restore_rrip_sets, save_rrip_sets, BrripCore, RripSet, RrpvWidth, SrripCore};
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::dueling::{DuelChoice, SetDueling};
 use crate::srrip::Srrip;
@@ -78,6 +79,18 @@ impl ReplacementPolicy for Drrip {
 
     fn extra_storage_bits(&self) -> u64 {
         self.dueling.storage_bits()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        save_rrip_sets(&self.sets, w);
+        self.brrip.save(w);
+        self.dueling.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        restore_rrip_sets(&mut self.sets, r)?;
+        self.brrip.restore(r)?;
+        self.dueling.restore(r)
     }
 }
 

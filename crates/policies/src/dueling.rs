@@ -7,6 +7,7 @@
 //! 32 leader sets per policy and a 10-bit PSEL (§4.3).
 
 use serde::{Deserialize, Serialize};
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 /// Which of the two dueling policies governs a set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -135,6 +136,26 @@ impl SetDueling {
     #[must_use]
     pub fn storage_bits(&self) -> u64 {
         u64::from(32 - self.psel_max.leading_zeros())
+    }
+}
+
+impl Snapshot for SetDueling {
+    fn save(&self, w: &mut SnapWriter) {
+        // Leader layout and counter geometry are configuration; the PSEL
+        // value is the only architectural state.
+        w.u64(u64::from(self.psel));
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let psel = r.u64()?;
+        if psel > u64::from(self.psel_max) {
+            return Err(SnapError::Mismatch(format!(
+                "PSEL value {psel} exceeds counter maximum {}",
+                self.psel_max
+            )));
+        }
+        self.psel = psel as u32;
+        Ok(())
     }
 }
 

@@ -11,6 +11,8 @@
 //! over, with the priority bits cleared to start a fresh epoch — the
 //! original proposal's recycling behaviour.
 
+use trrip_snap::{SnapError, SnapReader, SnapWriter};
+
 use crate::lru::Lru;
 use crate::{ReplacementPolicy, RequestInfo};
 
@@ -102,6 +104,23 @@ impl ReplacementPolicy for Emissary {
         // The priority bit, plus the underlying LRU rank state. The
         // Emissary paper counts 2 bits per line across L1/L2.
         1 + self.lru.per_line_overhead_bits()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.lru.save_state(w);
+        w.usize(self.priority.len());
+        for &p in &self.priority {
+            w.bool(p);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.lru.restore_state(r)?;
+        r.expect_len("Emissary priority bits", self.priority.len())?;
+        for p in &mut self.priority {
+            *p = r.bool()?;
+        }
+        Ok(())
     }
 }
 

@@ -22,6 +22,12 @@
 //!    the cache prefers invalid ways itself), then
 //!    [`ReplacementPolicy::on_evict`] for the displaced line, then
 //!    [`ReplacementPolicy::on_fill`] for the incoming one.
+//!
+//! Every policy also exposes its architectural state for checkpointing
+//! ([`ReplacementPolicy::save_state`] / [`ReplacementPolicy::restore_state`]):
+//! a policy rebuilt from its configuration
+//! ([`PolicyKind::build`]) and then restored behaves bit-identically to
+//! the original under any subsequent access sequence.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -94,6 +100,24 @@ pub trait ReplacementPolicy: Send {
     fn extra_storage_bits(&self) -> u64 {
         0
     }
+
+    /// Appends the policy's architectural state (RRPV arrays, LRU
+    /// stacks, predictor tables, PSEL counters…) to `w`. Configuration
+    /// is *not* written — restore into an instance freshly built by
+    /// [`PolicyKind::build`] with the same geometry.
+    fn save_state(&self, w: &mut trrip_snap::SnapWriter);
+
+    /// Loads state written by [`ReplacementPolicy::save_state`] into
+    /// this (identically configured) policy.
+    ///
+    /// # Errors
+    ///
+    /// [`trrip_snap::SnapError`] on malformed bytes or a geometry
+    /// mismatch between the stream and this instance.
+    fn restore_state(
+        &mut self,
+        r: &mut trrip_snap::SnapReader<'_>,
+    ) -> Result<(), trrip_snap::SnapError>;
 }
 
 #[cfg(test)]

@@ -1,5 +1,7 @@
 //! True-LRU replacement.
 
+use trrip_snap::{SnapError, SnapReader, SnapWriter};
+
 use crate::{ReplacementPolicy, RequestInfo};
 
 /// Least-Recently-Used replacement with full recency stacks.
@@ -83,6 +85,23 @@ impl ReplacementPolicy for Lru {
         // True LRU needs log2(ways!) bits; the common hardware estimate is
         // log2(ways) bits per line of rank state.
         (usize::BITS - (self.ways - 1).leading_zeros()).max(1)
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.clock);
+        w.usize(self.stamps.len());
+        for &stamp in &self.stamps {
+            w.u64(stamp);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.clock = r.u64()?;
+        r.expect_len("LRU stamp count", self.stamps.len())?;
+        for stamp in &mut self.stamps {
+            *stamp = r.u64()?;
+        }
+        Ok(())
     }
 }
 

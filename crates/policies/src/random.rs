@@ -2,6 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use trrip_snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::{ReplacementPolicy, RequestInfo};
 
@@ -44,6 +45,23 @@ impl ReplacementPolicy for RandomPolicy {
 
     fn per_line_overhead_bits(&self) -> u32 {
         0
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        // The RNG stream position IS the architectural state: a restored
+        // policy must pick the same victims the original would have.
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.u64()?;
+        }
+        self.rng = StdRng::from_state(state);
+        Ok(())
     }
 }
 

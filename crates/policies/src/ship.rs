@@ -10,8 +10,9 @@
 //! predicted dead-on-arrival and inserted at *distant*.
 
 use serde::{Deserialize, Serialize};
-use trrip_core::{RripSet, Rrpv, RrpvWidth, SrripCore};
+use trrip_core::{restore_rrip_sets, save_rrip_sets, RripSet, Rrpv, RrpvWidth, SrripCore};
 use trrip_mem::VirtAddr;
+use trrip_snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::srrip::Srrip;
 use crate::{ReplacementPolicy, RequestInfo};
@@ -191,6 +192,45 @@ impl ReplacementPolicy for Ship {
 
     fn extra_storage_bits(&self) -> u64 {
         self.config.table_bits()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        save_rrip_sets(&self.sets, w);
+        w.usize(self.meta.len());
+        for m in &self.meta {
+            w.u64(u64::from(m.signature));
+            w.bool(m.outcome);
+            w.bool(m.tracked);
+        }
+        w.bytes_field(&self.shct);
+        w.u64(u64::from(self.escape_counter));
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        restore_rrip_sets(&mut self.sets, r)?;
+        r.expect_len("SHiP line metadata", self.meta.len())?;
+        for m in &mut self.meta {
+            let signature = r.u64()?;
+            m.signature = u32::try_from(signature)
+                .map_err(|_| SnapError::Corrupt(format!("SHiP signature {signature} overflows")))?;
+            m.outcome = r.bool()?;
+            m.tracked = r.bool()?;
+        }
+        let shct = r.bytes_field()?;
+        if shct.len() != self.shct.len() {
+            return Err(SnapError::Mismatch(format!(
+                "SHCT size: snapshot has {}, instance has {}",
+                shct.len(),
+                self.shct.len()
+            )));
+        }
+        self.shct.copy_from_slice(shct);
+        let escape = r.u64()?;
+        if escape >= 32 {
+            return Err(SnapError::Corrupt(format!("SHiP escape counter {escape} out of range")));
+        }
+        self.escape_counter = escape as u32;
+        Ok(())
     }
 }
 

@@ -1,6 +1,7 @@
 //! SRRIP — Static Re-Reference Interval Prediction (the paper's baseline).
 
-use trrip_core::{RripSet, RrpvWidth, SrripCore};
+use trrip_core::{restore_rrip_sets, save_rrip_sets, RripSet, RrpvWidth, SrripCore};
+use trrip_snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::{ReplacementPolicy, RequestInfo};
 
@@ -81,6 +82,14 @@ impl ReplacementPolicy for Srrip {
 
     fn per_line_overhead_bits(&self) -> u32 {
         self.width.bits()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        save_rrip_sets(&self.sets, w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        restore_rrip_sets(&mut self.sets, r)
     }
 }
 

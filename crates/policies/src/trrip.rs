@@ -6,7 +6,10 @@
 //! arrives with each access and influences only the RRPV written at that
 //! moment, so the per-line overhead is exactly the baseline RRPV bits.
 
-use trrip_core::{RripSet, RrpvWidth, TrripPolicy, TrripVariant};
+use trrip_core::{
+    restore_rrip_sets, save_rrip_sets, RripSet, RrpvWidth, TrripPolicy, TrripVariant,
+};
+use trrip_snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::srrip::Srrip;
 use crate::{ReplacementPolicy, RequestInfo};
@@ -92,6 +95,16 @@ impl ReplacementPolicy for Trrip {
     fn per_line_overhead_bits(&self) -> u32 {
         // Identical to baseline RRIP: no temperature is stored in the set.
         self.width.bits()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        // The TRRIP policy core is stateless (§3.4): per-set RRPVs are
+        // the entire architectural state.
+        save_rrip_sets(&self.sets, w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        restore_rrip_sets(&mut self.sets, r)
     }
 }
 

@@ -112,6 +112,67 @@ proptest! {
         prop_assert_eq!(run(&ops), run(&ops));
     }
 
+    /// Saving a policy's state mid-sequence and restoring it into a
+    /// freshly built instance yields a behavioral clone: both pick the
+    /// same victims for any shared future, and the original keeps
+    /// behaving like a policy that was never snapshotted.
+    #[test]
+    fn snapshot_restore_is_a_behavioral_clone(
+        kind in arb_policy(),
+        warmup in prop::collection::vec((arb_op(8, 4), arb_request()), 0..150),
+        probe in prop::collection::vec((arb_op(8, 4), arb_request()), 1..150),
+    ) {
+        let drive = |policy: &mut dyn trrip_policies::ReplacementPolicy,
+                     ops: &[(Op, RequestInfo)]| {
+            let candidates: Vec<usize> = (0..4).collect();
+            let mut victims = Vec::new();
+            for (op, req) in ops {
+                match op {
+                    Op::Hit { set, way } => policy.on_hit(*set, *way, req),
+                    Op::MissFill { set } => {
+                        let v = policy.choose_victim(*set, req, &candidates);
+                        victims.push(v);
+                        policy.on_evict(*set, v);
+                        policy.on_fill(*set, v, req);
+                    }
+                    Op::Invalidate { set, way } => policy.on_invalidate(*set, *way),
+                }
+            }
+            victims
+        };
+
+        let mut original = kind.build(8, 4);
+        drive(original.as_mut(), &warmup);
+
+        let mut bytes = trrip_snap::SnapWriter::new();
+        original.save_state(&mut bytes);
+        let mut restored = kind.build(8, 4);
+        restored
+            .restore_state(&mut trrip_snap::SnapReader::new(bytes.bytes()))
+            .expect("restore into an identically configured policy");
+
+        prop_assert_eq!(
+            drive(original.as_mut(), &probe),
+            drive(restored.as_mut(), &probe),
+            "{}: restored policy diverged from the original", kind.name()
+        );
+    }
+
+    /// Restoring into a differently shaped policy is an error, not
+    /// silent corruption.
+    #[test]
+    fn snapshot_rejects_mismatched_geometry(kind in arb_policy()) {
+        let original = kind.build(8, 4);
+        let mut bytes = trrip_snap::SnapWriter::new();
+        original.save_state(&mut bytes);
+        let mut smaller = kind.build(4, 4);
+        let outcome = smaller.restore_state(&mut trrip_snap::SnapReader::new(bytes.bytes()));
+        if kind != PolicyKind::Random {
+            // Random's state is geometry-free (just the RNG stream).
+            prop_assert!(outcome.is_err(), "{}: geometry mismatch accepted", kind.name());
+        }
+    }
+
     /// A continuously-hit instruction line is never evicted in favour of
     /// a stream of *data* fills — for every policy that tracks recency
     /// (all but Random). Data competitors are the fair test: code-first

@@ -7,6 +7,7 @@ use trrip_compiler::ObjectFile;
 use trrip_cpu::{MemLatency, MemoryBackend};
 use trrip_mem::{LineAddr, MemoryRequest, PhysAddr, VirtAddr};
 use trrip_os::Mmu;
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::config::SimConfig;
 use crate::inflight::InflightTable;
@@ -171,6 +172,61 @@ impl SystemBackend {
             }
             None => raw_latency,
         }
+    }
+}
+
+/// Full architectural state of the memory system: MMU (page table +
+/// TLB), all four cache levels with their policy state, the stride
+/// prefetcher table, the in-flight prefetch tracker, and — when armed —
+/// the measurement profilers. Code-region maps and latencies are
+/// configuration (rebuilt by [`SystemBackend::new`]) and are not part of
+/// the stream.
+impl Snapshot for SystemBackend {
+    fn save(&self, w: &mut SnapWriter) {
+        w.tag(b"SYSB");
+        self.mmu.save(w);
+        self.hierarchy.save(w);
+        self.data_stride.save(w);
+        self.inflight.save(w);
+        match &self.reuse {
+            Some(reuse) => {
+                w.bool(true);
+                reuse.save(w);
+            }
+            None => w.bool(false),
+        }
+        match &self.costly {
+            Some(costly) => {
+                w.bool(true);
+                costly.save(w);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_tag(b"SYSB")?;
+        self.mmu.restore(r)?;
+        self.hierarchy.restore(r)?;
+        self.data_stride.restore(r)?;
+        self.inflight.restore(r)?;
+        self.stride_proposals.clear();
+        self.reuse = if r.bool()? {
+            let sets = self.hierarchy.l2().config().num_sets();
+            let mut reuse = ReuseProfiler::new(sets);
+            reuse.restore(r)?;
+            Some(reuse)
+        } else {
+            None
+        };
+        self.costly = if r.bool()? {
+            let mut costly = CostlyMissTracker::new();
+            costly.restore(r)?;
+            Some(costly)
+        } else {
+            None
+        };
+        Ok(())
     }
 }
 

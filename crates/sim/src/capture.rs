@@ -321,14 +321,17 @@ mod tests {
         let mut spec = WorkloadSpec::named("capture-test");
         spec.functions = 50;
         spec.hot_rotation = 8;
+        // Train long enough that "everything executed" (percentile 100)
+        // genuinely differs from the 99th-percentile hot set — a short
+        // walk executes so few functions that the two coincide.
         let hot_99 = PreparedWorkload::prepare(
             &spec,
-            100_000,
+            400_000,
             trrip_core::ClassifierConfig::llvm_defaults(),
         );
         let hot_100 = PreparedWorkload::prepare(
             &spec,
-            100_000,
+            400_000,
             trrip_core::ClassifierConfig { percentile_hot: 1.0, percentile_cold: 1.0 },
         );
         assert_ne!(

@@ -1,0 +1,413 @@
+//! Checkpointing: persist a warmed [`SimRun`] and restore it later —
+//! in the same process or a different one — skipping fast-forward.
+//!
+//! # File format
+//!
+//! ```text
+//! file := magic:8 version:u16 body_len:u64 body checksum:u64
+//! body := meta payload            (one trrip-snap stream)
+//! meta := benchmark:str policy:str fingerprint:u64 config_hash:u64
+//!         stream_position:u64 mid_measure:bool
+//! ```
+//!
+//! Fixed-width fields are little-endian; the body is a `trrip-snap`
+//! stream whose trailing `payload` field holds the [`SimRun`] snapshot.
+//! The checksum (the same word-folded hash `trrip-trace` uses for chunk
+//! payloads) covers every body byte, and `body_len` makes truncation
+//! detectable before the checksum is even consulted. Writes go to a
+//! sibling temp file and are renamed into place, so concurrent sweep
+//! processes sharing a checkpoint directory never observe a
+//! half-written file — the same discipline as trace capture.
+//!
+//! # Keying
+//!
+//! A checkpoint is only valid for the exact warmup it captured, so
+//! [`CheckpointStore`] keys files by:
+//!
+//! * the **workload fingerprint** ([`crate::capture::workload_fingerprint`]):
+//!   exact code placement + walk inputs, shared with the trace store, so
+//!   classifier sweeps (fig8) never reuse a stale warmed state;
+//! * a **warmup configuration hash** ([`warmup_config_hash`]): every
+//!   machine parameter that shapes architectural state (core, predictor,
+//!   hierarchy geometry + policy, page size, overlap policy, layout, and
+//!   the fast-forward length). The *measured* window length and the
+//!   profiler flags are deliberately excluded — a warmed state is
+//!   reusable under any measure window, which is what lets fig6/fig8/
+//!   fig9 share warmups where their machines agree.
+
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use trrip_compiler::LayoutKind;
+use trrip_os::OverlapPolicy;
+use trrip_snap::{Checksum, SnapError, SnapReader, SnapWriter, Snapshot};
+
+use crate::capture::{trace_layout, workload_fingerprint};
+use crate::config::SimConfig;
+use crate::prepare::PreparedWorkload;
+use crate::system::SimRun;
+
+/// Checkpoint file magic: `b"TRRIPCKP"`.
+pub const MAGIC: [u8; 8] = *b"TRRIPCKP";
+/// Current checkpoint format version.
+pub const VERSION: u16 = 1;
+
+/// Everything that can go wrong reading or writing a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure (including truncation mid-body).
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is newer than this reader.
+    UnsupportedVersion(u16),
+    /// Body bytes do not hash to the trailing checksum.
+    ChecksumMismatch {
+        /// Checksum the file promises.
+        expected: u64,
+        /// Checksum the body actually hashes to.
+        found: u64,
+    },
+    /// Structurally invalid content; the message says what.
+    Corrupt(String),
+    /// The checkpoint is valid but was captured for a different
+    /// (workload, configuration) key.
+    KeyMismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::BadMagic => f.write_str("not a trrip checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (this reader speaks {VERSION})")
+            }
+            CheckpointError::ChecksumMismatch { expected, found } => {
+                write!(f, "checkpoint checksum mismatch: file {expected:#018x}, body {found:#018x}")
+            }
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+            CheckpointError::KeyMismatch(what) => write!(f, "checkpoint key mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<SnapError> for CheckpointError {
+    fn from(e: SnapError) -> CheckpointError {
+        CheckpointError::Corrupt(e.to_string())
+    }
+}
+
+/// Identity of a checkpoint: what was warmed, under which machine, and
+/// how far into the instruction stream the state reaches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// L2 policy display name (warmup state is policy-dependent).
+    pub policy: String,
+    /// Placement + walk-input fingerprint
+    /// ([`crate::capture::workload_fingerprint`]).
+    pub fingerprint: u64,
+    /// Warmup machine hash ([`warmup_config_hash`]).
+    pub config_hash: u64,
+    /// Instructions of the workload stream already consumed: resuming
+    /// must skip exactly this many before feeding the run.
+    pub stream_position: u64,
+    /// Whether the snapshot was taken mid-measure (carries in-flight
+    /// run state) rather than at the fast-forward boundary.
+    pub mid_measure: bool,
+}
+
+impl CheckpointMeta {
+    fn save(&self, w: &mut SnapWriter) {
+        w.str(&self.benchmark);
+        w.str(&self.policy);
+        w.u64(self.fingerprint);
+        w.u64(self.config_hash);
+        w.u64(self.stream_position);
+        w.bool(self.mid_measure);
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> Result<CheckpointMeta, SnapError> {
+        Ok(CheckpointMeta {
+            benchmark: r.str()?,
+            policy: r.str()?,
+            fingerprint: r.u64()?,
+            config_hash: r.u64()?,
+            stream_position: r.u64()?,
+            mid_measure: r.bool()?,
+        })
+    }
+}
+
+fn overlap_tag(overlap: OverlapPolicy) -> u8 {
+    match overlap {
+        OverlapPolicy::FirstByte => 0,
+        OverlapPolicy::DropMixed => 1,
+        OverlapPolicy::Hottest => 2,
+    }
+}
+
+/// Hashes every configuration knob that shapes warmed architectural
+/// state. Two configs with equal hashes produce interchangeable
+/// fast-forward states for the same workload fingerprint; anything that
+/// moves a single bit of warmup state (cache geometry, policy,
+/// predictor sizing, page size, fast-forward length…) moves the hash.
+#[must_use]
+pub fn warmup_config_hash(config: &SimConfig) -> u64 {
+    let mut w = SnapWriter::new();
+    w.u64(u64::from(config.core.dispatch_width));
+    w.u64(u64::from(config.core.rob_entries));
+    w.usize(config.core.predictor.btb_entries);
+    w.usize(config.core.predictor.indirect_btb_entries);
+    w.usize(config.core.predictor.loop_entries);
+    w.usize(config.core.predictor.global_entries);
+    w.usize(config.core.predictor.ras_depth);
+    w.u64(config.core.predictor.mispredict_penalty);
+    w.bool(config.core.fdip);
+    w.usize(config.core.fdip_lookahead_instrs);
+    w.usize(config.core.fdip_max_lines);
+    w.u64(config.core.l1_hit_cycles);
+    w.u64(config.core.starvation_threshold);
+    for cache in
+        [&config.hierarchy.l1i, &config.hierarchy.l1d, &config.hierarchy.l2, &config.hierarchy.slc]
+    {
+        w.u64(cache.size_bytes);
+        w.usize(cache.ways);
+        w.u64(cache.tag_latency);
+        w.u64(cache.data_latency);
+    }
+    w.u64(config.hierarchy.dram_latency);
+    w.str(config.hierarchy.l2_policy.name());
+    w.u64(config.page_size.bytes());
+    w.u8(overlap_tag(config.overlap));
+    w.u8(match config.layout {
+        LayoutKind::SourceOrder => 0,
+        LayoutKind::Pgo => 1,
+    });
+    w.u64(config.fast_forward);
+
+    let mut checksum = Checksum::new();
+    checksum.update(w.bytes());
+    checksum.value()
+}
+
+/// Writes a checkpoint file atomically (sibling temp file + rename).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_checkpoint(
+    path: &Path,
+    meta: &CheckpointMeta,
+    payload: &[u8],
+) -> Result<(), CheckpointError> {
+    let mut body = SnapWriter::new();
+    meta.save(&mut body);
+    body.bytes_field(payload);
+    let body = body.into_bytes();
+    let mut checksum = Checksum::new();
+    checksum.update(&body);
+
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        file.write_all(&MAGIC)?;
+        file.write_all(&VERSION.to_le_bytes())?;
+        file.write_all(&(body.len() as u64).to_le_bytes())?;
+        file.write_all(&body)?;
+        file.write_all(&checksum.value().to_le_bytes())?;
+        file.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads and verifies a checkpoint file: magic, version, length and
+/// checksum. Returns the metadata and the snapshot payload.
+///
+/// # Errors
+///
+/// Every [`CheckpointError`] variant except `KeyMismatch` — a
+/// truncated file surfaces as `Io`/`Corrupt`, a flipped body byte as
+/// `ChecksumMismatch`.
+pub fn read_checkpoint(path: &Path) -> Result<(CheckpointMeta, Vec<u8>), CheckpointError> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let mut version = [0u8; 2];
+    file.read_exact(&mut version)?;
+    let version = u16::from_le_bytes(version);
+    if version > VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let mut len = [0u8; 8];
+    file.read_exact(&mut len)?;
+    let body_len = usize::try_from(u64::from_le_bytes(len))
+        .map_err(|_| CheckpointError::Corrupt("body length overflows".into()))?;
+    // The length field precedes the checksummed region, so bound it by
+    // what the file actually holds before allocating: a corrupted
+    // length must surface as Corrupt, not as a giant allocation.
+    let mut rest = Vec::new();
+    file.read_to_end(&mut rest)?;
+    if body_len.checked_add(8) != Some(rest.len()) {
+        return Err(CheckpointError::Corrupt(format!(
+            "body length {body_len} does not match file ({} bytes after the header)",
+            rest.len()
+        )));
+    }
+    let expected = u64::from_le_bytes(rest[body_len..].try_into().expect("8 bytes"));
+    rest.truncate(body_len);
+    let body = rest;
+
+    let mut checksum = Checksum::new();
+    checksum.update(&body);
+    let found = checksum.value();
+    if found != expected {
+        return Err(CheckpointError::ChecksumMismatch { expected, found });
+    }
+
+    let mut r = SnapReader::new(&body);
+    let meta = CheckpointMeta::restore(&mut r)?;
+    let payload = r.bytes_field()?.to_vec();
+    r.finish()?;
+    Ok((meta, payload))
+}
+
+/// A directory of warmed-state checkpoints, keyed exactly like the
+/// trace store plus the warmup configuration hash. `save` is atomic;
+/// `load` verifies checksum and key and returns `Ok(None)` for a
+/// missing or differently-keyed file (the caller warms up cold and
+/// overwrites), surfacing only damaged files as errors.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// A store rooted at `dir` (created lazily on first save).
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> CheckpointStore {
+        CheckpointStore { dir: dir.into() }
+    }
+
+    /// The store's directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Where the fast-forward checkpoint for `(workload, config)` lives.
+    #[must_use]
+    pub fn path_for(&self, workload: &PreparedWorkload, config: &SimConfig) -> PathBuf {
+        self.dir.join(format!(
+            "{}-{}-{}-ff{}-{:016x}-{:016x}.ckpt",
+            workload.spec.name,
+            trace_layout(config.layout).tag(),
+            config.hierarchy.l2_policy.name().to_ascii_lowercase(),
+            config.fast_forward,
+            workload_fingerprint(workload, config),
+            warmup_config_hash(config),
+        ))
+    }
+
+    /// The metadata a valid checkpoint for `(workload, config)` must
+    /// carry.
+    #[must_use]
+    pub fn expected_meta(&self, workload: &PreparedWorkload, config: &SimConfig) -> CheckpointMeta {
+        CheckpointMeta {
+            benchmark: workload.spec.name.clone(),
+            policy: config.hierarchy.l2_policy.name().to_owned(),
+            fingerprint: workload_fingerprint(workload, config),
+            config_hash: warmup_config_hash(config),
+            stream_position: config.fast_forward,
+            mid_measure: false,
+        }
+    }
+
+    /// Whether a loadable checkpoint for `(workload, config)` exists.
+    #[must_use]
+    pub fn has(&self, workload: &PreparedWorkload, config: &SimConfig) -> bool {
+        matches!(self.load(workload, config), Ok(Some(_)))
+    }
+
+    /// Saves `run`'s state as the fast-forward checkpoint for its
+    /// workload and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` has already started measuring — the store holds
+    /// fast-forward-boundary checkpoints only (mid-measure snapshots go
+    /// through [`write_checkpoint`] directly, carrying their position).
+    pub fn save(&self, run: &SimRun<'_>) -> Result<PathBuf, CheckpointError> {
+        assert!(!run.is_measuring(), "the checkpoint store holds fast-forward states only");
+        let meta = self.expected_meta(run.workload(), run.config());
+        let mut payload = SnapWriter::new();
+        run.save(&mut payload);
+        let path = self.path_for(run.workload(), run.config());
+        write_checkpoint(&path, &meta, payload.bytes())?;
+        Ok(path)
+    }
+
+    /// Loads the checkpoint for `(workload, config)` into a freshly
+    /// constructed [`SimRun`], ready to [`SimRun::measure`] after the
+    /// caller skips `config.fast_forward` stream instructions.
+    ///
+    /// Returns `Ok(None)` when no file exists or the file belongs to a
+    /// different key (stale fingerprint, other machine configuration).
+    ///
+    /// # Errors
+    ///
+    /// Damaged files: bad magic, bad version, truncation, checksum or
+    /// snapshot-payload corruption.
+    pub fn load<'w>(
+        &self,
+        workload: &'w PreparedWorkload,
+        config: &SimConfig,
+    ) -> Result<Option<SimRun<'w>>, CheckpointError> {
+        let path = self.path_for(workload, config);
+        let (meta, payload) = match read_checkpoint(&path) {
+            Ok(parts) => parts,
+            Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(None)
+            }
+            Err(e) => return Err(e),
+        };
+        let expected = self.expected_meta(workload, config);
+        if meta != expected {
+            return Ok(None);
+        }
+        let mut run = SimRun::new(workload, config);
+        let mut r = SnapReader::new(&payload);
+        run.restore(&mut r)?;
+        r.finish()?;
+        Ok(Some(run))
+    }
+}

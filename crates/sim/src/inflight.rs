@@ -6,6 +6,8 @@
 //! construction: linear probing with backward-shift deletion, and a
 //! preallocated scratch buffer for the expiry sweep.
 
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
 /// Sentinel for an empty slot. Line addresses are physical addresses
 /// shifted right by 6, so `u64::MAX` can never be a real line.
 const EMPTY: u64 = u64::MAX;
@@ -173,6 +175,52 @@ impl InflightTable {
             self.insert_if_absent(slot.line, slot.ready);
         }
         self.scratch = survivors;
+    }
+}
+
+impl Snapshot for InflightTable {
+    fn save(&self, w: &mut SnapWriter) {
+        // Occupied slots with their positions: restoring positions (not
+        // just contents) reproduces the exact probe-chain layout, so
+        // subsequent insert/remove/prune sequences behave identically.
+        w.tag(b"INFL");
+        w.usize(self.slots.len());
+        w.usize(self.len);
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.line != EMPTY {
+                w.usize(i);
+                w.u64(slot.line);
+                w.u64(slot.ready);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_tag(b"INFL")?;
+        r.expect_len("inflight table capacity", self.slots.len())?;
+        let len = r.usize()?;
+        if len > self.limit {
+            return Err(SnapError::Mismatch(format!(
+                "inflight occupancy {len} exceeds limit {}",
+                self.limit
+            )));
+        }
+        self.slots.fill(EMPTY_SLOT);
+        for _ in 0..len {
+            let i = r.usize()?;
+            let slot = self.slots.get_mut(i).ok_or_else(|| {
+                SnapError::Corrupt(format!("inflight slot index {i} out of range"))
+            })?;
+            if slot.line != EMPTY {
+                return Err(SnapError::Corrupt(format!("duplicate inflight slot {i}")));
+            }
+            *slot = Slot { line: r.u64()?, ready: r.u64()? };
+            if slot.line == EMPTY {
+                return Err(SnapError::Corrupt("inflight slot holds the empty sentinel".into()));
+            }
+        }
+        self.len = len;
+        Ok(())
     }
 }
 

@@ -16,9 +16,12 @@
 //! * [`capture`] — [`capture_trace`] and the [`TraceStore`]: record the
 //!   walker's output to the `trrip-trace` binary format once, replay it
 //!   from disk for every subsequent run.
+//! * [`checkpoint`] — versioned, checksummed on-disk snapshots of a
+//!   warmed [`SimRun`], keyed by workload fingerprint + machine hash;
+//!   repeated sweeps restore instead of re-running fast-forward.
 //! * [`experiment`] — parallel policy sweeps (walker-driven,
-//!   decode-once fan-out replay, and the legacy decode-per-job replay)
-//!   and speedup computation.
+//!   decode-once fan-out replay, the warm-started checkpointed engine,
+//!   and the legacy decode-per-job replay) and speedup computation.
 //! * [`inflight`] — the fixed-size open-addressed prefetch-timeliness
 //!   table behind the backend's allocation-free hot path.
 
@@ -27,6 +30,7 @@
 
 pub mod backend;
 pub mod capture;
+pub mod checkpoint;
 pub mod config;
 pub mod experiment;
 pub mod inflight;
@@ -35,11 +39,18 @@ pub mod system;
 
 pub use backend::SystemBackend;
 pub use capture::{capture_length, capture_trace, TraceStore};
+pub use checkpoint::{
+    read_checkpoint, warmup_config_hash, write_checkpoint, CheckpointError, CheckpointMeta,
+    CheckpointStore,
+};
 pub use config::SimConfig;
 pub use experiment::{
     default_jobs, parallel_map, parallel_map_with, policy_sweep, policy_sweep_with, replay_sweep,
-    replay_sweep_isolated, replay_sweep_with, speedup_vs, SweepResult,
+    replay_sweep_checkpointed, replay_sweep_isolated, replay_sweep_with, speedup_vs, SweepResult,
 };
 pub use inflight::InflightTable;
 pub use prepare::PreparedWorkload;
-pub use system::{simulate, simulate_source, SimResult};
+pub use system::{simulate, simulate_source, SimResult, SimRun};
+// The snapshot substrate, re-exported so callers can drive `SimRun`
+// save/restore without depending on `trrip-snap` directly.
+pub use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};

@@ -1,11 +1,23 @@
-//! One full simulation run: load → fast-forward → measure → collect.
+//! One full simulation run, as an explicit phase machine:
+//! **load → fast-forward → (checkpoint) → measure → collect**.
+//!
+//! [`SimRun`] holds the whole machine (core + backend) between phases.
+//! The checkpoint phase is optional and caller-driven: after
+//! [`SimRun::fast_forward`] the complete architectural state can be
+//! saved with [`SimRun::save`] and later restored into a freshly loaded
+//! [`SimRun`] with [`SimRun::restore`], making the warmed state
+//! reusable across runs and processes (see [`crate::checkpoint`]).
+//! [`simulate_source`] is the plain load → fast-forward → measure
+//! composition and is bit-identical to what it computed before the
+//! phase split.
 
 use serde::{Deserialize, Serialize};
 use trrip_analysis::{CostlyMissTracker, ReuseHistogram};
 use trrip_cache::{AccessStats, Hierarchy};
-use trrip_cpu::{Core, CoreResult};
+use trrip_cpu::{Core, CoreResult, RunState};
 use trrip_os::{Loader, Mmu, PageStats, TlbStats};
 use trrip_policies::PolicyKind;
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use trrip_trace::{SourceIter, TraceSource};
 use trrip_workloads::{InputSet, TraceGenerator};
 
@@ -115,45 +127,186 @@ pub fn simulate_source<S: TraceSource>(
     config: &SimConfig,
     source: S,
 ) -> SimResult {
-    let object = workload.object(config.layout);
-
-    // ⑥–⑧ Load: pages + PTEs (with temperature bits under PGO).
-    let loader = Loader::new(config.page_size).with_overlap_policy(config.overlap);
-    let image = loader.load(object);
-    let pages = image.stats;
-    let mmu = Mmu::new(image.page_table);
-
-    // ⑨–⑪ Execute.
-    let hierarchy = Hierarchy::new(&config.hierarchy);
-    let backend = SystemBackend::new(mmu, hierarchy, object, config);
-    let mut core = Core::new(config.core, backend);
+    let mut run = SimRun::new(workload, config);
     let mut stream = SourceIter::new(source);
+    run.fast_forward(&mut stream);
+    run.measure(&mut stream)
+}
 
-    // Fast-forward warms caches and predictors; stats reset afterwards.
-    if config.fast_forward > 0 {
-        let _ = core.run((&mut stream).take(config.fast_forward as usize));
+/// One simulation in flight, between phases.
+///
+/// The phases, in order:
+///
+/// 1. **load** — [`SimRun::new`]: loader maps the object (pages + PTEs
+///    with temperature bits), the hierarchy and core are built cold.
+/// 2. **fast-forward** — [`SimRun::fast_forward`]: warms caches and
+///    predictors; no statistics are reported from this phase.
+/// 3. **checkpoint** *(optional)* — [`SimRun::save`] captures the full
+///    architectural state; [`SimRun::restore`] loads it into a freshly
+///    constructed run, replacing the fast-forward phase entirely.
+/// 4. **measure** — [`SimRun::measure`] (or the resumable
+///    [`SimRun::measure_chunk`] / [`SimRun::finish`] pair): statistics
+///    reset, then the measured window executes and [`SimResult`] is
+///    collected.
+///
+/// A restored run is bit-identical to one that executed fast-forward
+/// itself, and a measure phase split by a save/restore at any chunk
+/// boundary is bit-identical to an uninterrupted one — enforced by
+/// `tests/checkpoint_roundtrip.rs`.
+#[derive(Debug)]
+pub struct SimRun<'w> {
+    workload: &'w PreparedWorkload,
+    config: SimConfig,
+    pages: PageStats,
+    core: Core<SystemBackend>,
+    /// In-flight measure-phase state (present between `begin_measure`
+    /// and `finish`).
+    measuring: Option<RunState>,
+}
+
+impl<'w> SimRun<'w> {
+    /// **Load phase**: maps the object and builds the cold machine.
+    #[must_use]
+    pub fn new(workload: &'w PreparedWorkload, config: &SimConfig) -> SimRun<'w> {
+        let object = workload.object(config.layout);
+
+        // ⑥–⑧ Load: pages + PTEs (with temperature bits under PGO).
+        let loader = Loader::new(config.page_size).with_overlap_policy(config.overlap);
+        let image = loader.load(object);
+        let pages = image.stats;
+        let mmu = Mmu::new(image.page_table);
+
+        // ⑨–⑪ the machine itself.
+        let hierarchy = Hierarchy::new(&config.hierarchy);
+        let backend = SystemBackend::new(mmu, hierarchy, object, config);
+        let core = Core::new(config.core, backend);
+        SimRun { workload, config: config.clone(), pages, core, measuring: None }
     }
-    core.backend_mut().arm_measurement(config.measure_reuse, config.track_costly);
 
-    let result = core.run((&mut stream).take(config.instructions as usize));
+    /// The configuration this run executes.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
 
-    let backend = core.backend_mut();
-    let reuse = backend.take_reuse();
-    let costly = backend.take_costly();
-    let h: &Hierarchy = backend.hierarchy();
-    SimResult {
-        benchmark: workload.spec.name.clone(),
-        policy: config.hierarchy.l2_policy,
-        core: result,
-        l1i: *h.l1i().stats(),
-        l1d: *h.l1d().stats(),
-        l2: *h.l2().stats(),
-        slc: *h.slc().stats(),
-        tlb: backend.mmu().tlb_stats(),
-        pages,
-        reuse_base: reuse.as_ref().map(|r| *r.base()),
-        reuse_hot_only: reuse.as_ref().map(|r| *r.hot_only()),
-        costly,
+    /// The workload this run executes.
+    #[must_use]
+    pub fn workload(&self) -> &'w PreparedWorkload {
+        self.workload
+    }
+
+    /// Whether the measure phase has started (the run carries in-flight
+    /// [`RunState`]).
+    #[must_use]
+    pub fn is_measuring(&self) -> bool {
+        self.measuring.is_some()
+    }
+
+    /// **Fast-forward phase**: warms caches and predictors with the
+    /// stream's first `fast_forward` instructions.
+    pub fn fast_forward<S: TraceSource>(&mut self, stream: &mut SourceIter<S>) {
+        assert!(self.measuring.is_none(), "fast-forward after measurement started");
+        if self.config.fast_forward > 0 {
+            let _ = self.core.run(stream.take(self.config.fast_forward as usize));
+        }
+    }
+
+    /// **Measure phase**, uninterrupted: arms measurement, runs the
+    /// configured instruction window, and collects the result.
+    pub fn measure<S: TraceSource>(&mut self, stream: &mut SourceIter<S>) -> SimResult {
+        self.begin_measure();
+        self.measure_chunk(stream, self.config.instructions, true);
+        self.finish()
+    }
+
+    /// Starts the measure phase: resets statistics accumulated during
+    /// fast-forward and arms the configured profilers.
+    pub fn begin_measure(&mut self) {
+        assert!(self.measuring.is_none(), "measurement already started");
+        self.core
+            .backend_mut()
+            .arm_measurement(self.config.measure_reuse, self.config.track_costly);
+        self.measuring = Some(self.core.begin_run());
+    }
+
+    /// Runs up to `limit` further instructions of the measure window.
+    /// Pass `drain = true` on the final chunk (as [`SimRun::measure`]
+    /// does) so the core's lookahead window empties exactly as an
+    /// uninterrupted run's would.
+    pub fn measure_chunk<S: TraceSource>(
+        &mut self,
+        stream: &mut SourceIter<S>,
+        limit: u64,
+        drain: bool,
+    ) {
+        let state = self.measuring.as_mut().expect("begin_measure first");
+        self.core.run_chunk(state, stream.take(limit as usize), drain);
+    }
+
+    /// Instructions consumed from the source so far by the measure
+    /// phase — a resumed run must skip `fast_forward + this` stream
+    /// instructions before continuing.
+    #[must_use]
+    pub fn measure_consumed(&self) -> u64 {
+        self.measuring.as_ref().map_or(0, RunState::consumed)
+    }
+
+    /// Ends the measure phase and collects the [`SimResult`].
+    pub fn finish(&mut self) -> SimResult {
+        let state = self.measuring.take().expect("begin_measure first");
+        let result = self.core.finish_run(state);
+        let backend = self.core.backend_mut();
+        let reuse = backend.take_reuse();
+        let costly = backend.take_costly();
+        let h: &Hierarchy = backend.hierarchy();
+        SimResult {
+            benchmark: self.workload.spec.name.clone(),
+            policy: self.config.hierarchy.l2_policy,
+            core: result,
+            l1i: *h.l1i().stats(),
+            l1d: *h.l1d().stats(),
+            l2: *h.l2().stats(),
+            slc: *h.slc().stats(),
+            tlb: backend.mmu().tlb_stats(),
+            pages: self.pages,
+            reuse_base: reuse.as_ref().map(|r| *r.base()),
+            reuse_hot_only: reuse.as_ref().map(|r| *r.hot_only()),
+            costly,
+        }
+    }
+}
+
+/// **Checkpoint phase**: the complete architectural state — core
+/// predictor + starvation table, MMU/TLB/page tables, every cache level
+/// with per-set policy state, prefetcher tables, the in-flight prefetch
+/// tracker, armed profilers, and (mid-measure) the in-flight
+/// [`RunState`] including the FDIP lookahead window.
+impl Snapshot for SimRun<'_> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.tag(b"SRUN");
+        self.core.save_core_state(w);
+        self.core.backend().save(w);
+        match &self.measuring {
+            Some(state) => {
+                w.bool(true);
+                state.save(w);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_tag(b"SRUN")?;
+        self.core.restore_core_state(r)?;
+        self.core.backend_mut().restore(r)?;
+        self.measuring = if r.bool()? {
+            let mut state = self.core.begin_run();
+            state.restore(r)?;
+            Some(state)
+        } else {
+            None
+        };
+        Ok(())
     }
 }
 

@@ -1,0 +1,285 @@
+//! Checkpoint correctness: restore-then-measure must be bit-identical
+//! to an uninterrupted run — for every policy, at the fast-forward
+//! boundary and mid-measure — and damaged files must be rejected.
+
+use trrip_core::ClassifierConfig;
+use trrip_policies::PolicyKind;
+use trrip_sim::{
+    read_checkpoint, simulate, warmup_config_hash, CheckpointError, CheckpointStore,
+    PreparedWorkload, SimConfig, SimResult, SimRun, SnapReader, SnapWriter, Snapshot,
+};
+use trrip_trace::SourceIter;
+use trrip_workloads::{InputSet, TraceGenerator, WorkloadSpec};
+
+/// Every policy the simulator can run, including the non-paper Random
+/// baseline (whose RNG stream is part of the architectural state).
+const ALL_POLICIES: [PolicyKind; 10] = [
+    PolicyKind::Srrip,
+    PolicyKind::Lru,
+    PolicyKind::Random,
+    PolicyKind::Brrip,
+    PolicyKind::Drrip,
+    PolicyKind::Ship,
+    PolicyKind::Clip,
+    PolicyKind::Emissary,
+    PolicyKind::Trrip1,
+    PolicyKind::Trrip2,
+];
+
+fn quick_workload() -> PreparedWorkload {
+    let mut spec = WorkloadSpec::named("ckpt-test");
+    spec.functions = 50;
+    spec.hot_rotation = 8;
+    // Train long enough that classifier-percentile variants produce
+    // distinct placements (the keying test depends on it).
+    PreparedWorkload::prepare(&spec, 400_000, ClassifierConfig::llvm_defaults())
+}
+
+fn quick_config(policy: PolicyKind) -> SimConfig {
+    let mut c = SimConfig::quick(policy);
+    c.fast_forward = 20_000;
+    c.instructions = 60_000;
+    c
+}
+
+fn walker<'a>(w: &'a PreparedWorkload, config: &'a SimConfig) -> SourceIter<TraceGenerator<'a>> {
+    let object = w.object(config.layout);
+    SourceIter::new(TraceGenerator::new(&w.program, object, &w.spec, InputSet::Eval))
+}
+
+fn assert_identical(a: &SimResult, b: &SimResult, what: &str) {
+    assert_eq!(a.core, b.core, "{what}: core results diverge");
+    assert_eq!(a.l1i, b.l1i, "{what}: L1-I stats diverge");
+    assert_eq!(a.l1d, b.l1d, "{what}: L1-D stats diverge");
+    assert_eq!(a.l2, b.l2, "{what}: L2 stats diverge");
+    assert_eq!(a.slc, b.slc, "{what}: SLC stats diverge");
+    assert_eq!(a.tlb, b.tlb, "{what}: TLB stats diverge");
+    assert_eq!(a.pages, b.pages, "{what}: page stats diverge");
+}
+
+#[test]
+fn restore_then_measure_is_bit_identical_for_every_policy() {
+    let w = quick_workload();
+    let dir = std::env::temp_dir().join("trrip-ckpt-roundtrip-test");
+    std::fs::remove_dir_all(&dir).ok();
+    let store = CheckpointStore::new(&dir);
+
+    for policy in ALL_POLICIES {
+        let config = quick_config(policy);
+
+        // Oracle: the uninterrupted walker run.
+        let uninterrupted = simulate(&w, &config);
+
+        // Cold phase-machine run: fast-forward, persist, then measure.
+        assert!(!store.has(&w, &config), "{policy}: stale checkpoint");
+        let mut cold = SimRun::new(&w, &config);
+        let mut stream = walker(&w, &config);
+        cold.fast_forward(&mut stream);
+        store.save(&cold).expect("save checkpoint");
+        let cold_result = cold.measure(&mut stream);
+        assert_identical(&uninterrupted, &cold_result, &format!("{policy} cold"));
+
+        // Warm run: restore from disk, skip the warmup prefix, measure.
+        let mut warm = store
+            .load(&w, &config)
+            .expect("read checkpoint")
+            .expect("checkpoint present after save");
+        let mut stream = walker(&w, &config);
+        for _ in (&mut stream).take(config.fast_forward as usize) {}
+        let warm_result = warm.measure(&mut stream);
+        assert_identical(&uninterrupted, &warm_result, &format!("{policy} warm"));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A snapshot taken *mid-measure* (in-flight cycles, Top-Down buckets,
+/// MLP bookkeeping, armed profilers, and the FDIP lookahead window)
+/// resumes bit-identically, at several split points including ones that
+/// land inside the lookahead window's reach of the end.
+#[test]
+fn mid_measure_snapshot_resumes_bit_identically() {
+    let w = quick_workload();
+    for (policy, split) in [
+        (PolicyKind::Srrip, 1),
+        (PolicyKind::Ship, 17_001),
+        (PolicyKind::Trrip2, 30_000),
+        (PolicyKind::Emissary, 59_990),
+        (PolicyKind::Random, 43_777),
+    ] {
+        let mut config = quick_config(policy);
+        // Exercise profiler snapshotting on one of the cases too.
+        config.measure_reuse = policy == PolicyKind::Srrip;
+        config.track_costly = policy == PolicyKind::Ship;
+        let uninterrupted = simulate(&w, &config);
+
+        // Run the measure phase up to `split`, snapshot, and resume in a
+        // freshly constructed machine fed the rest of the same stream.
+        let mut first = SimRun::new(&w, &config);
+        let mut stream = walker(&w, &config);
+        first.fast_forward(&mut stream);
+        first.begin_measure();
+        first.measure_chunk(&mut stream, split, false);
+        let consumed = first.measure_consumed();
+        let mut bytes = SnapWriter::new();
+        first.save(&mut bytes);
+        let bytes = bytes.into_bytes();
+        drop(first);
+
+        let mut resumed = SimRun::new(&w, &config);
+        resumed.restore(&mut SnapReader::new(&bytes)).expect("restore mid-measure");
+        let mut stream = walker(&w, &config);
+        for _ in (&mut stream).take((config.fast_forward + consumed) as usize) {}
+        resumed.measure_chunk(&mut stream, config.instructions - consumed, true);
+        let resumed_result = resumed.finish();
+
+        assert_identical(
+            &uninterrupted,
+            &resumed_result,
+            &format!("{policy} mid-measure split at {split}"),
+        );
+        if config.measure_reuse {
+            assert_eq!(
+                uninterrupted.reuse_base, resumed_result.reuse_base,
+                "reuse histogram diverged across the snapshot"
+            );
+        }
+        if config.track_costly {
+            let a = uninterrupted.costly.as_ref().expect("tracker armed");
+            let b = resumed_result.costly.as_ref().expect("tracker armed");
+            assert_eq!(a.distinct_lines(), b.distinct_lines());
+            assert_eq!(a.cost_by_region(), b.cost_by_region());
+        }
+    }
+}
+
+#[test]
+fn corrupt_and_truncated_checkpoints_are_rejected() {
+    let w = quick_workload();
+    let config = quick_config(PolicyKind::Trrip1);
+    let dir = std::env::temp_dir().join("trrip-ckpt-corruption-test");
+    std::fs::remove_dir_all(&dir).ok();
+    let store = CheckpointStore::new(&dir);
+
+    let mut run = SimRun::new(&w, &config);
+    let mut stream = walker(&w, &config);
+    run.fast_forward(&mut stream);
+    let path = store.save(&run).expect("save");
+    let pristine = std::fs::read(&path).expect("read back");
+
+    // Flip one byte in the body: checksum mismatch.
+    let mut corrupt = pristine.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    std::fs::write(&path, &corrupt).expect("write corrupt");
+    assert!(
+        matches!(read_checkpoint(&path), Err(CheckpointError::ChecksumMismatch { .. })),
+        "flipped byte must fail the checksum"
+    );
+    assert!(store.load(&w, &config).is_err(), "store must reject the corrupt file");
+
+    // Truncate the file at every boundary region: never panics, never
+    // yields a checkpoint.
+    for cut in [0, 4, 9, 17, pristine.len() / 2, pristine.len() - 1] {
+        std::fs::write(&path, &pristine[..cut]).expect("write truncated");
+        assert!(read_checkpoint(&path).is_err(), "{cut}-byte prefix accepted");
+    }
+
+    // Wrong magic.
+    let mut bad_magic = pristine.clone();
+    bad_magic[0] ^= 0xFF;
+    std::fs::write(&path, &bad_magic).expect("write bad magic");
+    assert!(matches!(read_checkpoint(&path), Err(CheckpointError::BadMagic)));
+
+    // Future version.
+    let mut future = pristine.clone();
+    future[8] = 0xFF;
+    future[9] = 0xFF;
+    std::fs::write(&path, &future).expect("write future version");
+    assert!(matches!(read_checkpoint(&path), Err(CheckpointError::UnsupportedVersion(_))));
+
+    // Restore the pristine bytes: loads again.
+    std::fs::write(&path, &pristine).expect("write pristine");
+    assert!(store.load(&w, &config).expect("load").is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn store_keys_by_policy_config_and_fingerprint() {
+    let w = quick_workload();
+    let config = quick_config(PolicyKind::Srrip);
+    let dir = std::env::temp_dir().join("trrip-ckpt-keying-test");
+    std::fs::remove_dir_all(&dir).ok();
+    let store = CheckpointStore::new(&dir);
+
+    let mut run = SimRun::new(&w, &config);
+    let mut stream = walker(&w, &config);
+    run.fast_forward(&mut stream);
+    store.save(&run).expect("save");
+
+    // Same key loads; different policy, warmup length, or machine does
+    // not (and does not error — the caller just warms cold).
+    assert!(store.has(&w, &config));
+    assert!(!store.has(&w, &config.clone().with_policy(PolicyKind::Trrip1)));
+    let mut longer_ff = config.clone();
+    longer_ff.fast_forward += 1;
+    assert!(!store.has(&w, &longer_ff));
+    let mut bigger_l2 = config.clone();
+    bigger_l2.hierarchy = bigger_l2.hierarchy.with_l2_size(256 << 10);
+    assert!(!store.has(&w, &bigger_l2));
+
+    // A different measured window shares the warmup checkpoint: the
+    // warmed state does not depend on how long we measure afterwards.
+    let mut longer_measure = config.clone();
+    longer_measure.instructions *= 2;
+    assert!(store.has(&w, &longer_measure));
+    assert_eq!(warmup_config_hash(&config), warmup_config_hash(&longer_measure));
+
+    // A different code placement (classifier) is a different key.
+    let mut spec = WorkloadSpec::named("ckpt-test");
+    spec.functions = 50;
+    spec.hot_rotation = 8;
+    let blanket = PreparedWorkload::prepare(
+        &spec,
+        400_000,
+        ClassifierConfig { percentile_hot: 1.0, percentile_cold: 1.0 },
+    );
+    assert_ne!(store.path_for(&w, &config), store.path_for(&blanket, &config));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The checkpointed sweep engine agrees bit-for-bit with the plain
+/// fan-out engine and the walker sweep — cold (populating) and warm
+/// (restoring) alike.
+#[test]
+fn checkpointed_sweep_matches_other_engines() {
+    let w = quick_workload();
+    let workloads = [w];
+    let config = quick_config(PolicyKind::Srrip);
+    let policies = [PolicyKind::Srrip, PolicyKind::Random, PolicyKind::Trrip2];
+
+    let trace_dir = std::env::temp_dir().join("trrip-ckpt-sweep-traces");
+    let ckpt_dir = std::env::temp_dir().join("trrip-ckpt-sweep-ckpts");
+    std::fs::remove_dir_all(&trace_dir).ok();
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+    let traces = trrip_sim::TraceStore::new(&trace_dir);
+    let ckpts = CheckpointStore::new(&ckpt_dir);
+
+    let walked = trrip_sim::policy_sweep(&workloads, &config, &policies);
+    let cold =
+        trrip_sim::replay_sweep_checkpointed(4, &workloads, &config, &policies, &traces, &ckpts);
+    for policy in policies {
+        assert!(
+            ckpts.has(&workloads[0], &config.clone().with_policy(policy)),
+            "{policy}: cold sweep must persist its checkpoint"
+        );
+    }
+    let warm =
+        trrip_sim::replay_sweep_checkpointed(4, &workloads, &config, &policies, &traces, &ckpts);
+
+    for ((a, b), c) in walked.results.iter().zip(&cold.results).zip(&warm.results) {
+        assert_identical(a, b, "cold checkpointed sweep");
+        assert_identical(a, c, "warm checkpointed sweep");
+    }
+    std::fs::remove_dir_all(&trace_dir).ok();
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+}

@@ -126,11 +126,12 @@ fn build_function(spec: &WorkloadSpec, index: usize, rng: &mut SmallRng) -> Func
     debug_assert_eq!(blocks.len(), nblocks);
 
     // Call sites: body blocks may call. Targets are biased toward the
-    // hot set (call_locality) so the dynamic footprint concentrates the
-    // way real programs' call graphs do.
+    // (scattered) hot set (call_locality) so the dynamic footprint
+    // concentrates the way real programs' call graphs do.
+    let hot_set = spec.hot_set();
     let pick_callee = |rng: &mut SmallRng| {
         if rng.gen_bool(spec.call_locality) {
-            rng.gen_range(0..spec.hot_rotation)
+            hot_set[rng.gen_range(0..hot_set.len())]
         } else {
             rng.gen_range(0..spec.functions)
         }

@@ -48,10 +48,11 @@ pub struct WorkloadSpec {
     pub external_call_prob: f64,
     /// Probability a body block ends in a call.
     pub call_prob: f64,
-    /// Probability a call site targets the hot set (`0..hot_rotation`)
-    /// rather than a uniformly random function. Real hot code calls other
-    /// hot code (allocators, utility routines), which keeps the dynamic
-    /// footprint concentrated.
+    /// Probability a call site targets the hot set
+    /// ([`WorkloadSpec::hot_set`]) rather than a uniformly random
+    /// function. Real hot code calls other hot code (allocators,
+    /// utility routines), which keeps the dynamic footprint
+    /// concentrated.
     pub call_locality: f64,
     /// Fraction of internal calls that are indirect (virtual dispatch).
     pub indirect_call_prob: f64,
@@ -172,6 +173,35 @@ impl WorkloadSpec {
         }
     }
 
+    /// The function ids of the hot working-set rotation, **scattered**
+    /// deterministically across the whole id space (keyed by
+    /// `structure_seed`) instead of being `0..hot_rotation`.
+    ///
+    /// Real hot functions are not declared contiguously in source
+    /// files. The old id-contiguous rotation meant *source order was
+    /// already hot-contiguous*, so PGO layout had nothing to win and
+    /// the PGO-vs-source-order assertions could not bind (the ROADMAP's
+    /// "statistical robustness" item). Scattering makes source order
+    /// pay the realistic sparse-hot-code penalty PGO exists to fix.
+    #[must_use]
+    pub fn hot_set(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..self.functions).collect();
+        ids.sort_by_key(|&i| {
+            // splitmix64 over (structure_seed, id): a deterministic
+            // pseudo-random ranking of the id space.
+            let mut x = self
+                .structure_seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((i as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        });
+        ids.truncate(self.hot_rotation);
+        ids.sort_unstable();
+        ids
+    }
+
     /// Checks knob sanity.
     ///
     /// # Errors
@@ -245,6 +275,26 @@ mod tests {
     fn seeds_differ_by_input_set() {
         let s = WorkloadSpec::named("x");
         assert_ne!(s.seed_for(InputSet::Train), s.seed_for(InputSet::Eval));
+    }
+
+    #[test]
+    fn hot_set_is_scattered_and_deterministic() {
+        let s = WorkloadSpec::named("x");
+        let hot = s.hot_set();
+        assert_eq!(hot, s.hot_set(), "hot set must be deterministic");
+        assert_eq!(hot.len(), s.hot_rotation);
+        let mut dedup = hot.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), hot.len(), "hot ids must be distinct");
+        assert!(hot.iter().all(|&i| i < s.functions));
+        // Not id-contiguous: the ids must not be any single run
+        // 0..n or k..k+n of the id space.
+        let contiguous = hot.windows(2).all(|w| w[1] == w[0] + 1);
+        assert!(!contiguous, "hot rotation is still id-contiguous: {hot:?}");
+        // And a different structure seed scatters differently.
+        let mut other = s.clone();
+        other.structure_seed ^= 0xDEAD_BEEF;
+        assert_ne!(hot, other.hot_set());
     }
 
     #[test]

@@ -124,7 +124,7 @@ impl<'a> TraceGenerator<'a> {
             profile: Profile::zeroed(program),
             pending: VecDeque::with_capacity(256),
             frames: Vec::with_capacity(MAX_CALL_DEPTH + 1),
-            rotation: (0..spec.hot_rotation).collect(),
+            rotation: spec.hot_set(),
             rotation_pos: 0,
             next_top: None,
             scan_cursors: std::collections::HashMap::new(),
@@ -661,9 +661,13 @@ mod tests {
         }
         let profile = generator.into_profile();
         let max_counts = profile.function_max_counts();
-        // Rotation functions (0..hot_rotation) and their callees dominate.
-        let rotation_total: u64 = max_counts[..spec.hot_rotation].iter().sum();
-        let rest_total: u64 = max_counts[spec.hot_rotation..].iter().sum();
+        // Rotation functions (the scattered hot set) and their callees
+        // dominate.
+        let hot: std::collections::HashSet<usize> = spec.hot_set().into_iter().collect();
+        let rotation_total: u64 =
+            max_counts.iter().enumerate().filter(|(i, _)| hot.contains(i)).map(|(_, &c)| c).sum();
+        let rest_total: u64 =
+            max_counts.iter().enumerate().filter(|(i, _)| !hot.contains(i)).map(|(_, &c)| c).sum();
         assert!(
             rotation_total > rest_total,
             "rotation {rotation_total} should dominate rest {rest_total}"

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Measures warm-started (checkpointed) 8-policy sweeps against cold
+# ones and appends the run to BENCH_checkpoint.json at the repo root —
+# the warm-start performance trajectory. Run it from anywhere; pass
+# extra harness flags through (e.g. --scale 4 --jobs 8).
+#
+#   scripts/bench_checkpoint.sh [harness flags...]
+#
+# The JSON is an array of run objects; every PR that touches the
+# checkpoint or warmup path should append a fresh entry so regressions
+# are visible in review.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+cargo run --release --bin bench_checkpoint -- --out "$repo_root" "$@"
+echo "trajectory: $repo_root/BENCH_checkpoint.json"

@@ -74,15 +74,14 @@ fn pgo_layout_beats_source_order() {
         &w,
         &SimConfig { layout: LayoutKind::SourceOrder, ..quick_config(PolicyKind::Srrip) },
     );
-    // Synthetic specs place the hot rotation at the lowest function
-    // ids, so *source order is already hot-contiguous* and additionally
-    // keeps the builder's call-locality (callees near callers); PGO can
-    // only reshuffle that. The bound therefore only rejects catastrophic
-    // frontend regressions (broken loader/layout plumbing), not
-    // placement variance, which depends on the synthesized CFG shapes.
+    // The hot rotation is scattered through the function-id space
+    // (`WorkloadSpec::hot_set`), so source order pays the realistic
+    // sparse-hot-code penalty and PGO's packed `.text.hot` layout must
+    // win — the original assertion, restored now that the specs are no
+    // longer accidentally hot-contiguous in source order.
     assert!(
-        pgo.core.topdown.ifetch <= plain.core.topdown.ifetch * 2.0,
-        "PGO should not wreck ifetch stalls: {} vs {}",
+        pgo.core.topdown.ifetch <= plain.core.topdown.ifetch * 1.05,
+        "PGO should not increase ifetch stalls: {} vs {}",
         pgo.core.topdown.ifetch,
         plain.core.topdown.ifetch
     );

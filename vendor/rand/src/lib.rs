@@ -149,6 +149,20 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl Xoshiro256 {
+        /// The raw generator state, for checkpointing. Restoring via
+        /// [`Xoshiro256::from_state`] resumes the exact stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from state captured by
+        /// [`Xoshiro256::state`].
+        pub fn from_state(s: [u64; 4]) -> Xoshiro256 {
+            Xoshiro256 { s }
+        }
+    }
+
     impl RngCore for Xoshiro256 {
         fn next_u64(&mut self) -> u64 {
             let result =
