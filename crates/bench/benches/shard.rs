@@ -1,0 +1,67 @@
+//! Sharded vs unsharded execution of one `(workload, policy)` cell, in
+//! measured instructions/second: the per-cell cost of cutting a run
+//! into chained segments (checkpoint save/load + per-segment replay
+//! open) against the plain streaming run — both warm-started, so the
+//! comparison isolates sharding's own overhead rather than warmup.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use trrip_core::ClassifierConfig;
+use trrip_policies::PolicyKind;
+use trrip_sim::{
+    simulate_sharded, simulate_source, CheckpointStore, PreparedWorkload, ShardPlan, SimConfig,
+    TraceStore,
+};
+use trrip_trace::StreamingReplay;
+use trrip_workloads::WorkloadSpec;
+
+const N: u64 = 120_000;
+
+fn workload() -> PreparedWorkload {
+    let mut spec = WorkloadSpec::named("shard-cell-bench");
+    spec.functions = 120;
+    spec.hot_rotation = 30;
+    PreparedWorkload::prepare(&spec, 100_000, ClassifierConfig::llvm_defaults())
+}
+
+fn config() -> SimConfig {
+    let mut c = SimConfig::quick(PolicyKind::Trrip1);
+    c.fast_forward = 30_000;
+    c.instructions = N;
+    c
+}
+
+fn bench_shard(c: &mut Criterion) {
+    let w = workload();
+    let cfg = config();
+    let trace_dir = std::env::temp_dir().join("trrip-shard-bench-traces");
+    let ckpt_dir = std::env::temp_dir().join("trrip-shard-bench-ckpts");
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+    let traces = TraceStore::new(&trace_dir);
+    let ckpts = CheckpointStore::new(&ckpt_dir);
+    let path = traces.ensure(&w, &cfg).expect("capture");
+    let plan = ShardPlan::new(&cfg, 2);
+
+    // Build the chain once so both engines run warm.
+    let _ = simulate_sharded(&w, &cfg, &plan, &traces, Some(&ckpts));
+
+    let mut group = c.benchmark_group("shard_cell");
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("unsharded_streaming_run", |b| {
+        b.iter(|| {
+            let replay = StreamingReplay::open(&path).expect("open");
+            black_box(simulate_source(&w, &cfg, replay).core.instructions)
+        });
+    });
+    group.bench_function("sharded_2_segments_warm_chain", |b| {
+        b.iter(|| {
+            black_box(simulate_sharded(&w, &cfg, &plan, &traces, Some(&ckpts)).core.instructions)
+        });
+    });
+    group.finish();
+    std::fs::remove_dir_all(&trace_dir).ok();
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+}
+
+criterion_group!(benches, bench_shard);
+criterion_main!(benches);

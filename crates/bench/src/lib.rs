@@ -13,8 +13,8 @@ use std::path::{Path, PathBuf};
 use trrip_core::ClassifierConfig;
 use trrip_policies::PolicyKind;
 use trrip_sim::{
-    policy_sweep_with, replay_sweep_checkpointed, replay_sweep_with, CheckpointStore,
-    PreparedWorkload, SimConfig, SweepResult, TraceStore,
+    policy_sweep_with, replay_sweep_checkpointed, replay_sweep_sharded, replay_sweep_with,
+    CheckpointStore, PreparedWorkload, SimConfig, SweepResult, TraceStore,
 };
 use trrip_workloads::WorkloadSpec;
 
@@ -35,6 +35,10 @@ options:
                    warmup; requires --trace-dir
   --jobs N         cap worker threads for sweeps, preparation and trace
                    decode (default: available parallelism)
+  --shards N       cut every (workload, policy) run into N chunk-aligned
+                   segments chained through checkpoints, scheduled as a
+                   DAG of segment tasks (default 1 = unsharded; N > 1
+                   requires --checkpoint-dir)
   --help           print this message and exit";
 
 /// Common options for experiment binaries.
@@ -53,6 +57,9 @@ pub struct HarnessOptions {
     /// Worker-thread cap for sweeps and preparation (`--jobs N`,
     /// default: the machine's available parallelism).
     pub jobs: usize,
+    /// Segments each `(workload, policy)` run is cut into
+    /// (`--shards N`, default 1 = unsharded).
+    pub shards: usize,
 }
 
 impl Default for HarnessOptions {
@@ -64,6 +71,7 @@ impl Default for HarnessOptions {
             trace_dir: None,
             checkpoint_dir: None,
             jobs: trrip_sim::default_jobs(),
+            shards: 1,
         }
     }
 }
@@ -163,10 +171,19 @@ impl HarnessOptions {
                         return Err("--jobs must be at least 1".to_owned());
                     }
                 }
+                "--shards" => {
+                    let v = value_of("--shards")?;
+                    options.shards = v
+                        .parse()
+                        .map_err(|_| format!("--shards must be a positive integer, got `{v}`"))?;
+                    if options.shards == 0 {
+                        return Err("--shards must be at least 1".to_owned());
+                    }
+                }
                 other => {
                     return Err(format!(
                         "unknown argument `{other}` (expected \
-                         --scale/--bench/--out/--trace-dir/--checkpoint-dir/--jobs)"
+                         --scale/--bench/--out/--trace-dir/--checkpoint-dir/--jobs/--shards)"
                     ))
                 }
             }
@@ -176,16 +193,22 @@ impl HarnessOptions {
                  captured-trace replay engine)"
                 .to_owned());
         }
+        if options.shards > 1 && options.checkpoint_dir.is_none() {
+            return Err("--shards above 1 requires --checkpoint-dir (segments chain through \
+                 persisted checkpoints) and therefore --trace-dir"
+                .to_owned());
+        }
         Ok(Some(options))
     }
 
     /// Runs a policy sweep with the engine the command line selected:
-    /// warm-started checkpointed replay when both `--trace-dir` and
-    /// `--checkpoint-dir` are given, decode-once fan-out replay from
-    /// `--trace-dir` alone (capture-once/replay-many, trace decoded
-    /// once per workload), and in-memory trace generation otherwise.
-    /// Results are bit-identical across all three; `--jobs` caps the
-    /// worker threads.
+    /// sharded segment-DAG execution when `--shards N` (N > 1) is given
+    /// with `--checkpoint-dir`, warm-started checkpointed replay when
+    /// both `--trace-dir` and `--checkpoint-dir` are given, decode-once
+    /// fan-out replay from `--trace-dir` alone (capture-once/
+    /// replay-many, trace decoded once per workload), and in-memory
+    /// trace generation otherwise. Results are bit-identical across all
+    /// four; `--jobs` caps the worker threads.
     #[must_use]
     pub fn sweep(
         &self,
@@ -194,6 +217,15 @@ impl HarnessOptions {
         policies: &[PolicyKind],
     ) -> SweepResult {
         match (&self.trace_dir, &self.checkpoint_dir) {
+            (Some(traces), Some(checkpoints)) if self.shards > 1 => replay_sweep_sharded(
+                self.jobs,
+                workloads,
+                config,
+                policies,
+                &TraceStore::new(traces),
+                &CheckpointStore::new(checkpoints),
+                self.shards,
+            ),
             (Some(traces), Some(checkpoints)) => replay_sweep_checkpointed(
                 self.jobs,
                 workloads,
@@ -338,6 +370,8 @@ mod tests {
             "ckpts",
             "--jobs",
             "5",
+            "--shards",
+            "4",
         ])
         .expect("valid")
         .expect("not help");
@@ -347,6 +381,44 @@ mod tests {
         assert_eq!(options.trace_dir, Some(PathBuf::from("traces")));
         assert_eq!(options.checkpoint_dir, Some(PathBuf::from("ckpts")));
         assert_eq!(options.jobs, 5);
+        assert_eq!(options.shards, 4);
+    }
+
+    #[test]
+    fn shards_rejects_zero_and_non_numeric_and_names_its_flag() {
+        for args in [&["--shards", "0"][..], &["--shards", "many"], &["--shards", "-3"]] {
+            let err = parse(args).unwrap_err();
+            assert!(err.contains("--shards"), "error must name the flag: {err}");
+        }
+        assert!(parse(&["--shards"]).unwrap_err().contains("--shards"));
+        // Sharding chains through persisted checkpoints: demand the dirs.
+        let err = parse(&["--shards", "2"]).unwrap_err();
+        assert!(err.contains("--shards") && err.contains("--checkpoint-dir"), "{err}");
+        let ok = parse(&["--shards", "2", "--trace-dir", "t", "--checkpoint-dir", "c"])
+            .expect("valid")
+            .expect("not help");
+        assert_eq!(ok.shards, 2);
+        // --shards 1 is explicit "unsharded" and needs no dirs.
+        assert_eq!(parse(&["--shards", "1"]).expect("ok").expect("not help").shards, 1);
+    }
+
+    #[test]
+    fn every_validation_error_names_the_failing_flag() {
+        for (args, flag) in [
+            (&["--scale", "0"][..], "--scale"),
+            (&["--scale", "x"], "--scale"),
+            (&["--jobs", "0"], "--jobs"),
+            (&["--jobs", "x"], "--jobs"),
+            (&["--shards", "0"], "--shards"),
+            (&["--bench"], "--bench"),
+            (&["--out"], "--out"),
+            (&["--trace-dir"], "--trace-dir"),
+            (&["--checkpoint-dir"], "--checkpoint-dir"),
+            (&["--checkpoint-dir", "c"], "--trace-dir"),
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(err.contains(flag), "error for {args:?} must name {flag}: {err}");
+        }
     }
 
     #[test]

@@ -289,46 +289,105 @@ const LINE_VALID: u8 = 1 << 0;
 const LINE_DIRTY: u8 = 1 << 1;
 const LINE_INSTR: u8 = 1 << 2;
 
+/// Appends `bits` as a packed LSB-first bitmap (`⌈len/8⌉` bytes).
+fn save_bitmap(w: &mut SnapWriter, bits: impl Iterator<Item = bool>) {
+    let mut byte = 0u8;
+    let mut filled = 0u8;
+    for bit in bits {
+        byte |= u8::from(bit) << filled;
+        filled += 1;
+        if filled == 8 {
+            w.u8(byte);
+            byte = 0;
+            filled = 0;
+        }
+    }
+    if filled > 0 {
+        w.u8(byte);
+    }
+}
+
+/// Reads an `n`-bit bitmap written by [`save_bitmap`].
+fn restore_bitmap(r: &mut SnapReader<'_>, n: usize) -> Result<Vec<bool>, SnapError> {
+    let mut out = Vec::with_capacity(n);
+    let mut byte = 0u8;
+    for i in 0..n {
+        if i % 8 == 0 {
+            byte = r.u8()?;
+        }
+        out.push(byte >> (i % 8) & 1 != 0);
+    }
+    Ok(out)
+}
+
+/// Snapshot encoding of the tag store.
+///
+/// The current encoding (`"CACB"`, checkpoint container v2) is
+/// bitmap-packed: one valid-slot bitmap over all slots, then dirty and
+/// instruction bitmaps over the *valid* slots only, then one varint tag
+/// per valid slot. A mostly-empty level (the SLC right after
+/// fast-forward, the dominant term in checkpoint size) costs ~1 bit per
+/// empty slot instead of the legacy byte, and a full level drops the
+/// per-line flag byte. The legacy per-line encoding (`"CACH"`, v1
+/// containers) restores transparently.
 impl Snapshot for Cache {
     fn save(&self, w: &mut SnapWriter) {
-        w.tag(b"CACH");
+        w.tag(b"CACB");
         w.usize(self.lines.len());
-        for line in &self.lines {
-            let mut flags = 0u8;
-            if line.valid {
-                flags |= LINE_VALID;
-            }
-            if line.dirty {
-                flags |= LINE_DIRTY;
-            }
-            if line.instruction {
-                flags |= LINE_INSTR;
-            }
-            w.u8(flags);
-            if line.valid {
-                w.u64(line.tag.raw());
-            }
+        save_bitmap(w, self.lines.iter().map(|l| l.valid));
+        save_bitmap(w, self.lines.iter().filter(|l| l.valid).map(|l| l.dirty));
+        save_bitmap(w, self.lines.iter().filter(|l| l.valid).map(|l| l.instruction));
+        for line in self.lines.iter().filter(|l| l.valid) {
+            w.u64(line.tag.raw());
         }
         self.stats.save(w);
         self.policy.save_state(w);
     }
 
     fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
-        r.expect_tag(b"CACH")?;
-        r.expect_len("cache line count", self.lines.len())?;
-        for line in &mut self.lines {
-            let flags = r.u8()?;
-            if flags & !(LINE_VALID | LINE_DIRTY | LINE_INSTR) != 0 {
-                return Err(SnapError::Corrupt(format!("invalid line flags {flags:#x}")));
+        if r.try_tag(b"CACB") {
+            r.expect_len("cache line count", self.lines.len())?;
+            let valid = restore_bitmap(r, self.lines.len())?;
+            let occupancy = valid.iter().filter(|&&v| v).count();
+            let dirty = restore_bitmap(r, occupancy)?;
+            let instr = restore_bitmap(r, occupancy)?;
+            let mut vi = 0;
+            for (line, &v) in self.lines.iter_mut().zip(&valid) {
+                *line = if v {
+                    vi += 1;
+                    LineState {
+                        valid: true,
+                        dirty: dirty[vi - 1],
+                        instruction: instr[vi - 1],
+                        tag: LineAddr(0), // tags follow the bitmaps
+                    }
+                } else {
+                    LineState::default()
+                };
             }
-            *line = LineState {
-                valid: flags & LINE_VALID != 0,
-                dirty: flags & LINE_DIRTY != 0,
-                instruction: flags & LINE_INSTR != 0,
-                tag: LineAddr(0),
-            };
-            if line.valid {
+            debug_assert_eq!(vi, occupancy);
+            for line in self.lines.iter_mut().filter(|l| l.valid) {
                 line.tag = LineAddr(r.u64()?);
+            }
+        } else {
+            // Legacy v1 per-line encoding: a flag byte per slot, tag
+            // inline after each valid slot's flags.
+            r.expect_tag(b"CACH")?;
+            r.expect_len("cache line count", self.lines.len())?;
+            for line in &mut self.lines {
+                let flags = r.u8()?;
+                if flags & !(LINE_VALID | LINE_DIRTY | LINE_INSTR) != 0 {
+                    return Err(SnapError::Corrupt(format!("invalid line flags {flags:#x}")));
+                }
+                *line = LineState {
+                    valid: flags & LINE_VALID != 0,
+                    dirty: flags & LINE_DIRTY != 0,
+                    instruction: flags & LINE_INSTR != 0,
+                    tag: LineAddr(0),
+                };
+                if line.valid {
+                    line.tag = LineAddr(r.u64()?);
+                }
             }
         }
         self.stats.restore(r)?;
@@ -437,6 +496,111 @@ mod tests {
         assert_eq!(c.stats().inst_accesses, 0);
         assert_eq!(c.stats().prefetch_fills, 1);
         assert_eq!(c.stats().prefetch_hits, 1);
+    }
+
+    fn fill_some(c: &mut Cache, n: u64) {
+        for i in 0..n {
+            let req = if i % 3 == 0 { store(i * 64) } else { fetch(i * 64) };
+            if !c.access(&req) {
+                c.fill(&req);
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_snapshot_round_trips() {
+        let mut c = small_cache(PolicyKind::Lru);
+        fill_some(&mut c, 5);
+        let mut w = SnapWriter::new();
+        c.save(&mut w);
+
+        let mut restored = small_cache(PolicyKind::Lru);
+        let mut r = SnapReader::new(w.bytes());
+        restored.restore(&mut r).expect("restore");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(restored.occupancy(), c.occupancy());
+        let mut a: Vec<_> = c.resident_lines().collect();
+        let mut b: Vec<_> = restored.resident_lines().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(restored.stats(), c.stats());
+        // Dirty bits survive: evicting the same line reports the same
+        // writeback state.
+        for line in &mut [c, restored] {
+            let evicted = line.fill(&fetch(0x10_0000)).map(|e| e.dirty);
+            assert_eq!(evicted, Some(true), "store-dirtied victim expected");
+        }
+    }
+
+    /// Writes `c` in the v1 ("CACH") per-line encoding: a flag byte per
+    /// slot, inline tag after each valid slot — what v1 checkpoint
+    /// containers hold.
+    fn legacy_save(c: &Cache, w: &mut SnapWriter) {
+        w.tag(b"CACH");
+        w.usize(c.lines.len());
+        for line in &c.lines {
+            let mut flags = 0u8;
+            if line.valid {
+                flags |= LINE_VALID;
+            }
+            if line.dirty {
+                flags |= LINE_DIRTY;
+            }
+            if line.instruction {
+                flags |= LINE_INSTR;
+            }
+            w.u8(flags);
+            if line.valid {
+                w.u64(line.tag.raw());
+            }
+        }
+        c.stats.save(w);
+        c.policy.save_state(w);
+    }
+
+    #[test]
+    fn legacy_per_line_snapshot_restores() {
+        let mut c = small_cache(PolicyKind::Lru);
+        fill_some(&mut c, 5);
+        let mut w = SnapWriter::new();
+        legacy_save(&c, &mut w);
+
+        let mut restored = small_cache(PolicyKind::Lru);
+        let mut r = SnapReader::new(w.bytes());
+        restored.restore(&mut r).expect("legacy restore");
+        r.finish().expect("no trailing bytes");
+        let mut a: Vec<_> = c.resident_lines().collect();
+        let mut b: Vec<_> = restored.resident_lines().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(restored.stats(), c.stats());
+    }
+
+    #[test]
+    fn bitmap_snapshot_shrinks_sparse_stores() {
+        // An SLC-shaped level (many sets, nearly empty after warmup)
+        // must cost ~1 bit per empty slot, not the legacy byte.
+        let config = CacheConfig::new("SLC", 2 << 20, 16, 1, 2);
+        let slots = config.num_sets() * config.ways;
+        let policy = PolicyKind::Lru.build(config.num_sets(), config.ways);
+        let mut c = Cache::new(config, policy);
+        fill_some(&mut c, 64);
+        let mut bitmap = SnapWriter::new();
+        c.save(&mut bitmap);
+        let mut legacy = SnapWriter::new();
+        legacy_save(&c, &mut legacy);
+        // The legacy floor was one flag byte per slot; bitmaps cut that
+        // to ~1 bit, so a sparse store must save most of a byte per slot
+        // (policy/stats bytes are identical in both encodings).
+        assert!(
+            bitmap.bytes().len() + slots / 2 < legacy.bytes().len(),
+            "bitmap encoding is {} bytes vs legacy {} for {} slots",
+            bitmap.bytes().len(),
+            legacy.bytes().len(),
+            slots
+        );
     }
 
     #[test]

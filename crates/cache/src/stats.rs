@@ -64,6 +64,34 @@ impl AccessStats {
         mpki(self.data_misses, instructions)
     }
 
+    /// The counts recorded since `baseline` was captured — how a shard
+    /// segment extracts its own additive tally from cumulative counters.
+    /// Exact integer arithmetic, so `Σ segment.since(..)` re-added with
+    /// `+=` reproduces the uninterrupted totals bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `baseline` is not an earlier state of
+    /// these counters.
+    #[must_use]
+    pub fn since(&self, baseline: &AccessStats) -> AccessStats {
+        let sub = |now: u64, base: u64| {
+            debug_assert!(base <= now, "baseline is not a prefix of these stats");
+            now.wrapping_sub(base)
+        };
+        AccessStats {
+            inst_accesses: sub(self.inst_accesses, baseline.inst_accesses),
+            inst_misses: sub(self.inst_misses, baseline.inst_misses),
+            data_accesses: sub(self.data_accesses, baseline.data_accesses),
+            data_misses: sub(self.data_misses, baseline.data_misses),
+            prefetch_hits: sub(self.prefetch_hits, baseline.prefetch_hits),
+            prefetch_fills: sub(self.prefetch_fills, baseline.prefetch_fills),
+            evictions: sub(self.evictions, baseline.evictions),
+            writebacks: sub(self.writebacks, baseline.writebacks),
+            back_invalidations: sub(self.back_invalidations, baseline.back_invalidations),
+        }
+    }
+
     /// Records one demand access.
     pub fn record_demand(&mut self, is_instruction: bool, hit: bool) {
         if is_instruction {

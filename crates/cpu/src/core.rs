@@ -32,7 +32,7 @@ use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::backend::MemoryBackend;
 use crate::branch::{BranchPredictor, PredictorConfig};
-use crate::topdown::TopDown;
+use crate::topdown::{StallClass, TopDown};
 use crate::trace::TraceInstr;
 
 /// Share of the exposed miss latency paid by a load that overlaps an
@@ -93,12 +93,18 @@ impl Default for CoreConfig {
     }
 }
 
-/// Results of one simulation run.
+/// Results of one simulation run — or of one *segment* of a sharded
+/// run, in which case the counters are the segment's own tally (delta
+/// over the segment) while `cycles` is the absolute clock at segment
+/// end, and [`CoreResult::merge`] folds consecutive segments into the
+/// whole.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CoreResult {
     /// Instructions executed.
     pub instructions: u64,
-    /// Total cycles.
+    /// Total cycles (for a segment: the run's absolute clock when the
+    /// segment ended — the clock accumulates through the chain, it is
+    /// not a per-segment delta).
     pub cycles: f64,
     /// Cycle attribution.
     pub topdown: TopDown,
@@ -106,6 +112,9 @@ pub struct CoreResult {
     pub branches: u64,
     /// Mispredicted branches.
     pub mispredictions: u64,
+    /// Dispatch width the run executed at — carried so `merge` can
+    /// re-derive the retire bucket from the merged instruction count.
+    pub dispatch_width: u32,
 }
 
 impl CoreResult {
@@ -117,6 +126,43 @@ impl CoreResult {
         } else {
             self.instructions as f64 / self.cycles
         }
+    }
+
+    /// Folds the **next consecutive segment** of the same run into this
+    /// one, bit-identically to an unsegmented run:
+    ///
+    /// * instruction/branch counters add (exact integer arithmetic);
+    /// * stall buckets add — every stall increment is an integer number
+    ///   of quarter-cycles (see the MLP serialization share), so the
+    ///   per-segment sums and their re-sum are all exact and addition is
+    ///   associative despite being `f64`;
+    /// * **retire** is re-derived as `instructions / width` — one
+    ///   division on the exact merged count, rather than a sum of
+    ///   per-instruction `1/width` roundings, which is what makes the
+    ///   bucket independent of where the run was cut;
+    /// * **cycles** takes the later segment's value: the clock
+    ///   accumulates *through* the chain (each segment resumes the
+    ///   predecessor's clock), so the last segment already holds the
+    ///   whole run's total.
+    ///
+    /// Associativity and the empty-segment identity are pinned by tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two results ran at different dispatch widths.
+    pub fn merge(&mut self, next: &CoreResult) {
+        assert_eq!(
+            self.dispatch_width, next.dispatch_width,
+            "segments of one run must share a dispatch width"
+        );
+        self.instructions += next.instructions;
+        self.branches += next.branches;
+        self.mispredictions += next.mispredictions;
+        for class in StallClass::ALL {
+            self.topdown.add_stall(class, next.topdown.stall(class));
+        }
+        self.topdown.retire = self.instructions as f64 / f64::from(self.dispatch_width);
+        self.cycles = next.cycles;
     }
 }
 
@@ -181,8 +227,34 @@ impl Snapshot for StarvedLines {
     }
 }
 
-/// The in-flight state of one timing run: accumulated cycles, Top-Down
-/// buckets, the FDIP lookahead window, and the MLP bookkeeping.
+/// Where one [`Core::run_chunk`] call left the run: the **exact cut
+/// point** in both stream coordinates (`consumed` — where a successor
+/// segment must resume the input) and retirement coordinates (`retired`
+/// — which lags `consumed` by the in-flight lookahead window). Both are
+/// absolute counts since [`Core::begin_run`], so shard schedulers can
+/// key checkpoints by them directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkCut {
+    /// Instructions pulled from the input stream so far, in total.
+    pub consumed: u64,
+    /// Instructions retired so far, in total.
+    pub retired: u64,
+}
+
+/// The in-flight state of one timing run, split into two explicit
+/// halves:
+///
+/// * **machine state** — the absolute clock (`cycles`, which backend
+///   timeliness reads as *now*), the FDIP lookahead window, the current
+///   fetch line, the MLP bookkeeping, and the absolute
+///   instruction/stream positions. This half rides checkpoint chains
+///   unchanged: a segment resumes exactly where its predecessor
+///   stopped.
+/// * **additive tally** — what [`Core::finish_run`] reports: stall
+///   buckets, instruction/branch counts, measured since the later of
+///   [`Core::begin_run`] and the last [`Core::begin_segment`]. Segment
+///   tallies merge associatively into the uninterrupted run's numbers
+///   ([`CoreResult::merge`]).
 ///
 /// [`Core::run`] owns one internally; resumable callers create it with
 /// [`Core::begin_run`], feed instruction segments through
@@ -194,6 +266,9 @@ impl Snapshot for StarvedLines {
 #[derive(Debug)]
 pub struct RunState {
     cycles: f64,
+    /// Cumulative stall buckets since `begin_run`. The `retire` field is
+    /// *not* accumulated here — it is derived from the instruction count
+    /// at reporting time, so it cannot drift with where a run is cut.
     topdown: TopDown,
     instructions: u64,
     consumed: u64,
@@ -202,6 +277,11 @@ pub struct RunState {
     window: VecDeque<TraceInstr>,
     branches_before: u64,
     mispred_before: u64,
+    /// Tally baselines (all zero until [`Core::begin_segment`]): the
+    /// cumulative counters' values when the current segment began.
+    base_instructions: u64,
+    base_consumed: u64,
+    base_stalls: TopDown,
 }
 
 impl RunState {
@@ -218,11 +298,17 @@ impl RunState {
     pub fn consumed(&self) -> u64 {
         self.consumed
     }
+
+    /// The current cut point (absolute stream + retirement positions).
+    #[must_use]
+    pub fn cut(&self) -> ChunkCut {
+        ChunkCut { consumed: self.consumed, retired: self.instructions }
+    }
 }
 
 impl Snapshot for RunState {
     fn save(&self, w: &mut SnapWriter) {
-        w.tag(b"CRUN");
+        w.tag(b"CRN2");
         w.f64(self.cycles);
         self.topdown.save(w);
         w.u64(self.instructions);
@@ -238,10 +324,22 @@ impl Snapshot for RunState {
         }
         w.u64(self.branches_before);
         w.u64(self.mispred_before);
+        w.u64(self.base_instructions);
+        w.u64(self.base_consumed);
+        self.base_stalls.save(w);
     }
 
     fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
-        r.expect_tag(b"CRUN")?;
+        // "CRN2" is the current layout; "CRUN" is the v1 checkpoint
+        // layout without tally baselines (those start at zero, which is
+        // exactly what a v1 whole-run snapshot means). A v1 stream's
+        // `topdown.retire` holds the old per-instruction accumulation;
+        // it is ignored — reporting re-derives retire from the
+        // instruction count.
+        let v2 = r.try_tag(b"CRN2");
+        if !v2 {
+            r.expect_tag(b"CRUN")?;
+        }
         self.cycles = r.f64()?;
         self.topdown.restore(r)?;
         self.instructions = r.u64()?;
@@ -257,6 +355,15 @@ impl Snapshot for RunState {
         }
         self.branches_before = r.u64()?;
         self.mispred_before = r.u64()?;
+        if v2 {
+            self.base_instructions = r.u64()?;
+            self.base_consumed = r.u64()?;
+            self.base_stalls.restore(r)?;
+        } else {
+            self.base_instructions = 0;
+            self.base_consumed = 0;
+            self.base_stalls = TopDown::default();
+        }
         Ok(())
     }
 }
@@ -340,7 +447,24 @@ impl<B: MemoryBackend> Core<B> {
             window: VecDeque::with_capacity(self.config.fdip_lookahead_instrs.max(1) + 1),
             branches_before: self.predictor.branches(),
             mispred_before: self.predictor.mispredictions(),
+            base_instructions: 0,
+            base_consumed: 0,
+            base_stalls: TopDown::default(),
         }
+    }
+
+    /// Rebases `state`'s tally so subsequent reporting covers only the
+    /// instructions executed from here on: the machine state (clock,
+    /// lookahead window, MLP bookkeeping, absolute positions) is left
+    /// untouched — the run continues bit-identically — but
+    /// [`Core::finish_run`] will report this segment's own additive
+    /// share, suitable for [`CoreResult::merge`].
+    pub fn begin_segment(&self, state: &mut RunState) {
+        state.base_instructions = state.instructions;
+        state.base_consumed = state.consumed;
+        state.base_stalls = state.topdown;
+        state.branches_before = self.predictor.branches();
+        state.mispred_before = self.predictor.mispredictions();
     }
 
     /// Executes one segment of a run.
@@ -352,7 +476,11 @@ impl<B: MemoryBackend> Core<B> {
     /// run (the refill/pop interleaving is unchanged, only suspended).
     /// The final segment must pass `drain = true` so the window empties
     /// exactly as a plain [`Core::run`] would at end of trace.
-    pub fn run_chunk<I>(&mut self, state: &mut RunState, trace: I, drain: bool)
+    ///
+    /// Returns the **exact cut point** the call stopped at — absolute
+    /// stream and retirement positions — which is what shard schedulers
+    /// key chained checkpoints by.
+    pub fn run_chunk<I>(&mut self, state: &mut RunState, trace: I, drain: bool) -> ChunkCut
     where
         I: IntoIterator<Item = TraceInstr>,
     {
@@ -449,21 +577,47 @@ impl<B: MemoryBackend> Core<B> {
             }
 
             // --- Retire ---
-            state.topdown.retire += dispatch_cost;
+            // The clock advances by the dispatch cost, but the retire
+            // *bucket* is not accumulated per instruction: it is derived
+            // from the instruction count at reporting time
+            // (`Core::tally_run`), so the bucket's value cannot depend
+            // on where a sharded run was cut.
             state.cycles += dispatch_cost;
+        }
+        state.cut()
+    }
+
+    /// Reports the run's (or, after [`Core::begin_segment`], the current
+    /// segment's) timing results without closing the state — the shard
+    /// executor collects a segment tally and keeps measuring.
+    ///
+    /// The stall buckets are exact deltas (every accumulated increment
+    /// is an integer number of quarter-cycles, so cumulative-minus-base
+    /// is exact `f64` arithmetic); `retire` is derived as
+    /// `instructions / width` in one division; `cycles` is the absolute
+    /// clock, which accumulates through segment chains.
+    #[must_use]
+    pub fn tally_run(&self, state: &RunState) -> CoreResult {
+        let instructions = state.instructions - state.base_instructions;
+        let mut topdown = TopDown::default();
+        for class in StallClass::ALL {
+            topdown.add_stall(class, state.topdown.stall(class) - state.base_stalls.stall(class));
+        }
+        topdown.retire = instructions as f64 / f64::from(self.config.dispatch_width);
+        CoreResult {
+            instructions,
+            cycles: state.cycles,
+            topdown,
+            branches: self.predictor.branches() - state.branches_before,
+            mispredictions: self.predictor.mispredictions() - state.mispred_before,
+            dispatch_width: self.config.dispatch_width,
         }
     }
 
     /// Closes a resumable run and reports its timing results.
     #[must_use]
     pub fn finish_run(&self, state: RunState) -> CoreResult {
-        CoreResult {
-            instructions: state.instructions,
-            cycles: state.cycles,
-            topdown: state.topdown,
-            branches: self.predictor.branches() - state.branches_before,
-            mispredictions: self.predictor.mispredictions() - state.mispred_before,
-        }
+        self.tally_run(&state)
     }
 
     /// Snapshot of the core's own architectural state (predictor +
@@ -684,6 +838,138 @@ mod tests {
         assert_eq!(direct.instructions, resumed.instructions);
         assert_eq!(direct.cycles, resumed.cycles);
         assert_eq!(direct.topdown, resumed.topdown);
+    }
+
+    fn mixed_trace(n: u64) -> Vec<TraceInstr> {
+        let mut x = 0x9e3779b97f4a7c15u64;
+        (0..n)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                match i % 5 {
+                    0 => TraceInstr::cond(0x100 + (i % 16) * 4, x & 1 == 0, 0x100),
+                    1 => TraceInstr::load(0x1000 + i * 4, 0x90000 + (x % 4096) * 64),
+                    _ => TraceInstr::simple(0x1000 + i * 4),
+                }
+            })
+            .collect()
+    }
+
+    fn stall_backend() -> FlatBackend {
+        let mut backend = FlatBackend::all_hits();
+        backend.ifetch_latency = MemLatency { cycles: 13, l1_hit: false, l2_miss: false };
+        backend.data_latency = MemLatency { cycles: 419, l1_hit: false, l2_miss: true };
+        backend
+    }
+
+    /// Cuts `trace` at `cuts` (consumed-stream positions), rebasing the
+    /// tally at each cut, and returns the per-segment results.
+    fn segment_results(trace: &[TraceInstr], cuts: &[usize]) -> Vec<CoreResult> {
+        let mut core = Core::new(CoreConfig::paper(), stall_backend());
+        let mut state = core.begin_run();
+        let mut results = Vec::new();
+        let mut prev = 0usize;
+        let ends: Vec<usize> = cuts.iter().copied().chain(std::iter::once(trace.len())).collect();
+        for (i, &end) in ends.iter().enumerate() {
+            core.begin_segment(&mut state);
+            let cut =
+                core.run_chunk(&mut state, trace[prev..end].iter().copied(), i + 1 == ends.len());
+            assert_eq!(cut.consumed as usize, end, "cut point must be exact");
+            results.push(core.tally_run(&state));
+            prev = end;
+        }
+        results
+    }
+
+    #[test]
+    fn merged_segments_equal_uninterrupted_run() {
+        let trace = mixed_trace(3000);
+        let mut reference_core = Core::new(CoreConfig::paper(), stall_backend());
+        let reference = reference_core.run(trace.clone());
+
+        for cuts in [vec![1500], vec![1, 47, 2999], vec![640, 1280, 1920, 2560]] {
+            let segments = segment_results(&trace, &cuts);
+            let mut merged = segments[0];
+            for seg in &segments[1..] {
+                merged.merge(seg);
+            }
+            assert_eq!(merged, reference, "cuts {cuts:?} diverged");
+        }
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let trace = mixed_trace(2400);
+        let [a, b, c] = segment_results(&trace, &[800, 1600])[..] else { panic!("3 segments") };
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right, "(a⊕b)⊕c must equal a⊕(b⊕c)");
+    }
+
+    #[test]
+    fn empty_segment_is_merge_identity() {
+        let trace = mixed_trace(1000);
+        // An empty segment at the end: rebase, run nothing, tally.
+        let mut core = Core::new(CoreConfig::paper(), stall_backend());
+        let mut state = core.begin_run();
+        core.run_chunk(&mut state, trace.iter().copied(), true);
+        let full = core.tally_run(&state);
+        core.begin_segment(&mut state);
+        let empty = core.tally_run(&state);
+        assert_eq!(empty.instructions, 0);
+        assert_eq!(empty.cycles, full.cycles, "empty segment carries the clock");
+
+        let mut merged = full;
+        merged.merge(&empty);
+        assert_eq!(merged, full, "a ⊕ e must equal a");
+    }
+
+    #[test]
+    fn legacy_v1_run_state_restores() {
+        // A v1 ("CRUN") snapshot carries no tally baselines and an
+        // accumulated retire bucket; restoring must accept it, zero the
+        // baselines, and report retire derived from the count.
+        let trace = mixed_trace(500);
+        let mut core = Core::new(CoreConfig::paper(), stall_backend());
+        let mut state = core.begin_run();
+        core.run_chunk(&mut state, trace[..250].iter().copied(), false);
+
+        // Hand-written v1 layout (the pre-tally field order).
+        let mut w = SnapWriter::new();
+        w.tag(b"CRUN");
+        w.f64(state.cycles);
+        state.topdown.save(&mut w);
+        w.u64(state.instructions);
+        w.u64(state.consumed);
+        w.u64(state.current_line);
+        w.bool(state.last_miss_instr.is_some());
+        if let Some(v) = state.last_miss_instr {
+            w.u64(v);
+        }
+        w.usize(state.window.len());
+        for instr in &state.window {
+            instr.save(&mut w);
+        }
+        w.u64(state.branches_before);
+        w.u64(state.mispred_before);
+
+        // Resume in a second core whose own state (predictor +
+        // starvation table) matches at the split.
+        let mut core_bytes = SnapWriter::new();
+        core.save_core_state(&mut core_bytes);
+        let mut core2 = Core::new(CoreConfig::paper(), stall_backend());
+        core2.restore_core_state(&mut SnapReader::new(core_bytes.bytes())).expect("core state");
+
+        let mut restored = core2.begin_run();
+        restored.restore(&mut SnapReader::new(w.bytes())).expect("v1 restore");
+        core.run_chunk(&mut state, trace[250..].iter().copied(), true);
+        core2.run_chunk(&mut restored, trace[250..].iter().copied(), true);
+        assert_eq!(core.tally_run(&state), core2.tally_run(&restored));
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod core;
 pub mod topdown;
 pub mod trace;
 
-pub use crate::core::{Core, CoreConfig, CoreResult, RunState};
+pub use crate::core::{ChunkCut, Core, CoreConfig, CoreResult, RunState};
 pub use backend::{MemLatency, MemoryBackend};
 pub use branch::{BranchOutcome, BranchPredictor, PredictorConfig};
 pub use topdown::{StallClass, TopDown};

@@ -49,8 +49,13 @@ use crate::system::SimRun;
 
 /// Checkpoint file magic: `b"TRRIPCKP"`.
 pub const MAGIC: [u8; 8] = *b"TRRIPCKP";
-/// Current checkpoint format version.
-pub const VERSION: u16 = 1;
+/// Current checkpoint format version. v2 payloads use the bitmap
+/// cache-tag encoding (valid-slot bitmaps instead of a flag byte per
+/// slot — the SLC tag store dominated v1 file size) and the segmented
+/// run-tally layout; v1 files remain readable (the component encodings
+/// are tag-dispatched, see `trrip_cache::Cache` and
+/// `trrip_cpu::RunState`).
+pub const VERSION: u16 = 2;
 
 /// Everything that can go wrong reading or writing a checkpoint.
 #[derive(Debug)]
@@ -228,7 +233,12 @@ pub fn write_checkpoint(
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    // Unique per process AND per call: shard workers in one process can
+    // write the same link concurrently (a producer's save racing a cold
+    // fallback's chain repair), and both must land atomically.
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
     {
         let mut file = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
         file.write_all(&MAGIC)?;
@@ -374,6 +384,133 @@ impl CheckpointStore {
         let path = self.path_for(run.workload(), run.config());
         write_checkpoint(&path, &meta, payload.bytes())?;
         Ok(path)
+    }
+
+    /// Where the chained **segment** checkpoint lives: the mid-measure
+    /// state at measure-phase stream position `position` (instructions
+    /// consumed since the measure window began), produced as segment
+    /// `ordinal`'s end state by a sharded run. Keyed like the
+    /// fast-forward checkpoint — fingerprint + warmup hash — plus the
+    /// segment ordinal and exact position, plus the profiler arming
+    /// flags (armed profilers are part of mid-measure state, unlike
+    /// fast-forward-boundary state).
+    #[must_use]
+    pub fn segment_path(
+        &self,
+        workload: &PreparedWorkload,
+        config: &SimConfig,
+        ordinal: usize,
+        position: u64,
+    ) -> PathBuf {
+        self.dir.join(format!(
+            "{}-{}-{}-ff{}-seg{ordinal}@{position}-m{}{}-{:016x}-{:016x}.ckpt",
+            workload.spec.name,
+            trace_layout(config.layout).tag(),
+            config.hierarchy.l2_policy.name().to_ascii_lowercase(),
+            config.fast_forward,
+            u8::from(config.measure_reuse),
+            u8::from(config.track_costly),
+            workload_fingerprint(workload, config),
+            warmup_config_hash(config),
+        ))
+    }
+
+    /// The metadata a valid segment checkpoint must carry.
+    #[must_use]
+    pub fn expected_segment_meta(
+        &self,
+        workload: &PreparedWorkload,
+        config: &SimConfig,
+        position: u64,
+    ) -> CheckpointMeta {
+        CheckpointMeta {
+            benchmark: workload.spec.name.clone(),
+            policy: config.hierarchy.l2_policy.name().to_owned(),
+            fingerprint: workload_fingerprint(workload, config),
+            config_hash: warmup_config_hash(config),
+            stream_position: config.fast_forward + position,
+            mid_measure: true,
+        }
+    }
+
+    /// Whether a chained segment checkpoint *file* exists for this key
+    /// (a cheap existence probe; loading still validates checksum and
+    /// metadata, and a failed load falls back cold).
+    #[must_use]
+    pub fn has_segment(
+        &self,
+        workload: &PreparedWorkload,
+        config: &SimConfig,
+        ordinal: usize,
+        position: u64,
+    ) -> bool {
+        self.segment_path(workload, config, ordinal, position).is_file()
+    }
+
+    /// Persists `run`'s mid-measure state as segment `ordinal`'s end
+    /// checkpoint — the chain link segment `ordinal + 1` starts from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` is not measuring, or its measure-phase position
+    /// is not the `position` being keyed.
+    pub fn save_segment(
+        &self,
+        run: &SimRun<'_>,
+        ordinal: usize,
+        position: u64,
+    ) -> Result<PathBuf, CheckpointError> {
+        assert!(run.is_measuring(), "segment checkpoints are mid-measure states");
+        assert_eq!(
+            run.measure_consumed(),
+            position,
+            "segment checkpoint keyed at the wrong stream position"
+        );
+        let meta = self.expected_segment_meta(run.workload(), run.config(), position);
+        let mut payload = SnapWriter::new();
+        run.save(&mut payload);
+        let path = self.segment_path(run.workload(), run.config(), ordinal, position);
+        write_checkpoint(&path, &meta, payload.bytes())?;
+        Ok(path)
+    }
+
+    /// Loads the chained segment checkpoint for `(workload, config,
+    /// ordinal, position)` into a freshly constructed mid-measure
+    /// [`SimRun`]. The caller resumes the stream at
+    /// `config.fast_forward + position`. Returns `Ok(None)` for a
+    /// missing or differently-keyed file (the shard executor falls back
+    /// to an earlier link or a cold run).
+    ///
+    /// # Errors
+    ///
+    /// Damaged files, as [`CheckpointStore::load`].
+    pub fn load_segment<'w>(
+        &self,
+        workload: &'w PreparedWorkload,
+        config: &SimConfig,
+        ordinal: usize,
+        position: u64,
+    ) -> Result<Option<SimRun<'w>>, CheckpointError> {
+        let path = self.segment_path(workload, config, ordinal, position);
+        let (meta, payload) = match read_checkpoint(&path) {
+            Ok(parts) => parts,
+            Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(None)
+            }
+            Err(e) => return Err(e),
+        };
+        if meta != self.expected_segment_meta(workload, config, position) {
+            return Ok(None);
+        }
+        let mut run = SimRun::new(workload, config);
+        let mut r = SnapReader::new(&payload);
+        run.restore(&mut r)?;
+        r.finish()?;
+        Ok(Some(run))
     }
 
     /// Loads the checkpoint for `(workload, config)` into a freshly

@@ -22,6 +22,12 @@
 //! * [`experiment`] — parallel policy sweeps (walker-driven,
 //!   decode-once fan-out replay, the warm-started checkpointed engine,
 //!   and the legacy decode-per-job replay) and speedup computation.
+//! * [`shard`] — chunk-range sharding of a single run:
+//!   [`ShardPlan`] cuts the measure window into chunk-aligned segments,
+//!   segment *k* simulates from chained checkpoint *k−1*, fragments
+//!   merge bit-identically ([`SimResult::merge`]), and
+//!   [`replay_sweep_sharded`] schedules whole sweeps as DAGs of segment
+//!   tasks.
 //! * [`inflight`] — the fixed-size open-addressed prefetch-timeliness
 //!   table behind the backend's allocation-free hot path.
 
@@ -35,6 +41,7 @@ pub mod config;
 pub mod experiment;
 pub mod inflight;
 pub mod prepare;
+pub mod shard;
 pub mod system;
 
 pub use backend::SystemBackend;
@@ -50,6 +57,7 @@ pub use experiment::{
 };
 pub use inflight::InflightTable;
 pub use prepare::PreparedWorkload;
+pub use shard::{replay_sweep_sharded, simulate_sharded, ShardPlan};
 pub use system::{simulate, simulate_source, SimResult, SimRun};
 // The snapshot substrate, re-exported so callers can drive `SimRun`
 // save/restore without depending on `trrip-snap` directly.

@@ -14,7 +14,7 @@
 use serde::{Deserialize, Serialize};
 use trrip_analysis::{CostlyMissTracker, ReuseHistogram};
 use trrip_cache::{AccessStats, Hierarchy};
-use trrip_cpu::{Core, CoreResult, RunState};
+use trrip_cpu::{ChunkCut, Core, CoreResult, RunState};
 use trrip_os::{Loader, Mmu, PageStats, TlbStats};
 use trrip_policies::PolicyKind;
 use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
@@ -102,6 +102,65 @@ impl SimResult {
         }
         (1.0 - self.l2_data_mpki() / base) * 100.0
     }
+
+    /// Folds the **next consecutive segment** of the same sharded run
+    /// into this one. Merging every segment of a run in chain order
+    /// reproduces the uninterrupted run's `SimResult` bit-for-bit:
+    ///
+    /// * the core tally merges per [`CoreResult::merge`] (additive
+    ///   counters + exact stall buckets; the clock rides the chain);
+    /// * cache access statistics and profiler histograms add — all
+    ///   exact integer arithmetic, so the fold is associative;
+    /// * TLB statistics take the later segment's value: the TLB
+    ///   counters are cumulative over the whole run (they are never
+    ///   reset at the measure boundary), so the last segment already
+    ///   holds the totals the uninterrupted run reports;
+    /// * page statistics are load-time constants, identical in every
+    ///   segment.
+    ///
+    /// Associativity and the empty-segment identity are pinned by
+    /// `tests/shard_equivalence.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two results are not segments of one run (different
+    /// benchmark, policy, or armed profilers).
+    pub fn merge(&mut self, next: &SimResult) {
+        assert_eq!(self.benchmark, next.benchmark, "segments must share a benchmark");
+        assert_eq!(self.policy, next.policy, "segments must share a policy");
+        self.core.merge(&next.core);
+        self.l1i += next.l1i;
+        self.l1d += next.l1d;
+        self.l2 += next.l2;
+        self.slc += next.slc;
+        self.tlb = next.tlb;
+        self.pages = next.pages;
+        self.reuse_base = merge_histograms(self.reuse_base.take(), next.reuse_base.as_ref());
+        self.reuse_hot_only =
+            merge_histograms(self.reuse_hot_only.take(), next.reuse_hot_only.as_ref());
+        self.costly = match (self.costly.take(), next.costly.as_ref()) {
+            (Some(mut mine), Some(theirs)) => {
+                mine.merge(theirs);
+                Some(mine)
+            }
+            (None, None) => None,
+            _ => panic!("segments must agree on costly-miss tracking"),
+        };
+    }
+}
+
+fn merge_histograms(
+    mine: Option<ReuseHistogram>,
+    theirs: Option<&ReuseHistogram>,
+) -> Option<ReuseHistogram> {
+    match (mine, theirs) {
+        (Some(mut a), Some(b)) => {
+            a.merge(b);
+            Some(a)
+        }
+        (None, None) => None,
+        _ => panic!("segments must agree on reuse measurement"),
+    }
 }
 
 /// Runs one benchmark under one configuration, generating the trace
@@ -162,6 +221,24 @@ pub struct SimRun<'w> {
     /// In-flight measure-phase state (present between `begin_measure`
     /// and `finish`).
     measuring: Option<RunState>,
+    /// Cumulative-counter baselines captured by the last
+    /// [`SimRun::begin_segment`] — what [`SimRun::collect_segment`]
+    /// subtracts to produce a segment's additive tally. Not part of the
+    /// snapshot stream: each segment executor rebases its own tally
+    /// after restoring.
+    segment_base: Option<SegmentBase>,
+}
+
+/// Baselines for one shard segment's tally: the cumulative measure-phase
+/// counters at the moment the segment began.
+#[derive(Debug)]
+struct SegmentBase {
+    l1i: AccessStats,
+    l1d: AccessStats,
+    l2: AccessStats,
+    slc: AccessStats,
+    reuse: Option<(ReuseHistogram, ReuseHistogram)>,
+    costly: Option<CostlyMissTracker>,
 }
 
 impl<'w> SimRun<'w> {
@@ -180,7 +257,14 @@ impl<'w> SimRun<'w> {
         let hierarchy = Hierarchy::new(&config.hierarchy);
         let backend = SystemBackend::new(mmu, hierarchy, object, config);
         let core = Core::new(config.core, backend);
-        SimRun { workload, config: config.clone(), pages, core, measuring: None }
+        SimRun {
+            workload,
+            config: config.clone(),
+            pages,
+            core,
+            measuring: None,
+            segment_base: None,
+        }
     }
 
     /// The configuration this run executes.
@@ -233,14 +317,79 @@ impl<'w> SimRun<'w> {
     /// Pass `drain = true` on the final chunk (as [`SimRun::measure`]
     /// does) so the core's lookahead window empties exactly as an
     /// uninterrupted run's would.
+    ///
+    /// Returns the exact cut point the chunk stopped at (absolute
+    /// measure-phase stream/retirement positions) — what shard
+    /// schedulers key chained checkpoints by.
     pub fn measure_chunk<S: TraceSource>(
         &mut self,
         stream: &mut SourceIter<S>,
         limit: u64,
         drain: bool,
-    ) {
+    ) -> ChunkCut {
         let state = self.measuring.as_mut().expect("begin_measure first");
-        self.core.run_chunk(state, stream.take(limit as usize), drain);
+        self.core.run_chunk(state, stream.take(limit as usize), drain)
+    }
+
+    /// Starts one shard segment's tally: the core tally rebases (clock
+    /// and machine state continue untouched) and the cumulative cache/
+    /// profiler counters are baselined, so [`SimRun::collect_segment`]
+    /// reports only what this segment contributes. Mergeable with
+    /// [`SimResult::merge`].
+    pub fn begin_segment(&mut self) {
+        let state = self.measuring.as_mut().expect("begin_measure first");
+        self.core.begin_segment(state);
+        let backend = self.core.backend();
+        let h = backend.hierarchy();
+        self.segment_base = Some(SegmentBase {
+            l1i: *h.l1i().stats(),
+            l1d: *h.l1d().stats(),
+            l2: *h.l2().stats(),
+            slc: *h.slc().stats(),
+            reuse: backend.reuse().map(|r| (*r.base(), *r.hot_only())),
+            costly: backend.costly().cloned(),
+        });
+    }
+
+    /// Collects the current segment's [`SimResult`] fragment — the
+    /// additive tally since [`SimRun::begin_segment`] — without ending
+    /// the measure phase: the run can continue into the next segment
+    /// (or be checkpointed for a successor to pick up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no segment was begun.
+    #[must_use]
+    pub fn collect_segment(&mut self) -> SimResult {
+        let state = self.measuring.as_ref().expect("begin_measure first");
+        let core = self.core.tally_run(state);
+        let base = self.segment_base.as_ref().expect("begin_segment first");
+        let backend = self.core.backend();
+        let h: &Hierarchy = backend.hierarchy();
+        let reuse = backend.reuse().map(|r| {
+            let (base_b, base_h) = base.reuse.as_ref().expect("profiler armed mid-segment");
+            (r.base().since(base_b), r.hot_only().since(base_h))
+        });
+        SimResult {
+            benchmark: self.workload.spec.name.clone(),
+            policy: self.config.hierarchy.l2_policy,
+            core,
+            l1i: h.l1i().stats().since(&base.l1i),
+            l1d: h.l1d().stats().since(&base.l1d),
+            l2: h.l2().stats().since(&base.l2),
+            slc: h.slc().stats().since(&base.slc),
+            // Cumulative over the whole run by design (never reset at
+            // the measure boundary): `SimResult::merge` takes the later
+            // segment's value, so the merged run reports exactly what
+            // an uninterrupted one would.
+            tlb: backend.mmu().tlb_stats(),
+            pages: self.pages,
+            reuse_base: reuse.as_ref().map(|(b, _)| *b),
+            reuse_hot_only: reuse.as_ref().map(|(_, h)| *h),
+            costly: backend
+                .costly()
+                .map(|c| c.since(base.costly.as_ref().expect("tracker armed mid-segment"))),
+        }
     }
 
     /// Instructions consumed from the source so far by the measure

@@ -50,13 +50,32 @@ impl StreamingReplay {
     ///
     /// Any header-validation or open failure, synchronously.
     pub fn open(path: &Path) -> Result<StreamingReplay, TraceError> {
+        StreamingReplay::open_at(path, 0)
+    }
+
+    /// Opens `path` positioned `skip` instructions in: the stream's
+    /// first delivered instruction is number `skip` of the trace. Whole
+    /// chunks inside the skipped prefix are *read but never decoded*
+    /// (raw bytes still feed the checksum, so damage is detected); only
+    /// the boundary chunk a non-chunk-aligned `skip` lands in pays
+    /// decode. This is how a shard segment starts mid-trace without
+    /// paying the prefix's varint decode — and why shard plans align
+    /// their cuts to [`crate::CHUNK_CAPACITY`].
+    ///
+    /// A `skip` at or beyond the end of the trace yields an immediately
+    /// exhausted (but fully checksummed) stream.
+    ///
+    /// # Errors
+    ///
+    /// Any header-validation or open failure, synchronously.
+    pub fn open_at(path: &Path, skip: u64) -> Result<StreamingReplay, TraceError> {
         let mut source = reader::open(path)?;
         let meta = source.meta().clone();
         let (tx, rx) = mpsc::sync_channel(CHANNEL_DEPTH);
         let (recycle_tx, recycle_rx) = mpsc::channel();
         let worker = std::thread::Builder::new()
             .name(format!("trace-decode:{}", meta.name))
-            .spawn(move || decode_loop(&mut source, &tx, &recycle_rx))
+            .spawn(move || decode_loop(&mut source, skip, &tx, &recycle_rx))
             .map_err(TraceError::Io)?;
         Ok(StreamingReplay { meta, batches: Some(rx), recycle: recycle_tx, worker: Some(worker) })
     }
@@ -70,9 +89,40 @@ impl StreamingReplay {
 
 fn decode_loop<R: std::io::Read>(
     source: &mut reader::TraceReader<R>,
+    mut skip: u64,
     tx: &SyncSender<Result<Vec<TraceInstr>, TraceError>>,
     recycle: &Receiver<Vec<TraceInstr>>,
 ) {
+    // Skip phase: discard whole chunks raw (checksummed, not decoded);
+    // decode only the boundary chunk the skip position lands inside,
+    // dropping its leading records.
+    let mut payload = Vec::new();
+    while skip > 0 {
+        match source.read_chunk_raw(&mut payload) {
+            Ok(0) => return, // trace no longer than the skip
+            Ok(count) => {
+                if u64::from(count) <= skip {
+                    skip -= u64::from(count);
+                    continue;
+                }
+                let mut batch = recycle.try_recv().unwrap_or_default();
+                batch.clear();
+                if let Err(e) = reader::decode_chunk(&payload, count, &mut batch) {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+                batch.drain(..skip as usize);
+                skip = 0;
+                if tx.send(Ok(batch)).is_err() {
+                    return;
+                }
+            }
+            Err(e) => {
+                let _ = tx.send(Err(e));
+                return;
+            }
+        }
+    }
     loop {
         // Reuse a buffer the consumer returned; allocate only while the
         // pipeline is still filling.

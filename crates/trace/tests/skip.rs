@@ -1,0 +1,89 @@
+//! Skip-positioned replay: `StreamingReplay::open_at(path, skip)` must
+//! deliver exactly the trace's suffix, and chunk-aligned skips must not
+//! pay varint decode for the skipped prefix.
+//!
+//! One test function on purpose: the decode counter is process-wide,
+//! and a single test keeps the measurement unpolluted.
+
+use std::path::PathBuf;
+
+use trrip_cpu::TraceInstr;
+use trrip_trace::{records_decoded, SourceIter, StreamingReplay, TraceWriter};
+
+fn mixed_trace(n: u64) -> Vec<TraceInstr> {
+    let mut x = 0x0123_4567_89ab_cdefu64;
+    (0..n)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            match i % 4 {
+                0 => TraceInstr::cond(0x4000 + (i % 64) * 4, x & 1 == 0, 0x4000),
+                1 => TraceInstr::load(0x8000 + i * 4, 0x9_0000 + (x % 512) * 64),
+                _ => TraceInstr::simple(0x8000 + i * 4),
+            }
+        })
+        .collect()
+}
+
+fn write_trace_file(instrs: &[TraceInstr], chunk_capacity: u32) -> PathBuf {
+    let dir = std::env::temp_dir().join("trrip-trace-skip-test");
+    std::fs::create_dir_all(&dir).expect("test dir");
+    let path = dir.join(format!("skip-{}.trrip", std::process::id()));
+    let mut writer = TraceWriter::with_chunk_capacity(
+        std::io::Cursor::new(Vec::new()),
+        "skip",
+        trrip_trace::TraceLayout::Foreign,
+        chunk_capacity,
+    )
+    .expect("header");
+    writer.write_all(instrs.iter().copied()).expect("records");
+    let mut cursor = writer.finish_into_inner().expect("finish");
+    std::fs::write(&path, std::mem::take(cursor.get_mut())).expect("write trace");
+    path
+}
+
+#[test]
+fn open_at_yields_the_exact_suffix_and_skips_decode() {
+    const CHUNK: u32 = 1000;
+    let instrs = mixed_trace(10 * u64::from(CHUNK));
+    let path = write_trace_file(&instrs, CHUNK);
+
+    // Aligned, unaligned, zero, chunk-minus-one, beyond-the-end.
+    for skip in [0u64, 1, 999, 1000, 4000, 4001, 9999, 10_000, 25_000] {
+        let replay = StreamingReplay::open_at(&path, skip).expect("open_at");
+        let suffix: Vec<TraceInstr> = SourceIter::new(replay).collect();
+        let expected = &instrs[(skip as usize).min(instrs.len())..];
+        assert_eq!(suffix, expected, "skip {skip} must yield the exact suffix");
+    }
+
+    // A chunk-aligned skip decodes only the remainder: skipping 8 of 10
+    // chunks must cost ~2 chunks of decode, not 10. The counter is
+    // process-wide, so bound from above generously but below 10 chunks.
+    let before = records_decoded();
+    let replay = StreamingReplay::open_at(&path, 8 * u64::from(CHUNK)).expect("open_at aligned");
+    let n = SourceIter::new(replay).count();
+    assert_eq!(n, 2 * CHUNK as usize);
+    let decoded = records_decoded() - before;
+    assert_eq!(decoded, 2 * u64::from(CHUNK), "aligned skip must not decode the skipped prefix");
+
+    // An unaligned skip pays exactly one boundary chunk extra.
+    let before = records_decoded();
+    let replay = StreamingReplay::open_at(&path, 8 * u64::from(CHUNK) + 1).expect("open_at");
+    let n = SourceIter::new(replay).count();
+    assert_eq!(n, 2 * CHUNK as usize - 1);
+    assert_eq!(records_decoded() - before, 2 * u64::from(CHUNK));
+
+    // Damage detection, after the counter assertions (it decodes too):
+    // flip a byte inside the first chunk's payload (well past the
+    // header) — a skip over it must still fail the end-of-trace
+    // checksum rather than silently replaying a damaged file.
+    let mut bytes = std::fs::read(&path).expect("read");
+    bytes[120] ^= 0x20;
+    std::fs::write(&path, &bytes).expect("write damaged");
+    let replay = StreamingReplay::open_at(&path, 8 * u64::from(CHUNK)).expect("open");
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| SourceIter::new(replay).count()));
+    assert!(result.is_err(), "damaged prefix must not replay silently");
+
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Measures sharded (segment-DAG) 8-policy sweeps against the unsharded
+# engines and appends the run to BENCH_shard.json at the repo root —
+# the sharded-execution performance trajectory. Run it from anywhere;
+# pass extra harness flags through (e.g. --scale 4 --jobs 8). To raise
+# the segment count, pass --shards N together with --trace-dir and
+# --checkpoint-dir (the bench still uses a scratch checkpoint store of
+# its own); without flags the bench runs at 2 segments per cell.
+#
+#   scripts/bench_shard.sh [harness flags...]
+#
+# The JSON is an array of run objects; every PR that touches the shard
+# scheduler, checkpoint chain, or replay skip path should append a
+# fresh entry so regressions are visible in review.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+cargo run --release --bin bench_shard -- --out "$repo_root" "$@"
+echo "trajectory: $repo_root/BENCH_shard.json"
