@@ -1,0 +1,258 @@
+//! Wall-clock benchmark of the **policy-agnostic warm prefix** on the
+//! paper's 8-policy sweep shape — the cold populating pass is the
+//! headline:
+//!
+//! * **baseline** — plain `replay_sweep`: warmup simulated per cell,
+//!   nothing persisted;
+//! * **cold per-cell** — `replay_sweep_checkpointed` over an empty
+//!   store with no pre-pass: every cell pays its own (recorded) warmup,
+//!   the PR 4-shaped populating cost;
+//! * **cold shared** — `replay_sweep_warm_prefix` over an empty store:
+//!   ONE recorded warmup per workload, then per-policy warmup-tail
+//!   replays (no predictor, no FDIP scanning) — the pass this PR
+//!   exists to make faster;
+//! * **warm** — the same sweep again: every cell composes shared
+//!   prefix + its overlay and skips warmup simulation entirely.
+//!
+//! All engines are asserted bit-identical before any number is
+//! reported. Results append to `BENCH_warm_prefix.json` under `--out`
+//! (`scripts/bench_warm_prefix.sh` points `--out` at the repo root).
+//!
+//! `--smoke` (CI) shrinks the run lengths, does a single repetition,
+//! checks identity plus the warm-start counter composition, and skips
+//! the JSON append — a correctness smoke, not a measurement.
+
+use std::time::Instant;
+
+use trrip_bench::{append_trajectory, HarnessOptions, USAGE};
+use trrip_core::ClassifierConfig;
+use trrip_policies::PolicyKind;
+use trrip_sim::{
+    replay_sweep_checkpointed, replay_sweep_warm_prefix, replay_sweep_with, warmup_counters,
+    CheckpointStore, PreparedWorkload, SimConfig, SweepResult, TraceStore,
+};
+use trrip_workloads::WorkloadSpec;
+
+/// The 8-policy sweep shape the paper's headline experiments use.
+const POLICIES: [PolicyKind; 8] = [
+    PolicyKind::Srrip,
+    PolicyKind::Lru,
+    PolicyKind::Brrip,
+    PolicyKind::Drrip,
+    PolicyKind::Ship,
+    PolicyKind::Clip,
+    PolicyKind::Emissary,
+    PolicyKind::Trrip1,
+];
+
+fn workload() -> PreparedWorkload {
+    let mut spec = WorkloadSpec::named("warm-prefix-bench");
+    spec.functions = 120;
+    spec.hot_rotation = 30;
+    PreparedWorkload::prepare(&spec, 100_000, ClassifierConfig::llvm_defaults())
+}
+
+fn assert_identical(a: &SweepResult, b: &SweepResult, what: &str) {
+    for (x, y) in a.results.iter().zip(&b.results) {
+        assert_eq!(x.core, y.core, "{what}: core results diverge");
+        assert_eq!(x.l2, y.l2, "{what}: L2 stats diverge");
+        assert_eq!(x.tlb, y.tlb, "{what}: TLB stats diverge");
+    }
+}
+
+/// Times `f` over `reps` repetitions with `reset` run between them
+/// (outside the timed region); reports the minimum.
+fn time_best<F: FnMut(), R: FnMut()>(reps: usize, mut reset: R, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        reset();
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
+    let options = match HarnessOptions::try_parse(args) {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            println!("{USAGE}\n  --smoke          quick CI correctness pass (no JSON append)");
+            return;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(message) = options.validate_dirs() {
+        eprintln!("error: {message}\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    let reps = if smoke { 1 } else { 3 };
+    let workloads = [workload()];
+
+    // Warmup-heavy shape, as in bench_checkpoint: the paper
+    // fast-forwards far more than it measures, and the shared prefix
+    // only pays off on the warmup share.
+    let mut config = SimConfig::quick(PolicyKind::Srrip);
+    if smoke {
+        config.fast_forward = 60_000;
+        config.instructions = 30_000;
+    } else {
+        config.fast_forward = 400_000 * options.scale;
+        config.instructions = 200_000 * options.scale;
+    }
+
+    let tmp_traces = std::env::temp_dir().join("trrip-bench-warm-prefix-traces");
+    let trace_dir = options.trace_dir.clone().unwrap_or(tmp_traces.clone());
+    let traces = TraceStore::new(&trace_dir);
+    eprintln!("capturing trace under {}…", trace_dir.display());
+    traces.ensure(&workloads[0], &config).expect("capture trace");
+
+    // Cold phases must start from EMPTY stores every repetition, so the
+    // checkpoints live in scratch directories of our own — never in a
+    // user-supplied --checkpoint-dir, which may be a persistent store.
+    let percell_dir = std::env::temp_dir().join("trrip-bench-warm-prefix-percell");
+    let shared_dir = std::env::temp_dir().join("trrip-bench-warm-prefix-shared");
+    if options.checkpoint_dir.is_some() {
+        eprintln!("[note: this bench uses scratch checkpoint dirs; --checkpoint-dir is untouched]");
+    }
+    let percell_ckpts = CheckpointStore::new(&percell_dir);
+    let shared_ckpts = CheckpointStore::new(&shared_dir);
+
+    // --- Baseline: plain fan-out replay sweep, warmup simulated. ---
+    eprintln!("baseline: 8-policy replay_sweep (no checkpoints)…");
+    let mut baseline = None;
+    let baseline_s = time_best(
+        reps,
+        || {},
+        || {
+            baseline =
+                Some(replay_sweep_with(options.jobs, &workloads, &config, &POLICIES, &traces))
+        },
+    );
+
+    // --- Cold per-cell: every policy pays its own warmup (PR 4 shape). ---
+    eprintln!("cold per-cell: checkpointed sweep, one warmup per policy…");
+    let mut percell = None;
+    let percell_s = time_best(
+        reps,
+        || {
+            std::fs::remove_dir_all(&percell_dir).ok();
+        },
+        || {
+            percell = Some(replay_sweep_checkpointed(
+                options.jobs,
+                &workloads,
+                &config,
+                &POLICIES,
+                &traces,
+                &percell_ckpts,
+            ));
+        },
+    );
+
+    // --- Cold shared: one recorded warmup + per-policy tail replays. ---
+    eprintln!("cold shared: warm-prefix sweep, one warmup per workload…");
+    let mut shared = None;
+    let before = warmup_counters();
+    let shared_s = time_best(
+        reps,
+        || {
+            std::fs::remove_dir_all(&shared_dir).ok();
+        },
+        || {
+            shared = Some(replay_sweep_warm_prefix(
+                options.jobs,
+                &workloads,
+                &config,
+                &POLICIES,
+                &traces,
+                &shared_ckpts,
+            ));
+        },
+    );
+    let delta = warmup_counters().since(&before);
+    assert_eq!(
+        delta.recorded_warmups as usize, reps,
+        "the shared cold pass must record exactly one warmup per repetition"
+    );
+    assert_eq!(
+        delta.tail_replays as usize,
+        reps * (POLICIES.len() - 1),
+        "every non-neutral policy must tail-replay"
+    );
+
+    // --- Warm: every cell composes prefix + overlay. ---
+    eprintln!("warm: warm-prefix sweep restoring…");
+    let mut warm = None;
+    let warm_s = time_best(
+        reps,
+        || {},
+        || {
+            warm = Some(replay_sweep_warm_prefix(
+                options.jobs,
+                &workloads,
+                &config,
+                &POLICIES,
+                &traces,
+                &shared_ckpts,
+            ));
+        },
+    );
+
+    // Cross-check: all engines must agree bit-for-bit.
+    let baseline = baseline.expect("ran");
+    assert_identical(&baseline, &percell.expect("ran"), "cold per-cell sweep");
+    assert_identical(&baseline, &shared.expect("ran"), "cold shared-prefix sweep");
+    assert_identical(&baseline, &warm.expect("ran"), "warm overlay sweep");
+
+    let cold_speedup = percell_s / shared_s;
+    let warm_speedup = baseline_s / warm_s;
+    let n = trrip_sim::capture_length(&config);
+    println!(
+        "8-policy sweep, {n} instructions ({} warmup / {} measured):",
+        config.fast_forward, config.instructions
+    );
+    println!("  baseline   (warmup simulated):        {baseline_s:.3} s");
+    println!("  cold       (one warmup per policy):   {percell_s:.3} s");
+    println!("  cold       (one shared warmup):       {shared_s:.3} s  ({cold_speedup:.2}x)");
+    println!(
+        "  warm       (prefix + overlay):        {warm_s:.3} s  ({warm_speedup:.2}x baseline)"
+    );
+
+    if smoke {
+        println!("smoke OK: engines bit-identical, warm-start composition verified");
+        std::fs::remove_dir_all(&tmp_traces).ok();
+        std::fs::remove_dir_all(&percell_dir).ok();
+        std::fs::remove_dir_all(&shared_dir).ok();
+        return;
+    }
+
+    let entry = format!(
+        "  {{\n    \"bench\": \"warm_prefix\",\n    \"policies\": {policies},\n    \
+         \"jobs\": {jobs},\n    \"fast_forward\": {ff},\n    \
+         \"measured_instructions\": {measured},\n    \
+         \"baseline_sweep_s\": {baseline_s:.4},\n    \
+         \"cold_percell_sweep_s\": {percell_s:.4},\n    \
+         \"cold_shared_prefix_sweep_s\": {shared_s:.4},\n    \
+         \"warm_overlay_sweep_s\": {warm_s:.4},\n    \
+         \"cold_shared_vs_percell_speedup\": {cold_speedup:.3},\n    \
+         \"warm_vs_baseline_speedup\": {warm_speedup:.3}\n  }}",
+        policies = POLICIES.len(),
+        jobs = options.jobs,
+        ff = config.fast_forward,
+        measured = config.instructions,
+    );
+    std::fs::create_dir_all(&options.out_dir).expect("create out dir");
+    let json_path = options.out_dir.join("BENCH_warm_prefix.json");
+    append_trajectory(&json_path, &entry);
+    eprintln!("[trajectory appended to {}]", json_path.display());
+    std::fs::remove_dir_all(&tmp_traces).ok();
+    std::fs::remove_dir_all(&percell_dir).ok();
+    std::fs::remove_dir_all(&shared_dir).ok();
+}

@@ -13,8 +13,9 @@ use std::path::{Path, PathBuf};
 use trrip_core::ClassifierConfig;
 use trrip_policies::PolicyKind;
 use trrip_sim::{
-    policy_sweep_with, replay_sweep_checkpointed, replay_sweep_sharded, replay_sweep_with,
-    CheckpointStore, PreparedWorkload, SimConfig, SweepResult, TraceStore,
+    ensure_warm_prefixes, policy_sweep_with, replay_sweep_checkpointed, replay_sweep_sharded,
+    replay_sweep_warm_prefix, replay_sweep_with, CheckpointStore, PreparedWorkload, SimConfig,
+    SweepResult, TraceStore,
 };
 use trrip_workloads::WorkloadSpec;
 
@@ -39,6 +40,10 @@ options:
                    segments chained through checkpoints, scheduled as a
                    DAG of segment tasks (default 1 = unsharded; N > 1
                    requires --checkpoint-dir)
+  --warm-prefix    share one recorded warmup per workload across every
+                   policy: record the policy-agnostic shared prefix
+                   once, warm-start each policy from its overlay or the
+                   warmup-tail replay (requires --checkpoint-dir)
   --help           print this message and exit";
 
 /// Common options for experiment binaries.
@@ -60,6 +65,9 @@ pub struct HarnessOptions {
     /// Segments each `(workload, policy)` run is cut into
     /// (`--shards N`, default 1 = unsharded).
     pub shards: usize,
+    /// Share one recorded warmup per workload across every policy
+    /// (`--warm-prefix`).
+    pub warm_prefix: bool,
 }
 
 impl Default for HarnessOptions {
@@ -72,6 +80,7 @@ impl Default for HarnessOptions {
             checkpoint_dir: None,
             jobs: trrip_sim::default_jobs(),
             shards: 1,
+            warm_prefix: false,
         }
     }
 }
@@ -180,10 +189,12 @@ impl HarnessOptions {
                         return Err("--shards must be at least 1".to_owned());
                     }
                 }
+                "--warm-prefix" => options.warm_prefix = true,
                 other => {
                     return Err(format!(
                         "unknown argument `{other}` (expected \
-                         --scale/--bench/--out/--trace-dir/--checkpoint-dir/--jobs/--shards)"
+                         --scale/--bench/--out/--trace-dir/--checkpoint-dir/--jobs/--shards/\
+                         --warm-prefix)"
                     ))
                 }
             }
@@ -198,6 +209,11 @@ impl HarnessOptions {
                  persisted checkpoints) and therefore --trace-dir"
                 .to_owned());
         }
+        if options.warm_prefix && options.checkpoint_dir.is_none() {
+            return Err("--warm-prefix requires --checkpoint-dir (the shared prefix and \
+                 per-policy overlays are persisted containers) and therefore --trace-dir"
+                .to_owned());
+        }
         Ok(Some(options))
     }
 
@@ -207,8 +223,11 @@ impl HarnessOptions {
     /// both `--trace-dir` and `--checkpoint-dir` are given, decode-once
     /// fan-out replay from `--trace-dir` alone (capture-once/
     /// replay-many, trace decoded once per workload), and in-memory
-    /// trace generation otherwise. Results are bit-identical across all
-    /// four; `--jobs` caps the worker threads.
+    /// trace generation otherwise. `--warm-prefix` prepends the
+    /// shared-warmup pre-pass to either checkpointed engine, so a cold
+    /// populating sweep pays one recorded warmup per workload instead
+    /// of one per policy. Results are bit-identical across every
+    /// combination; `--jobs` caps the worker threads.
     #[must_use]
     pub fn sweep(
         &self,
@@ -217,14 +236,29 @@ impl HarnessOptions {
         policies: &[PolicyKind],
     ) -> SweepResult {
         match (&self.trace_dir, &self.checkpoint_dir) {
-            (Some(traces), Some(checkpoints)) if self.shards > 1 => replay_sweep_sharded(
+            (Some(traces), Some(checkpoints)) if self.shards > 1 => {
+                let traces = TraceStore::new(traces);
+                let checkpoints = CheckpointStore::new(checkpoints);
+                if self.warm_prefix {
+                    ensure_warm_prefixes(self.jobs, workloads, config, &traces, &checkpoints);
+                }
+                replay_sweep_sharded(
+                    self.jobs,
+                    workloads,
+                    config,
+                    policies,
+                    &traces,
+                    &checkpoints,
+                    self.shards,
+                )
+            }
+            (Some(traces), Some(checkpoints)) if self.warm_prefix => replay_sweep_warm_prefix(
                 self.jobs,
                 workloads,
                 config,
                 policies,
                 &TraceStore::new(traces),
                 &CheckpointStore::new(checkpoints),
-                self.shards,
             ),
             (Some(traces), Some(checkpoints)) => replay_sweep_checkpointed(
                 self.jobs,
@@ -415,10 +449,34 @@ mod tests {
             (&["--trace-dir"], "--trace-dir"),
             (&["--checkpoint-dir"], "--checkpoint-dir"),
             (&["--checkpoint-dir", "c"], "--trace-dir"),
+            (&["--warm-prefix"], "--warm-prefix"),
         ] {
             let err = parse(args).unwrap_err();
             assert!(err.contains(flag), "error for {args:?} must name {flag}: {err}");
         }
+    }
+
+    #[test]
+    fn warm_prefix_requires_checkpoint_dir_and_parses_with_it() {
+        // Alone: rejected, naming both the flag and what it needs.
+        let err = parse(&["--warm-prefix"]).unwrap_err();
+        assert!(err.contains("--warm-prefix") && err.contains("--checkpoint-dir"), "{err}");
+        // With traces but no checkpoints: still rejected.
+        let err = parse(&["--warm-prefix", "--trace-dir", "t"]).unwrap_err();
+        assert!(err.contains("--warm-prefix") && err.contains("--checkpoint-dir"), "{err}");
+        // Fully specified: accepted, flag set.
+        let ok = parse(&["--warm-prefix", "--trace-dir", "t", "--checkpoint-dir", "c"])
+            .expect("valid")
+            .expect("not help");
+        assert!(ok.warm_prefix);
+        // Composes with --shards (the sharded engine gets the pre-pass).
+        let ok =
+            parse(&["--warm-prefix", "--shards", "2", "--trace-dir", "t", "--checkpoint-dir", "c"])
+                .expect("valid")
+                .expect("not help");
+        assert!(ok.warm_prefix && ok.shards == 2);
+        // Default: off.
+        assert!(!parse(&[]).expect("ok").expect("not help").warm_prefix);
     }
 
     #[test]

@@ -330,6 +330,13 @@ fn restore_bitmap(r: &mut SnapReader<'_>, n: usize) -> Result<Vec<bool>, SnapErr
 /// empty slot instead of the legacy byte, and a full level drops the
 /// per-line flag byte. The legacy per-line encoding (`"CACH"`, v1
 /// containers) restores transparently.
+///
+/// In the v3 split container, the whole tag store — contents *and*
+/// policy state — serializes into the **per-policy overlay**, never
+/// the shared prefix: every level's contents couple to the L2 policy
+/// (the L2/SLC directly through victim choice, the L1s through
+/// inclusive back-invalidation), so none of it is shareable across
+/// policies.
 impl Snapshot for Cache {
     fn save(&self, w: &mut SnapWriter) {
         w.tag(b"CACB");

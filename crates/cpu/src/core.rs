@@ -32,12 +32,29 @@ use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::backend::MemoryBackend;
 use crate::branch::{BranchPredictor, PredictorConfig};
+use crate::tape::{TapeCursor, WarmupTape};
 use crate::topdown::{StallClass, TopDown};
 use crate::trace::TraceInstr;
 
 /// Share of the exposed miss latency paid by a load that overlaps an
 /// earlier outstanding miss (queueing/bandwidth serialization).
 const MLP_SERIALIZATION: f64 = 4.0;
+
+/// Scratch capacity for FDIP-issued PCs per trigger (the paper machine
+/// prefetches at most 2; the warmup tape caps entries at 3).
+const FDIP_ISSUE_CAP: usize = 4;
+
+/// What [`Core::run_warmup_tail`] replayed: the warmup's clock and
+/// stall buckets — equal to the observed warmup's, by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmupTailReport {
+    /// Instructions consumed.
+    pub instructions: u64,
+    /// Final clock value.
+    pub cycles: f64,
+    /// Stall-bucket totals.
+    pub topdown: TopDown,
+}
 
 /// Core timing parameters (defaults = Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -368,6 +385,28 @@ impl Snapshot for RunState {
     }
 }
 
+/// How one timing run treats its predictor-derived decisions
+/// (misprediction outcomes and FDIP stop points) — the only inputs to
+/// the warmup loop that come from trained predictor state rather than
+/// straight from the instruction stream, and therefore the only inputs
+/// that are **identical under every cache policy**.
+///
+/// * [`WarmupMode::Observe`] — the normal loop: the predictor predicts
+///   and trains; nothing is recorded.
+/// * [`WarmupMode::Record`] — as `Observe`, but every decision is also
+///   appended to a [`WarmupTape`]. Used once per workload by the shared
+///   warmup.
+///
+/// The tape-driven counterpart is [`Core::run_warmup_tail`]: a
+/// windowless loop that takes every decision off the tape.
+#[derive(Debug)]
+pub enum WarmupMode<'t> {
+    /// Predict and train normally.
+    Observe,
+    /// Predict and train normally, recording every decision.
+    Record(&'t mut WarmupTape),
+}
+
 /// The trace-driven core.
 ///
 /// # Example
@@ -484,6 +523,25 @@ impl<B: MemoryBackend> Core<B> {
     where
         I: IntoIterator<Item = TraceInstr>,
     {
+        self.run_chunk_mode(state, trace, drain, &mut WarmupMode::Observe)
+    }
+
+    /// [`Core::run_chunk`] with an explicit [`WarmupMode`]: the same
+    /// loop, with the predictor-derived decisions observed or recorded.
+    /// `Observe` is the plain hot path; `Record` exists for the
+    /// shared-warmup machinery and is bit-identical to it by
+    /// construction (recording only appends what the loop decided
+    /// anyway).
+    pub fn run_chunk_mode<I>(
+        &mut self,
+        state: &mut RunState,
+        trace: I,
+        drain: bool,
+        mode: &mut WarmupMode<'_>,
+    ) -> ChunkCut
+    where
+        I: IntoIterator<Item = TraceInstr>,
+    {
         let lookahead_cap = self.config.fdip_lookahead_instrs.max(1);
         let mut stream = trace.into_iter();
 
@@ -511,6 +569,9 @@ impl<B: MemoryBackend> Core<B> {
             }
             let Some(instr) = state.window.pop_front() else { break };
             state.instructions += 1;
+            if let WarmupMode::Record(tape) = mode {
+                tape.push_instruction();
+            }
 
             // --- Fetch ---
             let line = instr.pc.raw() >> 6;
@@ -527,13 +588,21 @@ impl<B: MemoryBackend> Core<B> {
                     }
                 }
                 if self.config.fdip {
-                    self.issue_fdip(&state.window, line, state.cycles as u64);
+                    let mut issued = [0u64; FDIP_ISSUE_CAP];
+                    let n = self.issue_fdip(&state.window, line, state.cycles as u64, &mut issued);
+                    if let WarmupMode::Record(tape) = mode {
+                        tape.push_fdip(instr.pc.raw(), &issued[..n]);
+                    }
                 }
             }
 
             // --- Branch resolution ---
             if let Some(branch) = instr.branch {
-                if self.predictor.observe(instr.pc, &branch) {
+                let mispredicted = self.predictor.observe(instr.pc, &branch);
+                if let WarmupMode::Record(tape) = mode {
+                    tape.push_mispredict(mispredicted);
+                }
+                if mispredicted {
                     let penalty = self.predictor.mispredict_penalty() as f64;
                     state.topdown.mispred += penalty;
                     state.cycles += penalty;
@@ -623,6 +692,14 @@ impl<B: MemoryBackend> Core<B> {
     /// Snapshot of the core's own architectural state (predictor +
     /// starvation table), *excluding* the backend — the simulator layer
     /// composes the full machine snapshot so it can order sections.
+    ///
+    /// For the split-container (shared prefix / policy overlay) paths,
+    /// the two halves are separately addressable: the predictor is
+    /// **policy-agnostic** ([`Core::save_predictor_state`] — it trains
+    /// on the branch stream alone and never sees a cache latency), while
+    /// the starvation FIFO is **policy-dependent**
+    /// ([`Core::save_starved_state`] — it thresholds on fetch latencies,
+    /// which the L2 policy shapes).
     pub fn save_core_state(&self, w: &mut SnapWriter) {
         w.tag(b"CORE");
         self.predictor.save(w);
@@ -640,9 +717,50 @@ impl<B: MemoryBackend> Core<B> {
         self.starved.restore(r)
     }
 
+    /// Snapshot of the branch predictor alone — the policy-agnostic half
+    /// of the core state, serialized into shared-prefix containers.
+    pub fn save_predictor_state(&self, w: &mut SnapWriter) {
+        self.predictor.save(w);
+    }
+
+    /// Restores state written by [`Core::save_predictor_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot codec and shape errors.
+    pub fn restore_predictor_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.predictor.restore(r)
+    }
+
+    /// Snapshot of the decode-starvation FIFO alone — policy-dependent
+    /// (its entries threshold on fetch latencies), serialized into
+    /// per-policy overlay containers.
+    pub fn save_starved_state(&self, w: &mut SnapWriter) {
+        self.starved.save(w);
+    }
+
+    /// Restores state written by [`Core::save_starved_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot codec and shape errors.
+    pub fn restore_starved_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.starved.restore(r)
+    }
+
     /// Pseudo-FDIP: prefetch the next distinct lines on the predicted
     /// path, stopping at the first branch the predictor would mispredict.
-    fn issue_fdip(&mut self, window: &VecDeque<TraceInstr>, current_line: u64, now: u64) {
+    /// Returns how many lines were prefetched, with their PCs written
+    /// into `issued` — the scan's only effects, and (being a pure
+    /// function of the stream and the predictor) exactly what a warmup
+    /// tape records per trigger.
+    fn issue_fdip(
+        &mut self,
+        window: &VecDeque<TraceInstr>,
+        current_line: u64,
+        now: u64,
+        issued: &mut [u64; FDIP_ISSUE_CAP],
+    ) -> usize {
         let mut seen_lines = 0usize;
         let mut last_line = current_line;
         for instr in window.iter().take(self.config.fdip_lookahead_instrs) {
@@ -650,6 +768,7 @@ impl<B: MemoryBackend> Core<B> {
             if line != last_line {
                 last_line = line;
                 self.backend.prefetch_ifetch(instr.pc, now);
+                issued[seen_lines.min(FDIP_ISSUE_CAP - 1)] = instr.pc.raw();
                 seen_lines += 1;
                 if seen_lines >= self.config.fdip_max_lines {
                     break;
@@ -664,6 +783,107 @@ impl<B: MemoryBackend> Core<B> {
                 }
             }
         }
+        seen_lines
+    }
+
+    /// The **cache-touching warmup tail**: consumes `trace` with every
+    /// predictor-derived decision taken off a recorded [`WarmupTape`]
+    /// instead of from the predictor — which is therefore neither
+    /// consulted nor trained, and the lookahead window is not even
+    /// built (the tape carries the prefetch PCs). The policy-dependent
+    /// machine — backend (caches, TLB, prefetch tables, in-flight
+    /// tracker) plus the starvation FIFO and the clock — simulates for
+    /// real, so the end state is bit-identical to an observed run of
+    /// the same stream.
+    ///
+    /// Returns the replayed clock and stall buckets (equal to the
+    /// observed run's; useful for assertions — warmup timing is
+    /// otherwise discarded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tape runs out mid-stream — a stale or mismatched
+    /// tape, which keyed and checksummed prefix containers prevent.
+    pub fn run_warmup_tail<I>(&mut self, trace: I, cursor: &mut TapeCursor<'_>) -> WarmupTailReport
+    where
+        I: IntoIterator<Item = TraceInstr>,
+    {
+        let width = f64::from(self.config.dispatch_width);
+        let dispatch_cost = 1.0 / width;
+        let ooo_hide = self.config.ooo_hide_cycles();
+        let mispredict_penalty = self.predictor.mispredict_penalty() as f64;
+
+        let mut cycles = 0.0f64;
+        let mut topdown = TopDown::default();
+        let mut instructions = 0u64;
+        let mut current_line = u64::MAX;
+        let mut last_miss_instr: Option<u64> = None;
+
+        for instr in trace {
+            instructions += 1;
+
+            // --- Fetch --- (mirrors `run_chunk_mode` exactly)
+            let line = instr.pc.raw() >> 6;
+            if line != current_line {
+                current_line = line;
+                let starved_flag = self.starved.contains(line);
+                let lat = self.backend.ifetch(instr.pc, starved_flag, cycles as u64);
+                if !lat.l1_hit {
+                    let stall = lat.cycles.saturating_sub(self.config.l1_hit_cycles) as f64;
+                    topdown.ifetch += stall;
+                    cycles += stall;
+                    if lat.cycles >= self.config.starvation_threshold {
+                        self.starved.insert(line);
+                    }
+                }
+                if self.config.fdip {
+                    let n = cursor.next_fdip();
+                    for _ in 0..n {
+                        let pc = cursor.next_fdip_pc(instr.pc.raw());
+                        self.backend.prefetch_ifetch(trrip_mem::VirtAddr::new(pc), cycles as u64);
+                    }
+                }
+            }
+
+            // --- Branch resolution --- (outcome off the tape)
+            if instr.branch.is_some() && cursor.next_mispredict() {
+                topdown.mispred += mispredict_penalty;
+                cycles += mispredict_penalty;
+            }
+
+            // --- Memory ---
+            if let Some(mem) = instr.mem {
+                let lat = if mem.store {
+                    self.backend.dwrite(mem.addr, instr.pc)
+                } else {
+                    self.backend.dread(mem.addr, instr.pc)
+                };
+                if !mem.store && !lat.l1_hit {
+                    let raw = lat.cycles.saturating_sub(self.config.l1_hit_cycles) as f64;
+                    let exposed = (raw - ooo_hide as f64).max(0.0);
+                    if exposed > 0.0 {
+                        let overlapped = last_miss_instr.is_some_and(|li| {
+                            instructions - li < u64::from(self.config.rob_entries)
+                        });
+                        let stall = if overlapped { exposed / MLP_SERIALIZATION } else { exposed };
+                        topdown.mem += stall;
+                        cycles += stall;
+                        last_miss_instr = Some(instructions);
+                    }
+                }
+            }
+
+            // --- Synthetic backend stalls ---
+            if let Some((class, extra)) = instr.exec_stall {
+                let extra = f64::from(extra);
+                topdown.add_stall(class, extra);
+                cycles += extra;
+            }
+
+            // --- Retire ---
+            cycles += dispatch_cost;
+        }
+        WarmupTailReport { instructions, cycles, topdown }
     }
 }
 
@@ -970,6 +1190,50 @@ mod tests {
         core.run_chunk(&mut state, trace[250..].iter().copied(), true);
         core2.run_chunk(&mut restored, trace[250..].iter().copied(), true);
         assert_eq!(core.tally_run(&state), core2.tally_run(&restored));
+    }
+
+    #[test]
+    fn taped_warmup_tail_is_bit_identical_without_touching_the_predictor() {
+        // Record one run, then replay the tape into a fresh core: the
+        // clock and stall buckets must match bit-for-bit while the
+        // replaying core's predictor stays untrained — the property the
+        // shared warm prefix is built on.
+        let trace = mixed_trace(4000);
+        let mut recorder = Core::new(CoreConfig::paper(), stall_backend());
+        let mut tape = WarmupTape::new();
+        let mut state = recorder.begin_run();
+        recorder.run_chunk_mode(
+            &mut state,
+            trace.iter().copied(),
+            true,
+            &mut WarmupMode::Record(&mut tape),
+        );
+        let recorded = recorder.tally_run(&state);
+        assert_eq!(tape.instructions(), 4000);
+        assert!(tape.branches() > 0 && tape.triggers() > 0, "tape must capture events");
+
+        // Observe-mode reference: recording must not perturb the run.
+        let mut plain = Core::new(CoreConfig::paper(), stall_backend());
+        let reference = plain.run(trace.clone());
+        assert_eq!(recorded.cycles, reference.cycles);
+        assert_eq!(recorded.topdown, reference.topdown);
+
+        // Windowless tape replay: same clock and stall buckets (minus
+        // retire, which tallying derives), predictor cold.
+        let mut replayer = Core::new(CoreConfig::paper(), stall_backend());
+        let mut cursor = tape.cursor();
+        let report = replayer.run_warmup_tail(trace.iter().copied(), &mut cursor);
+        cursor.finish().expect("tape sized to the stream");
+        assert_eq!(report.instructions, 4000);
+        assert_eq!(report.cycles, state.cycles, "replayed clock diverged");
+        for class in StallClass::ALL {
+            assert_eq!(
+                report.topdown.stall(class),
+                state.topdown.stall(class),
+                "replayed {class:?} bucket diverged"
+            );
+        }
+        assert_eq!(replayer.predictor().branches(), 0, "replay must not train the predictor");
     }
 
     #[test]

@@ -12,7 +12,12 @@
 //!   core drives for fetches, loads, stores and prefetches (implemented in
 //!   `trrip-sim` over the MMU + hierarchy).
 //! * [`core`] — the timing loop with pseudo-FDIP lookahead prefetching and
-//!   decode-starvation tracking for Emissary.
+//!   decode-starvation tracking for Emissary; runs in three
+//!   [`WarmupMode`]s (observe / record / tape-replay).
+//! * [`tape`] — the [`WarmupTape`]: the warmup's predictor-derived
+//!   decisions (mispredict bits, FDIP stop counts), recorded once per
+//!   workload and replayed for every other cache policy — the
+//!   policy-agnostic half of a shared warm prefix.
 //! * [`topdown`] — Top-Down cycle attribution (retire / ifetch / mispred /
 //!   depend / issue / mem / other) as in Figures 1 and 2.
 
@@ -22,11 +27,15 @@
 pub mod backend;
 pub mod branch;
 pub mod core;
+pub mod tape;
 pub mod topdown;
 pub mod trace;
 
-pub use crate::core::{ChunkCut, Core, CoreConfig, CoreResult, RunState};
+pub use crate::core::{
+    ChunkCut, Core, CoreConfig, CoreResult, RunState, WarmupMode, WarmupTailReport,
+};
 pub use backend::{MemLatency, MemoryBackend};
 pub use branch::{BranchOutcome, BranchPredictor, PredictorConfig};
+pub use tape::{TapeCursor, WarmupTape};
 pub use topdown::{StallClass, TopDown};
 pub use trace::{BranchInfo, BranchKind, MemOp, TraceInstr};

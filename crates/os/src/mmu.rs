@@ -41,13 +41,53 @@ struct TlbEntry {
     vpn: u64,
     stamp: u64,
     valid: bool,
+    /// Cached translation — a real TLB holds the PTE, so a hit skips the
+    /// page walk entirely. Safe to cache because a mapped PTE is never
+    /// remapped during a run (the loader maps before the Mmu exists and
+    /// demand allocation only inserts absent pages). Not serialized:
+    /// snapshots rebuild it from the page table.
+    frame: u64,
+    pbha: TemperatureBits,
 }
+
+/// Multiply-xor hasher for VPN keys: the default SipHash costs about as
+/// much as the 64-entry scan the index replaced, defeating the point on
+/// the translate hot path.
+#[derive(Debug, Clone, Default)]
+struct VpnHash(u64);
+
+impl std::hash::Hasher for VpnHash {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 writes (not used by u64 keys).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+}
+
+type VpnMap = std::collections::HashMap<u64, usize, std::hash::BuildHasherDefault<VpnHash>>;
 
 /// The MMU: page table + TLB + demand allocation.
 #[derive(Debug, Clone)]
 pub struct Mmu {
     page_table: PageTable,
     tlb: Vec<TlbEntry>,
+    /// `vpn → slot` over the valid TLB entries — pure lookup
+    /// acceleration for the translate hot path (every fetch line-change,
+    /// memory operand, and prefetch translates). The architectural state
+    /// (entries, stamps, victim choice, statistics) is byte-identical
+    /// with or without it, and snapshots rebuild it on restore.
+    tlb_index: VpnMap,
     clock: u64,
     stats: TlbStats,
     next_anon_frame: u64,
@@ -65,6 +105,7 @@ impl Mmu {
         Mmu {
             page_table,
             tlb: vec![TlbEntry::default(); Mmu::TLB_ENTRIES],
+            tlb_index: VpnMap::default(),
             clock: 0,
             stats: TlbStats::default(),
             next_anon_frame: max_frame + 1,
@@ -92,38 +133,52 @@ impl Mmu {
     /// Translates `vaddr`, returning the physical address and the decoded
     /// temperature attribute. Unmapped pages are demand-allocated as
     /// anonymous (non-executable, no temperature) memory.
+    ///
+    /// A TLB hit serves the cached PTE without touching the page table —
+    /// hit lookup plus stamp update is O(1); only misses (and demand
+    /// allocations) walk the table and run the LRU victim scan.
     pub fn translate(&mut self, vaddr: VirtAddr) -> (PhysAddr, Option<Temperature>) {
+        let page_bytes = self.page_size().bytes();
         let vpn = self.page_size().page_of(vaddr).raw();
-        self.touch_tlb(vpn);
-        match self.page_table.lookup(vaddr) {
-            Some((pa, bits)) => (pa, bits.decode()),
+        let offset = vaddr.offset_in(page_bytes);
+        self.clock += 1;
+
+        if let Some(&slot) = self.tlb_index.get(&vpn) {
+            let entry = &mut self.tlb[slot];
+            entry.stamp = self.clock;
+            self.stats.hits += 1;
+            return (PhysAddr::new(entry.frame * page_bytes + offset), entry.pbha.decode());
+        }
+        self.stats.misses += 1;
+
+        // Page walk; unmapped pages demand-allocate (anonymous memory).
+        let pte = match self.page_table.entry(vpn) {
+            Some(&pte) => pte,
             None => {
                 let frame = self.next_anon_frame;
                 self.next_anon_frame += 1;
-                self.page_table.map(
-                    vpn,
-                    PageTableEntry { frame, executable: false, pbha: TemperatureBits::NONE },
-                );
-                let offset = vaddr.offset_in(self.page_size().bytes());
-                (PhysAddr::new(frame * self.page_size().bytes() + offset), None)
+                let pte = PageTableEntry { frame, executable: false, pbha: TemperatureBits::NONE };
+                self.page_table.map(vpn, pte);
+                pte
             }
-        }
-    }
+        };
 
-    fn touch_tlb(&mut self, vpn: u64) {
-        self.clock += 1;
-        if let Some(entry) = self.tlb.iter_mut().find(|e| e.valid && e.vpn == vpn) {
-            entry.stamp = self.clock;
-            self.stats.hits += 1;
-            return;
-        }
-        self.stats.misses += 1;
-        let victim = self
+        // TLB fill: victim scan only on the miss path; the first-minimum
+        // choice matches the original linear scan exactly.
+        let (slot, victim) = self
             .tlb
             .iter_mut()
-            .min_by_key(|e| if e.valid { e.stamp } else { 0 })
+            .enumerate()
+            .min_by_key(|(_, e)| if e.valid { e.stamp } else { 0 })
             .expect("TLB is never empty");
-        *victim = TlbEntry { vpn, stamp: self.clock, valid: true };
+        if victim.valid {
+            self.tlb_index.remove(&victim.vpn);
+        }
+        *victim =
+            TlbEntry { vpn, stamp: self.clock, valid: true, frame: pte.frame, pbha: pte.pbha };
+        self.tlb_index.insert(vpn, slot);
+
+        (PhysAddr::new(pte.frame * page_bytes + offset), pte.pbha.decode())
     }
 }
 
@@ -149,13 +204,22 @@ impl Snapshot for Mmu {
         r.expect_tag(b"MMU ")?;
         self.page_table.restore(r)?;
         r.expect_len("TLB entries", self.tlb.len())?;
-        for e in &mut self.tlb {
-            *e = TlbEntry::default();
-            e.valid = r.bool()?;
+        self.tlb_index.clear();
+        for slot in 0..self.tlb.len() {
+            let mut e = TlbEntry { valid: r.bool()?, ..TlbEntry::default() };
             if e.valid {
                 e.vpn = r.u64()?;
                 e.stamp = r.u64()?;
+                // The cached PTE is not serialized: rebuild it from the
+                // (just-restored) page table.
+                let pte = self.page_table.entry(e.vpn).copied().ok_or_else(|| {
+                    SnapError::Corrupt(format!("TLB entry for unmapped page {:#x}", e.vpn))
+                })?;
+                e.frame = pte.frame;
+                e.pbha = pte.pbha;
+                self.tlb_index.insert(e.vpn, slot);
             }
+            self.tlb[slot] = e;
         }
         self.clock = r.u64()?;
         self.stats = TlbStats { hits: r.u64()?, misses: r.u64()? };

@@ -5,19 +5,43 @@
 //!
 //! ```text
 //! file := magic:8 version:u16 body_len:u64 body checksum:u64
-//! body := meta payload            (one trrip-snap stream)
+//! body := kind:u8 meta payload    (one trrip-snap stream; v3+)
+//! body := meta payload            (v1/v2, implicitly kind = full)
 //! meta := benchmark:str policy:str fingerprint:u64 config_hash:u64
 //!         stream_position:u64 mid_measure:bool
 //! ```
 //!
 //! Fixed-width fields are little-endian; the body is a `trrip-snap`
-//! stream whose trailing `payload` field holds the [`SimRun`] snapshot.
-//! The checksum (the same word-folded hash `trrip-trace` uses for chunk
+//! stream whose trailing `payload` field holds the snapshot. The
+//! checksum (the same word-folded hash `trrip-trace` uses for chunk
 //! payloads) covers every body byte, and `body_len` makes truncation
 //! detectable before the checksum is even consulted. Writes go to a
 //! sibling temp file and are renamed into place, so concurrent sweep
 //! processes sharing a checkpoint directory never observe a
 //! half-written file — the same discipline as trace capture.
+//!
+//! # Container v3: the split warm prefix
+//!
+//! v3 tags every container with a [`CheckpointKind`]:
+//!
+//! * **full** — a complete [`SimRun`] state (fast-forward boundary or
+//!   mid-measure segment chain link), as in v1/v2;
+//! * **shared prefix** — the *policy-agnostic* half of one workload's
+//!   fast-forward state: the branch predictor section plus the recorded
+//!   [`WarmupTape`] (mispredict bits + FDIP stop counts). One file per
+//!   workload, keyed **without** the L2 policy
+//!   ([`warmup_prefix_hash`]);
+//! * **policy overlay** — the *policy-dependent* rest (caches with
+//!   tag/RRPV/policy state, MMU/TLB, prefetch tables, in-flight
+//!   tracker, starvation FIFO). One small-ish file per `(workload,
+//!   policy)`.
+//!
+//! `shared prefix + overlay` composes bit-identically to the full
+//! fast-forward state; a policy with no overlay yet warm-starts by
+//! replaying the tape against its own cold machine
+//! ([`SimRun::fast_forward_replayed`]) — so the cold populating pass
+//! pays **one** full warmup per workload instead of one per policy.
+//! v1/v2 files remain readable (they restore as `full`).
 //!
 //! # Keying
 //!
@@ -33,12 +57,15 @@
 //!   the fast-forward length). The *measured* window length and the
 //!   profiler flags are deliberately excluded — a warmed state is
 //!   reusable under any measure window, which is what lets fig6/fig8/
-//!   fig9 share warmups where their machines agree.
+//!   fig9 share warmups where their machines agree. Shared-prefix files
+//!   use the policy-free variant ([`warmup_prefix_hash`]) so every
+//!   policy's cell resolves the same prefix.
 
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 use trrip_compiler::LayoutKind;
+use trrip_cpu::WarmupTape;
 use trrip_os::OverlapPolicy;
 use trrip_snap::{Checksum, SnapError, SnapReader, SnapWriter, Snapshot};
 
@@ -49,13 +76,46 @@ use crate::system::SimRun;
 
 /// Checkpoint file magic: `b"TRRIPCKP"`.
 pub const MAGIC: [u8; 8] = *b"TRRIPCKP";
-/// Current checkpoint format version. v2 payloads use the bitmap
-/// cache-tag encoding (valid-slot bitmaps instead of a flag byte per
-/// slot — the SLC tag store dominated v1 file size) and the segmented
-/// run-tally layout; v1 files remain readable (the component encodings
-/// are tag-dispatched, see `trrip_cache::Cache` and
+/// Current checkpoint format version. v3 containers carry a
+/// [`CheckpointKind`] tag so one store holds full states, shared
+/// prefixes, and policy overlays side by side. v2 introduced the bitmap
+/// cache-tag encoding and the segmented run-tally layout. v1 and v2
+/// files remain readable: a pre-v3 body restores as
+/// [`CheckpointKind::Full`], and the component encodings inside
+/// payloads are tag-dispatched (see `trrip_cache::Cache` and
 /// `trrip_cpu::RunState`).
-pub const VERSION: u16 = 2;
+pub const VERSION: u16 = 3;
+
+/// What a v3 container holds (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointKind {
+    /// A complete [`SimRun`] state (fast-forward or mid-measure).
+    Full,
+    /// A workload's policy-agnostic warm prefix: predictor section +
+    /// recorded warmup tape.
+    SharedPrefix,
+    /// One policy's policy-dependent fast-forward state.
+    PolicyOverlay,
+}
+
+impl CheckpointKind {
+    fn as_u8(self) -> u8 {
+        match self {
+            CheckpointKind::Full => 0,
+            CheckpointKind::SharedPrefix => 1,
+            CheckpointKind::PolicyOverlay => 2,
+        }
+    }
+
+    fn from_u8(raw: u8) -> Option<CheckpointKind> {
+        match raw {
+            0 => Some(CheckpointKind::Full),
+            1 => Some(CheckpointKind::SharedPrefix),
+            2 => Some(CheckpointKind::PolicyOverlay),
+            _ => None,
+        }
+    }
+}
 
 /// Everything that can go wrong reading or writing a checkpoint.
 #[derive(Debug)]
@@ -176,6 +236,20 @@ fn overlap_tag(overlap: OverlapPolicy) -> u8 {
 /// predictor sizing, page size, fast-forward length…) moves the hash.
 #[must_use]
 pub fn warmup_config_hash(config: &SimConfig) -> u64 {
+    warmup_hash(config, true)
+}
+
+/// [`warmup_config_hash`] **without the L2 policy**: the key of a
+/// shared-prefix container. The prefix holds only policy-agnostic state
+/// (predictor + warmup tape), so every policy of a sweep must resolve
+/// the same file — the one knob that must *not* move the hash is the
+/// policy itself.
+#[must_use]
+pub fn warmup_prefix_hash(config: &SimConfig) -> u64 {
+    warmup_hash(config, false)
+}
+
+fn warmup_hash(config: &SimConfig, include_policy: bool) -> u64 {
     let mut w = SnapWriter::new();
     w.u64(u64::from(config.core.dispatch_width));
     w.u64(u64::from(config.core.rob_entries));
@@ -199,7 +273,9 @@ pub fn warmup_config_hash(config: &SimConfig) -> u64 {
         w.u64(cache.data_latency);
     }
     w.u64(config.hierarchy.dram_latency);
-    w.str(config.hierarchy.l2_policy.name());
+    if include_policy {
+        w.str(config.hierarchy.l2_policy.name());
+    }
     w.u64(config.page_size.bytes());
     w.u8(overlap_tag(config.overlap));
     w.u8(match config.layout {
@@ -213,7 +289,9 @@ pub fn warmup_config_hash(config: &SimConfig) -> u64 {
     checksum.value()
 }
 
-/// Writes a checkpoint file atomically (sibling temp file + rename).
+/// Writes a [`CheckpointKind::Full`] checkpoint file atomically
+/// (sibling temp file + rename). Prefix/overlay containers go through
+/// [`write_checkpoint_kind`].
 ///
 /// # Errors
 ///
@@ -223,7 +301,23 @@ pub fn write_checkpoint(
     meta: &CheckpointMeta,
     payload: &[u8],
 ) -> Result<(), CheckpointError> {
+    write_checkpoint_kind(path, CheckpointKind::Full, meta, payload)
+}
+
+/// Writes a checkpoint container of any [`CheckpointKind`] atomically
+/// (sibling temp file + rename).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_checkpoint_kind(
+    path: &Path,
+    kind: CheckpointKind,
+    meta: &CheckpointMeta,
+    payload: &[u8],
+) -> Result<(), CheckpointError> {
     let mut body = SnapWriter::new();
+    body.u8(kind.as_u8());
     meta.save(&mut body);
     body.bytes_field(payload);
     let body = body.into_bytes();
@@ -253,14 +347,18 @@ pub fn write_checkpoint(
 }
 
 /// Reads and verifies a checkpoint file: magic, version, length and
-/// checksum. Returns the metadata and the snapshot payload.
+/// checksum. Returns the container kind, the metadata and the snapshot
+/// payload. Pre-v3 files carry no kind byte and restore as
+/// [`CheckpointKind::Full`].
 ///
 /// # Errors
 ///
 /// Every [`CheckpointError`] variant except `KeyMismatch` — a
 /// truncated file surfaces as `Io`/`Corrupt`, a flipped body byte as
 /// `ChecksumMismatch`.
-pub fn read_checkpoint(path: &Path) -> Result<(CheckpointMeta, Vec<u8>), CheckpointError> {
+pub fn read_checkpoint(
+    path: &Path,
+) -> Result<(CheckpointKind, CheckpointMeta, Vec<u8>), CheckpointError> {
     let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
 
     let mut magic = [0u8; 8];
@@ -301,10 +399,17 @@ pub fn read_checkpoint(path: &Path) -> Result<(CheckpointMeta, Vec<u8>), Checkpo
     }
 
     let mut r = SnapReader::new(&body);
+    let kind = if version >= 3 {
+        let raw = r.u8()?;
+        CheckpointKind::from_u8(raw)
+            .ok_or_else(|| CheckpointError::Corrupt(format!("unknown container kind {raw}")))?
+    } else {
+        CheckpointKind::Full
+    };
     let meta = CheckpointMeta::restore(&mut r)?;
     let payload = r.bytes_field()?.to_vec();
     r.finish()?;
-    Ok((meta, payload))
+    Ok((kind, meta, payload))
 }
 
 /// A directory of warmed-state checkpoints, keyed exactly like the
@@ -362,6 +467,15 @@ impl CheckpointStore {
     #[must_use]
     pub fn has(&self, workload: &PreparedWorkload, config: &SimConfig) -> bool {
         matches!(self.load(workload, config), Ok(Some(_)))
+    }
+
+    /// Whether `(workload, config)` can warm-start without simulating
+    /// its own fast-forward: a loadable whole-state checkpoint, or a
+    /// loadable shared prefix (with or without this policy's overlay —
+    /// a prefix alone warm-starts through the warmup-tail replay).
+    #[must_use]
+    pub fn has_warm_start(&self, workload: &PreparedWorkload, config: &SimConfig) -> bool {
+        self.has(workload, config) || matches!(self.load_prefix(workload, config), Ok(Some(_)))
     }
 
     /// Saves `run`'s state as the fast-forward checkpoint for its
@@ -496,14 +610,16 @@ impl CheckpointStore {
         position: u64,
     ) -> Result<Option<SimRun<'w>>, CheckpointError> {
         let path = self.segment_path(workload, config, ordinal, position);
-        let (meta, payload) = match read_checkpoint(&path) {
+        let (kind, meta, payload) = match read_checkpoint(&path) {
             Ok(parts) => parts,
             Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Ok(None)
             }
             Err(e) => return Err(e),
         };
-        if meta != self.expected_segment_meta(workload, config, position) {
+        if kind != CheckpointKind::Full
+            || meta != self.expected_segment_meta(workload, config, position)
+        {
             return Ok(None);
         }
         let mut run = SimRun::new(workload, config);
@@ -530,7 +646,7 @@ impl CheckpointStore {
         config: &SimConfig,
     ) -> Result<Option<SimRun<'w>>, CheckpointError> {
         let path = self.path_for(workload, config);
-        let (meta, payload) = match read_checkpoint(&path) {
+        let (kind, meta, payload) = match read_checkpoint(&path) {
             Ok(parts) => parts,
             Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Ok(None)
@@ -538,7 +654,7 @@ impl CheckpointStore {
             Err(e) => return Err(e),
         };
         let expected = self.expected_meta(workload, config);
-        if meta != expected {
+        if kind != CheckpointKind::Full || meta != expected {
             return Ok(None);
         }
         let mut run = SimRun::new(workload, config);
@@ -546,5 +662,319 @@ impl CheckpointStore {
         run.restore(&mut r)?;
         r.finish()?;
         Ok(Some(run))
+    }
+
+    /// Where the **shared prefix** for `(workload, config)` lives — one
+    /// file per workload, keyed *without* the L2 policy
+    /// ([`warmup_prefix_hash`]), so every policy of a sweep resolves the
+    /// same prefix.
+    #[must_use]
+    pub fn prefix_path(&self, workload: &PreparedWorkload, config: &SimConfig) -> PathBuf {
+        self.dir.join(format!(
+            "{}-{}-shared-ff{}-{:016x}-{:016x}.ckpt",
+            workload.spec.name,
+            trace_layout(config.layout).tag(),
+            config.fast_forward,
+            workload_fingerprint(workload, config),
+            warmup_prefix_hash(config),
+        ))
+    }
+
+    /// The metadata a valid shared prefix must carry. The policy field
+    /// holds `"*"` — the prefix belongs to every policy.
+    #[must_use]
+    pub fn expected_prefix_meta(
+        &self,
+        workload: &PreparedWorkload,
+        config: &SimConfig,
+    ) -> CheckpointMeta {
+        CheckpointMeta {
+            benchmark: workload.spec.name.clone(),
+            policy: "*".to_owned(),
+            fingerprint: workload_fingerprint(workload, config),
+            config_hash: warmup_prefix_hash(config),
+            stream_position: config.fast_forward,
+            mid_measure: false,
+        }
+    }
+
+    /// Saves the policy-agnostic warm prefix: `run`'s shared section
+    /// ([`SimRun::save_shared`]) plus the warmup `tape` recorded while
+    /// `run` fast-forwarded. The recording run's own policy does not
+    /// matter — every byte written here is policy-independent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` has started measuring, or the tape does not cover
+    /// exactly `run`'s fast-forward window.
+    pub fn save_prefix(
+        &self,
+        run: &SimRun<'_>,
+        tape: &WarmupTape,
+    ) -> Result<PathBuf, CheckpointError> {
+        assert!(!run.is_measuring(), "shared prefixes are fast-forward states");
+        assert_eq!(
+            tape.instructions(),
+            run.config().fast_forward,
+            "tape does not cover the fast-forward window"
+        );
+        let meta = self.expected_prefix_meta(run.workload(), run.config());
+        let mut payload = SnapWriter::new();
+        run.save_shared(&mut payload);
+        tape.save(&mut payload);
+        let path = self.prefix_path(run.workload(), run.config());
+        write_checkpoint_kind(&path, CheckpointKind::SharedPrefix, &meta, payload.bytes())?;
+        Ok(path)
+    }
+
+    /// Loads the shared prefix for `(workload, config)`, if a valid one
+    /// exists. `Ok(None)` for a missing or differently-keyed file; only
+    /// damaged files are errors (callers fall back to a cold recorded
+    /// warmup either way).
+    ///
+    /// # Errors
+    ///
+    /// Damaged files, as [`CheckpointStore::load`].
+    pub fn load_prefix(
+        &self,
+        workload: &PreparedWorkload,
+        config: &SimConfig,
+    ) -> Result<Option<SharedWarmup>, CheckpointError> {
+        let path = self.prefix_path(workload, config);
+        let (kind, meta, payload) = match read_checkpoint(&path) {
+            Ok(parts) => parts,
+            Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(None)
+            }
+            Err(e) => return Err(e),
+        };
+        if kind != CheckpointKind::SharedPrefix
+            || meta != self.expected_prefix_meta(workload, config)
+        {
+            return Ok(None);
+        }
+        let mut r = SnapReader::new(&payload);
+        let shared_start = payload.len() - r.remaining();
+        let _ = r.section(b"SHRD")?; // validated; bytes kept whole below
+        let shared_end = payload.len() - r.remaining();
+        let mut tape = WarmupTape::new();
+        tape.restore(&mut r)?;
+        r.finish()?;
+        Ok(Some(SharedWarmup { shared: payload[shared_start..shared_end].to_vec(), tape }))
+    }
+
+    /// Where the **policy overlay** for `(workload, config)` lives —
+    /// keyed like a full fast-forward checkpoint (policy included).
+    #[must_use]
+    pub fn overlay_path(&self, workload: &PreparedWorkload, config: &SimConfig) -> PathBuf {
+        self.dir.join(format!(
+            "{}-{}-{}-ff{}-ovl-{:016x}-{:016x}.ckpt",
+            workload.spec.name,
+            trace_layout(config.layout).tag(),
+            config.hierarchy.l2_policy.name().to_ascii_lowercase(),
+            config.fast_forward,
+            workload_fingerprint(workload, config),
+            warmup_config_hash(config),
+        ))
+    }
+
+    /// The metadata a valid policy overlay must carry.
+    #[must_use]
+    pub fn expected_overlay_meta(
+        &self,
+        workload: &PreparedWorkload,
+        config: &SimConfig,
+    ) -> CheckpointMeta {
+        self.expected_meta(workload, config)
+    }
+
+    /// Saves `run`'s policy-dependent fast-forward state as its policy's
+    /// overlay ([`SimRun::save_overlay`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` has started measuring.
+    pub fn save_overlay(&self, run: &SimRun<'_>) -> Result<PathBuf, CheckpointError> {
+        assert!(!run.is_measuring(), "overlays are fast-forward states");
+        let meta = self.expected_overlay_meta(run.workload(), run.config());
+        let mut payload = SnapWriter::new();
+        run.save_overlay(&mut payload);
+        let path = self.overlay_path(run.workload(), run.config());
+        write_checkpoint_kind(&path, CheckpointKind::PolicyOverlay, &meta, payload.bytes())?;
+        Ok(path)
+    }
+
+    /// Loads the overlay for `(workload, config)` into `run`, whose
+    /// shared section should be restored first (order does not matter
+    /// bit-wise, but a composed run needs both). Returns `Ok(false)` for
+    /// a missing or differently-keyed file.
+    ///
+    /// On a mid-restore error — a damaged payload that nonetheless
+    /// passed the container checksum, which keying makes essentially
+    /// unreachable — `run` may be left half-written: the caller must
+    /// rebuild it before falling back (the warm-start ladder does).
+    ///
+    /// # Errors
+    ///
+    /// Damaged files, as [`CheckpointStore::load`], plus overlay
+    /// payloads whose shape does not match the run's machine.
+    pub fn load_overlay_into(&self, run: &mut SimRun<'_>) -> Result<bool, CheckpointError> {
+        let path = self.overlay_path(run.workload(), run.config());
+        let (kind, meta, payload) = match read_checkpoint(&path) {
+            Ok(parts) => parts,
+            Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(false)
+            }
+            Err(e) => return Err(e),
+        };
+        if kind != CheckpointKind::PolicyOverlay
+            || meta != self.expected_overlay_meta(run.workload(), run.config())
+        {
+            return Ok(false);
+        }
+        let mut r = SnapReader::new(&payload);
+        run.restore_overlay(&mut r)?;
+        r.finish()?;
+        Ok(true)
+    }
+
+    /// Total bytes the store's container files occupy on disk
+    /// (in-flight `*.tmp.*` files excluded).
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return 0 };
+        entries
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "ckpt"))
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum()
+    }
+
+    /// Removes every container file (and leftover temp file) whose
+    /// workload fingerprint is **not** in `keep_fingerprints` — the
+    /// disk-hygiene pass a long-lived store runs after workload
+    /// definitions change and their fingerprints rotate.
+    ///
+    /// Safe against concurrent sweeps sharing the directory: writes are
+    /// temp+rename, so gc never observes a half-written container, and a
+    /// save racing the deletion atomically recreates its file (a later
+    /// gc removes it again if still unwanted). Temp files are removed
+    /// only when their own fingerprint is stale, so an in-flight write
+    /// of a *kept* key is never broken mid-rename. Files the store did
+    /// not name (no trailing `-fingerprint-hash` pair) are left alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-listing failures; individual deletions that
+    /// race another process's deletion are not errors.
+    pub fn gc(&self, keep_fingerprints: &[u64]) -> Result<GcReport, std::io::Error> {
+        let mut report = GcReport::default();
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+            Err(e) => return Err(e),
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            let key = if let Some(stem) = name.strip_suffix(".ckpt") {
+                stem
+            } else if let Some((stem, _)) = name.split_once(".tmp.") {
+                stem
+            } else {
+                continue;
+            };
+            let Some(fingerprint) = parse_trailing_fingerprint(key) else { continue };
+            if keep_fingerprints.contains(&fingerprint) {
+                continue;
+            }
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            match std::fs::remove_file(&path) {
+                Ok(()) => {
+                    report.removed_files += 1;
+                    report.freed_bytes += bytes;
+                }
+                // Racing deletion/rename is fine — the file is gone or
+                // was just atomically replaced.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// What [`CheckpointStore::gc`] removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Container and temp files deleted.
+    pub removed_files: usize,
+    /// Their summed size in bytes.
+    pub freed_bytes: u64,
+}
+
+/// Extracts the workload fingerprint from a store file key of the form
+/// `…-{fingerprint:016x}-{confighash:016x}`. `None` when the name does
+/// not follow the store's scheme.
+fn parse_trailing_fingerprint(key: &str) -> Option<u64> {
+    let mut parts = key.rsplit('-');
+    let hash = parts.next()?;
+    let fingerprint = parts.next()?;
+    if hash.len() != 16 || fingerprint.len() != 16 {
+        return None;
+    }
+    // Both fields must be hex for this to be a store-named file.
+    u64::from_str_radix(hash, 16).ok()?;
+    u64::from_str_radix(fingerprint, 16).ok()
+}
+
+/// One workload's policy-agnostic warm prefix, loaded from a
+/// [`CheckpointKind::SharedPrefix`] container: the shared section bytes
+/// (branch predictor) plus the recorded warmup tape. Shared across every
+/// policy cell of the workload.
+#[derive(Debug, Clone)]
+pub struct SharedWarmup {
+    /// The `SHRD` section, kept as raw bytes so it can be applied to any
+    /// number of runs.
+    shared: Vec<u8>,
+    tape: WarmupTape,
+}
+
+impl SharedWarmup {
+    /// Builds a prefix in memory from a freshly recorded warmup — what
+    /// [`CheckpointStore::save_prefix`] persists.
+    #[must_use]
+    pub fn capture(run: &SimRun<'_>, tape: WarmupTape) -> SharedWarmup {
+        let mut w = SnapWriter::new();
+        run.save_shared(&mut w);
+        SharedWarmup { shared: w.into_bytes(), tape }
+    }
+
+    /// The recorded warmup tape.
+    #[must_use]
+    pub fn tape(&self) -> &WarmupTape {
+        &self.tape
+    }
+
+    /// Restores the shared section into `run` (typically a freshly
+    /// constructed one, before [`SimRun::fast_forward_replayed`] or an
+    /// overlay restore).
+    ///
+    /// # Errors
+    ///
+    /// Snapshot shape/codec errors.
+    pub fn apply(&self, run: &mut SimRun<'_>) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(&self.shared);
+        run.restore_shared(&mut r)?;
+        r.finish()
     }
 }

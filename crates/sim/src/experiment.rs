@@ -22,14 +22,16 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
+use trrip_cpu::WarmupTape;
 use trrip_policies::PolicyKind;
-use trrip_trace::{FanoutOptions, FanoutReplay, FanoutSubscriber, SourceIter};
+use trrip_trace::{FanoutOptions, FanoutReplay, FanoutSubscriber, SourceIter, TraceSource};
 
 use crate::capture::TraceStore;
 use crate::checkpoint::CheckpointStore;
 use crate::config::SimConfig;
 use crate::prepare::PreparedWorkload;
 use crate::system::{simulate, simulate_source, SimResult, SimRun};
+use crate::warmstats;
 
 /// Worker threads used when the caller does not cap them: one per
 /// hardware thread.
@@ -274,22 +276,228 @@ where
     }
 }
 
+/// Produces a [`SimRun`] warmed to the fast-forward boundary for one
+/// `(workload, policy)` cell, by the cheapest valid route — every route
+/// is bit-identical to a cold per-cell warmup
+/// (`tests/warm_prefix_equivalence.rs`):
+///
+/// 1. a **whole-state** fast-forward checkpoint (v1/v2 files, or any
+///    full container) — the warmup is never simulated;
+/// 2. **shared prefix + this policy's overlay** — compose the
+///    policy-agnostic and policy-dependent sections;
+/// 3. **shared prefix + warmup-tail replay** — restore the predictor,
+///    re-simulate the warmup against this policy's own machine with
+///    every predictor decision taken off the recorded tape
+///    ([`SimRun::fast_forward_replayed`]), and persist the overlay the
+///    next sweep will compose from. This is where a *corrupt or
+///    missing* overlay lands — never back at a cold warmup;
+/// 4. **cold recorded warmup** — no prefix available: simulate the
+///    warmup normally while recording a tape, then persist both the
+///    prefix and this policy's overlay. (With no store at all, a plain
+///    cold warmup.)
+///
+/// `stream_at(pos)` supplies the instruction stream positioned `pos`
+/// instructions in, and is called exactly once: with `fast_forward` on
+/// the restore rungs (1–2), with `0` when the warmup is simulated
+/// (3–4). The fan-out engine drains its broadcast subscriber to `pos`;
+/// the sharded engine opens a (seek-positioned) replay. Both engines
+/// share this one ladder, so fallback routing — including the
+/// fresh-machine rebuild after a half-written overlay restore — cannot
+/// diverge between them.
+///
+/// Damaged files are reported and demoted one rung; a damaged
+/// whole-state checkpoint is also deleted, so the store heals instead
+/// of re-reporting the same file on every later sweep (the prefix and
+/// overlay heal by being overwritten on rungs 3–4). Saves that fail
+/// only cost the warm start next time.
+pub(crate) fn warm_start_ladder<'w, S, F>(
+    workload: &'w PreparedWorkload,
+    config: &SimConfig,
+    checkpoints: Option<&CheckpointStore>,
+    stream_at: F,
+) -> (SimRun<'w>, SourceIter<S>)
+where
+    S: TraceSource,
+    F: FnOnce(u64) -> SourceIter<S>,
+{
+    let cell = |e: &dyn std::fmt::Display, what: &str, next: &str| {
+        eprintln!(
+            "[damaged {what} for {} / {}: {e}; {next}]",
+            workload.spec.name, config.hierarchy.l2_policy
+        );
+    };
+    let ff = config.fast_forward;
+
+    let Some(checkpoints) = checkpoints else {
+        // No store attached: plain cold warmup, nothing persisted.
+        let mut run = SimRun::new(workload, config);
+        let mut stream = stream_at(0);
+        run.fast_forward(&mut stream);
+        warmstats::count_cold_warmup();
+        return (run, stream);
+    };
+
+    // 1. Whole-state checkpoint.
+    match checkpoints.load(workload, config) {
+        Ok(Some(run)) => {
+            warmstats::count_full_restore();
+            return (run, stream_at(ff));
+        }
+        Ok(None) => {}
+        Err(e) => {
+            cell(&e, "fast-forward checkpoint", "removing it and trying the shared prefix");
+            let _ = std::fs::remove_file(checkpoints.path_for(workload, config));
+        }
+    }
+
+    // 2./3. Shared prefix.
+    let prefix = match checkpoints.load_prefix(workload, config) {
+        Ok(prefix) => prefix,
+        Err(e) => {
+            cell(&e, "shared prefix", "warming cold");
+            None
+        }
+    };
+    if let Some(prefix) = prefix {
+        let mut run = SimRun::new(workload, config);
+        prefix.apply(&mut run).expect("keyed shared prefix matches the machine");
+        match checkpoints.load_overlay_into(&mut run) {
+            Ok(true) => {
+                warmstats::count_overlay_restore();
+                return (run, stream_at(ff));
+            }
+            Ok(false) => {}
+            // Fall through to the tail replay, NOT to a cold warmup —
+            // with a fresh machine, since a mid-restore error may have
+            // left this one half-written.
+            Err(e) => {
+                cell(&e, "policy overlay", "replaying the warmup tail");
+                run = SimRun::new(workload, config);
+                prefix.apply(&mut run).expect("keyed shared prefix matches the machine");
+            }
+        }
+        let mut stream = stream_at(0);
+        run.fast_forward_replayed(&mut stream, prefix.tape());
+        if let Err(e) = checkpoints.save_overlay(&run) {
+            cell(&e, "overlay save", "continuing without it");
+        }
+        warmstats::count_tail_replay();
+        return (run, stream);
+    }
+
+    // 4. Cold, recorded: the warmup this cell pays becomes the shared
+    // prefix every other policy (and every later sweep) starts from.
+    let mut run = SimRun::new(workload, config);
+    let mut stream = stream_at(0);
+    let mut tape = WarmupTape::new();
+    run.fast_forward_recorded(&mut stream, &mut tape);
+    warmstats::count_recorded_warmup();
+    if let Err(e) = checkpoints.save_prefix(&run, &tape) {
+        cell(&e, "prefix save", "continuing without it");
+    }
+    if let Err(e) = checkpoints.save_overlay(&run) {
+        cell(&e, "overlay save", "continuing without it");
+    }
+    (run, stream)
+}
+
+/// The **shared-warmup pre-pass**: for every workload whose shared
+/// prefix is missing, runs one recorded fast-forward under the neutral
+/// warmup policy ([`PolicyKind::neutral`]) and persists the prefix plus
+/// the recorder's own overlay. After this pass, a populating sweep pays
+/// **one** full warmup per workload plus a cheap predictor-free tail
+/// replay per remaining policy — instead of `policies.len()` full
+/// warmups — which is the entire point of the policy-agnostic split.
+///
+/// Idempotent and parallel over workloads (`jobs` caps the workers).
+///
+/// # Panics
+///
+/// Panics if a trace cannot be captured or replayed.
+pub fn ensure_warm_prefixes(
+    jobs: usize,
+    workloads: &[PreparedWorkload],
+    config: &SimConfig,
+    traces: &TraceStore,
+    checkpoints: &CheckpointStore,
+) {
+    let _: Vec<()> = parallel_map_with(jobs, workloads.len(), |i| {
+        let workload = &workloads[i];
+        // The prefix key is policy-free, so probing with the base config
+        // answers for every policy of the sweep.
+        if matches!(checkpoints.load_prefix(workload, config), Ok(Some(_))) {
+            return;
+        }
+        let path = traces
+            .ensure(workload, config)
+            .unwrap_or_else(|e| panic!("capturing {}: {e}", workload.spec.name));
+        // Synchronous reader on purpose: the recorder consumes only the
+        // warmup prefix, and the background decoder would read ahead
+        // past it (bounded-channel depth) — wasted decode the sweep
+        // repeats anyway.
+        let reader = trrip_trace::open(&path)
+            .unwrap_or_else(|e| panic!("replaying {}: {e}", path.display()));
+        let mut stream = SourceIter::new(reader);
+        let neutral = config.clone().with_policy(PolicyKind::neutral());
+        let mut run = SimRun::new(workload, &neutral);
+        let mut tape = WarmupTape::new();
+        run.fast_forward_recorded(&mut stream, &mut tape);
+        warmstats::count_recorded_warmup();
+        if let Err(e) = checkpoints.save_prefix(&run, &tape) {
+            eprintln!("[prefix save failed for {}: {e}]", workload.spec.name);
+        }
+        if let Err(e) = checkpoints.save_overlay(&run) {
+            eprintln!(
+                "[overlay save failed for {} / {}: {e}]",
+                workload.spec.name,
+                PolicyKind::neutral()
+            );
+        }
+    });
+}
+
+/// [`replay_sweep_checkpointed`] behind the shared-warmup pre-pass
+/// ([`ensure_warm_prefixes`]): the **policy-agnostic warm prefix**
+/// engine. On a cold store the populating pass costs one recorded
+/// warmup per workload plus per-policy warmup-tail replays (predictor
+/// and FDIP-scan work paid once, not `policies.len()` times); on a warm
+/// store every cell composes shared prefix + overlay and skips warmup
+/// simulation entirely. Bit-identical to every other engine either way.
+///
+/// # Panics
+///
+/// As [`replay_sweep`].
+#[must_use]
+pub fn replay_sweep_warm_prefix(
+    jobs: usize,
+    workloads: &[PreparedWorkload],
+    config: &SimConfig,
+    policies: &[PolicyKind],
+    store: &TraceStore,
+    checkpoints: &CheckpointStore,
+) -> SweepResult {
+    ensure_warm_prefixes(jobs, workloads, config, store, checkpoints);
+    replay_sweep_checkpointed(jobs, workloads, config, policies, store, checkpoints)
+}
+
 /// [`replay_sweep`] with **warm-started measurement**: each
-/// `(workload, policy)` cell first tries to restore its warmed state
-/// from `checkpoints`. A hit skips fast-forward *simulation* entirely —
-/// the shared fan-out stream's warmup prefix is drained without
-/// touching the machine (decode is ~4× cheaper per instruction than
-/// simulation, and it is paid once per workload anyway). A miss runs
-/// fast-forward cold and persists the checkpoint, so the next sweep
-/// over the same workloads — the common case: fig6/fig8/fig9 all
-/// re-sweep the same benchmarks — starts warm across process runs.
+/// `(workload, policy)` cell warm-starts by the cheapest valid route —
+/// whole-state checkpoint, shared prefix + policy overlay, shared
+/// prefix + warmup-tail replay, or a cold *recorded* warmup that
+/// persists the prefix and overlay for every later sweep (see
+/// [`warm_start_cell`] for the exact ladder). The common case —
+/// fig6/fig8/fig9 re-sweeping the same benchmarks — starts warm across
+/// process runs; a cold store populated through
+/// [`replay_sweep_warm_prefix`] additionally shares one warmup across
+/// all policies.
 ///
 /// Results are bit-identical to [`replay_sweep`] and [`policy_sweep`]
-/// either way: a checkpoint restores the exact post-fast-forward state
-/// (enforced by `tests/checkpoint_roundtrip.rs`). Checkpoints that fail
-/// to load (stale key, corrupt file) fall back to the cold path and are
-/// overwritten; checkpoints that fail to *save* only cost the warm
-/// start next time.
+/// on every route: a checkpoint restores the exact post-fast-forward
+/// state and the tail replay re-simulates it exactly (enforced by
+/// `tests/checkpoint_roundtrip.rs` and
+/// `tests/warm_prefix_equivalence.rs`). Files that fail to load (stale
+/// key, corrupt) fall back one rung and are overwritten; files that
+/// fail to *save* only cost the warm start next time.
 ///
 /// # Panics
 ///
@@ -304,26 +512,15 @@ pub fn replay_sweep_checkpointed(
     checkpoints: &CheckpointStore,
 ) -> SweepResult {
     fanout_sweep(jobs, workloads, config, policies, store, |workload, run_config, subscriber| {
-        let mut stream = SourceIter::new(subscriber);
-        let mut run = match checkpoints.load(workload, run_config) {
-            Ok(Some(run)) => {
-                // Warm: drain the shared stream's warmup prefix without
-                // simulating it.
-                for _ in (&mut stream).take(run_config.fast_forward as usize) {}
-                run
-            }
-            Ok(None) | Err(_) => {
-                let mut run = SimRun::new(workload, run_config);
-                run.fast_forward(&mut stream);
-                if let Err(e) = checkpoints.save(&run) {
-                    eprintln!(
-                        "[checkpoint save failed for {} / {}: {e}]",
-                        workload.spec.name, run_config.hierarchy.l2_policy
-                    );
-                }
-                run
-            }
-        };
+        let (mut run, mut stream) =
+            warm_start_ladder(workload, run_config, Some(checkpoints), |pos| {
+                // The broadcast subscriber cannot seek: draining decoded
+                // batches is how this engine "positions" the stream (the
+                // decode is shared across the workload's cells anyway).
+                let mut stream = SourceIter::new(subscriber);
+                for _ in (&mut stream).take(pos as usize) {}
+                stream
+            });
         run.measure(&mut stream)
     })
 }

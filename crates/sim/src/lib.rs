@@ -19,9 +19,17 @@
 //! * [`checkpoint`] — versioned, checksummed on-disk snapshots of a
 //!   warmed [`SimRun`], keyed by workload fingerprint + machine hash;
 //!   repeated sweeps restore instead of re-running fast-forward.
+//!   Container v3 splits a fast-forward state into a policy-agnostic
+//!   **shared prefix** (predictor + warmup tape, one per workload) and
+//!   per-policy **overlays**, so a populating sweep records one warmup
+//!   per workload and fans it out across every policy.
 //! * [`experiment`] — parallel policy sweeps (walker-driven,
 //!   decode-once fan-out replay, the warm-started checkpointed engine,
-//!   and the legacy decode-per-job replay) and speedup computation.
+//!   the shared-warmup [`replay_sweep_warm_prefix`] engine, and the
+//!   legacy decode-per-job replay) and speedup computation.
+//! * [`warmstats`] — process-wide counters of how cells reached their
+//!   warmed state (full restore / overlay compose / warmup-tail replay
+//!   / recorded or cold warmup), the observable behind fallback tests.
 //! * [`shard`] — chunk-range sharding of a single run:
 //!   [`ShardPlan`] cuts the measure window into chunk-aligned segments,
 //!   segment *k* simulates from chained checkpoint *k−1*, fragments
@@ -43,22 +51,26 @@ pub mod inflight;
 pub mod prepare;
 pub mod shard;
 pub mod system;
+pub mod warmstats;
 
 pub use backend::SystemBackend;
 pub use capture::{capture_length, capture_trace, TraceStore};
 pub use checkpoint::{
-    read_checkpoint, warmup_config_hash, write_checkpoint, CheckpointError, CheckpointMeta,
-    CheckpointStore,
+    read_checkpoint, warmup_config_hash, warmup_prefix_hash, write_checkpoint,
+    write_checkpoint_kind, CheckpointError, CheckpointKind, CheckpointMeta, CheckpointStore,
+    GcReport, SharedWarmup,
 };
 pub use config::SimConfig;
 pub use experiment::{
     default_jobs, parallel_map, parallel_map_with, policy_sweep, policy_sweep_with, replay_sweep,
     replay_sweep_checkpointed, replay_sweep_isolated, replay_sweep_with, speedup_vs, SweepResult,
 };
+pub use experiment::{ensure_warm_prefixes, replay_sweep_warm_prefix};
 pub use inflight::InflightTable;
 pub use prepare::PreparedWorkload;
 pub use shard::{replay_sweep_sharded, simulate_sharded, ShardPlan};
 pub use system::{simulate, simulate_source, SimResult, SimRun};
+pub use warmstats::{warmup_counters, WarmupCounters};
 // The snapshot substrate, re-exported so callers can drive `SimRun`
 // save/restore without depending on `trrip-snap` directly.
 pub use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};

@@ -192,36 +192,17 @@ fn position_at<'w>(
         }
     }
 
-    // Cold fallback: the fast-forward boundary (restored or simulated),
-    // then the measure prefix up to `start` is re-simulated.
+    // Cold fallback: the fast-forward boundary by the cheapest valid
+    // route (whole-state checkpoint → shared prefix + overlay → prefix
+    // + warmup-tail replay → cold recorded warmup; the same ladder the
+    // fan-out engine uses), then the measure prefix up to `start` is
+    // re-simulated. An indexed trace makes the restore rungs' stream
+    // positioning a true seek.
     let ff = config.fast_forward;
-    let ff_checkpoint = checkpoints.map(|s| s.load(workload, config));
-    if let Some(Err(e)) = &ff_checkpoint {
-        // Surface the damage: the cold branch below overwrites the bad
-        // file (atomic temp+rename), but a persistent failure would
-        // otherwise look like an unexplained slowdown.
-        eprintln!(
-            "[damaged fast-forward checkpoint for {} / {}: {e}; warming cold]",
-            workload.spec.name, config.hierarchy.l2_policy
-        );
-    }
-    let (mut run, mut stream) = match ff_checkpoint.and_then(Result::ok).flatten() {
-        Some(run) => (run, open_stream(trace_path, ff)),
-        None => {
-            let mut run = SimRun::new(workload, config);
-            let mut stream = open_stream(trace_path, 0);
-            run.fast_forward(&mut stream);
-            if let Some(store) = checkpoints {
-                if let Err(e) = store.save(&run) {
-                    eprintln!(
-                        "[checkpoint save failed for {} / {}: {e}]",
-                        workload.spec.name, config.hierarchy.l2_policy
-                    );
-                }
-            }
-            (run, stream)
-        }
-    };
+    let (mut run, mut stream) =
+        crate::experiment::warm_start_ladder(workload, config, checkpoints, |pos| {
+            open_stream(trace_path, pos)
+        });
     run.begin_measure();
     if start > ff {
         run.measure_chunk(&mut stream, start - ff, false);

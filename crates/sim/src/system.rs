@@ -14,7 +14,7 @@
 use serde::{Deserialize, Serialize};
 use trrip_analysis::{CostlyMissTracker, ReuseHistogram};
 use trrip_cache::{AccessStats, Hierarchy};
-use trrip_cpu::{ChunkCut, Core, CoreResult, RunState};
+use trrip_cpu::{ChunkCut, Core, CoreResult, RunState, WarmupMode, WarmupTape};
 use trrip_os::{Loader, Mmu, PageStats, TlbStats};
 use trrip_policies::PolicyKind;
 use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
@@ -295,6 +295,67 @@ impl<'w> SimRun<'w> {
         }
     }
 
+    /// [`SimRun::fast_forward`] while **recording** the warmup's
+    /// predictor-derived decisions onto `tape` — bit-identical to the
+    /// plain warmup (recording only observes). The tape plus this run's
+    /// shared section ([`SimRun::save_shared`]) form the policy-agnostic
+    /// warm prefix every other policy's cell replays from.
+    pub fn fast_forward_recorded<S: TraceSource>(
+        &mut self,
+        stream: &mut SourceIter<S>,
+        tape: &mut WarmupTape,
+    ) {
+        assert!(self.measuring.is_none(), "fast-forward after measurement started");
+        if self.config.fast_forward > 0 {
+            let mut state = self.core.begin_run();
+            self.core.run_chunk_mode(
+                &mut state,
+                stream.take(self.config.fast_forward as usize),
+                true,
+                &mut WarmupMode::Record(tape),
+            );
+        }
+    }
+
+    /// The **cache-touching warmup tail**: fast-forwards by replaying a
+    /// recorded [`WarmupTape`] — no branch predictor, no FDIP lookahead
+    /// window (the tape carries the prefetch PCs), no core frontend at
+    /// all ([`Core::run_warmup_tail`]). The policy-dependent machine
+    /// (caches, TLB, prefetch tables, starvation FIFO, the clock)
+    /// simulates for real against *this* run's policy, so the resulting
+    /// state is bit-identical to a cold per-cell warmup — restore the
+    /// shared section first ([`SimRun::restore_shared`]) so the
+    /// predictor ends up warmed too.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tape does not match this configuration's warmup
+    /// length or the stream's event counts — a stale or mismatched
+    /// prefix, which keyed and checksummed containers prevent.
+    pub fn fast_forward_replayed<S: TraceSource>(
+        &mut self,
+        stream: &mut SourceIter<S>,
+        tape: &WarmupTape,
+    ) {
+        assert!(self.measuring.is_none(), "fast-forward after measurement started");
+        assert_eq!(
+            tape.instructions(),
+            self.config.fast_forward,
+            "warmup tape covers a different fast-forward length"
+        );
+        if self.config.fast_forward > 0 {
+            let mut cursor = tape.cursor();
+            let report = self
+                .core
+                .run_warmup_tail(stream.take(self.config.fast_forward as usize), &mut cursor);
+            assert_eq!(
+                report.instructions, self.config.fast_forward,
+                "stream ended inside the warmup window"
+            );
+            cursor.finish().expect("warmup tape consumed exactly");
+        }
+    }
+
     /// **Measure phase**, uninterrupted: arms measurement, runs the
     /// configured instruction window, and collects the result.
     pub fn measure<S: TraceSource>(&mut self, stream: &mut SourceIter<S>) -> SimResult {
@@ -425,11 +486,78 @@ impl<'w> SimRun<'w> {
     }
 }
 
+impl SimRun<'_> {
+    /// Saves the **policy-agnostic** half of a fast-forward state: the
+    /// branch predictor, the only warmed component whose evolution is a
+    /// function of the instruction stream alone (it never sees a cache
+    /// latency, and its FDIP query path is pure). Everything else —
+    /// caches, TLB and page-table demand allocation, prefetch tables,
+    /// the in-flight tracker, the starvation FIFO — couples to fetch
+    /// latencies the L2 policy shapes, and belongs to the per-policy
+    /// overlay ([`SimRun::save_overlay`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics mid-measure: sectioned state is a fast-forward-boundary
+    /// concept (mid-measure snapshots stay whole-run).
+    pub fn save_shared(&self, w: &mut SnapWriter) {
+        assert!(!self.is_measuring(), "shared sections are fast-forward states");
+        w.section(b"SHRD", |w| self.core.save_predictor_state(w));
+    }
+
+    /// Restores a section written by [`SimRun::save_shared`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Snapshot::restore`].
+    pub fn restore_shared(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let mut s = r.section(b"SHRD")?;
+        self.core.restore_predictor_state(&mut s)?;
+        s.finish()
+    }
+
+    /// Saves the **policy-dependent** half of a fast-forward state: the
+    /// starvation FIFO plus the whole memory system (MMU/TLB/page
+    /// tables, every cache level with its per-set policy state —
+    /// tag/RRPV arrays, PSEL counters, Random's RNG —, the stride
+    /// prefetcher and the in-flight tracker). Together with the shared
+    /// section this is exactly the full fast-forward state.
+    ///
+    /// # Panics
+    ///
+    /// As [`SimRun::save_shared`].
+    pub fn save_overlay(&self, w: &mut SnapWriter) {
+        assert!(!self.is_measuring(), "overlay sections are fast-forward states");
+        w.section(b"OVLY", |w| {
+            self.core.save_starved_state(w);
+            self.core.backend().save(w);
+        });
+    }
+
+    /// Restores a section written by [`SimRun::save_overlay`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Snapshot::restore`].
+    pub fn restore_overlay(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let mut s = r.section(b"OVLY")?;
+        self.core.restore_starved_state(&mut s)?;
+        self.core.backend_mut().restore(&mut s)?;
+        s.finish()
+    }
+}
+
 /// **Checkpoint phase**: the complete architectural state — core
 /// predictor + starvation table, MMU/TLB/page tables, every cache level
 /// with per-set policy state, prefetcher tables, the in-flight prefetch
 /// tracker, armed profilers, and (mid-measure) the in-flight
 /// [`RunState`] including the FDIP lookahead window.
+///
+/// A fast-forward-boundary state is alternatively addressable as two
+/// *sections* — the policy-agnostic [`SimRun::save_shared`] and the
+/// policy-dependent [`SimRun::save_overlay`] — which the v3 checkpoint
+/// container stores in separate files so one shared prefix serves every
+/// policy ([`crate::checkpoint`]).
 impl Snapshot for SimRun<'_> {
     fn save(&self, w: &mut SnapWriter) {
         w.tag(b"SRUN");

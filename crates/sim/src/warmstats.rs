@@ -1,0 +1,82 @@
+//! Process-wide counters for how `(workload, policy)` cells reached
+//! their warmed state — the observable that lets tests pin *which* path
+//! ran (a corrupt overlay must fall back to the warmup-tail replay, not
+//! to a cold warmup) and lets benchmarks report the populating pass's
+//! composition.
+//!
+//! Same discipline as `trrip_trace::records_decoded`: monotonically
+//! increasing atomics, read as a snapshot and compared as deltas.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FULL_RESTORES: AtomicU64 = AtomicU64::new(0);
+static OVERLAY_RESTORES: AtomicU64 = AtomicU64::new(0);
+static TAIL_REPLAYS: AtomicU64 = AtomicU64::new(0);
+static RECORDED_WARMUPS: AtomicU64 = AtomicU64::new(0);
+static COLD_WARMUPS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide warm-start counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmupCounters {
+    /// Cells restored from a whole-state fast-forward checkpoint.
+    pub full_restores: u64,
+    /// Cells composed from shared prefix + their policy overlay.
+    pub overlay_restores: u64,
+    /// Cells that replayed the recorded warmup tail against their own
+    /// policy (shared prefix present, overlay absent or damaged).
+    pub tail_replays: u64,
+    /// Full warmups that recorded a tape — counted whether or not the
+    /// prefix/overlay writes afterwards succeed (a failed save only
+    /// costs the warm start next time).
+    pub recorded_warmups: u64,
+    /// Full warmups with no recording at all (no checkpoint store
+    /// attached to the engine).
+    pub cold_warmups: u64,
+}
+
+impl WarmupCounters {
+    /// `self - earlier`, field-wise — the events between two snapshots.
+    #[must_use]
+    pub fn since(&self, earlier: &WarmupCounters) -> WarmupCounters {
+        WarmupCounters {
+            full_restores: self.full_restores - earlier.full_restores,
+            overlay_restores: self.overlay_restores - earlier.overlay_restores,
+            tail_replays: self.tail_replays - earlier.tail_replays,
+            recorded_warmups: self.recorded_warmups - earlier.recorded_warmups,
+            cold_warmups: self.cold_warmups - earlier.cold_warmups,
+        }
+    }
+}
+
+/// Reads the current counter values. Process-wide: concurrent tests
+/// should compare deltas of their own runs, not absolutes.
+#[must_use]
+pub fn warmup_counters() -> WarmupCounters {
+    WarmupCounters {
+        full_restores: FULL_RESTORES.load(Ordering::Relaxed),
+        overlay_restores: OVERLAY_RESTORES.load(Ordering::Relaxed),
+        tail_replays: TAIL_REPLAYS.load(Ordering::Relaxed),
+        recorded_warmups: RECORDED_WARMUPS.load(Ordering::Relaxed),
+        cold_warmups: COLD_WARMUPS.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn count_full_restore() {
+    FULL_RESTORES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_overlay_restore() {
+    OVERLAY_RESTORES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_tail_replay() {
+    TAIL_REPLAYS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_recorded_warmup() {
+    RECORDED_WARMUPS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_cold_warmup() {
+    COLD_WARMUPS.fetch_add(1, Ordering::Relaxed);
+}

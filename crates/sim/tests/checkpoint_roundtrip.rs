@@ -247,6 +247,127 @@ fn store_keys_by_policy_config_and_fingerprint() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A **v2 container** — written byte-for-byte the way PR 4's writer
+/// laid files out (version 2, no kind byte) — must restore under the
+/// v3 reader and measure bit-identically. The fixture is hand-rolled
+/// here so the legacy layout stays pinned even though no current code
+/// path produces it.
+#[test]
+fn v2_container_fixture_restores_under_v3() {
+    let w = quick_workload();
+    let config = quick_config(PolicyKind::Emissary);
+    let dir = std::env::temp_dir().join("trrip-ckpt-v2-compat-test");
+    std::fs::remove_dir_all(&dir).ok();
+    let store = CheckpointStore::new(&dir);
+
+    let uninterrupted = simulate(&w, &config);
+
+    // The same fast-forward state v2 would have captured…
+    let mut run = SimRun::new(&w, &config);
+    let mut stream = walker(&w, &config);
+    run.fast_forward(&mut stream);
+    let mut payload = SnapWriter::new();
+    run.save(&mut payload);
+    drop(run);
+
+    // …in the exact v2 byte layout: magic, version=2, body_len, then a
+    // body of meta + payload with NO kind byte, then the checksum.
+    let mut body = SnapWriter::new();
+    body.str(&w.spec.name);
+    body.str(config.hierarchy.l2_policy.name());
+    body.u64(trrip_sim::capture::workload_fingerprint(&w, &config));
+    body.u64(warmup_config_hash(&config));
+    body.u64(config.fast_forward);
+    body.bool(false); // mid_measure
+    body.bytes_field(payload.bytes());
+    let body = body.into_bytes();
+    let mut hash = trrip_trace::format::Checksum::new();
+    hash.update(&body);
+    let mut file = Vec::new();
+    file.extend_from_slice(b"TRRIPCKP");
+    file.extend_from_slice(&2u16.to_le_bytes());
+    file.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    file.extend_from_slice(&body);
+    file.extend_from_slice(&hash.value().to_le_bytes());
+
+    let path = store.path_for(&w, &config);
+    std::fs::create_dir_all(path.parent().expect("store dir")).expect("mkdir");
+    std::fs::write(&path, &file).expect("write v2 fixture");
+
+    // The v3 reader restores it as a full container and the measured
+    // window matches the uninterrupted run exactly.
+    let (kind, meta, _) = read_checkpoint(&path).expect("v2 file must read");
+    assert_eq!(kind, trrip_sim::CheckpointKind::Full);
+    assert!(!meta.mid_measure);
+    let mut warm = store.load(&w, &config).expect("load").expect("key match");
+    let mut stream = walker(&w, &config);
+    for _ in (&mut stream).take(config.fast_forward as usize) {}
+    let result = warm.measure(&mut stream);
+    assert_identical(&uninterrupted, &result, "v2 fixture restore");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `gc(keep)` removes stale-fingerprint containers (and their orphaned
+/// temp files) while leaving kept keys loadable and unknown files
+/// untouched; `size_bytes` tracks the deletion.
+#[test]
+fn gc_removes_stale_fingerprints_and_spares_kept_writes() {
+    let keep_w = quick_workload();
+    let mut stale_spec = WorkloadSpec::named("ckpt-gc-stale");
+    stale_spec.functions = 40;
+    stale_spec.hot_rotation = 6;
+    let stale_w =
+        PreparedWorkload::prepare(&stale_spec, 300_000, ClassifierConfig::llvm_defaults());
+    let config = quick_config(PolicyKind::Srrip);
+    let dir = std::env::temp_dir().join("trrip-ckpt-gc-test");
+    std::fs::remove_dir_all(&dir).ok();
+    let store = CheckpointStore::new(&dir);
+
+    for w in [&keep_w, &stale_w] {
+        let mut run = SimRun::new(w, &config);
+        let mut stream = walker(w, &config);
+        run.fast_forward(&mut stream);
+        store.save(&run).expect("save full");
+        store.save_overlay(&run).expect("save overlay");
+    }
+    let keep_fp = trrip_sim::capture::workload_fingerprint(&keep_w, &config);
+    let stale_fp = trrip_sim::capture::workload_fingerprint(&stale_w, &config);
+    assert_ne!(keep_fp, stale_fp);
+
+    // Orphaned temp files from a crashed writer, one per fingerprint —
+    // exactly the shape `write_checkpoint`'s temp naming produces.
+    let keep_tmp = store.path_for(&keep_w, &config).with_extension("tmp.9999.0");
+    let stale_tmp = store.path_for(&stale_w, &config).with_extension("tmp.9999.1");
+    std::fs::write(&keep_tmp, b"in-flight").expect("tmp");
+    std::fs::write(&stale_tmp, b"orphan").expect("tmp");
+    // A file the store never named is left alone.
+    let foreign = dir.join("README.txt");
+    std::fs::write(&foreign, b"not a container").expect("foreign");
+
+    let before = store.size_bytes();
+    assert!(before > 0);
+    let report = store.gc(&[keep_fp]).expect("gc");
+    // Stale: full + overlay + tmp. Kept + foreign: untouched.
+    assert_eq!(report.removed_files, 3, "stale full, overlay and tmp");
+    assert!(report.freed_bytes > 0);
+    assert!(store.size_bytes() < before);
+    assert!(store.has(&keep_w, &config), "kept checkpoint must survive gc");
+    assert!(!store.has(&stale_w, &config), "stale checkpoint must be gone");
+    assert!(keep_tmp.exists(), "a kept key's in-flight temp file must survive");
+    assert!(!stale_tmp.exists(), "a stale orphan temp must be removed");
+    assert!(foreign.exists(), "unknown files are not the store's to delete");
+
+    // Concurrent-safety shape: the surviving in-flight write completes
+    // its temp+rename after gc, exactly as a racing saver would.
+    std::fs::rename(&keep_tmp, store.path_for(&keep_w, &config)).expect("rename after gc");
+
+    // gc with nothing to keep empties the store (foreign file aside).
+    let report = store.gc(&[]).expect("gc all");
+    assert!(report.removed_files >= 2);
+    assert_eq!(store.size_bytes(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The checkpointed sweep engine agrees bit-for-bit with the plain
 /// fan-out engine and the walker sweep — cold (populating) and warm
 /// (restoring) alike.
@@ -268,11 +389,20 @@ fn checkpointed_sweep_matches_other_engines() {
     let cold =
         trrip_sim::replay_sweep_checkpointed(4, &workloads, &config, &policies, &traces, &ckpts);
     for policy in policies {
+        let cell_config = config.clone().with_policy(policy);
         assert!(
-            ckpts.has(&workloads[0], &config.clone().with_policy(policy)),
-            "{policy}: cold sweep must persist its checkpoint"
+            ckpts.has_warm_start(&workloads[0], &cell_config),
+            "{policy}: cold sweep must persist a warm-startable state"
+        );
+        assert!(
+            ckpts.overlay_path(&workloads[0], &cell_config).is_file(),
+            "{policy}: cold sweep must persist the policy overlay"
         );
     }
+    assert!(
+        ckpts.prefix_path(&workloads[0], &config).is_file(),
+        "cold sweep must persist the shared prefix"
+    );
     let warm =
         trrip_sim::replay_sweep_checkpointed(4, &workloads, &config, &policies, &traces, &ckpts);
 

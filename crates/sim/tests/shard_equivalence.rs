@@ -148,15 +148,17 @@ fn sharded_sweep_matches_other_engines_and_survives_missing_links() {
     }
 
     // Break the chain: delete one interior link per cell, plus the
-    // fast-forward checkpoint of one policy. The sweep must fall back
-    // cold for those segments and still match.
+    // fast-forward state of one policy (its v3 overlay). The sweep must
+    // fall back — cold segment rebuild, warmup-tail replay for the
+    // missing overlay — and still match.
     for policy in policies {
         let cell_config = config.clone().with_policy(policy);
         let link = ckpts.segment_path(&workloads[0], &cell_config, 0, plan.measure_start(1));
         std::fs::remove_file(&link).expect("chain link existed");
     }
-    let ff_ckpt = ckpts.path_for(&workloads[0], &config.clone().with_policy(PolicyKind::Random));
-    std::fs::remove_file(&ff_ckpt).expect("ff checkpoint existed");
+    let overlay =
+        ckpts.overlay_path(&workloads[0], &config.clone().with_policy(PolicyKind::Random));
+    std::fs::remove_file(&overlay).expect("overlay existed");
 
     let patched = replay_sweep_sharded(4, &workloads, &config, &policies, &traces, &ckpts, 3);
     for (a, b) in walked.results.iter().zip(&patched.results) {

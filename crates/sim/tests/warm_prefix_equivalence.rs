@@ -1,0 +1,264 @@
+//! The policy-agnostic warm prefix must be invisible in the results:
+//! a `(workload, policy)` cell warm-started from the shared prefix —
+//! whether by composing its overlay or by replaying the recorded
+//! warmup tail — is bit-identical to a cold per-cell warmup, for every
+//! policy (including Random, whose RNG stream is architectural state)
+//! and with the reuse/costly profilers armed. Fallback routing is
+//! pinned through the `trrip_sim::warmstats` counters: a corrupt
+//! overlay lands on the warmup-tail replay, never back on a cold
+//! warmup.
+
+use trrip_core::ClassifierConfig;
+use trrip_policies::PolicyKind;
+use trrip_sim::{
+    replay_sweep_warm_prefix, warmup_counters, CheckpointStore, PreparedWorkload, SimConfig,
+    SimResult, TraceStore,
+};
+use trrip_workloads::WorkloadSpec;
+
+/// Every policy the simulator can run, including the non-paper Random
+/// baseline.
+const ALL_POLICIES: [PolicyKind; 10] = [
+    PolicyKind::Srrip,
+    PolicyKind::Lru,
+    PolicyKind::Random,
+    PolicyKind::Brrip,
+    PolicyKind::Drrip,
+    PolicyKind::Ship,
+    PolicyKind::Clip,
+    PolicyKind::Emissary,
+    PolicyKind::Trrip1,
+    PolicyKind::Trrip2,
+];
+
+fn quick_workload(name: &str) -> PreparedWorkload {
+    let mut spec = WorkloadSpec::named(name);
+    spec.functions = 50;
+    spec.hot_rotation = 8;
+    PreparedWorkload::prepare(&spec, 300_000, ClassifierConfig::llvm_defaults())
+}
+
+fn quick_config(policy: PolicyKind) -> SimConfig {
+    let mut c = SimConfig::quick(policy);
+    c.fast_forward = 25_000;
+    c.instructions = 50_000;
+    // The profilers are part of the acceptance bar: armed measurement
+    // after every warm-start route must match the cold run.
+    c.measure_reuse = true;
+    c.track_costly = true;
+    c
+}
+
+fn assert_identical(a: &SimResult, b: &SimResult, what: &str) {
+    assert_eq!(a.core, b.core, "{what}: core results diverge");
+    assert_eq!(a.l1i, b.l1i, "{what}: L1-I stats diverge");
+    assert_eq!(a.l1d, b.l1d, "{what}: L1-D stats diverge");
+    assert_eq!(a.l2, b.l2, "{what}: L2 stats diverge");
+    assert_eq!(a.slc, b.slc, "{what}: SLC stats diverge");
+    assert_eq!(a.tlb, b.tlb, "{what}: TLB stats diverge");
+    assert_eq!(a.pages, b.pages, "{what}: page stats diverge");
+    assert_eq!(a.reuse_base, b.reuse_base, "{what}: reuse histograms diverge");
+    assert_eq!(a.reuse_hot_only, b.reuse_hot_only, "{what}: hot-only histograms diverge");
+    let (ca, cb) = (a.costly.as_ref().expect("armed"), b.costly.as_ref().expect("armed"));
+    assert_eq!(ca.distinct_lines(), cb.distinct_lines(), "{what}: costly lines diverge");
+    assert_eq!(ca.cost_by_region(), cb.cost_by_region(), "{what}: costly regions diverge");
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The warmstats counters are process-wide; tests that assert on their
+/// deltas must not interleave. (Poisoning is fine — a failed sibling
+/// already failed the suite.)
+static COUNTER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn counter_guard() -> std::sync::MutexGuard<'static, ()> {
+    COUNTER_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn warm_prefix_sweep_is_bit_identical_for_all_ten_policies() {
+    let _serial = counter_guard();
+    let workloads = [quick_workload("warm-prefix-eq")];
+    let config = quick_config(PolicyKind::Srrip);
+
+    let trace_dir = scratch("trrip-warm-prefix-traces");
+    let ckpt_dir = scratch("trrip-warm-prefix-ckpts");
+    let traces = TraceStore::new(&trace_dir);
+    let ckpts = CheckpointStore::new(&ckpt_dir);
+
+    // Oracle: cold per-cell warmups via the walker engine.
+    let oracle = trrip_sim::policy_sweep(&workloads, &config, &ALL_POLICIES);
+
+    // Cold populating pass: ONE recorded warmup (the ensure pre-pass),
+    // then one cell composes the recorder's overlay (the neutral
+    // policy, SRRIP, is in the sweep) and nine replay the warmup tail.
+    let before = warmup_counters();
+    let cold = replay_sweep_warm_prefix(4, &workloads, &config, &ALL_POLICIES, &traces, &ckpts);
+    let delta = warmup_counters().since(&before);
+    assert_eq!(delta.recorded_warmups, 1, "one shared warmup per workload, not per policy");
+    assert_eq!(delta.overlay_restores, 1, "the neutral policy's cell composes its overlay");
+    assert_eq!(delta.tail_replays, ALL_POLICIES.len() as u64 - 1, "everyone else replays");
+    assert_eq!(delta.cold_warmups, 0);
+    assert_eq!(delta.full_restores, 0);
+
+    for (policy, (a, b)) in ALL_POLICIES.iter().zip(oracle.results.iter().zip(&cold.results)) {
+        assert_identical(a, b, &format!("{policy}: cold warm-prefix pass"));
+    }
+
+    // Warm pass: every cell composes shared prefix + its own overlay.
+    let before = warmup_counters();
+    let warm = replay_sweep_warm_prefix(4, &workloads, &config, &ALL_POLICIES, &traces, &ckpts);
+    let delta = warmup_counters().since(&before);
+    assert_eq!(delta.overlay_restores, ALL_POLICIES.len() as u64);
+    assert_eq!(delta.recorded_warmups + delta.tail_replays + delta.cold_warmups, 0);
+
+    for (policy, (a, b)) in ALL_POLICIES.iter().zip(oracle.results.iter().zip(&warm.results)) {
+        assert_identical(a, b, &format!("{policy}: warm overlay pass"));
+    }
+
+    // The prefix file is one per workload, policy-free: every policy's
+    // cell resolves the same path.
+    let prefix = ckpts.prefix_path(&workloads[0], &config);
+    for policy in ALL_POLICIES {
+        assert_eq!(prefix, ckpts.prefix_path(&workloads[0], &config.clone().with_policy(policy)));
+    }
+    assert!(prefix.is_file());
+
+    std::fs::remove_dir_all(&trace_dir).ok();
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+}
+
+#[test]
+fn corrupt_overlay_falls_back_to_the_warmup_tail_not_cold() {
+    let _serial = counter_guard();
+    let workloads = [quick_workload("warm-prefix-corrupt")];
+    let config = quick_config(PolicyKind::Srrip);
+    let policies = [PolicyKind::Srrip, PolicyKind::Random, PolicyKind::Emissary];
+
+    let trace_dir = scratch("trrip-warm-prefix-corrupt-traces");
+    let ckpt_dir = scratch("trrip-warm-prefix-corrupt-ckpts");
+    let traces = TraceStore::new(&trace_dir);
+    let ckpts = CheckpointStore::new(&ckpt_dir);
+
+    let oracle = trrip_sim::policy_sweep(&workloads, &config, &policies);
+    let _ = replay_sweep_warm_prefix(4, &workloads, &config, &policies, &traces, &ckpts);
+
+    // Flip a byte in the middle of Random's overlay: the container
+    // checksum rejects it at load.
+    let victim = config.clone().with_policy(PolicyKind::Random);
+    let overlay = ckpts.overlay_path(&workloads[0], &victim);
+    let mut bytes = std::fs::read(&overlay).expect("overlay exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&overlay, &bytes).expect("write corrupted overlay");
+
+    let before = warmup_counters();
+    let patched = replay_sweep_warm_prefix(4, &workloads, &config, &policies, &traces, &ckpts);
+    let delta = warmup_counters().since(&before);
+    assert_eq!(delta.tail_replays, 1, "the corrupt overlay must land on the tail replay");
+    assert_eq!(delta.recorded_warmups, 0, "…not on a recorded warmup");
+    assert_eq!(delta.cold_warmups, 0, "…and never on a cold one");
+    assert_eq!(delta.overlay_restores, policies.len() as u64 - 1);
+
+    for (policy, (a, b)) in policies.iter().zip(oracle.results.iter().zip(&patched.results)) {
+        assert_identical(a, b, &format!("{policy}: sweep with a corrupt overlay"));
+    }
+
+    // The tail replay re-persisted a good overlay: the next sweep is
+    // all composition again.
+    let before = warmup_counters();
+    let healed = replay_sweep_warm_prefix(4, &workloads, &config, &policies, &traces, &ckpts);
+    let delta = warmup_counters().since(&before);
+    assert_eq!(delta.overlay_restores, policies.len() as u64, "overlay must be healed");
+    for (a, b) in oracle.results.iter().zip(&healed.results) {
+        assert_identical(a, b, "healed sweep");
+    }
+
+    std::fs::remove_dir_all(&trace_dir).ok();
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+}
+
+#[test]
+fn corrupt_prefix_falls_back_cold_and_is_rewritten() {
+    let _serial = counter_guard();
+    let workloads = [quick_workload("warm-prefix-cold-fb")];
+    let config = quick_config(PolicyKind::Srrip);
+    let policies = [PolicyKind::Lru, PolicyKind::Trrip1];
+
+    let trace_dir = scratch("trrip-warm-prefix-cfb-traces");
+    let ckpt_dir = scratch("trrip-warm-prefix-cfb-ckpts");
+    let traces = TraceStore::new(&trace_dir);
+    let ckpts = CheckpointStore::new(&ckpt_dir);
+
+    let oracle = trrip_sim::policy_sweep(&workloads, &config, &policies);
+    let _ = replay_sweep_warm_prefix(4, &workloads, &config, &policies, &traces, &ckpts);
+
+    // Truncate the prefix container: both it AND the overlays keyed to
+    // it stay on disk, but the prefix no longer loads — cells must
+    // re-record, then overwrite the damaged file.
+    let prefix = ckpts.prefix_path(&workloads[0], &config);
+    let bytes = std::fs::read(&prefix).expect("prefix exists");
+    std::fs::write(&prefix, &bytes[..bytes.len() / 2]).expect("truncate prefix");
+    // Remove the overlays so the cells cannot bypass the prefix
+    // entirely (overlays alone would still warm-start them).
+    for policy in policies {
+        let overlay = ckpts.overlay_path(&workloads[0], &config.clone().with_policy(policy));
+        std::fs::remove_file(overlay).expect("overlay existed");
+    }
+
+    let before = warmup_counters();
+    let patched = replay_sweep_warm_prefix(4, &workloads, &config, &policies, &traces, &ckpts);
+    let delta = warmup_counters().since(&before);
+    assert!(delta.recorded_warmups >= 1, "a fresh warmup must be recorded");
+    for (a, b) in oracle.results.iter().zip(&patched.results) {
+        assert_identical(a, b, "sweep after prefix damage");
+    }
+
+    // The damaged container was atomically replaced.
+    let before = warmup_counters();
+    let _ = replay_sweep_warm_prefix(4, &workloads, &config, &policies, &traces, &ckpts);
+    let delta = warmup_counters().since(&before);
+    assert_eq!(delta.overlay_restores, policies.len() as u64, "prefix must be rewritten");
+
+    std::fs::remove_dir_all(&trace_dir).ok();
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+}
+
+#[test]
+fn damaged_full_checkpoint_is_removed_and_routed_around() {
+    let _serial = counter_guard();
+    let workloads = [quick_workload("warm-prefix-heal")];
+    let config = quick_config(PolicyKind::Srrip);
+    let policies = [PolicyKind::Srrip, PolicyKind::Clip];
+
+    let trace_dir = scratch("trrip-warm-prefix-heal-traces");
+    let ckpt_dir = scratch("trrip-warm-prefix-heal-ckpts");
+    let traces = TraceStore::new(&trace_dir);
+    let ckpts = CheckpointStore::new(&ckpt_dir);
+
+    let oracle = trrip_sim::policy_sweep(&workloads, &config, &policies);
+    let _ = replay_sweep_warm_prefix(4, &workloads, &config, &policies, &traces, &ckpts);
+
+    // Plant a corrupt whole-state checkpoint for CLIP: it sits on the
+    // highest rung of the warm-start ladder, so every sweep would
+    // otherwise re-read (and re-report) it forever.
+    let victim = config.clone().with_policy(PolicyKind::Clip);
+    let full = ckpts.path_for(&workloads[0], &victim);
+    std::fs::write(&full, b"TRRIPCKPgarbage-body-not-a-checkpoint").expect("plant corrupt file");
+
+    let before = warmup_counters();
+    let patched = replay_sweep_warm_prefix(4, &workloads, &config, &policies, &traces, &ckpts);
+    let delta = warmup_counters().since(&before);
+    assert_eq!(delta.overlay_restores, policies.len() as u64, "both cells still warm-start");
+    for (a, b) in oracle.results.iter().zip(&patched.results) {
+        assert_identical(a, b, "sweep with a corrupt full checkpoint");
+    }
+    assert!(!full.exists(), "the damaged whole-state checkpoint must be deleted (self-heal)");
+
+    std::fs::remove_dir_all(&trace_dir).ok();
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+}

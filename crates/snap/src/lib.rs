@@ -147,6 +147,20 @@ impl SnapWriter {
     pub fn str(&mut self, v: &str) {
         self.bytes_field(v.as_bytes());
     }
+
+    /// Writes a **section**: a tagged, length-prefixed sub-stream filled
+    /// in by `body`. Sections are how a container composes independently
+    /// restorable pieces — a reader can load one section
+    /// ([`SnapReader::section`]) without understanding (or even having
+    /// the code for) its siblings, which is what lets the checkpoint
+    /// container split policy-agnostic and policy-dependent state into
+    /// separate files.
+    pub fn section(&mut self, tag: &[u8; 4], body: impl FnOnce(&mut SnapWriter)) {
+        self.tag(tag);
+        let mut inner = SnapWriter::new();
+        body(&mut inner);
+        self.bytes_field(&inner.buf);
+    }
 }
 
 /// Snapshot decoder over a byte slice.
@@ -313,6 +327,20 @@ impl<'a> SnapReader<'a> {
             .map_err(|_| SnapError::Corrupt("string is not UTF-8".into()))
     }
 
+    /// Reads a section written by [`SnapWriter::section`]: verifies the
+    /// tag and returns a sub-reader over exactly the section's bytes.
+    /// The sub-reader's [`SnapReader::finish`] checks the section (not
+    /// the container) was fully consumed; this reader continues after
+    /// the section regardless of how much of the sub-reader was used.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] on a tag mismatch or truncated body.
+    pub fn section(&mut self, tag: &[u8; 4]) -> Result<SnapReader<'a>, SnapError> {
+        self.expect_tag(tag)?;
+        Ok(SnapReader::new(self.bytes_field()?))
+    }
+
     /// Checks that a stream-carried dimension matches the instance's,
     /// failing with a [`SnapError::Mismatch`] naming `what`.
     ///
@@ -410,6 +438,38 @@ mod tests {
         assert!(r.finish().is_err());
         r.u8().unwrap();
         r.finish().unwrap();
+    }
+
+    #[test]
+    fn sections_round_trip_and_isolate() {
+        let mut w = SnapWriter::new();
+        w.section(b"AAAA", |w| {
+            w.u64(7);
+            w.str("inner");
+        });
+        w.section(b"BBBB", |w| w.u8(9));
+        let bytes = w.into_bytes();
+
+        // Read both sections in order.
+        let mut r = SnapReader::new(&bytes);
+        let mut a = r.section(b"AAAA").unwrap();
+        assert_eq!(a.u64().unwrap(), 7);
+        assert_eq!(a.str().unwrap(), "inner");
+        a.finish().unwrap();
+        let mut b = r.section(b"BBBB").unwrap();
+        assert_eq!(b.u8().unwrap(), 9);
+        r.finish().unwrap();
+
+        // A reader can skip a section's contents entirely: the outer
+        // stream continues at the next section regardless.
+        let mut r = SnapReader::new(&bytes);
+        let _unused = r.section(b"AAAA").unwrap();
+        let mut b = r.section(b"BBBB").unwrap();
+        assert_eq!(b.u8().unwrap(), 9);
+
+        // Wrong tag is an error naming both sides.
+        let mut r = SnapReader::new(&bytes);
+        assert!(r.section(b"ZZZZ").is_err());
     }
 
     #[test]

@@ -3,15 +3,33 @@
 //! # Layout
 //!
 //! ```text
-//! file   := header chunk*
+//! file   := header chunk* footer?
 //! header := magic:8 version:u16 layout:u8 flags:u8 chunk_capacity:u32
 //!           instructions:u64 checksum:u64 name_len:u16 name:name_len
 //! chunk  := record_count:u32 payload_len:u32 payload:payload_len
+//! footer := entry_count:u64 (offset:u64 state:u64)* footer_checksum:u64
+//!           footer_len:u64 index_magic:8
 //! ```
 //!
 //! All fixed-width fields are little-endian. `instructions` and
 //! `checksum` ([`Checksum`] over every chunk payload byte) sit at fixed
 //! offsets so the writer can patch them when the stream ends.
+//!
+//! # The chunk index footer
+//!
+//! When the header's [`FLAG_CHUNK_INDEX`] bit is set, the file ends
+//! with a per-chunk byte-offset index: entry *k* holds chunk *k*'s
+//! absolute byte offset **and** the payload checksum's raw accumulator
+//! state just before that chunk ([`Checksum::state`]); one final entry
+//! holds the end-of-chunks offset and the final accumulator state.
+//! A positioned replay seeks straight to chunk *k*, seeds its checksum
+//! from the stored state, and still verifies the header checksum over
+//! everything it reads — only the *skipped* prefix goes unverified,
+//! which is the entire point of seeking. The footer sits after the last
+//! chunk, where sequential readers (which stop at the instruction
+//! count) never look, so indexed files read fine under pre-index
+//! readers and index-less files fall back to raw chunk-by-chunk
+//! skipping — no version bump needed in either direction.
 //!
 //! # Records
 //!
@@ -37,6 +55,11 @@ use trrip_mem::VirtAddr;
 
 /// File magic: `b"TRRIPTRC"`.
 pub const MAGIC: [u8; 8] = *b"TRRIPTRC";
+/// Chunk-index footer magic (last 8 bytes of an indexed file):
+/// `b"TRRIPIDX"`.
+pub const INDEX_MAGIC: [u8; 8] = *b"TRRIPIDX";
+/// Header `flags` bit: the file ends with a chunk-index footer.
+pub const FLAG_CHUNK_INDEX: u8 = 1 << 0;
 /// Current format version.
 pub const VERSION: u16 = 1;
 /// Records per full chunk (the streaming granularity). 64 Ki records
@@ -119,6 +142,9 @@ pub struct TraceMeta {
     pub checksum: u64,
     /// Records per full chunk.
     pub chunk_capacity: u32,
+    /// Whether the file ends with a chunk-index footer
+    /// ([`FLAG_CHUNK_INDEX`]); pre-index files read as `false`.
+    pub has_index: bool,
 }
 
 /// Everything that can go wrong reading a trace.
@@ -375,7 +401,7 @@ pub fn encode_header(meta: &TraceMeta) -> Vec<u8> {
     buf.extend_from_slice(&MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
     buf.push(meta.layout.as_u8());
-    buf.push(0); // flags, reserved
+    buf.push(if meta.has_index { FLAG_CHUNK_INDEX } else { 0 });
     buf.extend_from_slice(&meta.chunk_capacity.to_le_bytes());
     buf.extend_from_slice(&meta.instructions.to_le_bytes());
     buf.extend_from_slice(&meta.checksum.to_le_bytes());

@@ -31,6 +31,7 @@
 
 pub mod fanout;
 pub mod format;
+pub mod index;
 pub mod reader;
 pub mod source;
 pub mod stats;
@@ -39,6 +40,7 @@ pub mod writer;
 
 pub use fanout::{FanoutOptions, FanoutReplay, FanoutSubscriber};
 pub use format::{TraceError, TraceLayout, TraceMeta, CHUNK_CAPACITY};
+pub use index::{read_index, ChunkIndex, IndexEntry};
 pub use reader::{decode_chunk, open, probe, TraceReader};
 pub use source::{SourceIter, TraceSource};
 pub use stats::records_decoded;

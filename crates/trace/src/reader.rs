@@ -1,15 +1,16 @@
 //! Streaming chunked trace reader.
 
 use std::fs::File;
-use std::io::{BufReader, Read};
+use std::io::{BufReader, Read, Seek, SeekFrom};
 use std::path::Path;
 
 use trrip_cpu::TraceInstr;
 
 use crate::format::{
-    decode_record, Checksum, DeltaState, TraceError, TraceLayout, TraceMeta, HEADER_FIXED_LEN,
-    MAGIC, MAX_NAME_LEN, VERSION,
+    decode_record, Checksum, DeltaState, TraceError, TraceLayout, TraceMeta, FLAG_CHUNK_INDEX,
+    HEADER_FIXED_LEN, MAGIC, MAX_NAME_LEN, VERSION,
 };
+use crate::index::ChunkIndex;
 use crate::source::TraceSource;
 
 /// Largest chunk payload the reader will buffer (defense against a
@@ -49,6 +50,7 @@ impl<R: Read> TraceReader<R> {
         }
         let layout = TraceLayout::from_u8(fixed[10])
             .ok_or_else(|| TraceError::Corrupt(format!("invalid layout byte {}", fixed[10])))?;
+        let has_index = fixed[11] & FLAG_CHUNK_INDEX != 0;
         let chunk_capacity = u32::from_le_bytes(fixed[12..16].try_into().expect("4 bytes"));
         if chunk_capacity == 0 {
             return Err(TraceError::Corrupt("zero chunk capacity".into()));
@@ -66,7 +68,7 @@ impl<R: Read> TraceReader<R> {
 
         Ok(TraceReader {
             source,
-            meta: TraceMeta { name, layout, instructions, checksum, chunk_capacity },
+            meta: TraceMeta { name, layout, instructions, checksum, chunk_capacity, has_index },
             remaining: instructions,
             checksum: Checksum::new(),
             payload: Vec::new(),
@@ -171,6 +173,32 @@ impl<R: Read> TraceReader<R> {
         if found != self.meta.checksum {
             return Err(TraceError::ChecksumMismatch { expected: self.meta.checksum, found });
         }
+        Ok(())
+    }
+
+    /// Seeks directly to chunk `k` using a validated [`ChunkIndex`]:
+    /// positions the source at the chunk's byte offset, seeds the
+    /// running checksum with the accumulator state the capture recorded
+    /// there, and rewinds the remaining-record count. The next
+    /// [`TraceReader::read_chunk`] (or raw read) yields chunk `k`, and
+    /// end-of-trace checksum verification covers every byte read from
+    /// here on. `k` at or beyond the chunk count positions at the
+    /// end-of-chunks sentinel: an immediately exhausted, still-verified
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Underlying seek failures.
+    pub fn seek_to_chunk(&mut self, index: &ChunkIndex, k: usize) -> Result<(), TraceError>
+    where
+        R: Seek,
+    {
+        let k = k.min(index.chunks());
+        let entry = index.entry(k);
+        self.source.seek(SeekFrom::Start(entry.offset))?;
+        self.checksum = Checksum::from_state(entry.state);
+        self.remaining =
+            self.meta.instructions.saturating_sub(k as u64 * u64::from(self.meta.chunk_capacity));
         Ok(())
     }
 

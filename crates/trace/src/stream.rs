@@ -54,23 +54,41 @@ impl StreamingReplay {
     }
 
     /// Opens `path` positioned `skip` instructions in: the stream's
-    /// first delivered instruction is number `skip` of the trace. Whole
-    /// chunks inside the skipped prefix are *read but never decoded*
-    /// (raw bytes still feed the checksum, so damage is detected); only
-    /// the boundary chunk a non-chunk-aligned `skip` lands in pays
-    /// decode. This is how a shard segment starts mid-trace without
-    /// paying the prefix's varint decode — and why shard plans align
-    /// their cuts to [`crate::CHUNK_CAPACITY`].
+    /// first delivered instruction is number `skip` of the trace.
+    ///
+    /// On an **indexed** trace (every capture since the chunk-index
+    /// footer landed) this is a true seek: the reader jumps straight to
+    /// the chunk containing instruction `skip`, seeds its checksum with
+    /// the accumulator state the capture recorded there, and never
+    /// reads a skipped byte — positioning cost is O(1) in the prefix
+    /// length. Everything *read* is still verified against the header
+    /// checksum; damage confined to the skipped prefix is, by design,
+    /// not observed. Only the boundary chunk of a non-chunk-aligned
+    /// `skip` pays decode.
+    ///
+    /// On an index-less file (pre-index captures, or a damaged footer)
+    /// whole chunks inside the prefix are *read but never decoded* —
+    /// raw bytes still feed the checksum, so prefix damage is detected
+    /// there. Either way, this is how a shard segment starts mid-trace
+    /// without paying the prefix's varint decode — and why shard plans
+    /// align their cuts to [`crate::CHUNK_CAPACITY`].
     ///
     /// A `skip` at or beyond the end of the trace yields an immediately
-    /// exhausted (but fully checksummed) stream.
+    /// exhausted (but still checksum-verified) stream.
     ///
     /// # Errors
     ///
     /// Any header-validation or open failure, synchronously.
-    pub fn open_at(path: &Path, skip: u64) -> Result<StreamingReplay, TraceError> {
+    pub fn open_at(path: &Path, mut skip: u64) -> Result<StreamingReplay, TraceError> {
         let mut source = reader::open(path)?;
         let meta = source.meta().clone();
+        if skip > 0 {
+            if let Some(index) = crate::index::read_index(path, &meta)? {
+                let k = ((skip / u64::from(meta.chunk_capacity)) as usize).min(index.chunks());
+                source.seek_to_chunk(&index, k)?;
+                skip -= k as u64 * u64::from(meta.chunk_capacity);
+            }
+        }
         let (tx, rx) = mpsc::sync_channel(CHANNEL_DEPTH);
         let (recycle_tx, recycle_rx) = mpsc::channel();
         let worker = std::thread::Builder::new()

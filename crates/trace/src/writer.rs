@@ -10,10 +10,13 @@ use crate::format::{
     encode_header, encode_record, Checksum, DeltaState, TraceLayout, TraceMeta, CHECKSUM_OFFSET,
     CHUNK_CAPACITY, INSTRUCTIONS_OFFSET,
 };
+use crate::index::{encode_footer, IndexEntry};
 
 /// Writes a trace file incrementally: records accumulate into fixed-size
 /// chunks that are flushed as they fill, so capture memory stays O(chunk)
-/// regardless of trace length. [`TraceWriter::finish`] seeks back and
+/// regardless of trace length. [`TraceWriter::finish`] appends the
+/// chunk-index footer (byte offsets + checksum accumulator states, so
+/// positioned replays seek instead of skipping), then seeks back and
 /// patches the instruction count and checksum into the header.
 #[derive(Debug)]
 pub struct TraceWriter<W: Write + Seek> {
@@ -23,6 +26,12 @@ pub struct TraceWriter<W: Write + Seek> {
     chunk_records: u32,
     state: DeltaState,
     checksum: Checksum,
+    /// Byte offset the next chunk frame lands at (tracked arithmetically
+    /// — a `stream_position` per chunk would flush buffered writers).
+    next_offset: u64,
+    /// One entry per flushed chunk; the end-of-chunks sentinel is
+    /// appended at finish.
+    index: Vec<IndexEntry>,
 }
 
 impl<W: Write + Seek> TraceWriter<W> {
@@ -58,8 +67,10 @@ impl<W: Write + Seek> TraceWriter<W> {
             instructions: 0,
             checksum: 0,
             chunk_capacity,
+            has_index: true,
         };
-        sink.write_all(&encode_header(&meta))?;
+        let header = encode_header(&meta);
+        sink.write_all(&header)?;
         Ok(TraceWriter {
             sink,
             meta,
@@ -67,6 +78,8 @@ impl<W: Write + Seek> TraceWriter<W> {
             chunk_records: 0,
             state: DeltaState::new(),
             checksum: Checksum::new(),
+            next_offset: header.len() as u64,
+            index: Vec::new(),
         })
     }
 
@@ -101,10 +114,12 @@ impl<W: Write + Seek> TraceWriter<W> {
         if self.chunk_records == 0 {
             return Ok(());
         }
+        self.index.push(IndexEntry { offset: self.next_offset, state: self.checksum.state() });
         self.checksum.update(&self.chunk);
         self.sink.write_all(&self.chunk_records.to_le_bytes())?;
         self.sink.write_all(&(self.chunk.len() as u32).to_le_bytes())?;
         self.sink.write_all(&self.chunk)?;
+        self.next_offset += 8 + self.chunk.len() as u64;
         self.chunk.clear();
         self.chunk_records = 0;
         self.state = DeltaState::new();
@@ -133,6 +148,11 @@ impl<W: Write + Seek> TraceWriter<W> {
 
     fn finish_parts(mut self) -> io::Result<(TraceMeta, W)> {
         self.flush_chunk()?;
+        // End-of-chunks sentinel: beyond-the-end seeks land here with
+        // the final accumulator state, so even a fully skipped replay
+        // verifies the header checksum.
+        self.index.push(IndexEntry { offset: self.next_offset, state: self.checksum.state() });
+        self.sink.write_all(&encode_footer(&self.index))?;
         self.meta.checksum = self.checksum.value();
         let end = self.sink.stream_position()?;
         self.sink.seek(SeekFrom::Start(INSTRUCTIONS_OFFSET))?;

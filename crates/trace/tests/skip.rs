@@ -1,6 +1,8 @@
 //! Skip-positioned replay: `StreamingReplay::open_at(path, skip)` must
-//! deliver exactly the trace's suffix, and chunk-aligned skips must not
-//! pay varint decode for the skipped prefix.
+//! deliver exactly the trace's suffix; on an indexed capture it must do
+//! so by a true **seek** (never touching the skipped bytes), and on an
+//! index-less (old-header) file by the raw chunk-by-chunk skip — the
+//! two paths are equivalent record-for-record.
 //!
 //! One test function on purpose: the decode counter is process-wide,
 //! and a single test keeps the measurement unpolluted.
@@ -25,10 +27,7 @@ fn mixed_trace(n: u64) -> Vec<TraceInstr> {
         .collect()
 }
 
-fn write_trace_file(instrs: &[TraceInstr], chunk_capacity: u32) -> PathBuf {
-    let dir = std::env::temp_dir().join("trrip-trace-skip-test");
-    std::fs::create_dir_all(&dir).expect("test dir");
-    let path = dir.join(format!("skip-{}.trrip", std::process::id()));
+fn trace_bytes(instrs: &[TraceInstr], chunk_capacity: u32) -> Vec<u8> {
     let mut writer = TraceWriter::with_chunk_capacity(
         std::io::Cursor::new(Vec::new()),
         "skip",
@@ -38,52 +37,120 @@ fn write_trace_file(instrs: &[TraceInstr], chunk_capacity: u32) -> PathBuf {
     .expect("header");
     writer.write_all(instrs.iter().copied()).expect("records");
     let mut cursor = writer.finish_into_inner().expect("finish");
-    std::fs::write(&path, std::mem::take(cursor.get_mut())).expect("write trace");
+    std::mem::take(cursor.get_mut())
+}
+
+fn write_file(name: &str, bytes: &[u8]) -> PathBuf {
+    let dir = std::env::temp_dir().join("trrip-trace-skip-test");
+    std::fs::create_dir_all(&dir).expect("test dir");
+    let path = dir.join(format!("{name}-{}.trrip", std::process::id()));
+    std::fs::write(&path, bytes).expect("write trace");
     path
 }
 
+/// The header's flags byte sits at offset 11; clearing the index bit
+/// turns a fresh capture into an "old header" file — the footer bytes
+/// still trail the chunks, but no reader will look for them.
+fn clear_index_flag(bytes: &[u8]) -> Vec<u8> {
+    let mut old = bytes.to_vec();
+    assert_eq!(old[11], 1, "fresh captures advertise the index");
+    old[11] = 0;
+    old
+}
+
 #[test]
-fn open_at_yields_the_exact_suffix_and_skips_decode() {
+fn open_at_yields_the_exact_suffix_and_seeks_or_skips_decode() {
     const CHUNK: u32 = 1000;
     let instrs = mixed_trace(10 * u64::from(CHUNK));
-    let path = write_trace_file(&instrs, CHUNK);
+    let bytes = trace_bytes(&instrs, CHUNK);
+    let indexed = write_file("seek", &bytes);
+    let old_header = write_file("skip", &clear_index_flag(&bytes));
 
-    // Aligned, unaligned, zero, chunk-minus-one, beyond-the-end.
+    // Seek ≡ skip: both paths yield the exact suffix for aligned,
+    // unaligned, zero, chunk-minus-one and beyond-the-end positions.
     for skip in [0u64, 1, 999, 1000, 4000, 4001, 9999, 10_000, 25_000] {
-        let replay = StreamingReplay::open_at(&path, skip).expect("open_at");
-        let suffix: Vec<TraceInstr> = SourceIter::new(replay).collect();
-        let expected = &instrs[(skip as usize).min(instrs.len())..];
-        assert_eq!(suffix, expected, "skip {skip} must yield the exact suffix");
+        for path in [&indexed, &old_header] {
+            let replay = StreamingReplay::open_at(path, skip).expect("open_at");
+            let suffix: Vec<TraceInstr> = SourceIter::new(replay).collect();
+            let expected = &instrs[(skip as usize).min(instrs.len())..];
+            assert_eq!(suffix, expected, "skip {skip} must yield the exact suffix");
+        }
     }
 
-    // A chunk-aligned skip decodes only the remainder: skipping 8 of 10
-    // chunks must cost ~2 chunks of decode, not 10. The counter is
-    // process-wide, so bound from above generously but below 10 chunks.
-    let before = records_decoded();
-    let replay = StreamingReplay::open_at(&path, 8 * u64::from(CHUNK)).expect("open_at aligned");
-    let n = SourceIter::new(replay).count();
-    assert_eq!(n, 2 * CHUNK as usize);
-    let decoded = records_decoded() - before;
-    assert_eq!(decoded, 2 * u64::from(CHUNK), "aligned skip must not decode the skipped prefix");
+    // Neither path decodes the skipped prefix: skipping 8 of 10 chunks
+    // must cost 2 chunks of decode, not 10. The counter is
+    // process-wide, so measure each path's own delta.
+    for path in [&indexed, &old_header] {
+        let before = records_decoded();
+        let replay = StreamingReplay::open_at(path, 8 * u64::from(CHUNK)).expect("open_at");
+        let n = SourceIter::new(replay).count();
+        assert_eq!(n, 2 * CHUNK as usize);
+        let decoded = records_decoded() - before;
+        assert_eq!(decoded, 2 * u64::from(CHUNK), "aligned skip must not decode the prefix");
 
-    // An unaligned skip pays exactly one boundary chunk extra.
-    let before = records_decoded();
-    let replay = StreamingReplay::open_at(&path, 8 * u64::from(CHUNK) + 1).expect("open_at");
-    let n = SourceIter::new(replay).count();
-    assert_eq!(n, 2 * CHUNK as usize - 1);
-    assert_eq!(records_decoded() - before, 2 * u64::from(CHUNK));
+        // An unaligned skip pays exactly one boundary chunk extra.
+        let before = records_decoded();
+        let replay = StreamingReplay::open_at(path, 8 * u64::from(CHUNK) + 1).expect("open_at");
+        let n = SourceIter::new(replay).count();
+        assert_eq!(n, 2 * CHUNK as usize - 1);
+        assert_eq!(records_decoded() - before, 2 * u64::from(CHUNK));
+    }
 
-    // Damage detection, after the counter assertions (it decodes too):
-    // flip a byte inside the first chunk's payload (well past the
-    // header) — a skip over it must still fail the end-of-trace
-    // checksum rather than silently replaying a damaged file.
-    let mut bytes = std::fs::read(&path).expect("read");
-    bytes[120] ^= 0x20;
-    std::fs::write(&path, &bytes).expect("write damaged");
-    let replay = StreamingReplay::open_at(&path, 8 * u64::from(CHUNK)).expect("open");
+    // True seek, pinned behaviorally: flip a byte inside the FIRST
+    // chunk's payload (well past the header). The indexed path must
+    // replay the suffix successfully — it literally never reads the
+    // damaged byte — while the index-less skip path reads (and
+    // checksums) the prefix raw and must fail. That difference IS the
+    // proof the indexed path seeks instead of skipping.
+    let mut damaged = bytes.clone();
+    damaged[120] ^= 0x20;
+    let damaged_indexed = write_file("seek-damaged", &damaged);
+    let damaged_old = write_file("skip-damaged", &clear_index_flag(&damaged));
+
+    let replay = StreamingReplay::open_at(&damaged_indexed, 8 * u64::from(CHUNK)).expect("open");
+    let suffix: Vec<TraceInstr> = SourceIter::new(replay).collect();
+    assert_eq!(suffix, &instrs[8 * CHUNK as usize..], "seek must never touch the prefix");
+
+    let replay = StreamingReplay::open_at(&damaged_old, 8 * u64::from(CHUNK)).expect("open");
     let result =
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| SourceIter::new(replay).count()));
-    assert!(result.is_err(), "damaged prefix must not replay silently");
+    assert!(result.is_err(), "the skip path reads the prefix and must detect its damage");
 
-    std::fs::remove_file(&path).ok();
+    // Damage inside the bytes a seek actually READS is still caught:
+    // the seeded accumulator state continues into the suffix and the
+    // end-of-trace checksum fails.
+    let mut tail_damaged = bytes.clone();
+    // ~2.4 kB before EOF lies well inside the last chunk's payload
+    // (chunks run ~3.3 kB here; the footer is ~200 bytes).
+    tail_damaged[bytes.len() - 2400] ^= 0x10;
+    let tail_path = write_file("seek-tail-damaged", &tail_damaged);
+    let opened = StreamingReplay::open_at(&tail_path, 8 * u64::from(CHUNK));
+    let failed = match opened {
+        Err(_) => true, // damage landed in the footer → index rejected → skip path hits it
+        Ok(replay) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            SourceIter::new(replay).count()
+        }))
+        .is_err(),
+    };
+    assert!(failed, "damage in the read suffix must not pass the seek path");
+
+    // A damaged FOOTER quietly demotes positioning to the skip path —
+    // same records, no error.
+    let mut bad_footer = bytes.clone();
+    let last = bad_footer.len() - 20; // inside the footer's checksum field
+    bad_footer[last] ^= 0xFF;
+    let footer_path = write_file("bad-footer", &bad_footer);
+    let before = records_decoded();
+    let replay = StreamingReplay::open_at(&footer_path, 8 * u64::from(CHUNK)).expect("open");
+    let suffix: Vec<TraceInstr> = SourceIter::new(replay).collect();
+    assert_eq!(suffix, &instrs[8 * CHUNK as usize..]);
+    assert_eq!(
+        records_decoded() - before,
+        2 * u64::from(CHUNK),
+        "the fallback is the raw skip, still decode-free for the prefix"
+    );
+
+    for path in [indexed, old_header, damaged_indexed, damaged_old, tail_path, footer_path].iter() {
+        std::fs::remove_file(path).ok();
+    }
 }
