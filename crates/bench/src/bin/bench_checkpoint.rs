@@ -70,6 +70,7 @@ fn assert_identical(a: &SweepResult, b: &SweepResult, what: &str) {
 
 fn main() {
     let options = HarnessOptions::from_args();
+    let obs = options.obs_session("bench_checkpoint");
     let workloads = [workload()];
 
     // Warmup-heavy shape: the paper fast-forwards far more than it
@@ -83,7 +84,7 @@ fn main() {
     let tmp_traces = std::env::temp_dir().join("trrip-bench-checkpoint-traces");
     let trace_dir = options.trace_dir.clone().unwrap_or(tmp_traces.clone());
     let traces = TraceStore::new(&trace_dir);
-    eprintln!("capturing trace under {}…", trace_dir.display());
+    trrip_obs::progress!("capturing trace under {}…", trace_dir.display());
     traces.ensure(&workloads[0], &config).expect("capture trace");
 
     // The cold phase must start from an EMPTY store every repetition,
@@ -92,15 +93,15 @@ fn main() {
     // persistent store their figure sweeps share and must not be wiped.
     let ckpt_dir = std::env::temp_dir().join("trrip-bench-checkpoint-ckpts");
     if options.checkpoint_dir.is_some() {
-        eprintln!(
-            "[note: this bench uses a scratch checkpoint dir ({}); --checkpoint-dir is left \
-             untouched]",
+        trrip_obs::progress!(
+            "note: this bench uses a scratch checkpoint dir ({}); --checkpoint-dir is left \
+             untouched",
             ckpt_dir.display()
         );
     }
 
     // --- Baseline: plain fan-out replay sweep, warmup simulated. ---
-    eprintln!("baseline: 8-policy replay_sweep (no checkpoints)…");
+    trrip_obs::progress!("baseline: 8-policy replay_sweep (no checkpoints)…");
     let mut baseline = None;
     let baseline_s = time_best(|| {
         baseline = Some(replay_sweep_with(options.jobs, &workloads, &config, &POLICIES, &traces));
@@ -109,8 +110,9 @@ fn main() {
     // --- Cold: empty store, warmup simulated + checkpoints persisted. ---
     // Hand-rolled timing loop: the store reset happens between
     // repetitions, OUTSIDE the timed region.
-    eprintln!("cold: checkpointed sweep populating {}…", ckpt_dir.display());
+    trrip_obs::progress!("cold: checkpointed sweep populating {}…", ckpt_dir.display());
     let ckpts = CheckpointStore::new(&ckpt_dir);
+    let store_before = trrip_obs::snapshot();
     let mut cold = None;
     let mut cold_s = f64::INFINITY;
     for _ in 0..REPS {
@@ -128,7 +130,7 @@ fn main() {
     }
 
     // --- Warm: every cell restores and skips warmup simulation. ---
-    eprintln!("warm: checkpointed sweep restoring…");
+    trrip_obs::progress!("warm: checkpointed sweep restoring…");
     let mut warm = None;
     let warm_s = time_best(|| {
         warm = Some(replay_sweep_checkpointed(
@@ -148,6 +150,12 @@ fn main() {
 
     let warm_speedup = baseline_s / warm_s;
     let cold_overhead = cold_s / baseline_s;
+    // Store-activity tally across the cold + warm phases, straight from
+    // the ckpt.* registry counters the store increments itself.
+    let store_delta = trrip_obs::snapshot().since(&store_before);
+    let (ckpt_hits, ckpt_misses, ckpt_saves) =
+        (store_delta.get("ckpt.hit"), store_delta.get("ckpt.miss"), store_delta.get("ckpt.save"));
+    let store_size_bytes = ckpts.size_bytes();
     let n = trrip_sim::capture_length(&config);
     println!(
         "8-policy sweep, {n} instructions ({} warmup / {} measured):",
@@ -157,6 +165,10 @@ fn main() {
     println!("  cold     (+ checkpoint save): {cold_s:.3} s  ({cold_overhead:.2}x baseline)");
     println!("  warm     (warmup restored):   {warm_s:.3} s");
     println!("  warm-start speedup: {warm_speedup:.2}x");
+    println!(
+        "  store: {ckpt_hits} hits / {ckpt_misses} misses / {ckpt_saves} saves, {:.2} MiB on disk",
+        store_size_bytes as f64 / (1024.0 * 1024.0)
+    );
 
     let entry = format!(
         "  {{\n    \"bench\": \"checkpoint_warm_start\",\n    \"policies\": {policies},\n    \
@@ -166,7 +178,11 @@ fn main() {
          \"cold_checkpointed_sweep_s\": {cold_s:.4},\n    \
          \"warm_checkpointed_sweep_s\": {warm_s:.4},\n    \
          \"warm_start_speedup\": {warm_speedup:.3},\n    \
-         \"cold_overhead_vs_baseline\": {cold_overhead:.3}\n  }}",
+         \"cold_overhead_vs_baseline\": {cold_overhead:.3},\n    \
+         \"ckpt_hits\": {ckpt_hits},\n    \
+         \"ckpt_misses\": {ckpt_misses},\n    \
+         \"ckpt_saves\": {ckpt_saves},\n    \
+         \"store_size_bytes\": {store_size_bytes}\n  }}",
         policies = POLICIES.len(),
         jobs = options.jobs,
         ff = config.fast_forward,
@@ -175,7 +191,12 @@ fn main() {
     std::fs::create_dir_all(&options.out_dir).expect("create out dir");
     let json_path = options.out_dir.join("BENCH_checkpoint.json");
     append_trajectory(&json_path, &entry);
-    eprintln!("[trajectory appended to {}]", json_path.display());
+    trrip_obs::progress!("trajectory appended to {}", json_path.display());
+    obs.finish(&[
+        ("baseline_sweep_s", baseline_s),
+        ("cold_checkpointed_sweep_s", cold_s),
+        ("warm_checkpointed_sweep_s", warm_s),
+    ]);
     std::fs::remove_dir_all(&tmp_traces).ok();
     std::fs::remove_dir_all(&ckpt_dir).ok();
 }

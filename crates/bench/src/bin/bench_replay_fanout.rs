@@ -76,6 +76,7 @@ fn drain_fanout(path: &Path, consumers: usize) -> usize {
 #[allow(clippy::too_many_lines)]
 fn main() {
     let options = HarnessOptions::from_args();
+    let obs = options.obs_session("bench_replay_fanout");
     let w = workload();
 
     // Replay-layer trace: decode-only, so use a longer run for stable
@@ -91,13 +92,13 @@ fn main() {
     let tmp_traces = std::env::temp_dir().join("trrip-bench-replay-fanout");
     let trace_dir = options.trace_dir.clone().unwrap_or(tmp_traces.clone());
     let store = TraceStore::new(&trace_dir);
-    eprintln!("capturing traces under {}…", trace_dir.display());
+    trrip_obs::progress!("capturing traces under {}…", trace_dir.display());
     let replay_path = store.ensure(&w, &replay_cfg).expect("capture replay trace");
     let workloads = [w];
 
     // --- Replay layer: 8 consumers, decode ×8 vs decode ×1. ---
     let n = replay_cfg.instructions as usize;
-    eprintln!("replay layer: draining {n} instructions × {} consumers…", POLICIES.len());
+    trrip_obs::progress!("replay layer: draining {n} instructions × {} consumers…", POLICIES.len());
     let before = records_decoded();
     let seq_s = time_best(|| {
         for _ in 0..POLICIES.len() {
@@ -114,7 +115,7 @@ fn main() {
     let replay_speedup = seq_s / fan_s;
 
     // --- Sweep layer: full 8-policy replay_sweep, both engines. ---
-    eprintln!("sweep layer: 8-policy replay_sweep, both engines…");
+    trrip_obs::progress!("sweep layer: 8-policy replay_sweep, both engines…");
     store.ensure(&workloads[0], &sweep_cfg).expect("capture sweep trace");
     let before = records_decoded();
     let mut isolated = None;
@@ -168,6 +169,11 @@ fn main() {
     std::fs::create_dir_all(&options.out_dir).expect("create out dir");
     let json_path = options.out_dir.join("BENCH_replay_fanout.json");
     append_trajectory(&json_path, &entry);
-    eprintln!("[trajectory appended to {}]", json_path.display());
+    trrip_obs::progress!("trajectory appended to {}", json_path.display());
+    obs.finish(&[
+        ("replay_fanout_s", fan_s),
+        ("sweep_fanout_s", sweep_fan_s),
+        ("sweep_decode_per_job_s", sweep_iso_s),
+    ]);
     std::fs::remove_dir_all(&tmp_traces).ok();
 }

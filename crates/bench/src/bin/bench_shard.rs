@@ -62,6 +62,22 @@ fn time_best<F: FnMut()>(mut f: F) -> f64 {
     best
 }
 
+/// Per-call cost of the **disabled** span path (one relaxed atomic
+/// load returning `None`), measured with spans forced off and the
+/// previous state restored afterwards.
+fn disabled_span_ns() -> f64 {
+    const ITERS: u32 = 2_000_000;
+    let was_on = trrip_obs::spans_enabled();
+    trrip_obs::set_spans_enabled(false);
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        std::hint::black_box(trrip_obs::enter("overhead_probe"));
+    }
+    let per_op = start.elapsed().as_secs_f64() * 1e9 / f64::from(ITERS);
+    trrip_obs::set_spans_enabled(was_on);
+    per_op
+}
+
 fn assert_identical(a: &SweepResult, b: &SweepResult, what: &str) {
     assert_eq!(a.results.len(), b.results.len(), "{what}: sweep dropped cells");
     for (x, y) in a.results.iter().zip(&b.results) {
@@ -77,6 +93,7 @@ fn assert_identical(a: &SweepResult, b: &SweepResult, what: &str) {
 
 fn main() {
     let options = HarnessOptions::from_args();
+    let obs = options.obs_session("bench_shard");
     let shards = options.shards.max(2);
     let workloads = [workload()];
 
@@ -91,7 +108,7 @@ fn main() {
     let tmp_traces = std::env::temp_dir().join("trrip-bench-shard-traces");
     let trace_dir = options.trace_dir.clone().unwrap_or(tmp_traces.clone());
     let traces = TraceStore::new(&trace_dir);
-    eprintln!("capturing trace under {}…", trace_dir.display());
+    trrip_obs::progress!("capturing trace under {}…", trace_dir.display());
     traces.ensure(&workloads[0], &config).expect("capture trace");
 
     // Scratch checkpoint dir of our own: the cold phase must start from
@@ -99,23 +116,23 @@ fn main() {
     // --checkpoint-dir may be a persistent store that must not be wiped.
     let ckpt_dir = std::env::temp_dir().join("trrip-bench-shard-ckpts");
     if options.checkpoint_dir.is_some() {
-        eprintln!(
-            "[note: this bench uses a scratch checkpoint dir ({}); --checkpoint-dir is left \
-             untouched]",
+        trrip_obs::progress!(
+            "note: this bench uses a scratch checkpoint dir ({}); --checkpoint-dir is left \
+             untouched",
             ckpt_dir.display()
         );
     }
     let ckpts = CheckpointStore::new(&ckpt_dir);
 
     // --- Baseline: plain fan-out replay sweep, unsharded. ---
-    eprintln!("baseline: 8-policy replay_sweep (unsharded, warmup simulated)…");
+    trrip_obs::progress!("baseline: 8-policy replay_sweep (unsharded, warmup simulated)…");
     let mut baseline = None;
     let baseline_s = time_best(|| {
         baseline = Some(replay_sweep_with(options.jobs, &workloads, &config, &POLICIES, &traces));
     });
 
     // --- Cold sharded: empty store, chain links persisted. ---
-    eprintln!(
+    trrip_obs::progress!(
         "cold: sharded sweep ({} segments/cell) populating {}…",
         plan.segments(),
         ckpt_dir.display()
@@ -138,8 +155,9 @@ fn main() {
     }
 
     // --- Warm sharded: every segment dispatches from the chain. ---
-    eprintln!("warm: sharded sweep restoring the chain…");
+    trrip_obs::progress!("warm: sharded sweep restoring the chain…");
     let mut warm = None;
+    let warm_spans_before = trrip_obs::spans_recorded();
     let warm_s = time_best(|| {
         warm = Some(replay_sweep_sharded(
             options.jobs,
@@ -152,8 +170,10 @@ fn main() {
         ));
     });
 
+    let warm_spans = (trrip_obs::spans_recorded() - warm_spans_before) / REPS as u64;
+
     // --- Reference: warm unsharded checkpointed sweep. ---
-    eprintln!("reference: warm unsharded checkpointed sweep…");
+    trrip_obs::progress!("reference: warm unsharded checkpointed sweep…");
     let mut warm_unsharded = None;
     let warm_unsharded_s = time_best(|| {
         warm_unsharded = Some(replay_sweep_checkpointed(
@@ -192,6 +212,26 @@ fn main() {
     println!("  warm sharded speedup vs baseline:        {warm_speedup:.2}x");
     println!("  warm sharded vs warm unsharded:          {vs_unsharded:.2}x");
 
+    // Telemetry must be free when off: bound what this sweep's span
+    // sites would cost with instrumentation disabled (one relaxed
+    // atomic load per site) and pin it under 1% of the warm sweep.
+    let mut overhead_frac = 0.0;
+    if obs.enabled() {
+        let per_op_ns = disabled_span_ns();
+        let off_cost_s = warm_spans as f64 * per_op_ns / 1e9;
+        overhead_frac = off_cost_s / warm_s;
+        println!(
+            "  telemetry off-path bound: {warm_spans} span sites x {per_op_ns:.1} ns = \
+             {off_cost_s:.6} s ({:.4}% of warm sweep)",
+            overhead_frac * 100.0
+        );
+        assert!(
+            overhead_frac < 0.01,
+            "disabled-instrumentation bound {overhead_frac:.4} must stay under 1% of the warm \
+             sweep ({warm_spans} spans, {per_op_ns:.1} ns/probe, warm {warm_s:.3} s)"
+        );
+    }
+
     let entry = format!(
         "  {{\n    \"bench\": \"shard_segment_dag\",\n    \"policies\": {policies},\n    \
          \"jobs\": {jobs},\n    \"shards\": {shards},\n    \"segments_per_cell\": {segments},\n    \
@@ -212,7 +252,13 @@ fn main() {
     std::fs::create_dir_all(&options.out_dir).expect("create out dir");
     let json_path = options.out_dir.join("BENCH_shard.json");
     append_trajectory(&json_path, &entry);
-    eprintln!("[trajectory appended to {}]", json_path.display());
+    trrip_obs::progress!("trajectory appended to {}", json_path.display());
+    obs.finish(&[
+        ("baseline_unsharded_sweep_s", baseline_s),
+        ("cold_sharded_sweep_s", cold_s),
+        ("warm_sharded_sweep_s", warm_s),
+        ("disabled_span_overhead_frac", overhead_frac),
+    ]);
     std::fs::remove_dir_all(&tmp_traces).ok();
     std::fs::remove_dir_all(&ckpt_dir).ok();
 }

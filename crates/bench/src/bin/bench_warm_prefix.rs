@@ -92,6 +92,11 @@ fn main() {
         eprintln!("error: {message}\n\n{USAGE}");
         std::process::exit(2);
     }
+    if let Err(message) = options.apply_observability() {
+        eprintln!("error: {message}\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    let obs = options.obs_session("bench_warm_prefix");
     let reps = if smoke { 1 } else { 3 };
     let workloads = [workload()];
 
@@ -110,7 +115,7 @@ fn main() {
     let tmp_traces = std::env::temp_dir().join("trrip-bench-warm-prefix-traces");
     let trace_dir = options.trace_dir.clone().unwrap_or(tmp_traces.clone());
     let traces = TraceStore::new(&trace_dir);
-    eprintln!("capturing trace under {}…", trace_dir.display());
+    trrip_obs::progress!("capturing trace under {}…", trace_dir.display());
     traces.ensure(&workloads[0], &config).expect("capture trace");
 
     // Cold phases must start from EMPTY stores every repetition, so the
@@ -119,13 +124,15 @@ fn main() {
     let percell_dir = std::env::temp_dir().join("trrip-bench-warm-prefix-percell");
     let shared_dir = std::env::temp_dir().join("trrip-bench-warm-prefix-shared");
     if options.checkpoint_dir.is_some() {
-        eprintln!("[note: this bench uses scratch checkpoint dirs; --checkpoint-dir is untouched]");
+        trrip_obs::progress!(
+            "note: this bench uses scratch checkpoint dirs; --checkpoint-dir is untouched"
+        );
     }
     let percell_ckpts = CheckpointStore::new(&percell_dir);
     let shared_ckpts = CheckpointStore::new(&shared_dir);
 
     // --- Baseline: plain fan-out replay sweep, warmup simulated. ---
-    eprintln!("baseline: 8-policy replay_sweep (no checkpoints)…");
+    trrip_obs::progress!("baseline: 8-policy replay_sweep (no checkpoints)…");
     let mut baseline = None;
     let baseline_s = time_best(
         reps,
@@ -137,7 +144,7 @@ fn main() {
     );
 
     // --- Cold per-cell: every policy pays its own warmup (PR 4 shape). ---
-    eprintln!("cold per-cell: checkpointed sweep, one warmup per policy…");
+    trrip_obs::progress!("cold per-cell: checkpointed sweep, one warmup per policy…");
     let mut percell = None;
     let percell_s = time_best(
         reps,
@@ -157,8 +164,9 @@ fn main() {
     );
 
     // --- Cold shared: one recorded warmup + per-policy tail replays. ---
-    eprintln!("cold shared: warm-prefix sweep, one warmup per workload…");
+    trrip_obs::progress!("cold shared: warm-prefix sweep, one warmup per workload…");
     let mut shared = None;
+    let store_before = trrip_obs::snapshot();
     let before = warmup_counters();
     let shared_s = time_best(
         reps,
@@ -188,7 +196,7 @@ fn main() {
     );
 
     // --- Warm: every cell composes prefix + overlay. ---
-    eprintln!("warm: warm-prefix sweep restoring…");
+    trrip_obs::progress!("warm: warm-prefix sweep restoring…");
     let mut warm = None;
     let warm_s = time_best(
         reps,
@@ -213,6 +221,12 @@ fn main() {
 
     let cold_speedup = percell_s / shared_s;
     let warm_speedup = baseline_s / warm_s;
+    // Shared-store activity across the cold-shared + warm phases, from
+    // the ckpt.* registry counters the store increments itself.
+    let store_delta = trrip_obs::snapshot().since(&store_before);
+    let (ckpt_hits, ckpt_misses, ckpt_saves) =
+        (store_delta.get("ckpt.hit"), store_delta.get("ckpt.miss"), store_delta.get("ckpt.save"));
+    let store_size_bytes = shared_ckpts.size_bytes();
     let n = trrip_sim::capture_length(&config);
     println!(
         "8-policy sweep, {n} instructions ({} warmup / {} measured):",
@@ -224,9 +238,15 @@ fn main() {
     println!(
         "  warm       (prefix + overlay):        {warm_s:.3} s  ({warm_speedup:.2}x baseline)"
     );
+    println!(
+        "  shared store: {ckpt_hits} hits / {ckpt_misses} misses / {ckpt_saves} saves, \
+         {:.2} MiB on disk",
+        store_size_bytes as f64 / (1024.0 * 1024.0)
+    );
 
     if smoke {
         println!("smoke OK: engines bit-identical, warm-start composition verified");
+        obs.finish(&[("warm_overlay_sweep_s", warm_s)]);
         std::fs::remove_dir_all(&tmp_traces).ok();
         std::fs::remove_dir_all(&percell_dir).ok();
         std::fs::remove_dir_all(&shared_dir).ok();
@@ -242,7 +262,11 @@ fn main() {
          \"cold_shared_prefix_sweep_s\": {shared_s:.4},\n    \
          \"warm_overlay_sweep_s\": {warm_s:.4},\n    \
          \"cold_shared_vs_percell_speedup\": {cold_speedup:.3},\n    \
-         \"warm_vs_baseline_speedup\": {warm_speedup:.3}\n  }}",
+         \"warm_vs_baseline_speedup\": {warm_speedup:.3},\n    \
+         \"ckpt_hits\": {ckpt_hits},\n    \
+         \"ckpt_misses\": {ckpt_misses},\n    \
+         \"ckpt_saves\": {ckpt_saves},\n    \
+         \"store_size_bytes\": {store_size_bytes}\n  }}",
         policies = POLICIES.len(),
         jobs = options.jobs,
         ff = config.fast_forward,
@@ -251,7 +275,12 @@ fn main() {
     std::fs::create_dir_all(&options.out_dir).expect("create out dir");
     let json_path = options.out_dir.join("BENCH_warm_prefix.json");
     append_trajectory(&json_path, &entry);
-    eprintln!("[trajectory appended to {}]", json_path.display());
+    trrip_obs::progress!("trajectory appended to {}", json_path.display());
+    obs.finish(&[
+        ("baseline_sweep_s", baseline_s),
+        ("cold_shared_prefix_sweep_s", shared_s),
+        ("warm_overlay_sweep_s", warm_s),
+    ]);
     std::fs::remove_dir_all(&tmp_traces).ok();
     std::fs::remove_dir_all(&percell_dir).ok();
     std::fs::remove_dir_all(&shared_dir).ok();

@@ -44,7 +44,20 @@ options:
                    policy: record the policy-agnostic shared prefix
                    once, warm-start each policy from its overlay or the
                    warmup-tail replay (requires --checkpoint-dir)
+  --metrics        enable phase spans and, on exit, print a telemetry
+                   summary (per-phase timings + counter deltas) and
+                   write a schema-versioned obs_report.json plus a
+                   Chrome trace-event file under --out
+  --obs-dir DIR    write the structured event journal (journal.jsonl)
+                   and the Chrome trace under DIR; requires --metrics
+  --quiet          suppress [trrip] progress lines on stderr (reports
+                   and telemetry artifacts are still written)
   --help           print this message and exit";
+
+/// Cap on journal events per run; past it the journal records only the
+/// dropped count (reported on close), so a runaway sweep cannot fill
+/// the disk with telemetry.
+const MAX_JOURNAL_EVENTS: u64 = 262_144;
 
 /// Common options for experiment binaries.
 #[derive(Debug, Clone)]
@@ -68,6 +81,12 @@ pub struct HarnessOptions {
     /// Share one recorded warmup per workload across every policy
     /// (`--warm-prefix`).
     pub warm_prefix: bool,
+    /// Enable phase spans and telemetry artifacts (`--metrics`).
+    pub metrics: bool,
+    /// Event-journal / Chrome-trace directory (`--obs-dir DIR`).
+    pub obs_dir: Option<PathBuf>,
+    /// Suppress `[trrip]` progress lines on stderr (`--quiet`).
+    pub quiet: bool,
 }
 
 impl Default for HarnessOptions {
@@ -81,6 +100,9 @@ impl Default for HarnessOptions {
             jobs: trrip_sim::default_jobs(),
             shards: 1,
             warm_prefix: false,
+            metrics: false,
+            obs_dir: None,
+            quiet: false,
         }
     }
 }
@@ -107,7 +129,34 @@ impl HarnessOptions {
             eprintln!("error: {message}\n\n{USAGE}");
             std::process::exit(2);
         }
+        if let Err(message) = options.apply_observability() {
+            eprintln!("error: {message}\n\n{USAGE}");
+            std::process::exit(2);
+        }
         options
+    }
+
+    /// Applies the telemetry flags to the process-global `trrip-obs`
+    /// state: `--quiet` mutes progress lines, `--metrics` arms phase
+    /// spans, `--obs-dir` opens the event journal. Split from
+    /// [`HarnessOptions::from_args`] so tests can drive it directly.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the flag when the journal file
+    /// cannot be opened.
+    pub fn apply_observability(&self) -> Result<(), String> {
+        trrip_obs::set_quiet(self.quiet);
+        if self.metrics {
+            trrip_obs::set_spans_enabled(true);
+        }
+        if let Some(dir) = &self.obs_dir {
+            let path = dir.join("journal.jsonl");
+            trrip_obs::journal_init(&path, MAX_JOURNAL_EVENTS).map_err(|e| {
+                format!("--obs-dir journal {} cannot be opened: {e}", path.display())
+            })?;
+        }
+        Ok(())
     }
 
     /// Validates that `--trace-dir` and `--checkpoint-dir` point at
@@ -120,9 +169,11 @@ impl HarnessOptions {
     ///
     /// A human-readable message naming the flag and the problem.
     pub fn validate_dirs(&self) -> Result<(), String> {
-        for (flag, dir) in
-            [("--trace-dir", &self.trace_dir), ("--checkpoint-dir", &self.checkpoint_dir)]
-        {
+        for (flag, dir) in [
+            ("--trace-dir", &self.trace_dir),
+            ("--checkpoint-dir", &self.checkpoint_dir),
+            ("--obs-dir", &self.obs_dir),
+        ] {
             let Some(dir) = dir else { continue };
             if dir.exists() {
                 if !dir.is_dir() {
@@ -190,11 +241,14 @@ impl HarnessOptions {
                     }
                 }
                 "--warm-prefix" => options.warm_prefix = true,
+                "--metrics" => options.metrics = true,
+                "--obs-dir" => options.obs_dir = Some(PathBuf::from(value_of("--obs-dir")?)),
+                "--quiet" => options.quiet = true,
                 other => {
                     return Err(format!(
                         "unknown argument `{other}` (expected \
                          --scale/--bench/--out/--trace-dir/--checkpoint-dir/--jobs/--shards/\
-                         --warm-prefix)"
+                         --warm-prefix/--metrics/--obs-dir/--quiet)"
                     ))
                 }
             }
@@ -212,6 +266,11 @@ impl HarnessOptions {
         if options.warm_prefix && options.checkpoint_dir.is_none() {
             return Err("--warm-prefix requires --checkpoint-dir (the shared prefix and \
                  per-policy overlays are persisted containers) and therefore --trace-dir"
+                .to_owned());
+        }
+        if options.obs_dir.is_some() && !options.metrics {
+            return Err("--obs-dir requires --metrics (the journal and Chrome trace are part \
+                 of the telemetry layer the flag enables)"
                 .to_owned());
         }
         Ok(Some(options))
@@ -316,7 +375,7 @@ impl HarnessOptions {
     }
 
     /// Writes a report file under the output directory and echoes the
-    /// path to stderr.
+    /// path to stderr (unless `--quiet`).
     ///
     /// # Panics
     ///
@@ -325,7 +384,92 @@ impl HarnessOptions {
         fs::create_dir_all(&self.out_dir).expect("create report dir");
         let path = self.out_dir.join(name);
         fs::write(&path, contents).expect("write report");
-        eprintln!("[report written to {}]", path.display());
+        trrip_obs::progress!("report written to {}", path.display());
+    }
+
+    /// Opens a telemetry session for one binary invocation: snapshots
+    /// the counter registry now so [`ObsSession::finish`] reports only
+    /// this run's deltas. Cheap and safe to call unconditionally — a
+    /// session without `--metrics` does nothing on finish beyond
+    /// closing the journal.
+    #[must_use]
+    pub fn obs_session(&self, tool: &'static str) -> ObsSession {
+        ObsSession {
+            enabled: self.metrics,
+            start: trrip_obs::snapshot(),
+            tool,
+            out_dir: self.out_dir.clone(),
+            obs_dir: self.obs_dir.clone(),
+        }
+    }
+}
+
+/// One binary invocation's telemetry window: counter baseline at open,
+/// summary + artifacts at [`ObsSession::finish`]. Created by
+/// [`HarnessOptions::obs_session`].
+#[derive(Debug)]
+pub struct ObsSession {
+    enabled: bool,
+    start: trrip_obs::CounterSnapshot,
+    tool: &'static str,
+    out_dir: PathBuf,
+    obs_dir: Option<PathBuf>,
+}
+
+impl ObsSession {
+    /// Whether `--metrics` armed this session (spans are recording and
+    /// finish will write telemetry artifacts).
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Closes the journal, prints the telemetry summary (per-phase
+    /// timings + counter deltas) and writes `obs_report.json` under
+    /// `--out` plus the Chrome trace under `--obs-dir` (or `--out`).
+    /// `extra` lands in the report as tool-specific top-level fields.
+    /// Returns the report path when `--metrics` was on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an artifact cannot be written or fails validation.
+    pub fn finish(self, extra: &[(&str, f64)]) -> Option<PathBuf> {
+        if let Some(stats) = trrip_obs::journal_close() {
+            trrip_obs::progress_line(&format!(
+                "journal: {} events ({} dropped) in {}",
+                stats.events_written,
+                stats.dropped,
+                stats.path.display()
+            ));
+        }
+        if !self.enabled {
+            return None;
+        }
+        let delta = trrip_obs::snapshot().since(&self.start);
+        if !trrip_obs::quiet() {
+            eprintln!("{}", trrip_obs::phase_table());
+            if !delta.is_empty() {
+                eprintln!("counters (delta over this run):");
+                for (name, value) in delta.iter() {
+                    eprintln!("  {name:<28} {value}");
+                }
+            }
+        }
+
+        let mut report = trrip_obs::ObsReport::new(self.tool).counters(&delta).phases_from_spans();
+        for (name, value) in extra {
+            report = report.field_f64(name, *value);
+        }
+        fs::create_dir_all(&self.out_dir).expect("create out dir");
+        let report_path = self.out_dir.join("obs_report.json");
+        report.write(&report_path).expect("write obs report");
+        trrip_obs::progress!("obs report written to {}", report_path.display());
+
+        let trace_dir = self.obs_dir.as_deref().unwrap_or(&self.out_dir);
+        let trace_path = trace_dir.join("obs_trace.json");
+        fs::write(&trace_path, trrip_obs::chrome_trace_json()).expect("write chrome trace");
+        trrip_obs::progress!("chrome trace written to {}", trace_path.display());
+        Some(report_path)
     }
 }
 
@@ -450,6 +594,8 @@ mod tests {
             (&["--checkpoint-dir"], "--checkpoint-dir"),
             (&["--checkpoint-dir", "c"], "--trace-dir"),
             (&["--warm-prefix"], "--warm-prefix"),
+            (&["--obs-dir"], "--obs-dir"),
+            (&["--obs-dir", "o"], "--metrics"),
         ] {
             let err = parse(args).unwrap_err();
             assert!(err.contains(flag), "error for {args:?} must name {flag}: {err}");
@@ -534,6 +680,23 @@ mod tests {
         let err = uncreatable.validate_dirs().unwrap_err();
         assert!(err.contains("cannot be created"), "unhelpful message: {err}");
         std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn obs_flags_parse_and_obs_dir_requires_metrics() {
+        let ok = parse(&["--metrics", "--obs-dir", "o", "--quiet"]).expect("valid").expect("set");
+        assert!(ok.metrics && ok.quiet);
+        assert_eq!(ok.obs_dir, Some(PathBuf::from("o")));
+        // The journal is part of what --metrics enables: alone, the
+        // error names both the flag and its requirement.
+        let err = parse(&["--obs-dir", "o"]).unwrap_err();
+        assert!(err.contains("--obs-dir") && err.contains("--metrics"), "{err}");
+        // --metrics and --quiet stand alone.
+        assert!(parse(&["--metrics"]).expect("ok").expect("set").metrics);
+        assert!(parse(&["--quiet"]).expect("ok").expect("set").quiet);
+        // Defaults: everything off.
+        let defaults = parse(&[]).expect("ok").expect("set");
+        assert!(!defaults.metrics && !defaults.quiet && defaults.obs_dir.is_none());
     }
 
     #[test]

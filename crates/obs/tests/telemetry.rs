@@ -1,0 +1,166 @@
+//! Integration coverage for the telemetry pillars: counters stay exact
+//! under threaded increment, journal files hold valid JSON in strict
+//! per-thread seq order, and the Chrome trace export survives a parse
+//! round-trip.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::thread;
+
+use trrip_obs::json::{self, Json};
+
+/// Spans and the journal are process-global; tests that touch them
+/// serialize here so cargo's threaded test runner can't interleave
+/// them.
+static GLOBAL_STATE: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL_STATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn counters_are_exact_under_threaded_increment() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+
+    let before = trrip_obs::snapshot();
+    thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    trrip_obs::counter!("test.threads.incr").incr();
+                }
+                trrip_obs::counter!("test.threads.bulk").add(PER_THREAD);
+            });
+        }
+    });
+    let delta = trrip_obs::snapshot().since(&before);
+    assert_eq!(delta.get("test.threads.incr"), THREADS * PER_THREAD, "no lost increments");
+    assert_eq!(delta.get("test.threads.bulk"), THREADS * PER_THREAD, "no lost bulk adds");
+}
+
+#[test]
+fn counter_values_are_monotonic_while_contended() {
+    let handle = trrip_obs::counter("test.threads.monotonic");
+    thread::scope(|scope| {
+        let writer = scope.spawn(move || {
+            for _ in 0..50_000 {
+                handle.incr();
+            }
+        });
+        let mut last = handle.value();
+        while !writer.is_finished() {
+            let now = handle.value();
+            assert!(now >= last, "counter went backwards: {last} -> {now}");
+            last = now;
+        }
+    });
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("trrip-obs-it-{name}-{}", std::process::id()))
+}
+
+#[test]
+fn journal_lines_parse_and_are_seq_ordered_per_thread() {
+    const THREADS: u64 = 4;
+    const EVENTS_PER_THREAD: u64 = 100;
+
+    let _guard = lock();
+    let path = tmp("threads.jsonl");
+    trrip_obs::journal_init(&path, 10_000).expect("init journal");
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..EVENTS_PER_THREAD {
+                    trrip_obs::event(
+                        "tick",
+                        &[("writer", trrip_obs::Field::U64(t)), ("i", trrip_obs::Field::U64(i))],
+                    );
+                }
+            });
+        }
+    });
+    let stats = trrip_obs::journal_close().expect("journal was open");
+    assert_eq!(stats.events_written, THREADS * EVENTS_PER_THREAD);
+    assert_eq!(stats.dropped, 0);
+
+    let text = std::fs::read_to_string(&path).expect("read journal");
+    let mut last_seq_by_thread: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut last_i_by_writer: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut expected_seq = 0u64;
+    for line in text.lines() {
+        let v = json::parse(line).expect("every journal line is valid JSON");
+        let seq = v.get("seq").and_then(Json::as_u64).expect("seq");
+        assert_eq!(seq, expected_seq, "file order equals seq order");
+        expected_seq += 1;
+
+        let thread = v.get("thread").and_then(Json::as_u64).expect("thread");
+        if let Some(prev) = last_seq_by_thread.insert(thread, seq) {
+            assert!(seq > prev, "seq strictly increases within thread {thread}");
+        }
+        // Stronger: events from one logical writer arrive in the order
+        // it emitted them (seq is allocated at write time).
+        let writer = v.get("writer").and_then(Json::as_u64).expect("writer");
+        let i = v.get("i").and_then(Json::as_u64).expect("i");
+        if let Some(prev) = last_i_by_writer.insert(writer, i) {
+            assert_eq!(i, prev + 1, "writer {writer} events arrive in emission order");
+        }
+    }
+    assert_eq!(expected_seq, THREADS * EVENTS_PER_THREAD);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn chrome_trace_round_trips_across_threads() {
+    let _guard = lock();
+    trrip_obs::set_spans_enabled(true);
+    trrip_obs::reset_spans();
+    thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for _ in 0..8 {
+                    let _outer = trrip_obs::span!("it_outer");
+                    let _inner = trrip_obs::span!("it_inner");
+                }
+            });
+        }
+    });
+    trrip_obs::set_spans_enabled(false);
+
+    let trace = trrip_obs::chrome_trace_json();
+    let doc = json::parse(&trace).expect("chrome trace parses");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+    assert_eq!(events.len(), 4 * 8 * 2, "every span became one event");
+    let mut tids = std::collections::BTreeSet::new();
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"), "complete events");
+        assert!(ev.get("ts").and_then(Json::as_u64).is_some());
+        assert!(ev.get("dur").and_then(Json::as_u64).is_some());
+        tids.insert(ev.get("tid").and_then(Json::as_u64).expect("tid"));
+        let name = ev.get("name").and_then(Json::as_str).expect("name");
+        assert!(name == "it_outer" || name == "it_inner");
+    }
+    assert_eq!(tids.len(), 4, "one timeline row per worker thread");
+
+    let stats = trrip_obs::phase_summary();
+    let outer = stats.iter().find(|s| s.name == "it_outer").expect("outer aggregated");
+    let inner = stats.iter().find(|s| s.name == "it_inner").expect("inner aggregated");
+    assert_eq!(outer.count, 32);
+    assert_eq!(inner.count, 32);
+    assert!(outer.self_ns <= outer.total_ns);
+    trrip_obs::reset_spans();
+}
+
+#[test]
+fn disabled_span_path_does_not_record() {
+    let _guard = lock();
+    trrip_obs::set_spans_enabled(false);
+    trrip_obs::reset_spans();
+    for _ in 0..1000 {
+        let _s = trrip_obs::span!("never");
+    }
+    assert_eq!(trrip_obs::spans_recorded(), 0);
+    assert!(trrip_obs::phase_summary().is_empty());
+}

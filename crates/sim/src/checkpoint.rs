@@ -412,11 +412,33 @@ pub fn read_checkpoint(
     Ok((kind, meta, payload))
 }
 
+/// Counts one store load outcome into the `ckpt.*` registry family:
+/// `Ok(Some)` is a hit, `Ok(None)` a miss (absent or differently-keyed
+/// file), `Err` a damaged container. Saves count through
+/// [`note_save`].
+fn count_load<T>(result: Result<Option<T>, CheckpointError>) -> Result<Option<T>, CheckpointError> {
+    match &result {
+        Ok(Some(_)) => trrip_obs::counter!("ckpt.hit").incr(),
+        Ok(None) => trrip_obs::counter!("ckpt.miss").incr(),
+        Err(_) => trrip_obs::counter!("ckpt.corrupt").incr(),
+    }
+    result
+}
+
+fn note_save() {
+    trrip_obs::counter!("ckpt.save").incr();
+}
+
 /// A directory of warmed-state checkpoints, keyed exactly like the
 /// trace store plus the warmup configuration hash. `save` is atomic;
 /// `load` verifies checksum and key and returns `Ok(None)` for a
 /// missing or differently-keyed file (the caller warms up cold and
 /// overwrites), surfacing only damaged files as errors.
+///
+/// Every load and save feeds the `ckpt.*` counters in the `trrip-obs`
+/// registry (`ckpt.hit`/`miss`/`corrupt`/`save`/`gc_files`/`gc_bytes`),
+/// so `--metrics` runs report store effectiveness without the store
+/// carrying any state of its own.
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
     dir: PathBuf,
@@ -497,6 +519,7 @@ impl CheckpointStore {
         run.save(&mut payload);
         let path = self.path_for(run.workload(), run.config());
         write_checkpoint(&path, &meta, payload.bytes())?;
+        note_save();
         Ok(path)
     }
 
@@ -589,6 +612,7 @@ impl CheckpointStore {
         run.save(&mut payload);
         let path = self.segment_path(run.workload(), run.config(), ordinal, position);
         write_checkpoint(&path, &meta, payload.bytes())?;
+        note_save();
         Ok(path)
     }
 
@@ -603,6 +627,16 @@ impl CheckpointStore {
     ///
     /// Damaged files, as [`CheckpointStore::load`].
     pub fn load_segment<'w>(
+        &self,
+        workload: &'w PreparedWorkload,
+        config: &SimConfig,
+        ordinal: usize,
+        position: u64,
+    ) -> Result<Option<SimRun<'w>>, CheckpointError> {
+        count_load(self.load_segment_impl(workload, config, ordinal, position))
+    }
+
+    fn load_segment_impl<'w>(
         &self,
         workload: &'w PreparedWorkload,
         config: &SimConfig,
@@ -641,6 +675,14 @@ impl CheckpointStore {
     /// Damaged files: bad magic, bad version, truncation, checksum or
     /// snapshot-payload corruption.
     pub fn load<'w>(
+        &self,
+        workload: &'w PreparedWorkload,
+        config: &SimConfig,
+    ) -> Result<Option<SimRun<'w>>, CheckpointError> {
+        count_load(self.load_impl(workload, config))
+    }
+
+    fn load_impl<'w>(
         &self,
         workload: &'w PreparedWorkload,
         config: &SimConfig,
@@ -728,6 +770,7 @@ impl CheckpointStore {
         tape.save(&mut payload);
         let path = self.prefix_path(run.workload(), run.config());
         write_checkpoint_kind(&path, CheckpointKind::SharedPrefix, &meta, payload.bytes())?;
+        note_save();
         Ok(path)
     }
 
@@ -740,6 +783,14 @@ impl CheckpointStore {
     ///
     /// Damaged files, as [`CheckpointStore::load`].
     pub fn load_prefix(
+        &self,
+        workload: &PreparedWorkload,
+        config: &SimConfig,
+    ) -> Result<Option<SharedWarmup>, CheckpointError> {
+        count_load(self.load_prefix_impl(workload, config))
+    }
+
+    fn load_prefix_impl(
         &self,
         workload: &PreparedWorkload,
         config: &SimConfig,
@@ -809,6 +860,7 @@ impl CheckpointStore {
         run.save_overlay(&mut payload);
         let path = self.overlay_path(run.workload(), run.config());
         write_checkpoint_kind(&path, CheckpointKind::PolicyOverlay, &meta, payload.bytes())?;
+        note_save();
         Ok(path)
     }
 
@@ -827,6 +879,11 @@ impl CheckpointStore {
     /// Damaged files, as [`CheckpointStore::load`], plus overlay
     /// payloads whose shape does not match the run's machine.
     pub fn load_overlay_into(&self, run: &mut SimRun<'_>) -> Result<bool, CheckpointError> {
+        let result = self.load_overlay_into_impl(run);
+        count_load(result.map(|loaded| loaded.then_some(()))).map(|opt| opt.is_some())
+    }
+
+    fn load_overlay_into_impl(&self, run: &mut SimRun<'_>) -> Result<bool, CheckpointError> {
         let path = self.overlay_path(run.workload(), run.config());
         let (kind, meta, payload) = match read_checkpoint(&path) {
             Ok(parts) => parts,
@@ -909,6 +966,15 @@ impl CheckpointStore {
                 Err(e) => return Err(e),
             }
         }
+        trrip_obs::counter!("ckpt.gc_files").add(report.removed_files as u64);
+        trrip_obs::counter!("ckpt.gc_bytes").add(report.freed_bytes);
+        trrip_obs::event(
+            "ckpt_gc",
+            &[
+                ("removed_files", trrip_obs::Field::U64(report.removed_files as u64)),
+                ("freed_bytes", trrip_obs::Field::U64(report.freed_bytes)),
+            ],
+        );
         Ok(report)
     }
 }

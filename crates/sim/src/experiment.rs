@@ -259,7 +259,29 @@ where
                 .zip(policies)
                 .map(|(subscriber, &policy)| {
                     let run_config = config.clone().with_policy(policy);
-                    scope.spawn(move || run_cell(workload, &run_config, subscriber))
+                    scope.spawn(move || {
+                        let bench = workload.spec.name.as_str();
+                        let policy_name = run_config.hierarchy.l2_policy.name();
+                        trrip_obs::event(
+                            "cell_started",
+                            &[
+                                ("benchmark", trrip_obs::Field::Str(bench)),
+                                ("policy", trrip_obs::Field::Str(policy_name)),
+                            ],
+                        );
+                        let span = trrip_obs::span!("cell");
+                        let result = run_cell(workload, &run_config, subscriber);
+                        drop(span);
+                        trrip_obs::event(
+                            "cell_finished",
+                            &[
+                                ("benchmark", trrip_obs::Field::Str(bench)),
+                                ("policy", trrip_obs::Field::Str(policy_name)),
+                                ("cycles", trrip_obs::Field::F64(result.core.cycles)),
+                            ],
+                        );
+                        result
+                    })
                 })
                 .collect();
             handles
@@ -321,10 +343,38 @@ where
     F: FnOnce(u64) -> SourceIter<S>,
 {
     let cell = |e: &dyn std::fmt::Display, what: &str, next: &str| {
-        eprintln!(
-            "[damaged {what} for {} / {}: {e}; {next}]",
-            workload.spec.name, config.hierarchy.l2_policy
-        );
+        if trrip_obs::journal_active() {
+            trrip_obs::event(
+                "artifact_damaged",
+                &[
+                    ("what", trrip_obs::Field::Str(what)),
+                    ("benchmark", trrip_obs::Field::Str(&workload.spec.name)),
+                    ("policy", trrip_obs::Field::Str(config.hierarchy.l2_policy.name())),
+                    ("error", trrip_obs::Field::Str(&e.to_string())),
+                    ("next", trrip_obs::Field::Str(next)),
+                ],
+            );
+        }
+        if !trrip_obs::quiet() {
+            eprintln!(
+                "[trrip] damaged {what} for {} / {}: {e}; {next}",
+                workload.spec.name, config.hierarchy.l2_policy
+            );
+        }
+    };
+    // Journals which rung warmed this cell (next to the warm.* counters,
+    // which carry the same totals without the per-cell attribution).
+    let route = |rung: &str| {
+        if trrip_obs::journal_active() {
+            trrip_obs::event(
+                "warm_start",
+                &[
+                    ("route", trrip_obs::Field::Str(rung)),
+                    ("benchmark", trrip_obs::Field::Str(&workload.spec.name)),
+                    ("policy", trrip_obs::Field::Str(config.hierarchy.l2_policy.name())),
+                ],
+            );
+        }
     };
     let ff = config.fast_forward;
 
@@ -334,6 +384,7 @@ where
         let mut stream = stream_at(0);
         run.fast_forward(&mut stream);
         warmstats::count_cold_warmup();
+        route("cold_warmup");
         return (run, stream);
     };
 
@@ -341,6 +392,7 @@ where
     match checkpoints.load(workload, config) {
         Ok(Some(run)) => {
             warmstats::count_full_restore();
+            route("full_restore");
             return (run, stream_at(ff));
         }
         Ok(None) => {}
@@ -364,6 +416,7 @@ where
         match checkpoints.load_overlay_into(&mut run) {
             Ok(true) => {
                 warmstats::count_overlay_restore();
+                route("overlay_restore");
                 return (run, stream_at(ff));
             }
             Ok(false) => {}
@@ -382,6 +435,7 @@ where
             cell(&e, "overlay save", "continuing without it");
         }
         warmstats::count_tail_replay();
+        route("tail_replay");
         return (run, stream);
     }
 
@@ -392,6 +446,7 @@ where
     let mut tape = WarmupTape::new();
     run.fast_forward_recorded(&mut stream, &mut tape);
     warmstats::count_recorded_warmup();
+    route("recorded_warmup");
     if let Err(e) = checkpoints.save_prefix(&run, &tape) {
         cell(&e, "prefix save", "continuing without it");
     }
@@ -444,11 +499,11 @@ pub fn ensure_warm_prefixes(
         run.fast_forward_recorded(&mut stream, &mut tape);
         warmstats::count_recorded_warmup();
         if let Err(e) = checkpoints.save_prefix(&run, &tape) {
-            eprintln!("[prefix save failed for {}: {e}]", workload.spec.name);
+            trrip_obs::progress!("prefix save failed for {}: {e}", workload.spec.name);
         }
         if let Err(e) = checkpoints.save_overlay(&run) {
-            eprintln!(
-                "[overlay save failed for {} / {}: {e}]",
+            trrip_obs::progress!(
+                "overlay save failed for {} / {}: {e}",
                 workload.spec.name,
                 PolicyKind::neutral()
             );

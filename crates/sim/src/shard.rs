@@ -171,7 +171,10 @@ fn position_at<'w>(
     if k > 0 {
         if let Some(store) = checkpoints {
             match store.load_segment(workload, config, k - 1, plan.measure_start(k)) {
-                Ok(Some(run)) => return (run, open_stream(trace_path, start)),
+                Ok(Some(run)) => {
+                    trrip_obs::counter!("shard.disk_dispatch").incr();
+                    return (run, open_stream(trace_path, start));
+                }
                 Ok(None) => {}
                 Err(e) => {
                     // A damaged link would otherwise shadow its slot
@@ -179,17 +182,40 @@ fn position_at<'w>(
                     // delete it — the cold rebuild below lands exactly
                     // on this link's position and re-persists a good
                     // one.
-                    eprintln!(
-                        "[damaged chain link for {} / {} seg {}: {e}; rebuilding cold]",
-                        workload.spec.name,
-                        config.hierarchy.l2_policy,
-                        k - 1
-                    );
+                    if trrip_obs::journal_active() {
+                        trrip_obs::event(
+                            "artifact_damaged",
+                            &[
+                                ("what", trrip_obs::Field::Str("chain link")),
+                                ("benchmark", trrip_obs::Field::Str(&workload.spec.name)),
+                                (
+                                    "policy",
+                                    trrip_obs::Field::Str(config.hierarchy.l2_policy.name()),
+                                ),
+                                ("segment", trrip_obs::Field::U64((k - 1) as u64)),
+                                ("error", trrip_obs::Field::Str(&e.to_string())),
+                                ("next", trrip_obs::Field::Str("rebuilding cold")),
+                            ],
+                        );
+                    }
+                    if !trrip_obs::quiet() {
+                        eprintln!(
+                            "[trrip] damaged chain link for {} / {} seg {}: {e}; rebuilding cold",
+                            workload.spec.name,
+                            config.hierarchy.l2_policy,
+                            k - 1
+                        );
+                    }
                     let path = store.segment_path(workload, config, k - 1, plan.measure_start(k));
                     let _ = std::fs::remove_file(path);
                 }
             }
         }
+    }
+    if k > 0 {
+        // Segment k>0 reached without a live carry or a loadable chain
+        // link: the expensive path (re-simulated measure prefix).
+        trrip_obs::counter!("shard.cold_fallback").incr();
     }
 
     // Cold fallback: the fast-forward boundary by the cheapest valid
@@ -214,8 +240,8 @@ fn position_at<'w>(
     if k > 0 {
         if let Some(store) = checkpoints {
             if let Err(e) = store.save_segment(&run, k - 1, plan.measure_start(k)) {
-                eprintln!(
-                    "[chain repair save failed for {} / {} seg {}: {e}]",
+                trrip_obs::progress!(
+                    "chain repair save failed for {} / {} seg {}: {e}",
                     workload.spec.name,
                     config.hierarchy.l2_policy,
                     k - 1
@@ -248,8 +274,21 @@ fn run_segment<'w>(
 ) -> (SimResult, Carry<'w>) {
     let start = plan.start(k);
     let end = plan.end(k);
+    let seg_span = trrip_obs::span!("segment");
+    if trrip_obs::journal_active() {
+        trrip_obs::event(
+            "segment_started",
+            &[
+                ("benchmark", trrip_obs::Field::Str(&workload.spec.name)),
+                ("policy", trrip_obs::Field::Str(config.hierarchy.l2_policy.name())),
+                ("segment", trrip_obs::Field::U64(k as u64)),
+                ("live_carry", trrip_obs::Field::Bool(carry.is_some())),
+            ],
+        );
+    }
     let (mut run, mut stream) = match carry {
         Some((run, stream)) => {
+            trrip_obs::counter!("shard.live_handoff").incr();
             debug_assert_eq!(
                 run.measure_consumed() + config.fast_forward,
                 start,
@@ -274,14 +313,27 @@ fn run_segment<'w>(
             // warm sweeps.
             if !store.has_segment(workload, config, k, position) {
                 if let Err(e) = store.save_segment(&run, k, position) {
-                    eprintln!(
-                        "[segment checkpoint save failed for {} / {} seg {k}: {e}]",
-                        workload.spec.name, config.hierarchy.l2_policy
+                    trrip_obs::progress!(
+                        "segment checkpoint save failed for {} / {} seg {k}: {e}",
+                        workload.spec.name,
+                        config.hierarchy.l2_policy
                     );
                 }
             }
         }
     }
+    if trrip_obs::journal_active() {
+        trrip_obs::event(
+            "segment_finished",
+            &[
+                ("benchmark", trrip_obs::Field::Str(&workload.spec.name)),
+                ("policy", trrip_obs::Field::Str(config.hierarchy.l2_policy.name())),
+                ("segment", trrip_obs::Field::U64(k as u64)),
+                ("instructions", trrip_obs::Field::U64(end - start)),
+            ],
+        );
+    }
+    drop(seg_span);
     (fragment, (run, stream))
 }
 
@@ -441,18 +493,33 @@ pub fn replay_sweep_sharded(
             scope.spawn(|| {
                 let _guard = PoisonGuard { sched: &sched, cv: &ready_cv };
                 loop {
-                    let task = {
+                    let (task, depth) = {
                         let mut s = sched.lock().expect("scheduler lock");
                         loop {
                             if s.poisoned || s.remaining == 0 {
                                 return;
                             }
                             if let Some(task) = s.ready.pop_front() {
-                                break task;
+                                break (task, s.ready.len());
                             }
+                            // Idle time shows up as `scheduler_idle`
+                            // spans: one per wakeless wait, attributed
+                            // to the waiting worker's thread lane.
+                            let idle = trrip_obs::span!("scheduler_idle");
                             s = ready_cv.wait(s).expect("scheduler lock");
+                            drop(idle);
                         }
                     };
+                    if trrip_obs::journal_active() {
+                        trrip_obs::event(
+                            "shard_task",
+                            &[
+                                ("cell", trrip_obs::Field::U64(task.cell as u64)),
+                                ("segment", trrip_obs::Field::U64(task.segment as u64)),
+                                ("queue_depth", trrip_obs::Field::U64(depth as u64)),
+                            ],
+                        );
+                    }
 
                     let (wi, cell_config) = &cells[task.cell];
                     let (fragment, carry) = run_segment(

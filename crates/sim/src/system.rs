@@ -245,6 +245,7 @@ impl<'w> SimRun<'w> {
     /// **Load phase**: maps the object and builds the cold machine.
     #[must_use]
     pub fn new(workload: &'w PreparedWorkload, config: &SimConfig) -> SimRun<'w> {
+        let _span = trrip_obs::span!("load");
         let object = workload.object(config.layout);
 
         // ⑥–⑧ Load: pages + PTEs (with temperature bits under PGO).
@@ -291,6 +292,7 @@ impl<'w> SimRun<'w> {
     pub fn fast_forward<S: TraceSource>(&mut self, stream: &mut SourceIter<S>) {
         assert!(self.measuring.is_none(), "fast-forward after measurement started");
         if self.config.fast_forward > 0 {
+            let _span = trrip_obs::span!("fast_forward");
             let _ = self.core.run(stream.take(self.config.fast_forward as usize));
         }
     }
@@ -307,6 +309,7 @@ impl<'w> SimRun<'w> {
     ) {
         assert!(self.measuring.is_none(), "fast-forward after measurement started");
         if self.config.fast_forward > 0 {
+            let _span = trrip_obs::span!("fast_forward");
             let mut state = self.core.begin_run();
             self.core.run_chunk_mode(
                 &mut state,
@@ -344,6 +347,7 @@ impl<'w> SimRun<'w> {
             "warmup tape covers a different fast-forward length"
         );
         if self.config.fast_forward > 0 {
+            let _span = trrip_obs::span!("warmup_tail");
             let mut cursor = tape.cursor();
             let report = self
                 .core
@@ -388,6 +392,7 @@ impl<'w> SimRun<'w> {
         limit: u64,
         drain: bool,
     ) -> ChunkCut {
+        let _span = trrip_obs::span!("measure");
         let state = self.measuring.as_mut().expect("begin_measure first");
         self.core.run_chunk(state, stream.take(limit as usize), drain)
     }

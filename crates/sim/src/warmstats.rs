@@ -4,16 +4,12 @@
 //! to a cold warmup) and lets benchmarks report the populating pass's
 //! composition.
 //!
-//! Same discipline as `trrip_trace::records_decoded`: monotonically
-//! increasing atomics, read as a snapshot and compared as deltas.
-
-use std::sync::atomic::{AtomicU64, Ordering};
-
-static FULL_RESTORES: AtomicU64 = AtomicU64::new(0);
-static OVERLAY_RESTORES: AtomicU64 = AtomicU64::new(0);
-static TAIL_REPLAYS: AtomicU64 = AtomicU64::new(0);
-static RECORDED_WARMUPS: AtomicU64 = AtomicU64::new(0);
-static COLD_WARMUPS: AtomicU64 = AtomicU64::new(0);
+//! The counters now live in the `trrip-obs` registry (the `warm.*`
+//! family), so sweep reports and journals see warm-start routing next
+//! to every other counter; this module is the stable shim that keeps
+//! the original snapshot API. Same discipline as
+//! `trrip_trace::records_decoded`: monotonically increasing values,
+//! read as a snapshot and compared as deltas.
 
 /// Snapshot of the process-wide warm-start counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -53,30 +49,30 @@ impl WarmupCounters {
 #[must_use]
 pub fn warmup_counters() -> WarmupCounters {
     WarmupCounters {
-        full_restores: FULL_RESTORES.load(Ordering::Relaxed),
-        overlay_restores: OVERLAY_RESTORES.load(Ordering::Relaxed),
-        tail_replays: TAIL_REPLAYS.load(Ordering::Relaxed),
-        recorded_warmups: RECORDED_WARMUPS.load(Ordering::Relaxed),
-        cold_warmups: COLD_WARMUPS.load(Ordering::Relaxed),
+        full_restores: trrip_obs::counter!("warm.full_restore").value(),
+        overlay_restores: trrip_obs::counter!("warm.overlay_restore").value(),
+        tail_replays: trrip_obs::counter!("warm.tail_replay").value(),
+        recorded_warmups: trrip_obs::counter!("warm.recorded_warmup").value(),
+        cold_warmups: trrip_obs::counter!("warm.cold_warmup").value(),
     }
 }
 
 pub(crate) fn count_full_restore() {
-    FULL_RESTORES.fetch_add(1, Ordering::Relaxed);
+    trrip_obs::counter!("warm.full_restore").incr();
 }
 
 pub(crate) fn count_overlay_restore() {
-    OVERLAY_RESTORES.fetch_add(1, Ordering::Relaxed);
+    trrip_obs::counter!("warm.overlay_restore").incr();
 }
 
 pub(crate) fn count_tail_replay() {
-    TAIL_REPLAYS.fetch_add(1, Ordering::Relaxed);
+    trrip_obs::counter!("warm.tail_replay").incr();
 }
 
 pub(crate) fn count_recorded_warmup() {
-    RECORDED_WARMUPS.fetch_add(1, Ordering::Relaxed);
+    trrip_obs::counter!("warm.recorded_warmup").incr();
 }
 
 pub(crate) fn count_cold_warmup() {
-    COLD_WARMUPS.fetch_add(1, Ordering::Relaxed);
+    trrip_obs::counter!("warm.cold_warmup").incr();
 }

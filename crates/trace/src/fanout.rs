@@ -216,7 +216,10 @@ fn io_loop<R: std::io::Read>(
     let mut seq = 0u64;
     loop {
         let mut payload = recycle.try_recv().unwrap_or_default();
-        match source.read_chunk_raw(&mut payload) {
+        let span = trrip_obs::span!("io_read");
+        let outcome = source.read_chunk_raw(&mut payload);
+        drop(span);
+        match outcome {
             Ok(0) => return, // end of trace; dropping `work` retires the workers
             Ok(record_count) => {
                 if work.send(RawChunk { seq, record_count, payload }).is_err() {
@@ -247,7 +250,9 @@ fn worker_loop(
             return; // io thread finished and the queue drained
         };
         let mut batch = Vec::with_capacity(record_count as usize);
+        let span = trrip_obs::span!("decode");
         let outcome = decode_chunk(&payload, record_count, &mut batch);
+        drop(span);
         let _ = recycle.send(payload);
         let message = match outcome {
             Ok(()) => Decoded::Batch(seq, Arc::from(batch)),

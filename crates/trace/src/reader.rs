@@ -135,6 +135,8 @@ impl<R: Read> TraceReader<R> {
         payload.resize(payload_len as usize, 0);
         self.source.read_exact(payload)?;
         self.checksum.update(payload);
+        trrip_obs::counter!("trace.chunks_read").incr();
+        trrip_obs::counter!("trace.bytes_read").add(u64::from(payload_len));
 
         self.remaining -= u64::from(record_count);
         if self.remaining == 0 {
@@ -173,6 +175,7 @@ impl<R: Read> TraceReader<R> {
         if found != self.meta.checksum {
             return Err(TraceError::ChecksumMismatch { expected: self.meta.checksum, found });
         }
+        trrip_obs::counter!("trace.checksum_verified").incr();
         Ok(())
     }
 

@@ -5,10 +5,11 @@
 //! right numbers, just slower. The counter here makes decode work
 //! observable, so a test can assert that an N-policy fan-out sweep pays
 //! varint decode exactly once per workload.
-
-use std::sync::atomic::{AtomicU64, Ordering};
-
-static RECORDS_DECODED: AtomicU64 = AtomicU64::new(0);
+//!
+//! The counter now lives in the `trrip-obs` registry (as
+//! `trace.records_decoded`), so sweep reports see it alongside every
+//! other counter; this module is the stable shim that keeps the
+//! original API.
 
 /// Total trace records decoded by this process, across every reader and
 /// fan-out worker. Monotonic; sample before and after an operation and
@@ -16,9 +17,9 @@ static RECORDS_DECODED: AtomicU64 = AtomicU64::new(0);
 /// path pays one relaxed atomic add per ~64 Ki records.
 #[must_use]
 pub fn records_decoded() -> u64 {
-    RECORDS_DECODED.load(Ordering::Relaxed)
+    trrip_obs::counter!("trace.records_decoded").value()
 }
 
 pub(crate) fn count_decoded(records: u64) {
-    RECORDS_DECODED.fetch_add(records, Ordering::Relaxed);
+    trrip_obs::counter!("trace.records_decoded").add(records);
 }
