@@ -29,12 +29,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod journal;
 pub mod json;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod tail;
 
+pub use fault::{arm as arm_faults, armed as faults_armed, disarm as disarm_faults, FaultAction};
 pub use journal::{
     close as journal_close, event, init as journal_init, journal_active, progress_line,
     progress_needed, quiet, set_quiet, Field, JournalStats,
@@ -45,3 +48,4 @@ pub use span::{
     chrome_trace_json, enter, phase_summary, phase_table, reset_spans, set_spans_enabled,
     spans_enabled, spans_recorded, PhaseStat, SpanGuard,
 };
+pub use tail::{read_journal, JournalRead, JournalTailer};

@@ -1,0 +1,249 @@
+//! Reading journals written by other (possibly dead) processes.
+//!
+//! A `journal.jsonl` is appended one line per event, and a process can
+//! die — or be killed by the fault harness — between `write` and the
+//! trailing newline. The final line of a journal is therefore allowed
+//! to be **torn**: incomplete JSON, or complete JSON with no newline
+//! that might still grow. [`read_journal`] surfaces such a tail as
+//! data, not as an error; garbage *before* the final line is real
+//! corruption and is reported as one.
+//!
+//! [`JournalTailer`] is the incremental flavor for a live collector: it
+//! remembers its byte offset and each [`poll`](JournalTailer::poll)
+//! returns only the newline-terminated events appended since the last
+//! one — a torn tail is simply left in the file for a later poll to
+//! pick up once the writer finishes it.
+
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use crate::json::{self, Json};
+
+/// A journal parsed from disk: every complete event plus whatever torn
+/// tail the writer left behind.
+#[derive(Debug)]
+pub struct JournalRead {
+    /// The complete, parsed events in file order.
+    pub events: Vec<Json>,
+    /// A final line that is not (yet) a complete event: either it has
+    /// no trailing newline, or it fails to parse. Empty-string tails
+    /// (file ends in `\n`) are reported as `None`.
+    pub torn_tail: Option<String>,
+}
+
+impl JournalRead {
+    /// The events of a given `kind`.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Json> {
+        self.events.iter().filter(move |e| e.get("kind").and_then(Json::as_str) == Some(kind))
+    }
+}
+
+/// Parses a whole journal file, tolerating a torn final line.
+///
+/// A newline-terminated line that fails to parse is corruption **unless
+/// it is the file's last line**, in which case a writer died after the
+/// newline of the previous event and mid-write of this one — that text
+/// comes back as `torn_tail`. Likewise the unterminated remainder after
+/// the last newline.
+///
+/// # Errors
+///
+/// I/O errors reading the file, or a parse failure on a line that is
+/// not the final one (that is real corruption, not a torn write).
+pub fn read_journal(path: &Path) -> std::io::Result<JournalRead> {
+    let text = std::fs::read_to_string(path)?;
+    let mut events = Vec::new();
+    let mut torn_tail = None;
+    let mut lines = text.split_inclusive('\n').peekable();
+    while let Some(line) = lines.next() {
+        let is_last = lines.peek().is_none();
+        let body = line.strip_suffix('\n');
+        let complete = body.is_some();
+        let body = body.unwrap_or(line);
+        if body.is_empty() {
+            continue;
+        }
+        match json::parse(body) {
+            Ok(event) if complete || !is_last => events.push(event),
+            // Complete JSON with no newline: the writer may still be
+            // mid-append. It is a tail, not yet an event.
+            Ok(_) => torn_tail = Some(body.to_owned()),
+            Err(_) if is_last => torn_tail = Some(body.to_owned()),
+            Err(message) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: corrupt journal line (not the final line): {message}",
+                        path.display()
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(JournalRead { events, torn_tail })
+}
+
+/// Incremental reader over a journal another process is appending to.
+///
+/// Each [`poll`](Self::poll) returns the events whose terminating
+/// newline has landed since the previous poll. Unterminated bytes stay
+/// in the file untouched — the offset only ever advances past complete
+/// lines, so a torn write is re-examined (and eventually consumed) once
+/// its newline arrives. A journal that does not exist yet polls as
+/// empty rather than erroring: workers create their journals at
+/// startup, and the collector may look first.
+#[derive(Debug)]
+pub struct JournalTailer {
+    path: PathBuf,
+    offset: u64,
+}
+
+impl JournalTailer {
+    /// A tailer positioned at the start of `path` (which need not exist
+    /// yet).
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into(), offset: 0 }
+    }
+
+    /// The journal this tailer reads.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Byte offset of the next unconsumed line.
+    #[must_use]
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Returns the complete events appended since the last poll.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors other than the file not existing, or a corrupt
+    /// newline-terminated line (same contract as [`read_journal`]:
+    /// only an *unterminated* tail is tolerated, and it is simply left
+    /// for the next poll).
+    pub fn poll(&mut self) -> std::io::Result<Vec<Json>> {
+        let mut file = match std::fs::File::open(&self.path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut fresh = String::new();
+        file.read_to_string(&mut fresh)?;
+        let mut events = Vec::new();
+        for line in fresh.split_inclusive('\n') {
+            let Some(body) = line.strip_suffix('\n') else {
+                break; // torn tail: leave it for a later poll
+            };
+            self.offset += line.len() as u64;
+            if body.is_empty() {
+                continue;
+            }
+            let event = json::parse(body).map_err(|message| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{}: corrupt journal line: {message}", self.path.display()),
+                )
+            })?;
+            events.push(event);
+        }
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("trrip-obs-tail-test");
+        std::fs::create_dir_all(&dir).expect("test dir");
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    fn kind_of(event: &Json) -> &str {
+        event.get("kind").and_then(Json::as_str).expect("kind field")
+    }
+
+    #[test]
+    fn reads_complete_journals_and_filters_by_kind() {
+        let path = scratch("complete");
+        std::fs::write(
+            &path,
+            "{\"seq\":0,\"kind\":\"a\"}\n{\"seq\":1,\"kind\":\"b\"}\n{\"seq\":2,\"kind\":\"a\"}\n",
+        )
+        .expect("fixture");
+        let read = read_journal(&path).expect("read");
+        assert_eq!(read.events.len(), 3);
+        assert!(read.torn_tail.is_none());
+        assert_eq!(read.of_kind("a").count(), 2);
+        assert_eq!(read.of_kind("b").count(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_a_tail_not_an_error() {
+        let path = scratch("torn");
+        // A writer died mid-line: incomplete JSON, no newline.
+        std::fs::write(&path, "{\"seq\":0,\"kind\":\"a\"}\n{\"seq\":1,\"ki").expect("fixture");
+        let read = read_journal(&path).expect("torn tail must parse");
+        assert_eq!(read.events.len(), 1);
+        assert_eq!(read.torn_tail.as_deref(), Some("{\"seq\":1,\"ki"));
+
+        // A writer died between write and newline: complete JSON, no
+        // newline. Still a tail — the line might yet grow.
+        std::fs::write(&path, "{\"seq\":0,\"kind\":\"a\"}\n{\"seq\":1,\"kind\":\"b\"}")
+            .expect("fixture");
+        let read = read_journal(&path).expect("read");
+        assert_eq!(read.events.len(), 1);
+        assert_eq!(read.torn_tail.as_deref(), Some("{\"seq\":1,\"kind\":\"b\"}"));
+
+        // A torn line that got its newline but is still garbage, mid
+        // file: that is corruption, not tearing.
+        std::fs::write(&path, "{\"seq\":0,\"ki\n{\"seq\":1,\"kind\":\"b\"}\n").expect("fixture");
+        let err = read_journal(&path).expect_err("mid-file garbage must error");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_and_missing_journals() {
+        let path = scratch("empty");
+        std::fs::write(&path, "").expect("fixture");
+        let read = read_journal(&path).expect("empty is fine");
+        assert!(read.events.is_empty() && read.torn_tail.is_none());
+        let _ = std::fs::remove_file(&path);
+        assert!(read_journal(&path).is_err(), "a missing journal is an I/O error");
+    }
+
+    #[test]
+    fn tailer_consumes_only_complete_lines_across_polls() {
+        let path = scratch("tailer");
+        let _ = std::fs::remove_file(&path);
+        let mut tailer = JournalTailer::new(&path);
+        assert!(tailer.poll().expect("missing file polls empty").is_empty());
+
+        let mut file = std::fs::File::create(&path).expect("create");
+        write!(file, "{{\"seq\":0,\"kind\":\"a\"}}\n{{\"seq\":1,\"kin").expect("write");
+        file.flush().expect("flush");
+        let events = tailer.poll().expect("poll");
+        assert_eq!(events.len(), 1, "only the newline-terminated line is consumed");
+        assert_eq!(kind_of(&events[0]), "a");
+        assert!(tailer.poll().expect("poll").is_empty(), "torn tail stays pending");
+
+        // The writer finishes the line and appends another.
+        write!(file, "d\":\"b\"}}\n{{\"seq\":2,\"kind\":\"c\"}}\n").expect("write");
+        file.flush().expect("flush");
+        let events = tailer.poll().expect("poll");
+        assert_eq!(events.iter().map(kind_of).collect::<Vec<_>>(), ["b", "c"]);
+        assert_eq!(tailer.offset(), std::fs::metadata(&path).expect("meta").len());
+        let _ = std::fs::remove_file(&path);
+    }
+}

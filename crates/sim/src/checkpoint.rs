@@ -342,8 +342,50 @@ pub fn write_checkpoint_kind(
         file.write_all(&checksum.value().to_le_bytes())?;
         file.flush()?;
     }
+    // The torn-write seam: with `ckpt.save.partial` armed, the fault
+    // harness tears/damages the flushed temp file (the rename then
+    // publishes a bad container, which loads must reject) or kills the
+    // process here (the rename never happens; only a temp is left).
+    trrip_obs::fault!("ckpt.save.partial", &tmp);
     std::fs::rename(&tmp, path)?;
     Ok(())
+}
+
+/// Bounded retry attempts for transient I/O on store load paths.
+const RETRY_ATTEMPTS: u32 = 3;
+
+/// Transient I/O: interruptions and contention that a bounded retry is
+/// allowed to absorb. Everything else (missing files, corruption,
+/// permissions) surfaces immediately.
+fn is_transient(e: &CheckpointError) -> bool {
+    matches!(
+        e,
+        CheckpointError::Io(io) if matches!(
+            io.kind(),
+            std::io::ErrorKind::Interrupted
+                | std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::TimedOut
+        )
+    )
+}
+
+/// Runs `op` up to [`RETRY_ATTEMPTS`] times, backing off briefly
+/// between attempts, retrying only [transient](is_transient) failures.
+/// Every retry counts into `ckpt.retry`.
+fn retry_transient<T>(
+    mut op: impl FnMut() -> Result<T, CheckpointError>,
+) -> Result<T, CheckpointError> {
+    let mut attempt = 1;
+    loop {
+        match op() {
+            Err(e) if is_transient(&e) && attempt < RETRY_ATTEMPTS => {
+                trrip_obs::counter!("ckpt.retry").incr();
+                std::thread::sleep(std::time::Duration::from_millis(5 << attempt));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
 }
 
 /// Reads and verifies a checkpoint file: magic, version, length and
@@ -644,7 +686,7 @@ impl CheckpointStore {
         position: u64,
     ) -> Result<Option<SimRun<'w>>, CheckpointError> {
         let path = self.segment_path(workload, config, ordinal, position);
-        let (kind, meta, payload) = match read_checkpoint(&path) {
+        let (kind, meta, payload) = match retry_transient(|| read_checkpoint(&path)) {
             Ok(parts) => parts,
             Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Ok(None)
@@ -688,7 +730,7 @@ impl CheckpointStore {
         config: &SimConfig,
     ) -> Result<Option<SimRun<'w>>, CheckpointError> {
         let path = self.path_for(workload, config);
-        let (kind, meta, payload) = match read_checkpoint(&path) {
+        let (kind, meta, payload) = match retry_transient(|| read_checkpoint(&path)) {
             Ok(parts) => parts,
             Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Ok(None)
@@ -796,7 +838,7 @@ impl CheckpointStore {
         config: &SimConfig,
     ) -> Result<Option<SharedWarmup>, CheckpointError> {
         let path = self.prefix_path(workload, config);
-        let (kind, meta, payload) = match read_checkpoint(&path) {
+        let (kind, meta, payload) = match retry_transient(|| read_checkpoint(&path)) {
             Ok(parts) => parts,
             Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Ok(None)
@@ -885,7 +927,7 @@ impl CheckpointStore {
 
     fn load_overlay_into_impl(&self, run: &mut SimRun<'_>) -> Result<bool, CheckpointError> {
         let path = self.overlay_path(run.workload(), run.config());
-        let (kind, meta, payload) = match read_checkpoint(&path) {
+        let (kind, meta, payload) = match retry_transient(|| read_checkpoint(&path)) {
             Ok(parts) => parts,
             Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Ok(false)
@@ -925,15 +967,34 @@ impl CheckpointStore {
     /// temp+rename, so gc never observes a half-written container, and a
     /// save racing the deletion atomically recreates its file (a later
     /// gc removes it again if still unwanted). Temp files are removed
-    /// only when their own fingerprint is stale, so an in-flight write
-    /// of a *kept* key is never broken mid-rename. Files the store did
-    /// not name (no trailing `-fingerprint-hash` pair) are left alone.
+    /// only when their own fingerprint is stale **and** they are older
+    /// than [`GC_TMP_GRACE`] — a fresh `.tmp.` with a stale-looking
+    /// fingerprint may belong to a writer whose keep-set differs from
+    /// ours (multi-process sweeps share one directory), and unlinking it
+    /// mid-write would turn that writer's rename into an error. Files
+    /// the store did not name (no trailing `-fingerprint-hash` pair) are
+    /// left alone.
     ///
     /// # Errors
     ///
     /// Propagates directory-listing failures; individual deletions that
     /// race another process's deletion are not errors.
     pub fn gc(&self, keep_fingerprints: &[u64]) -> Result<GcReport, std::io::Error> {
+        self.gc_with_grace(keep_fingerprints, GC_TMP_GRACE)
+    }
+
+    /// [`CheckpointStore::gc`] with an explicit temp-file grace window
+    /// (tests use `Duration::ZERO` to exercise the removal path without
+    /// fabricating old mtimes).
+    ///
+    /// # Errors
+    ///
+    /// As [`CheckpointStore::gc`].
+    pub fn gc_with_grace(
+        &self,
+        keep_fingerprints: &[u64],
+        tmp_grace: std::time::Duration,
+    ) -> Result<GcReport, std::io::Error> {
         let mut report = GcReport::default();
         let entries = match std::fs::read_dir(&self.dir) {
             Ok(entries) => entries,
@@ -943,10 +1004,10 @@ impl CheckpointStore {
         for entry in entries.flatten() {
             let path = entry.path();
             let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
-            let key = if let Some(stem) = name.strip_suffix(".ckpt") {
-                stem
+            let (key, is_tmp) = if let Some(stem) = name.strip_suffix(".ckpt") {
+                (stem, false)
             } else if let Some((stem, _)) = name.split_once(".tmp.") {
-                stem
+                (stem, true)
             } else {
                 continue;
             };
@@ -954,7 +1015,21 @@ impl CheckpointStore {
             if keep_fingerprints.contains(&fingerprint) {
                 continue;
             }
-            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            let metadata = entry.metadata().ok();
+            if is_tmp {
+                // A temp file inside the grace window may be an
+                // in-flight write by a concurrent process; leave it.
+                // (Unknown age counts as young — never break a writer.)
+                let age = metadata
+                    .as_ref()
+                    .and_then(|m| m.modified().ok())
+                    .and_then(|t| t.elapsed().ok());
+                match age {
+                    Some(age) if age >= tmp_grace => {}
+                    _ => continue,
+                }
+            }
+            let bytes = metadata.map(|m| m.len()).unwrap_or(0);
             match std::fs::remove_file(&path) {
                 Ok(()) => {
                     report.removed_files += 1;
@@ -978,6 +1053,12 @@ impl CheckpointStore {
         Ok(report)
     }
 }
+
+/// How young a `.tmp.` file may be before [`CheckpointStore::gc`]
+/// treats it as a possible in-flight write and leaves it alone. Far
+/// longer than any single container write takes; stale-fingerprint
+/// temps older than this are dead writers' litter and are collected.
+pub const GC_TMP_GRACE: std::time::Duration = std::time::Duration::from_secs(60);
 
 /// What [`CheckpointStore::gc`] removed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -1042,5 +1123,61 @@ impl SharedWarmup {
         let mut r = SnapReader::new(&self.shared);
         run.restore_shared(&mut r)?;
         r.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transient(kind: std::io::ErrorKind) -> CheckpointError {
+        CheckpointError::Io(std::io::Error::from(kind))
+    }
+
+    #[test]
+    fn transient_errors_retry_bounded_and_count() {
+        let before = trrip_obs::snapshot();
+
+        // Recovers after two transient failures; each retry counts.
+        let mut calls = 0;
+        let result = retry_transient(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(transient(std::io::ErrorKind::Interrupted))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(result.expect("third attempt succeeds"), 3);
+        assert_eq!(trrip_obs::snapshot().since(&before).get("ckpt.retry"), 2);
+
+        // Exhaustion: a persistently transient failure surfaces after
+        // exactly RETRY_ATTEMPTS tries.
+        let mut calls = 0;
+        let result: Result<(), _> = retry_transient(|| {
+            calls += 1;
+            Err(transient(std::io::ErrorKind::TimedOut))
+        });
+        assert!(is_transient(&result.expect_err("must exhaust")));
+        assert_eq!(calls, RETRY_ATTEMPTS);
+    }
+
+    #[test]
+    fn non_transient_errors_never_retry() {
+        for error in [
+            CheckpointError::BadMagic,
+            CheckpointError::Corrupt("x".into()),
+            transient(std::io::ErrorKind::NotFound),
+            transient(std::io::ErrorKind::PermissionDenied),
+        ] {
+            assert!(!is_transient(&error), "{error} must not be retried");
+        }
+        let mut calls = 0;
+        let result: Result<(), _> = retry_transient(|| {
+            calls += 1;
+            Err(CheckpointError::BadMagic)
+        });
+        assert!(matches!(result.expect_err("surfaces"), CheckpointError::BadMagic));
+        assert_eq!(calls, 1, "non-transient errors surface on the first attempt");
     }
 }

@@ -46,6 +46,7 @@ pub mod backend;
 pub mod capture;
 pub mod checkpoint;
 pub mod config;
+pub mod coordinate;
 pub mod experiment;
 pub mod inflight;
 pub mod prepare;
@@ -61,6 +62,9 @@ pub use checkpoint::{
     GcReport, SharedWarmup,
 };
 pub use config::SimConfig;
+pub use coordinate::{
+    collect_results, coordinate_worker, scan_claims, CoordError, WorkerOptions, WorkerReport,
+};
 pub use experiment::{
     default_jobs, parallel_map, parallel_map_with, policy_sweep, policy_sweep_with, replay_sweep,
     replay_sweep_checkpointed, replay_sweep_isolated, replay_sweep_with, speedup_vs, SweepResult,

@@ -157,7 +157,7 @@ fn open_stream(path: &Path, skip: u64) -> SourceIter<StreamingReplay> {
 /// from segment `k−1`: the chained checkpoint if present, else the
 /// fast-forward checkpoint (persisted if it had to be built cold) plus
 /// a re-simulated measure prefix.
-fn position_at<'w>(
+pub(crate) fn position_at<'w>(
     workload: &'w PreparedWorkload,
     config: &SimConfig,
     plan: &ShardPlan,
@@ -256,14 +256,14 @@ fn position_at<'w>(
 /// segment straight to its successor — the pipelined path pays neither
 /// a checkpoint round-trip nor a fresh replay open (which would
 /// re-read the whole trace prefix).
-type Carry<'w> = (SimRun<'w>, SourceIter<StreamingReplay>);
+pub(crate) type Carry<'w> = (SimRun<'w>, SourceIter<StreamingReplay>);
 
 /// Simulates segment `k` of one cell: positions the run (live carry →
 /// chained checkpoint → cold fallback), executes the segment, persists
 /// checkpoint `k` (non-final segments, when a store is given), and
 /// returns the segment's additive [`SimResult`] fragment together with
 /// the live run + stream for a pipelined successor.
-fn run_segment<'w>(
+pub(crate) fn run_segment<'w>(
     workload: &'w PreparedWorkload,
     config: &SimConfig,
     plan: &ShardPlan,

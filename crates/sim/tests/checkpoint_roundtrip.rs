@@ -8,6 +8,7 @@ use trrip_sim::{
     read_checkpoint, simulate, warmup_config_hash, CheckpointError, CheckpointStore,
     PreparedWorkload, SimConfig, SimResult, SimRun, SnapReader, SnapWriter, Snapshot,
 };
+use trrip_snap::corrupt;
 use trrip_trace::SourceIter;
 use trrip_workloads::{InputSet, TraceGenerator, WorkloadSpec};
 
@@ -167,10 +168,7 @@ fn corrupt_and_truncated_checkpoints_are_rejected() {
     let pristine = std::fs::read(&path).expect("read back");
 
     // Flip one byte in the body: checksum mismatch.
-    let mut corrupt = pristine.clone();
-    let mid = corrupt.len() / 2;
-    corrupt[mid] ^= 0x40;
-    std::fs::write(&path, &corrupt).expect("write corrupt");
+    corrupt::flip_middle_byte(&path);
     assert!(
         matches!(read_checkpoint(&path), Err(CheckpointError::ChecksumMismatch { .. })),
         "flipped byte must fail the checksum"
@@ -180,25 +178,23 @@ fn corrupt_and_truncated_checkpoints_are_rejected() {
     // Truncate the file at every boundary region: never panics, never
     // yields a checkpoint.
     for cut in [0, 4, 9, 17, pristine.len() / 2, pristine.len() - 1] {
-        std::fs::write(&path, &pristine[..cut]).expect("write truncated");
+        corrupt::plant_file(&path, &pristine);
+        corrupt::truncate_file(&path, cut);
         assert!(read_checkpoint(&path).is_err(), "{cut}-byte prefix accepted");
     }
 
     // Wrong magic.
-    let mut bad_magic = pristine.clone();
-    bad_magic[0] ^= 0xFF;
-    std::fs::write(&path, &bad_magic).expect("write bad magic");
+    corrupt::plant_file(&path, &pristine);
+    corrupt::break_magic(&path);
     assert!(matches!(read_checkpoint(&path), Err(CheckpointError::BadMagic)));
 
-    // Future version.
-    let mut future = pristine.clone();
-    future[8] = 0xFF;
-    future[9] = 0xFF;
-    std::fs::write(&path, &future).expect("write future version");
+    // Future version (bytes 8–9 hold the little-endian version field).
+    corrupt::plant_file(&path, &pristine);
+    corrupt::set_bytes(&path, 8, &[0xFF, 0xFF]);
     assert!(matches!(read_checkpoint(&path), Err(CheckpointError::UnsupportedVersion(_))));
 
     // Restore the pristine bytes: loads again.
-    std::fs::write(&path, &pristine).expect("write pristine");
+    corrupt::plant_file(&path, &pristine);
     assert!(store.load(&w, &config).expect("load").is_some());
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -347,24 +343,87 @@ fn gc_removes_stale_fingerprints_and_spares_kept_writes() {
     let before = store.size_bytes();
     assert!(before > 0);
     let report = store.gc(&[keep_fp]).expect("gc");
-    // Stale: full + overlay + tmp. Kept + foreign: untouched.
-    assert_eq!(report.removed_files, 3, "stale full, overlay and tmp");
+    // Stale containers go; BOTH temps survive the default grace window
+    // — a young `.tmp.` may be another process's in-flight write, even
+    // when its fingerprint looks stale to *this* process's keep-set.
+    assert_eq!(report.removed_files, 2, "stale full and overlay only");
     assert!(report.freed_bytes > 0);
     assert!(store.size_bytes() < before);
     assert!(store.has(&keep_w, &config), "kept checkpoint must survive gc");
     assert!(!store.has(&stale_w, &config), "stale checkpoint must be gone");
     assert!(keep_tmp.exists(), "a kept key's in-flight temp file must survive");
-    assert!(!stale_tmp.exists(), "a stale orphan temp must be removed");
+    assert!(stale_tmp.exists(), "a young stale-keyed temp is inside the grace window");
     assert!(foreign.exists(), "unknown files are not the store's to delete");
+
+    // With the grace window collapsed the stale orphan is litter and is
+    // collected; the kept key's temp is still spared by its fingerprint.
+    let report = store.gc_with_grace(&[keep_fp], std::time::Duration::ZERO).expect("gc");
+    assert_eq!(report.removed_files, 1, "stale orphan temp, past grace");
+    assert!(keep_tmp.exists(), "a kept key's temp survives even with no grace");
+    assert!(!stale_tmp.exists(), "a stale orphan temp past the grace window is removed");
 
     // Concurrent-safety shape: the surviving in-flight write completes
     // its temp+rename after gc, exactly as a racing saver would.
     std::fs::rename(&keep_tmp, store.path_for(&keep_w, &config)).expect("rename after gc");
 
     // gc with nothing to keep empties the store (foreign file aside).
-    let report = store.gc(&[]).expect("gc all");
+    let report = store.gc_with_grace(&[], std::time::Duration::ZERO).expect("gc all");
     assert!(report.removed_files >= 2);
     assert_eq!(store.size_bytes(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The race satellite pins: a concurrent writer's just-created temp file
+/// (stale-looking fingerprint, arbitrary keep-set) is never unlinked by
+/// a default-grace gc, so its rename always lands. The writer here IS
+/// concurrent — saves race gc on another thread while gc loops.
+#[test]
+fn gc_never_breaks_a_concurrent_writers_rename() {
+    let w = quick_workload();
+    let config = quick_config(PolicyKind::Lru);
+    let dir = std::env::temp_dir().join("trrip-ckpt-gc-race-test");
+    std::fs::remove_dir_all(&dir).ok();
+    let store = CheckpointStore::new(&dir);
+
+    let mut run = SimRun::new(&w, &config);
+    let mut stream = walker(&w, &config);
+    run.fast_forward(&mut stream);
+    store.save(&run).expect("seed save");
+
+    // No fingerprint is kept: every container AND temp looks stale to
+    // this gc. Only the grace window protects the in-flight writes.
+    // (`SimRun` is not `Sync`, so the saver keeps it on this thread and
+    // the gc loop races from the spawned one.)
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let collector = scope.spawn(|| {
+            let mut gcs = 0u32;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                store.gc(&[]).expect("gc");
+                gcs += 1;
+            }
+            gcs
+        });
+        for _ in 0..50 {
+            store.save(&run).expect("a racing gc must never break a save");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let gcs = collector.join().expect("gc thread");
+        assert!(gcs > 0, "the gc loop must actually have raced the saver");
+    });
+
+    // Every temp either renamed into place or survives intact: with the
+    // default grace, gc removed no fresh temp out from under its writer.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("dir")
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+        .collect();
+    assert!(leftovers.is_empty(), "all racing writes completed their rename: {leftovers:?}");
+    // (The container itself may or may not have survived — gc kept
+    // nothing, so deleting it was legal. A fresh save must land.)
+    store.save(&run).expect("save after the race");
+    assert!(store.has(&w, &config), "a post-race save's container must be loadable");
     std::fs::remove_dir_all(&dir).ok();
 }
 

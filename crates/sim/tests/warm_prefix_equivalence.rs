@@ -14,6 +14,7 @@ use trrip_sim::{
     replay_sweep_warm_prefix, warmup_counters, CheckpointStore, PreparedWorkload, SimConfig,
     SimResult, TraceStore,
 };
+use trrip_snap::corrupt;
 use trrip_workloads::WorkloadSpec;
 
 /// Every policy the simulator can run, including the non-paper Random
@@ -151,10 +152,7 @@ fn corrupt_overlay_falls_back_to_the_warmup_tail_not_cold() {
     // checksum rejects it at load.
     let victim = config.clone().with_policy(PolicyKind::Random);
     let overlay = ckpts.overlay_path(&workloads[0], &victim);
-    let mut bytes = std::fs::read(&overlay).expect("overlay exists");
-    let mid = bytes.len() / 2;
-    bytes[mid] ^= 0x40;
-    std::fs::write(&overlay, &bytes).expect("write corrupted overlay");
+    corrupt::flip_middle_byte(&overlay);
 
     let before = warmup_counters();
     let patched = replay_sweep_warm_prefix(4, &workloads, &config, &policies, &traces, &ckpts);
@@ -201,8 +199,7 @@ fn corrupt_prefix_falls_back_cold_and_is_rewritten() {
     // it stay on disk, but the prefix no longer loads — cells must
     // re-record, then overwrite the damaged file.
     let prefix = ckpts.prefix_path(&workloads[0], &config);
-    let bytes = std::fs::read(&prefix).expect("prefix exists");
-    std::fs::write(&prefix, &bytes[..bytes.len() / 2]).expect("truncate prefix");
+    corrupt::truncate_file(&prefix, corrupt::file_len(&prefix) / 2);
     // Remove the overlays so the cells cannot bypass the prefix
     // entirely (overlays alone would still warm-start them).
     for policy in policies {
@@ -248,7 +245,7 @@ fn damaged_full_checkpoint_is_removed_and_routed_around() {
     // otherwise re-read (and re-report) it forever.
     let victim = config.clone().with_policy(PolicyKind::Clip);
     let full = ckpts.path_for(&workloads[0], &victim);
-    std::fs::write(&full, b"TRRIPCKPgarbage-body-not-a-checkpoint").expect("plant corrupt file");
+    corrupt::plant_file(&full, b"TRRIPCKPgarbage-body-not-a-checkpoint");
 
     let before = warmup_counters();
     let patched = replay_sweep_warm_prefix(4, &workloads, &config, &policies, &traces, &ckpts);

@@ -1,0 +1,180 @@
+//! Artifact-corruption helpers for tests.
+//!
+//! Every durable artifact in the workspace (trace captures, checkpoint
+//! containers, journals) claims to detect damage — truncation, flipped
+//! bytes, foreign magic — and every crate used to hand-roll the same
+//! three mutations to prove it. This module is the one shared copy.
+//! It lives in `trrip-snap` because the snapshot substrate sits below
+//! every crate that persists anything, so all of their test suites can
+//! reach it without new dependency edges.
+//!
+//! These helpers are **test support**: they mutate files in place and
+//! panic on I/O failure (a test that cannot reach its fixture is
+//! broken, not "failing gracefully").
+
+use std::path::Path;
+
+/// Reads a file the way the helpers below do, panicking with the path
+/// on failure.
+fn read(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("corrupt helper reading {}: {e}", path.display()))
+}
+
+/// Writes a file back, panicking with the path on failure.
+fn write(path: &Path, bytes: &[u8]) {
+    std::fs::write(path, bytes)
+        .unwrap_or_else(|e| panic!("corrupt helper writing {}: {e}", path.display()));
+}
+
+/// The file's current length in bytes.
+///
+/// # Panics
+///
+/// Panics when the file cannot be read.
+#[must_use]
+pub fn file_len(path: &Path) -> usize {
+    read(path).len()
+}
+
+/// XORs the byte at `offset` with `mask` (a non-zero mask guarantees
+/// the byte changes). Returns the original byte.
+///
+/// # Panics
+///
+/// Panics on I/O failure, an out-of-range offset, or a zero mask.
+pub fn flip_byte(path: &Path, offset: usize, mask: u8) -> u8 {
+    assert_ne!(mask, 0, "a zero mask would leave the byte unchanged");
+    let mut bytes = read(path);
+    assert!(
+        offset < bytes.len(),
+        "offset {offset} past end of {} ({} bytes)",
+        path.display(),
+        bytes.len()
+    );
+    let original = bytes[offset];
+    bytes[offset] ^= mask;
+    write(path, &bytes);
+    original
+}
+
+/// Flips one byte in the middle of the file (`len / 2`) — the canonical
+/// "body corruption a checksum must catch" mutation.
+///
+/// # Panics
+///
+/// Panics on I/O failure or an empty file.
+pub fn flip_middle_byte(path: &Path) -> u8 {
+    let len = file_len(path);
+    assert!(len > 0, "cannot corrupt empty file {}", path.display());
+    flip_byte(path, len / 2, 0xFF)
+}
+
+/// Truncates the file to `len` bytes (which must not exceed the current
+/// length — growing a file is not a corruption these tests model).
+///
+/// # Panics
+///
+/// Panics on I/O failure or when `len` exceeds the file.
+pub fn truncate_file(path: &Path, len: usize) {
+    let mut bytes = read(path);
+    assert!(
+        len <= bytes.len(),
+        "cannot truncate {} to {len} (has {} bytes)",
+        path.display(),
+        bytes.len()
+    );
+    bytes.truncate(len);
+    write(path, &bytes);
+}
+
+/// Overwrites bytes starting at `offset` with `replacement` (in-bounds
+/// only; the file does not grow).
+///
+/// # Panics
+///
+/// Panics on I/O failure or when the replacement runs past the end.
+pub fn set_bytes(path: &Path, offset: usize, replacement: &[u8]) {
+    let mut bytes = read(path);
+    let end = offset + replacement.len();
+    assert!(
+        end <= bytes.len(),
+        "replacement [{offset}, {end}) past end of {} ({} bytes)",
+        path.display(),
+        bytes.len()
+    );
+    bytes[offset..end].copy_from_slice(replacement);
+    write(path, &bytes);
+}
+
+/// Breaks a leading magic string by XOR-flipping its first byte — the
+/// "not even our file format" mutation.
+///
+/// # Panics
+///
+/// Panics on I/O failure or an empty file.
+pub fn break_magic(path: &Path) -> u8 {
+    flip_byte(path, 0, 0xFF)
+}
+
+/// Replaces the whole file with `contents` — for planting a file that
+/// *looks* plausible (e.g. starts with the right magic) but is garbage.
+///
+/// # Panics
+///
+/// Panics on I/O failure.
+pub fn plant_file(path: &Path, contents: &[u8]) {
+    write(path, contents);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("trrip-snap-corrupt-{name}-{}", std::process::id()));
+        std::fs::write(&path, b"0123456789abcdef").expect("fixture");
+        path
+    }
+
+    #[test]
+    fn flip_truncate_set_and_magic_mutate_as_documented() {
+        let path = tmp("all");
+        assert_eq!(file_len(&path), 16);
+
+        let original = flip_byte(&path, 3, 0x20);
+        assert_eq!(original, b'3');
+        assert_eq!(std::fs::read(&path).unwrap()[3], b'3' ^ 0x20);
+
+        flip_middle_byte(&path);
+        assert_eq!(std::fs::read(&path).unwrap()[8], b'8' ^ 0xFF);
+
+        break_magic(&path);
+        assert_eq!(std::fs::read(&path).unwrap()[0], b'0' ^ 0xFF);
+
+        set_bytes(&path, 14, b"ZZ");
+        assert!(std::fs::read(&path).unwrap().ends_with(b"ZZ"));
+
+        truncate_file(&path, 5);
+        assert_eq!(file_len(&path), 5);
+
+        plant_file(&path, b"MAGICgarbage");
+        assert_eq!(std::fs::read(&path).unwrap(), b"MAGICgarbage");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn out_of_range_flip_panics() {
+        let path = tmp("range");
+        flip_byte(&path, 99, 0xFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero mask")]
+    fn zero_mask_panics() {
+        let path = tmp("mask");
+        flip_byte(&path, 0, 0);
+    }
+}

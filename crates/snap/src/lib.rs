@@ -31,6 +31,7 @@
 
 use std::fmt;
 
+pub mod corrupt;
 pub mod varint;
 
 pub use varint::{push_signed, push_varint, read_signed, read_varint, unzigzag, zigzag, Checksum};

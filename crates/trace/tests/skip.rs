@@ -10,6 +10,7 @@
 use std::path::PathBuf;
 
 use trrip_cpu::TraceInstr;
+use trrip_snap::corrupt;
 use trrip_trace::{records_decoded, SourceIter, StreamingReplay, TraceWriter};
 
 fn mixed_trace(n: u64) -> Vec<TraceInstr> {
@@ -102,10 +103,10 @@ fn open_at_yields_the_exact_suffix_and_seeks_or_skips_decode() {
     // damaged byte — while the index-less skip path reads (and
     // checksums) the prefix raw and must fail. That difference IS the
     // proof the indexed path seeks instead of skipping.
-    let mut damaged = bytes.clone();
-    damaged[120] ^= 0x20;
-    let damaged_indexed = write_file("seek-damaged", &damaged);
-    let damaged_old = write_file("skip-damaged", &clear_index_flag(&damaged));
+    let damaged_indexed = write_file("seek-damaged", &bytes);
+    corrupt::flip_byte(&damaged_indexed, 120, 0x20);
+    let damaged_old = write_file("skip-damaged", &clear_index_flag(&bytes));
+    corrupt::flip_byte(&damaged_old, 120, 0x20);
 
     let replay = StreamingReplay::open_at(&damaged_indexed, 8 * u64::from(CHUNK)).expect("open");
     let suffix: Vec<TraceInstr> = SourceIter::new(replay).collect();
@@ -119,11 +120,10 @@ fn open_at_yields_the_exact_suffix_and_seeks_or_skips_decode() {
     // Damage inside the bytes a seek actually READS is still caught:
     // the seeded accumulator state continues into the suffix and the
     // end-of-trace checksum fails.
-    let mut tail_damaged = bytes.clone();
     // ~2.4 kB before EOF lies well inside the last chunk's payload
     // (chunks run ~3.3 kB here; the footer is ~200 bytes).
-    tail_damaged[bytes.len() - 2400] ^= 0x10;
-    let tail_path = write_file("seek-tail-damaged", &tail_damaged);
+    let tail_path = write_file("seek-tail-damaged", &bytes);
+    corrupt::flip_byte(&tail_path, bytes.len() - 2400, 0x10);
     let opened = StreamingReplay::open_at(&tail_path, 8 * u64::from(CHUNK));
     let failed = match opened {
         Err(_) => true, // damage landed in the footer → index rejected → skip path hits it
@@ -136,10 +136,8 @@ fn open_at_yields_the_exact_suffix_and_seeks_or_skips_decode() {
 
     // A damaged FOOTER quietly demotes positioning to the skip path —
     // same records, no error.
-    let mut bad_footer = bytes.clone();
-    let last = bad_footer.len() - 20; // inside the footer's checksum field
-    bad_footer[last] ^= 0xFF;
-    let footer_path = write_file("bad-footer", &bad_footer);
+    let footer_path = write_file("bad-footer", &bytes);
+    corrupt::flip_byte(&footer_path, bytes.len() - 20, 0xFF); // inside the footer's checksum field
     let before = records_decoded();
     let replay = StreamingReplay::open_at(&footer_path, 8 * u64::from(CHUNK)).expect("open");
     let suffix: Vec<TraceInstr> = SourceIter::new(replay).collect();
