@@ -1,0 +1,196 @@
+//! Wall-clock benchmark of the **data-oriented memory system**: the
+//! per-instruction cost of the warm measure path (SoA tag stores +
+//! batched access + L1-hit fast path) and of the two warmup-tail
+//! flavors (timed replay vs functional warming).
+//!
+//! Reported metrics:
+//!
+//! * **measure ns/instr** — the warm measure phase over the walker
+//!   stream, best of N repetitions;
+//! * **L1 fast-path hit rate** — from the `cache.l1_fastpath_{hit,bail}`
+//!   registry counters the backend flushes at phase boundaries;
+//! * **warmup tail, timed vs functional** — identical state evolution,
+//!   attribution on vs off.
+//!
+//! Results append to `BENCH_memsys.json` under `--out`
+//! (`scripts/bench_memsys.sh` points `--out` at the repo root).
+//!
+//! `--smoke` (CI) shrinks the run, does a single repetition, asserts the
+//! fast-path counters moved and that the SoA machine state
+//! snapshot-round-trips byte-stably, and skips the JSON append.
+
+use std::time::Instant;
+
+use trrip_bench::{append_trajectory, HarnessOptions, USAGE};
+use trrip_core::ClassifierConfig;
+use trrip_cpu::WarmupTape;
+use trrip_policies::PolicyKind;
+use trrip_sim::{PreparedWorkload, SimConfig, SimRun, SnapReader, SnapWriter, Snapshot};
+use trrip_trace::SourceIter;
+use trrip_workloads::{InputSet, TraceGenerator, WorkloadSpec};
+
+fn workload() -> PreparedWorkload {
+    let mut spec = WorkloadSpec::named("memsys-bench");
+    spec.functions = 120;
+    spec.hot_rotation = 30;
+    PreparedWorkload::prepare(&spec, 100_000, ClassifierConfig::llvm_defaults())
+}
+
+fn walker<'w>(workload: &'w PreparedWorkload, config: &SimConfig) -> TraceGenerator<'w> {
+    TraceGenerator::new(
+        &workload.program,
+        workload.object(config.layout),
+        &workload.spec,
+        InputSet::Eval,
+    )
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
+    let options = match HarnessOptions::try_parse(args) {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            println!("{USAGE}\n  --smoke          quick CI correctness pass (no JSON append)");
+            return;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(message) = options.validate_dirs() {
+        eprintln!("error: {message}\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    if let Err(message) = options.apply_observability() {
+        eprintln!("error: {message}\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    let obs = options.obs_session("bench_memsys");
+    let reps = if smoke { 1 } else { 5 };
+    let workload = workload();
+
+    // TRRIP-1 exercises the full policy machinery (temperature lookups,
+    // RRPV tables) beyond what the L1 fast path skips.
+    let mut config = SimConfig::quick(PolicyKind::Trrip1);
+    if smoke {
+        config.fast_forward = 40_000;
+        config.instructions = 40_000;
+    } else {
+        config.fast_forward = 200_000 * options.scale;
+        config.instructions = 1_000_000 * options.scale;
+    }
+
+    // --- Warm measure path: ns per measured instruction. ---
+    trrip_obs::progress!("measure path: {} instructions after warmup…", config.instructions);
+    let counters_before = trrip_obs::snapshot();
+    let mut measure_s = f64::INFINITY;
+    let mut reference_cycles = None;
+    for _ in 0..reps {
+        let mut run = SimRun::new(&workload, &config);
+        let mut stream = SourceIter::new(walker(&workload, &config));
+        run.fast_forward(&mut stream);
+        let start = Instant::now();
+        let result = run.measure(&mut stream);
+        measure_s = measure_s.min(start.elapsed().as_secs_f64());
+        assert_eq!(result.core.instructions, config.instructions);
+        match reference_cycles {
+            None => reference_cycles = Some(result.core.cycles),
+            Some(c) => assert_eq!(c, result.core.cycles, "repetitions must be deterministic"),
+        }
+    }
+    let ns_per_instr = measure_s * 1e9 / config.instructions as f64;
+    let counters = trrip_obs::snapshot().since(&counters_before);
+    let (fp_hits, fp_bails) =
+        (counters.get("cache.l1_fastpath_hit"), counters.get("cache.l1_fastpath_bail"));
+    let fp_rate = fp_hits as f64 / (fp_hits + fp_bails).max(1) as f64;
+
+    // --- Warmup tail: timed replay vs functional warming. ---
+    trrip_obs::progress!("warmup tail: timed vs functional over {} instructions…", {
+        config.fast_forward
+    });
+    let mut tape = WarmupTape::new();
+    {
+        let mut run = SimRun::new(&workload, &config);
+        let mut stream = SourceIter::new(walker(&workload, &config));
+        run.fast_forward_recorded(&mut stream, &mut tape);
+    }
+    let mut timed_s = f64::INFINITY;
+    let mut functional_s = f64::INFINITY;
+    for _ in 0..reps {
+        let mut run = SimRun::new(&workload, &config);
+        let mut stream = SourceIter::new(walker(&workload, &config));
+        let start = Instant::now();
+        run.fast_forward_replayed(&mut stream, &tape);
+        timed_s = timed_s.min(start.elapsed().as_secs_f64());
+
+        let mut run = SimRun::new(&workload, &config);
+        let mut stream = SourceIter::new(walker(&workload, &config));
+        let start = Instant::now();
+        run.fast_forward_replayed_mode(&mut stream, &tape, true);
+        functional_s = functional_s.min(start.elapsed().as_secs_f64());
+    }
+
+    println!(
+        "memsys, {} warmup / {} measured instructions:",
+        config.fast_forward, config.instructions
+    );
+    println!("  measure phase:      {measure_s:.3} s  ({ns_per_instr:.1} ns/instr)");
+    println!(
+        "  L1 fast path:       {fp_hits} hits / {fp_bails} bails  ({:.1}% hit)",
+        fp_rate * 100.0
+    );
+    println!("  warmup tail timed:  {timed_s:.3} s");
+    println!(
+        "  warmup tail funcl:  {functional_s:.3} s  ({:.2}x)",
+        timed_s / functional_s.max(1e-12)
+    );
+
+    if smoke {
+        // The fast path must actually be exercised — both sides of it.
+        assert!(fp_hits > 0, "no L1 fast-path hits recorded");
+        assert!(fp_bails > 0, "no L1 fast-path bails recorded");
+        assert!(fp_rate > 0.5, "warm L1 hit rate suspiciously low: {fp_rate:.3}");
+
+        // The SoA machine state must snapshot-round-trip byte-stably.
+        let mut run = SimRun::new(&workload, &config);
+        let mut stream = SourceIter::new(walker(&workload, &config));
+        run.fast_forward(&mut stream);
+        let mut first = SnapWriter::new();
+        run.save(&mut first);
+        let mut restored = SimRun::new(&workload, &config);
+        restored.restore(&mut SnapReader::new(first.bytes())).expect("restore memsys state");
+        let mut second = SnapWriter::new();
+        restored.save(&mut second);
+        assert_eq!(first.bytes(), second.bytes(), "SoA snapshot round-trip drifted");
+
+        println!("smoke OK: fast-path counters moved, SoA snapshot round-trip byte-stable");
+        obs.finish(&[("measure_ns_per_instr", ns_per_instr)]);
+        return;
+    }
+
+    let entry = format!(
+        "  {{\n    \"bench\": \"memsys\",\n    \"policy\": \"trrip-1\",\n    \
+         \"fast_forward\": {ff},\n    \"measured_instructions\": {measured},\n    \
+         \"measure_s\": {measure_s:.4},\n    \
+         \"measure_ns_per_instr\": {ns_per_instr:.2},\n    \
+         \"l1_fastpath_hits\": {fp_hits},\n    \
+         \"l1_fastpath_bails\": {fp_bails},\n    \
+         \"l1_fastpath_hit_rate\": {fp_rate:.4},\n    \
+         \"warmup_tail_timed_s\": {timed_s:.4},\n    \
+         \"warmup_tail_functional_s\": {functional_s:.4}\n  }}",
+        ff = config.fast_forward,
+        measured = config.instructions,
+    );
+    std::fs::create_dir_all(&options.out_dir).expect("create out dir");
+    let json_path = options.out_dir.join("BENCH_memsys.json");
+    append_trajectory(&json_path, &entry);
+    trrip_obs::progress!("trajectory appended to {}", json_path.display());
+    obs.finish(&[
+        ("measure_ns_per_instr", ns_per_instr),
+        ("warmup_tail_timed_s", timed_s),
+        ("warmup_tail_functional_s", functional_s),
+    ]);
+}

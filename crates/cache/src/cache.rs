@@ -1,4 +1,11 @@
 //! The set-associative tag store with a pluggable replacement policy.
+//!
+//! The tag store is struct-of-arrays: packed `u64` tags in one flat
+//! array plus valid/dirty/instruction bitmaps, so a set probe — the
+//! operation every warm instruction pays at least once — touches a
+//! single cache line of tag words instead of striding over
+//! 4-field line structs. The original array-of-structs layout is kept
+//! in [`crate::aos`] as the equivalence oracle.
 
 use trrip_mem::{LineAddr, MemoryRequest};
 use trrip_policies::{ReplacementPolicy, RequestInfo};
@@ -20,12 +27,31 @@ pub struct EvictedLine {
     pub instruction: bool,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct LineState {
-    tag: LineAddr,
-    valid: bool,
-    dirty: bool,
-    instruction: bool,
+/// Sentinel stored in empty tag slots. Real line addresses are physical
+/// addresses shifted right by the line-offset bits, so they can never
+/// reach `u64::MAX`; the sentinel lets the probe loop compare tags
+/// without consulting the valid bitmap.
+pub(crate) const TAG_INVALID: u64 = u64::MAX;
+
+/// One bit of a packed `u64`-word bitmap.
+#[inline]
+pub(crate) fn bitmap_get(words: &[u64], i: usize) -> bool {
+    words[i >> 6] >> (i & 63) & 1 != 0
+}
+
+/// Sets one bit of a packed `u64`-word bitmap.
+#[inline]
+pub(crate) fn bitmap_set(words: &mut [u64], i: usize, value: bool) {
+    let mask = 1u64 << (i & 63);
+    if value {
+        words[i >> 6] |= mask;
+    } else {
+        words[i >> 6] &= !mask;
+    }
+}
+
+pub(crate) fn bitmap_words(bits: usize) -> usize {
+    bits.div_ceil(64)
 }
 
 /// One cache level: tag store + replacement policy + statistics.
@@ -51,7 +77,17 @@ struct LineState {
 /// ```
 pub struct Cache {
     config: CacheConfig,
-    lines: Vec<LineState>,
+    /// One packed tag word per slot (`set × ways + way`); [`TAG_INVALID`]
+    /// marks an empty slot.
+    tags: Vec<u64>,
+    /// Validity bitmap, one bit per slot. Redundant with the sentinel on
+    /// the probe path, but the snapshot encoding and occupancy counting
+    /// read it directly.
+    valid: Vec<u64>,
+    /// Dirty bitmap, one bit per slot.
+    dirty: Vec<u64>,
+    /// Instruction-line bitmap, one bit per slot.
+    instruction: Vec<u64>,
     policy: Box<dyn ReplacementPolicy>,
     stats: AccessStats,
     num_sets: usize,
@@ -80,8 +116,12 @@ impl Cache {
     #[must_use]
     pub fn new(config: CacheConfig, policy: Box<dyn ReplacementPolicy>) -> Cache {
         let num_sets = config.num_sets();
+        let slots = num_sets * config.ways;
         Cache {
-            lines: vec![LineState::default(); num_sets * config.ways],
+            tags: vec![TAG_INVALID; slots],
+            valid: vec![0; bitmap_words(slots)],
+            dirty: vec![0; bitmap_words(slots)],
+            instruction: vec![0; bitmap_words(slots)],
             policy,
             stats: AccessStats::default(),
             num_sets,
@@ -129,10 +169,6 @@ impl Cache {
         (line.raw() as usize) & (self.num_sets - 1)
     }
 
-    fn slot(&self, set: usize, way: usize) -> usize {
-        set * self.config.ways + way
-    }
-
     /// Line address for the request under this cache's geometry.
     #[must_use]
     pub fn line_of(&self, req: &MemoryRequest) -> LineAddr {
@@ -142,15 +178,22 @@ impl Cache {
     /// Whether `line` is currently resident.
     #[must_use]
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.find_way(line).is_some()
+        self.probe(line).is_some()
     }
 
-    fn find_way(&self, line: LineAddr) -> Option<usize> {
+    /// The single set-scan every lookup shares: one contiguous run of
+    /// tag words compared against `line` (empty slots hold
+    /// [`TAG_INVALID`], which no real line address equals). Returns the
+    /// `(set, way)` of the resident line.
+    #[inline]
+    fn probe(&self, line: LineAddr) -> Option<(usize, usize)> {
         let set = self.set_index(line);
-        (0..self.config.ways).find(|&way| {
-            let s = &self.lines[self.slot(set, way)];
-            s.valid && s.tag == line
-        })
+        let base = set * self.config.ways;
+        let raw = line.raw();
+        self.tags[base..base + self.config.ways]
+            .iter()
+            .position(|&tag| tag == raw)
+            .map(|way| (set, way))
     }
 
     /// Demand lookup: returns `true` on hit. Updates statistics and, on a
@@ -158,10 +201,9 @@ impl Cache {
     /// tag store — the hierarchy decides whether and when to [`Cache::fill`].
     pub fn access(&mut self, req: &MemoryRequest) -> bool {
         let line = self.line_of(req);
-        let info = RequestInfo::from(req);
-        match self.find_way(line) {
-            Some(way) => {
-                let set = self.set_index(line);
+        match self.probe(line) {
+            Some((set, way)) => {
+                let info = RequestInfo::from(req);
                 if req.attrs.prefetch {
                     self.stats.prefetch_hits += 1;
                 } else {
@@ -169,8 +211,7 @@ impl Cache {
                 }
                 self.policy.on_hit(set, way, &info);
                 if req.kind.is_write() {
-                    let slot = self.slot(set, way);
-                    self.lines[slot].dirty = true;
+                    bitmap_set(&mut self.dirty, set * self.config.ways + way, true);
                 }
                 true
             }
@@ -195,38 +236,37 @@ impl Cache {
             return None;
         }
         let set = self.set_index(line);
+        let base = set * self.config.ways;
         let info = RequestInfo::from(req);
 
-        let invalid_way = (0..self.config.ways).find(|&way| !self.lines[self.slot(set, way)].valid);
+        let invalid_way =
+            self.tags[base..base + self.config.ways].iter().position(|&tag| tag == TAG_INVALID);
         let (way, evicted) = match invalid_way {
             Some(way) => (way, None),
             None => {
                 let way = self.policy.choose_victim(set, &info, &self.all_ways);
                 assert!(way < self.config.ways, "policy returned way out of range");
-                let old = self.lines[self.slot(set, way)];
+                let slot = base + way;
+                let old = EvictedLine {
+                    line: LineAddr(self.tags[slot]),
+                    dirty: bitmap_get(&self.dirty, slot),
+                    instruction: bitmap_get(&self.instruction, slot),
+                };
                 self.policy.on_evict(set, way);
                 self.stats.evictions += 1;
                 if old.dirty {
                     self.stats.writebacks += 1;
                 }
-                (
-                    way,
-                    Some(EvictedLine {
-                        line: old.tag,
-                        dirty: old.dirty,
-                        instruction: old.instruction,
-                    }),
-                )
+                (way, Some(old))
             }
         };
 
-        let slot = self.slot(set, way);
-        self.lines[slot] = LineState {
-            tag: line,
-            valid: true,
-            dirty: req.kind.is_write(),
-            instruction: req.kind.is_instruction(),
-        };
+        debug_assert_ne!(line.raw(), TAG_INVALID, "line address aliases the empty-slot sentinel");
+        let slot = base + way;
+        self.tags[slot] = line.raw();
+        bitmap_set(&mut self.valid, slot, true);
+        bitmap_set(&mut self.dirty, slot, req.kind.is_write());
+        bitmap_set(&mut self.instruction, slot, req.kind.is_instruction());
         if req.attrs.prefetch {
             self.stats.prefetch_fills += 1;
         }
@@ -249,24 +289,26 @@ impl Cache {
     /// exclusive-cache movement (SLC → L2 promotion), which is a transfer,
     /// not an invalidation.
     pub fn extract(&mut self, line: LineAddr) -> Option<EvictedLine> {
-        let way = self.find_way(line)?;
-        let set = self.set_index(line);
-        let slot = self.slot(set, way);
-        let old = self.lines[slot];
-        self.lines[slot].valid = false;
-        self.lines[slot].dirty = false;
+        let (set, way) = self.probe(line)?;
+        let slot = set * self.config.ways + way;
+        let old = EvictedLine {
+            line: LineAddr(self.tags[slot]),
+            dirty: bitmap_get(&self.dirty, slot),
+            instruction: bitmap_get(&self.instruction, slot),
+        };
+        self.tags[slot] = TAG_INVALID;
+        bitmap_set(&mut self.valid, slot, false);
+        bitmap_set(&mut self.dirty, slot, false);
         self.policy.on_invalidate(set, way);
-        Some(EvictedLine { line: old.tag, dirty: old.dirty, instruction: old.instruction })
+        Some(old)
     }
 
     /// Marks `line` dirty if resident (dirty L1 writeback landing in an
     /// inclusive L2). Returns whether the line was found.
     pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
-        match self.find_way(line) {
-            Some(way) => {
-                let set = self.set_index(line);
-                let slot = self.slot(set, way);
-                self.lines[slot].dirty = true;
+        match self.probe(line) {
+            Some((set, way)) => {
+                bitmap_set(&mut self.dirty, set * self.config.ways + way, true);
                 true
             }
             None => false,
@@ -275,22 +317,24 @@ impl Cache {
 
     /// Iterates over all resident lines (for invariant checks in tests).
     pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.lines.iter().filter(|s| s.valid).map(|s| s.tag)
+        (0..self.tags.len())
+            .filter(|&slot| bitmap_get(&self.valid, slot))
+            .map(|slot| LineAddr(self.tags[slot]))
     }
 
     /// Number of resident lines.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|s| s.valid).count()
+        self.valid.iter().map(|word| word.count_ones() as usize).sum()
     }
 }
 
-const LINE_VALID: u8 = 1 << 0;
-const LINE_DIRTY: u8 = 1 << 1;
-const LINE_INSTR: u8 = 1 << 2;
+pub(crate) const LINE_VALID: u8 = 1 << 0;
+pub(crate) const LINE_DIRTY: u8 = 1 << 1;
+pub(crate) const LINE_INSTR: u8 = 1 << 2;
 
 /// Appends `bits` as a packed LSB-first bitmap (`⌈len/8⌉` bytes).
-fn save_bitmap(w: &mut SnapWriter, bits: impl Iterator<Item = bool>) {
+pub(crate) fn save_bitmap(w: &mut SnapWriter, bits: impl Iterator<Item = bool>) {
     let mut byte = 0u8;
     let mut filled = 0u8;
     for bit in bits {
@@ -308,7 +352,7 @@ fn save_bitmap(w: &mut SnapWriter, bits: impl Iterator<Item = bool>) {
 }
 
 /// Reads an `n`-bit bitmap written by [`save_bitmap`].
-fn restore_bitmap(r: &mut SnapReader<'_>, n: usize) -> Result<Vec<bool>, SnapError> {
+pub(crate) fn restore_bitmap(r: &mut SnapReader<'_>, n: usize) -> Result<Vec<bool>, SnapError> {
     let mut out = Vec::with_capacity(n);
     let mut byte = 0u8;
     for i in 0..n {
@@ -329,7 +373,9 @@ fn restore_bitmap(r: &mut SnapReader<'_>, n: usize) -> Result<Vec<bool>, SnapErr
 /// fast-forward, the dominant term in checkpoint size) costs ~1 bit per
 /// empty slot instead of the legacy byte, and a full level drops the
 /// per-line flag byte. The legacy per-line encoding (`"CACH"`, v1
-/// containers) restores transparently.
+/// containers) restores transparently. The struct-of-arrays store emits
+/// and consumes exactly the bytes the array-of-structs layout did, so
+/// v1/v2/v3 containers are unaffected by the layout change.
 ///
 /// In the v3 split container, the whole tag store — contents *and*
 /// policy state — serializes into the **per-policy overlay**, never
@@ -339,67 +385,78 @@ fn restore_bitmap(r: &mut SnapReader<'_>, n: usize) -> Result<Vec<bool>, SnapErr
 /// policies.
 impl Snapshot for Cache {
     fn save(&self, w: &mut SnapWriter) {
+        let slots = self.tags.len();
         w.tag(b"CACB");
-        w.usize(self.lines.len());
-        save_bitmap(w, self.lines.iter().map(|l| l.valid));
-        save_bitmap(w, self.lines.iter().filter(|l| l.valid).map(|l| l.dirty));
-        save_bitmap(w, self.lines.iter().filter(|l| l.valid).map(|l| l.instruction));
-        for line in self.lines.iter().filter(|l| l.valid) {
-            w.u64(line.tag.raw());
+        w.usize(slots);
+        save_bitmap(w, (0..slots).map(|slot| bitmap_get(&self.valid, slot)));
+        let valid_slots = || (0..slots).filter(|&slot| bitmap_get(&self.valid, slot));
+        save_bitmap(w, valid_slots().map(|slot| bitmap_get(&self.dirty, slot)));
+        save_bitmap(w, valid_slots().map(|slot| bitmap_get(&self.instruction, slot)));
+        for slot in valid_slots() {
+            w.u64(self.tags[slot]);
         }
         self.stats.save(w);
         self.policy.save_state(w);
     }
 
     fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let slots = self.tags.len();
         if r.try_tag(b"CACB") {
-            r.expect_len("cache line count", self.lines.len())?;
-            let valid = restore_bitmap(r, self.lines.len())?;
+            r.expect_len("cache line count", slots)?;
+            let valid = restore_bitmap(r, slots)?;
             let occupancy = valid.iter().filter(|&&v| v).count();
             let dirty = restore_bitmap(r, occupancy)?;
             let instr = restore_bitmap(r, occupancy)?;
             let mut vi = 0;
-            for (line, &v) in self.lines.iter_mut().zip(&valid) {
-                *line = if v {
+            for (slot, &v) in valid.iter().enumerate() {
+                bitmap_set(&mut self.valid, slot, v);
+                if v {
+                    bitmap_set(&mut self.dirty, slot, dirty[vi]);
+                    bitmap_set(&mut self.instruction, slot, instr[vi]);
                     vi += 1;
-                    LineState {
-                        valid: true,
-                        dirty: dirty[vi - 1],
-                        instruction: instr[vi - 1],
-                        tag: LineAddr(0), // tags follow the bitmaps
-                    }
                 } else {
-                    LineState::default()
-                };
+                    bitmap_set(&mut self.dirty, slot, false);
+                    bitmap_set(&mut self.instruction, slot, false);
+                    self.tags[slot] = TAG_INVALID;
+                }
             }
             debug_assert_eq!(vi, occupancy);
-            for line in self.lines.iter_mut().filter(|l| l.valid) {
-                line.tag = LineAddr(r.u64()?);
+            for (slot, &v) in valid.iter().enumerate() {
+                if v {
+                    self.tags[slot] = read_tag(r)?;
+                }
             }
         } else {
             // Legacy v1 per-line encoding: a flag byte per slot, tag
             // inline after each valid slot's flags.
             r.expect_tag(b"CACH")?;
-            r.expect_len("cache line count", self.lines.len())?;
-            for line in &mut self.lines {
+            r.expect_len("cache line count", slots)?;
+            for slot in 0..slots {
                 let flags = r.u8()?;
                 if flags & !(LINE_VALID | LINE_DIRTY | LINE_INSTR) != 0 {
                     return Err(SnapError::Corrupt(format!("invalid line flags {flags:#x}")));
                 }
-                *line = LineState {
-                    valid: flags & LINE_VALID != 0,
-                    dirty: flags & LINE_DIRTY != 0,
-                    instruction: flags & LINE_INSTR != 0,
-                    tag: LineAddr(0),
-                };
-                if line.valid {
-                    line.tag = LineAddr(r.u64()?);
-                }
+                let valid = flags & LINE_VALID != 0;
+                bitmap_set(&mut self.valid, slot, valid);
+                bitmap_set(&mut self.dirty, slot, flags & LINE_DIRTY != 0);
+                bitmap_set(&mut self.instruction, slot, flags & LINE_INSTR != 0);
+                self.tags[slot] = if valid { read_tag(r)? } else { TAG_INVALID };
             }
         }
         self.stats.restore(r)?;
         self.policy.restore_state(r)
     }
+}
+
+/// Reads one resident-line tag, rejecting the empty-slot sentinel (no
+/// real physical line address can reach it, so it only appears in
+/// corrupt snapshots).
+fn read_tag(r: &mut SnapReader<'_>) -> Result<u64, SnapError> {
+    let tag = r.u64()?;
+    if tag == TAG_INVALID {
+        return Err(SnapError::Corrupt("line tag aliases the empty-slot sentinel".into()));
+    }
+    Ok(tag)
 }
 
 #[cfg(test)]
@@ -545,21 +602,21 @@ mod tests {
     /// containers hold.
     fn legacy_save(c: &Cache, w: &mut SnapWriter) {
         w.tag(b"CACH");
-        w.usize(c.lines.len());
-        for line in &c.lines {
+        w.usize(c.tags.len());
+        for slot in 0..c.tags.len() {
             let mut flags = 0u8;
-            if line.valid {
+            if bitmap_get(&c.valid, slot) {
                 flags |= LINE_VALID;
             }
-            if line.dirty {
+            if bitmap_get(&c.dirty, slot) {
                 flags |= LINE_DIRTY;
             }
-            if line.instruction {
+            if bitmap_get(&c.instruction, slot) {
                 flags |= LINE_INSTR;
             }
             w.u8(flags);
-            if line.valid {
-                w.u64(line.tag.raw());
+            if bitmap_get(&c.valid, slot) {
+                w.u64(c.tags[slot]);
             }
         }
         c.stats.save(w);
@@ -625,5 +682,26 @@ mod tests {
             let last = fetch(63 * 64);
             assert!(c.access(&last), "{kind}: resident line must hit");
         }
+    }
+
+    #[test]
+    fn corrupt_sentinel_tag_is_rejected() {
+        // A snapshot claiming a resident line at the sentinel address is
+        // corrupt: accepting it would make the slot probe as empty. Craft
+        // a "CACB" image whose single valid slot carries TAG_INVALID.
+        let mut c = small_cache(PolicyKind::Lru);
+        let slots = c.tags.len();
+        let mut w = SnapWriter::new();
+        w.tag(b"CACB");
+        w.usize(slots);
+        save_bitmap(&mut w, (0..slots).map(|s| s == 0));
+        save_bitmap(&mut w, std::iter::once(false));
+        save_bitmap(&mut w, std::iter::once(false));
+        w.u64(TAG_INVALID);
+        c.stats.save(&mut w);
+        c.policy.save_state(&mut w);
+        let mut r = SnapReader::new(w.bytes());
+        let err = c.restore(&mut r).expect_err("sentinel tag must be rejected");
+        assert!(matches!(err, SnapError::Corrupt(_)), "got {err:?}");
     }
 }

@@ -186,18 +186,42 @@ impl Hierarchy {
 
     /// Performs one demand access, updating every level it touches.
     pub fn access(&mut self, req: &MemoryRequest) -> AccessOutcome {
+        match self.access_l1(req) {
+            Some(outcome) => outcome,
+            None => self.access_beyond_l1(req),
+        }
+    }
+
+    /// The L1-hit fast path: probes only the L1 of the request's kind and
+    /// returns `Some` on a hit, touching nothing below. On a miss the L1
+    /// statistics have already recorded the demand miss — the caller must
+    /// follow up with [`Hierarchy::access_beyond_l1`] (and nothing else)
+    /// to finish the access.
+    ///
+    /// Split out so the simulator's backend can bail after one set probe
+    /// on the ~95% of accesses that hit the L1, skipping the
+    /// request-dispatch and prefetch machinery of the full path. The
+    /// probe itself is the same `Cache::access` call the slow path makes
+    /// (stats + LRU stamp included), so outcomes are bit-identical.
+    #[inline]
+    pub fn access_l1(&mut self, req: &MemoryRequest) -> Option<AccessOutcome> {
         debug_assert!(!req.attrs.prefetch, "use prefetch() for prefetch traffic");
+        let l1 = if req.kind.is_instruction() { &mut self.l1i } else { &mut self.l1d };
+        if l1.access(req) {
+            Some(AccessOutcome { served_by: ServedBy::L1, latency: l1.config().data_latency })
+        } else {
+            None
+        }
+    }
+
+    /// Finishes a demand access that already missed the L1 (the
+    /// [`Hierarchy::access_l1`] probe recorded the miss): probes
+    /// L2 → SLC → DRAM and maintains inclusion/exclusion.
+    pub fn access_beyond_l1(&mut self, req: &MemoryRequest) -> AccessOutcome {
         let line = self.l2.line_of(req);
         let is_instr = req.kind.is_instruction();
-
-        // L1 probe.
-        let (l1_hit, l1_tag, l1_data) = {
-            let l1 = if is_instr { &mut self.l1i } else { &mut self.l1d };
-            (l1.access(req), l1.config().tag_latency, l1.config().data_latency)
-        };
-        if l1_hit {
-            return AccessOutcome { served_by: ServedBy::L1, latency: l1_data };
-        }
+        let l1_tag =
+            if is_instr { self.l1i.config().tag_latency } else { self.l1d.config().tag_latency };
 
         // L2 probe.
         if self.l2.access(req) {

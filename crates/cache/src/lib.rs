@@ -10,12 +10,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aos;
 pub mod cache;
 pub mod config;
 pub mod hierarchy;
 pub mod prefetch;
 pub mod stats;
 
+pub use aos::AosCache;
 pub use cache::{Cache, EvictedLine};
 pub use config::CacheConfig;
 pub use hierarchy::{AccessOutcome, Hierarchy, HierarchyConfig, ServedBy};

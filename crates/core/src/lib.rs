@@ -46,7 +46,9 @@ pub mod temperature;
 pub mod trrip;
 
 pub use classify::{ClassifierConfig, ProfileSummary, TemperatureClassifier};
-pub use rrip::{restore_rrip_sets, save_rrip_sets, BrripCore, RripSet, SrripCore};
+pub use rrip::{
+    restore_rrip_sets, save_rrip_sets, BrripCore, RripSet, RripTable, RrpvSet, SrripCore, TableSet,
+};
 pub use rrpv::{Rrpv, RrpvWidth};
 pub use temperature::{Temperature, TemperatureBits};
 pub use trrip::{TrripPolicy, TrripVariant};

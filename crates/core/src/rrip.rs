@@ -13,6 +13,51 @@ use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::rrpv::{Rrpv, RrpvWidth};
 
+/// One cache set's worth of RRPV registers, however they are stored.
+///
+/// The insertion/promotion cores ([`SrripCore`], [`BrripCore`],
+/// [`crate::TrripPolicy`]) are generic over this trait so the same
+/// sub-policy logic drives both the boxed-per-set [`RripSet`] (the
+/// original layout, kept as the equivalence oracle) and a borrowed row
+/// of the flat [`RripTable`] (the data-oriented layout the simulator
+/// runs on).
+pub trait RrpvSet {
+    /// Number of ways in the set.
+    fn ways(&self) -> usize;
+
+    /// The configured RRPV field width.
+    fn width(&self) -> RrpvWidth;
+
+    /// The RRPV of one way.
+    fn rrpv(&self, way: usize) -> Rrpv;
+
+    /// Overwrites the RRPV of one way.
+    fn set_rrpv(&mut self, way: usize, value: Rrpv);
+
+    /// The shared RRIP eviction mechanism (`GetEvictionLine`): scan from
+    /// way 0 for a *distant* line; if none exists, age every way by one
+    /// and rescan. The aging is architectural state.
+    fn find_victim(&mut self) -> usize {
+        let width = self.width();
+        loop {
+            if let Some(way) = (0..self.ways()).find(|&w| self.rrpv(w).is_distant(width)) {
+                return way;
+            }
+            for way in 0..self.ways() {
+                let aged = self.rrpv(way).aged(width);
+                self.set_rrpv(way, aged);
+            }
+        }
+    }
+
+    /// Resets one way to *distant* (tag-store invalidation) so the way
+    /// becomes the preferred victim.
+    fn invalidate(&mut self, way: usize) {
+        let distant = Rrpv::distant(self.width());
+        self.set_rrpv(way, distant);
+    }
+}
+
 /// Per-set RRPV state and the common RRIP eviction mechanism.
 ///
 /// One `RripSet` holds the RRPV registers for every way of a single cache
@@ -113,6 +158,32 @@ impl RripSet {
     }
 }
 
+impl RrpvSet for RripSet {
+    fn ways(&self) -> usize {
+        RripSet::ways(self)
+    }
+
+    fn width(&self) -> RrpvWidth {
+        RripSet::width(self)
+    }
+
+    fn rrpv(&self, way: usize) -> Rrpv {
+        RripSet::rrpv(self, way)
+    }
+
+    fn set_rrpv(&mut self, way: usize, value: Rrpv) {
+        RripSet::set_rrpv(self, way, value);
+    }
+
+    fn find_victim(&mut self) -> usize {
+        RripSet::find_victim(self)
+    }
+
+    fn invalidate(&mut self, way: usize) {
+        RripSet::invalidate(self, way);
+    }
+}
+
 impl Snapshot for RripSet {
     fn save(&self, w: &mut SnapWriter) {
         w.usize(self.rrpv.len());
@@ -127,6 +198,167 @@ impl Snapshot for RripSet {
             *v = Rrpv::from_raw(r.u8()?, self.width);
         }
         Ok(())
+    }
+}
+
+/// All sets' RRPV registers in one flat array — the data-oriented
+/// layout every RRIP-family policy runs on.
+///
+/// The boxed-per-set [`RripSet`] costs one heap allocation (and one
+/// pointer chase) per set; `RripTable` packs the same registers as
+/// `sets × ways` contiguous bytes, so a set probe touches a single
+/// cache line. Rows are borrowed as [`TableSet`] views implementing
+/// [`RrpvSet`], which is what the insertion/promotion cores operate on.
+///
+/// The [`Snapshot`] encoding is byte-identical to
+/// [`save_rrip_sets`]/[`restore_rrip_sets`] over the equivalent
+/// `Vec<RripSet>`, so checkpoints written before the layout change
+/// restore unchanged.
+///
+/// # Example
+///
+/// ```
+/// use trrip_core::{RripTable, RrpvSet, Rrpv, RrpvWidth};
+///
+/// let w = RrpvWidth::W2;
+/// let mut table = RripTable::new(2, 4, w);
+/// assert_eq!(table.set_mut(0).find_victim(), 0);
+/// table.set_rrpv(0, 0, Rrpv::immediate());
+/// assert_eq!(table.set_mut(0).find_victim(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RripTable {
+    rrpv: Vec<Rrpv>,
+    sets: usize,
+    ways: usize,
+    width: RrpvWidth,
+}
+
+impl RripTable {
+    /// Creates `sets × ways` registers, all *distant* so untouched ways
+    /// are preferred victims.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize, width: RrpvWidth) -> RripTable {
+        assert!(sets > 0, "a cache needs at least one set");
+        assert!(ways > 0, "a cache set needs at least one way");
+        RripTable { rrpv: vec![Rrpv::distant(width); sets * ways], sets, ways, width }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of ways per set.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// The configured RRPV field width.
+    #[must_use]
+    pub fn width(&self) -> RrpvWidth {
+        self.width
+    }
+
+    /// The RRPV of one way of one set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` or `way` is out of bounds.
+    #[must_use]
+    pub fn rrpv(&self, set: usize, way: usize) -> Rrpv {
+        assert!(way < self.ways, "way {way} out of bounds");
+        self.rrpv[set * self.ways + way]
+    }
+
+    /// Overwrites the RRPV of one way of one set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` or `way` is out of bounds.
+    pub fn set_rrpv(&mut self, set: usize, way: usize, value: Rrpv) {
+        assert!(way < self.ways, "way {way} out of bounds");
+        self.rrpv[set * self.ways + way] = value;
+    }
+
+    /// Borrows one set's registers as an [`RrpvSet`] view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of bounds.
+    pub fn set_mut(&mut self, set: usize) -> TableSet<'_> {
+        let base = set * self.ways;
+        TableSet { rrpv: &mut self.rrpv[base..base + self.ways], width: self.width }
+    }
+}
+
+impl Snapshot for RripTable {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.sets);
+        for set in self.rrpv.chunks_exact(self.ways) {
+            w.usize(self.ways);
+            for v in set {
+                w.u8(v.raw());
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_len("RRIP set count", self.sets)?;
+        for set in self.rrpv.chunks_exact_mut(self.ways) {
+            r.expect_len("RripSet ways", self.ways)?;
+            for v in set {
+                *v = Rrpv::from_raw(r.u8()?, self.width);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A mutable view of one [`RripTable`] row, the flat-layout
+/// counterpart of [`RripSet`].
+#[derive(Debug)]
+pub struct TableSet<'a> {
+    rrpv: &'a mut [Rrpv],
+    width: RrpvWidth,
+}
+
+impl RrpvSet for TableSet<'_> {
+    fn ways(&self) -> usize {
+        self.rrpv.len()
+    }
+
+    fn width(&self) -> RrpvWidth {
+        self.width
+    }
+
+    fn rrpv(&self, way: usize) -> Rrpv {
+        self.rrpv[way]
+    }
+
+    fn set_rrpv(&mut self, way: usize, value: Rrpv) {
+        self.rrpv[way] = value;
+    }
+
+    fn find_victim(&mut self) -> usize {
+        loop {
+            if let Some(way) = self.rrpv.iter().position(|v| v.is_distant(self.width)) {
+                return way;
+            }
+            for v in self.rrpv.iter_mut() {
+                *v = v.aged(self.width);
+            }
+        }
+    }
+
+    fn invalidate(&mut self, way: usize) {
+        self.rrpv[way] = Rrpv::distant(self.width);
     }
 }
 
@@ -164,12 +396,12 @@ impl SrripCore {
     }
 
     /// Hit promotion: hit-priority (HP) variant, promote to *immediate*.
-    pub fn on_hit(&self, set: &mut RripSet, way: usize) {
+    pub fn on_hit<S: RrpvSet + ?Sized>(&self, set: &mut S, way: usize) {
         set.set_rrpv(way, Rrpv::immediate());
     }
 
     /// Insertion: pessimistic *intermediate* re-reference prediction.
-    pub fn on_fill(&self, set: &mut RripSet, way: usize) {
+    pub fn on_fill<S: RrpvSet + ?Sized>(&self, set: &mut S, way: usize) {
         set.set_rrpv(way, Rrpv::intermediate(self.width));
     }
 }
@@ -213,13 +445,13 @@ impl BrripCore {
     }
 
     /// Hit promotion: same hit-priority behaviour as SRRIP.
-    pub fn on_hit(&self, set: &mut RripSet, way: usize) {
+    pub fn on_hit<S: RrpvSet + ?Sized>(&self, set: &mut S, way: usize) {
         set.set_rrpv(way, Rrpv::immediate());
     }
 
     /// Insertion: *distant* except every `throttle`-th fill which is
     /// *intermediate*.
-    pub fn on_fill(&mut self, set: &mut RripSet, way: usize) {
+    pub fn on_fill<S: RrpvSet + ?Sized>(&mut self, set: &mut S, way: usize) {
         self.counter = (self.counter + 1) % self.throttle;
         let value = if self.counter == 0 {
             Rrpv::intermediate(self.width)
@@ -352,6 +584,63 @@ mod tests {
     #[should_panic(expected = "at least one way")]
     fn zero_way_set_is_rejected() {
         let _ = RripSet::new(0, RrpvWidth::W2);
+    }
+
+    #[test]
+    fn table_snapshot_bytes_match_boxed_sets() {
+        let w = RrpvWidth::W3;
+        let mut table = RripTable::new(4, 4, w);
+        let mut sets: Vec<RripSet> = (0..4).map(|_| RripSet::new(4, w)).collect();
+        for (set, boxed) in sets.iter_mut().enumerate() {
+            for way in 0..4 {
+                let v = Rrpv::from_raw(((set * 3 + way) % 8) as u8, w);
+                table.set_rrpv(set, way, v);
+                boxed.set_rrpv(way, v);
+            }
+        }
+        let mut wa = SnapWriter::new();
+        table.save(&mut wa);
+        let mut wb = SnapWriter::new();
+        save_rrip_sets(&sets, &mut wb);
+        assert_eq!(wa.into_bytes(), wb.into_bytes());
+    }
+
+    #[test]
+    fn table_restores_boxed_set_snapshot() {
+        let w = RrpvWidth::W2;
+        let mut sets: Vec<RripSet> = (0..3).map(|_| RripSet::new(2, w)).collect();
+        sets[1].set_rrpv(0, Rrpv::immediate());
+        sets[2].set_rrpv(1, Rrpv::near());
+        let mut wr = SnapWriter::new();
+        save_rrip_sets(&sets, &mut wr);
+        let bytes = wr.into_bytes();
+
+        let mut table = RripTable::new(3, 2, w);
+        let mut r = SnapReader::new(&bytes);
+        table.restore(&mut r).expect("restore");
+        r.finish().expect("fully consumed");
+        for (set, boxed) in sets.iter().enumerate() {
+            for way in 0..2 {
+                assert_eq!(table.rrpv(set, way), boxed.rrpv(way));
+            }
+        }
+    }
+
+    #[test]
+    fn table_set_view_matches_boxed_victim_mechanism() {
+        let w = RrpvWidth::W2;
+        let mut table = RripTable::new(1, 4, w);
+        let mut boxed = RripSet::new(4, w);
+        for way in 0..4 {
+            table.set_rrpv(0, way, Rrpv::immediate());
+            boxed.set_rrpv(way, Rrpv::immediate());
+        }
+        table.set_rrpv(0, 2, Rrpv::intermediate(w));
+        boxed.set_rrpv(2, Rrpv::intermediate(w));
+        assert_eq!(table.set_mut(0).find_victim(), boxed.find_victim());
+        for way in 0..4 {
+            assert_eq!(table.rrpv(0, way), boxed.rrpv(way), "aging diverged at way {way}");
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::rrip::RripSet;
+use crate::rrip::RrpvSet;
 use crate::rrpv::{Rrpv, RrpvWidth};
 use crate::temperature::Temperature;
 
@@ -100,7 +100,12 @@ impl TrripPolicy {
     /// `temperature` is the attribute carried by the *request*; `None`
     /// means the request had no valid temperature (data access, or code not
     /// compiled with TRRIP's PGO) and gets default RRIP behaviour.
-    pub fn on_hit(&self, set: &mut RripSet, way: usize, temperature: Option<Temperature>) {
+    pub fn on_hit<S: RrpvSet + ?Sized>(
+        &self,
+        set: &mut S,
+        way: usize,
+        temperature: Option<Temperature>,
+    ) {
         match temperature {
             // Hot: both variants promote straight to immediate (lines 3-5).
             Some(Temperature::Hot) => set.set_rrpv(way, Rrpv::immediate()),
@@ -120,7 +125,12 @@ impl TrripPolicy {
 
     /// Cache fill after eviction: set the inserted line's prediction
     /// (Algorithm 1, lines 14–25).
-    pub fn on_fill(&self, set: &mut RripSet, way: usize, temperature: Option<Temperature>) {
+    pub fn on_fill<S: RrpvSet + ?Sized>(
+        &self,
+        set: &mut S,
+        way: usize,
+        temperature: Option<Temperature>,
+    ) {
         match temperature {
             // Hot: insert at immediate to prevent premature eviction
             // (lines 16-18).
@@ -141,6 +151,7 @@ impl TrripPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RripSet;
 
     fn setup(variant: TrripVariant) -> (TrripPolicy, RripSet) {
         let w = RrpvWidth::W2;

@@ -44,6 +44,12 @@ const MLP_SERIALIZATION: f64 = 4.0;
 /// prefetches at most 2; the warmup tape caps entries at 3).
 const FDIP_ISSUE_CAP: usize = 4;
 
+/// How many instructions [`Core::run_chunk`] pulls from a generic
+/// iterator before handing them to [`Core::run_batch`] as one slice.
+/// Large enough to amortize per-batch window bookkeeping, small enough
+/// that the staging buffer stays cache-resident (~256 kB).
+const STREAM_BATCH: usize = 4096;
+
 /// What [`Core::run_warmup_tail`] replayed: the warmup's clock and
 /// stall buckets — equal to the observed warmup's, by construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -542,118 +548,187 @@ impl<B: MemoryBackend> Core<B> {
     where
         I: IntoIterator<Item = TraceInstr>,
     {
-        let lookahead_cap = self.config.fdip_lookahead_instrs.max(1);
+        // Stage the generic stream into slices and run the batch loop on
+        // each: one code path owns the timing semantics, and iterator
+        // `next()` dispatch leaves the per-instruction hot loop. Each
+        // staged slice runs with `drain = false` (the window carries
+        // across), so chunking here is invisible — the same property the
+        // segmented-run tests pin for external chunk boundaries.
         let mut stream = trace.into_iter();
-
-        let width = f64::from(self.config.dispatch_width);
-        let dispatch_cost = 1.0 / width;
-        let ooo_hide = self.config.ooo_hide_cycles();
-
+        let mut buf: Vec<TraceInstr> = Vec::with_capacity(STREAM_BATCH);
         loop {
-            // Refill the lookahead window.
-            let mut dry = false;
-            while state.window.len() <= lookahead_cap {
-                match stream.next() {
-                    Some(i) => {
-                        state.window.push_back(i);
-                        state.consumed += 1;
-                    }
-                    None => {
-                        dry = true;
-                        break;
-                    }
-                }
+            buf.clear();
+            buf.extend(stream.by_ref().take(STREAM_BATCH));
+            let last = buf.len() < STREAM_BATCH;
+            self.run_batch_mode(state, &buf, drain && last, mode);
+            if last {
+                break;
             }
-            if dry && !drain {
-                break; // segment over: keep the window for the next chunk
-            }
-            let Some(instr) = state.window.pop_front() else { break };
-            state.instructions += 1;
-            if let WarmupMode::Record(tape) = mode {
-                tape.push_instruction();
-            }
-
-            // --- Fetch ---
-            let line = instr.pc.raw() >> 6;
-            if line != state.current_line {
-                state.current_line = line;
-                let starved_flag = self.starved.contains(line);
-                let lat = self.backend.ifetch(instr.pc, starved_flag, state.cycles as u64);
-                if !lat.l1_hit {
-                    let stall = lat.cycles.saturating_sub(self.config.l1_hit_cycles) as f64;
-                    state.topdown.ifetch += stall;
-                    state.cycles += stall;
-                    if lat.cycles >= self.config.starvation_threshold {
-                        self.starved.insert(line);
-                    }
-                }
-                if self.config.fdip {
-                    let mut issued = [0u64; FDIP_ISSUE_CAP];
-                    let n = self.issue_fdip(&state.window, line, state.cycles as u64, &mut issued);
-                    if let WarmupMode::Record(tape) = mode {
-                        tape.push_fdip(instr.pc.raw(), &issued[..n]);
-                    }
-                }
-            }
-
-            // --- Branch resolution ---
-            if let Some(branch) = instr.branch {
-                let mispredicted = self.predictor.observe(instr.pc, &branch);
-                if let WarmupMode::Record(tape) = mode {
-                    tape.push_mispredict(mispredicted);
-                }
-                if mispredicted {
-                    let penalty = self.predictor.mispredict_penalty() as f64;
-                    state.topdown.mispred += penalty;
-                    state.cycles += penalty;
-                }
-            }
-
-            // --- Memory ---
-            if let Some(mem) = instr.mem {
-                let lat = if mem.store {
-                    self.backend.dwrite(mem.addr, instr.pc)
-                } else {
-                    self.backend.dread(mem.addr, instr.pc)
-                };
-                // Stores drain through the store buffer; loads stall the
-                // window only beyond what OoO + MLP hide.
-                if !mem.store && !lat.l1_hit {
-                    let raw = lat.cycles.saturating_sub(self.config.l1_hit_cycles) as f64;
-                    let hidden = ooo_hide as f64;
-                    let exposed = (raw - hidden).max(0.0);
-                    if exposed > 0.0 {
-                        // Misses landing within one ROB span of the previous
-                        // miss overlap (memory-level parallelism): they only
-                        // pay a serialization share. Independent misses pay
-                        // the full exposed latency.
-                        let overlapped = state.last_miss_instr.is_some_and(|li| {
-                            state.instructions - li < u64::from(self.config.rob_entries)
-                        });
-                        let stall = if overlapped { exposed / MLP_SERIALIZATION } else { exposed };
-                        state.topdown.mem += stall;
-                        state.cycles += stall;
-                        state.last_miss_instr = Some(state.instructions);
-                    }
-                }
-            }
-
-            // --- Synthetic backend stalls from the workload model ---
-            if let Some((class, extra)) = instr.exec_stall {
-                let extra = f64::from(extra);
-                state.topdown.add_stall(class, extra);
-                state.cycles += extra;
-            }
-
-            // --- Retire ---
-            // The clock advances by the dispatch cost, but the retire
-            // *bucket* is not accumulated per instruction: it is derived
-            // from the instruction count at reporting time
-            // (`Core::tally_run`), so the bucket's value cannot depend
-            // on where a sharded run was cut.
-            state.cycles += dispatch_cost;
         }
         state.cut()
+    }
+
+    /// Executes one segment of a run from an in-memory slice — the batch
+    /// entry point the simulator feeds `Arc<[TraceInstr]>` chunks
+    /// through. Semantics are identical to [`Core::run_chunk`] on the
+    /// same instructions (the equivalence is property-tested over random
+    /// split points); the slice form lets the lookahead be served by
+    /// pointer arithmetic instead of a `VecDeque` refill/pop cycle per
+    /// instruction.
+    pub fn run_batch(
+        &mut self,
+        state: &mut RunState,
+        batch: &[TraceInstr],
+        drain: bool,
+    ) -> ChunkCut {
+        self.run_batch_mode(state, batch, drain, &mut WarmupMode::Observe)
+    }
+
+    /// [`Core::run_batch`] with an explicit [`WarmupMode`].
+    ///
+    /// The steady-state shape: with `drain = false` the last
+    /// `min(lookahead, window + batch)` instructions stay unprocessed in
+    /// the window (exactly what the incremental refill loop used to
+    /// leave), every processed instruction sees the full lookahead, and
+    /// carried-over window instructions look ahead *through* the new
+    /// batch. With `drain = true` everything is processed with the
+    /// naturally shrinking end-of-trace lookahead.
+    pub fn run_batch_mode(
+        &mut self,
+        state: &mut RunState,
+        batch: &[TraceInstr],
+        drain: bool,
+        mode: &mut WarmupMode<'_>,
+    ) -> ChunkCut {
+        let lookahead_cap = self.config.fdip_lookahead_instrs.max(1);
+        let dispatch_cost = 1.0 / f64::from(self.config.dispatch_width);
+        let ooo_hide = self.config.ooo_hide_cycles() as f64;
+
+        state.consumed += batch.len() as u64;
+        let total = state.window.len() + batch.len();
+        let keep = if drain { 0 } else { lookahead_cap.min(total) };
+        let to_process = total - keep;
+
+        // Take the window out so `process_one` can borrow the run state
+        // mutably while the lookahead iterators borrow the window/batch.
+        let mut window = std::mem::take(&mut state.window);
+        let from_window = window.len().min(to_process);
+        for j in 0..from_window {
+            let instr = window[j];
+            let lookahead = window.iter().skip(j + 1).chain(batch.iter()).take(lookahead_cap);
+            self.process_one(state, &instr, lookahead, mode, dispatch_cost, ooo_hide);
+        }
+        for i in 0..to_process - from_window {
+            let instr = batch[i];
+            let lookahead = batch[i + 1..].iter().take(lookahead_cap);
+            self.process_one(state, &instr, lookahead, mode, dispatch_cost, ooo_hide);
+        }
+        window.drain(..from_window);
+        window.extend(batch[to_process - from_window..].iter().copied());
+        state.window = window;
+        state.cut()
+    }
+
+    /// One instruction through the timing model: fetch (with FDIP over
+    /// `lookahead`), branch resolution, memory, synthetic stalls, retire.
+    /// The single step shared by the window and batch halves of
+    /// [`Core::run_batch_mode`]; `lookahead` must already be capped to
+    /// the FDIP window.
+    #[inline]
+    fn process_one<'a, L>(
+        &mut self,
+        state: &mut RunState,
+        instr: &TraceInstr,
+        lookahead: L,
+        mode: &mut WarmupMode<'_>,
+        dispatch_cost: f64,
+        ooo_hide: f64,
+    ) where
+        L: Iterator<Item = &'a TraceInstr>,
+    {
+        state.instructions += 1;
+        if let WarmupMode::Record(tape) = mode {
+            tape.push_instruction();
+        }
+
+        // --- Fetch ---
+        let line = instr.pc.raw() >> 6;
+        if line != state.current_line {
+            state.current_line = line;
+            let starved_flag = self.starved.contains(line);
+            let lat = self.backend.ifetch(instr.pc, starved_flag, state.cycles as u64);
+            if !lat.l1_hit {
+                let stall = lat.cycles.saturating_sub(self.config.l1_hit_cycles) as f64;
+                state.topdown.ifetch += stall;
+                state.cycles += stall;
+                if lat.cycles >= self.config.starvation_threshold {
+                    self.starved.insert(line);
+                }
+            }
+            if self.config.fdip {
+                let mut issued = [0u64; FDIP_ISSUE_CAP];
+                let n = self.issue_fdip(lookahead, line, state.cycles as u64, &mut issued);
+                if let WarmupMode::Record(tape) = mode {
+                    tape.push_fdip(instr.pc.raw(), &issued[..n]);
+                }
+            }
+        }
+
+        // --- Branch resolution ---
+        if let Some(branch) = instr.branch {
+            let mispredicted = self.predictor.observe(instr.pc, &branch);
+            if let WarmupMode::Record(tape) = mode {
+                tape.push_mispredict(mispredicted);
+            }
+            if mispredicted {
+                let penalty = self.predictor.mispredict_penalty() as f64;
+                state.topdown.mispred += penalty;
+                state.cycles += penalty;
+            }
+        }
+
+        // --- Memory ---
+        if let Some(mem) = instr.mem {
+            let lat = if mem.store {
+                self.backend.dwrite(mem.addr, instr.pc)
+            } else {
+                self.backend.dread(mem.addr, instr.pc)
+            };
+            // Stores drain through the store buffer; loads stall the
+            // window only beyond what OoO + MLP hide.
+            if !mem.store && !lat.l1_hit {
+                let raw = lat.cycles.saturating_sub(self.config.l1_hit_cycles) as f64;
+                let exposed = (raw - ooo_hide).max(0.0);
+                if exposed > 0.0 {
+                    // Misses landing within one ROB span of the previous
+                    // miss overlap (memory-level parallelism): they only
+                    // pay a serialization share. Independent misses pay
+                    // the full exposed latency.
+                    let overlapped = state.last_miss_instr.is_some_and(|li| {
+                        state.instructions - li < u64::from(self.config.rob_entries)
+                    });
+                    let stall = if overlapped { exposed / MLP_SERIALIZATION } else { exposed };
+                    state.topdown.mem += stall;
+                    state.cycles += stall;
+                    state.last_miss_instr = Some(state.instructions);
+                }
+            }
+        }
+
+        // --- Synthetic backend stalls from the workload model ---
+        if let Some((class, extra)) = instr.exec_stall {
+            let extra = f64::from(extra);
+            state.topdown.add_stall(class, extra);
+            state.cycles += extra;
+        }
+
+        // --- Retire ---
+        // The clock advances by the dispatch cost, but the retire
+        // *bucket* is not accumulated per instruction: it is derived
+        // from the instruction count at reporting time
+        // (`Core::tally_run`), so the bucket's value cannot depend
+        // on where a sharded run was cut.
+        state.cycles += dispatch_cost;
     }
 
     /// Reports the run's (or, after [`Core::begin_segment`], the current
@@ -754,16 +829,19 @@ impl<B: MemoryBackend> Core<B> {
     /// into `issued` — the scan's only effects, and (being a pure
     /// function of the stream and the predictor) exactly what a warmup
     /// tape records per trigger.
-    fn issue_fdip(
+    fn issue_fdip<'a, L>(
         &mut self,
-        window: &VecDeque<TraceInstr>,
+        lookahead: L,
         current_line: u64,
         now: u64,
         issued: &mut [u64; FDIP_ISSUE_CAP],
-    ) -> usize {
+    ) -> usize
+    where
+        L: Iterator<Item = &'a TraceInstr>,
+    {
         let mut seen_lines = 0usize;
         let mut last_line = current_line;
-        for instr in window.iter().take(self.config.fdip_lookahead_instrs) {
+        for instr in lookahead.take(self.config.fdip_lookahead_instrs) {
             let line = instr.pc.raw() >> 6;
             if line != last_line {
                 last_line = line;
@@ -808,6 +886,34 @@ impl<B: MemoryBackend> Core<B> {
     where
         I: IntoIterator<Item = TraceInstr>,
     {
+        self.run_warmup_tail_mode(trace, cursor, false)
+    }
+
+    /// [`Core::run_warmup_tail`] with an optional **functional-warming**
+    /// mode (`functional = true`): microarchitectural state — caches,
+    /// TLB, prefetch tables, in-flight tracker, starvation FIFO — and
+    /// the clock are simulated exactly as in timed replay, but per-cause
+    /// stall *attribution* (the top-down buckets) is skipped.
+    ///
+    /// Why this is legal at the warmup tail: the clock itself is
+    /// architectural — the backend's prefetch timeliness compares
+    /// in-flight ready-times against `now`, ready-times persist in
+    /// snapshots, and starvation thresholds on raw latency feed
+    /// Emissary — so `cycles` must advance identically. The top-down
+    /// buckets, by contrast, are pure accounting over already-computed
+    /// stalls: nothing downstream reads them during warmup (warmup
+    /// timing is discarded), so dropping the bookkeeping cannot perturb
+    /// any measured result. The returned report therefore carries the
+    /// exact clock but zeroed buckets when `functional` is set.
+    pub fn run_warmup_tail_mode<I>(
+        &mut self,
+        trace: I,
+        cursor: &mut TapeCursor<'_>,
+        functional: bool,
+    ) -> WarmupTailReport
+    where
+        I: IntoIterator<Item = TraceInstr>,
+    {
         let width = f64::from(self.config.dispatch_width);
         let dispatch_cost = 1.0 / width;
         let ooo_hide = self.config.ooo_hide_cycles();
@@ -830,7 +936,9 @@ impl<B: MemoryBackend> Core<B> {
                 let lat = self.backend.ifetch(instr.pc, starved_flag, cycles as u64);
                 if !lat.l1_hit {
                     let stall = lat.cycles.saturating_sub(self.config.l1_hit_cycles) as f64;
-                    topdown.ifetch += stall;
+                    if !functional {
+                        topdown.ifetch += stall;
+                    }
                     cycles += stall;
                     if lat.cycles >= self.config.starvation_threshold {
                         self.starved.insert(line);
@@ -847,7 +955,9 @@ impl<B: MemoryBackend> Core<B> {
 
             // --- Branch resolution --- (outcome off the tape)
             if instr.branch.is_some() && cursor.next_mispredict() {
-                topdown.mispred += mispredict_penalty;
+                if !functional {
+                    topdown.mispred += mispredict_penalty;
+                }
                 cycles += mispredict_penalty;
             }
 
@@ -866,7 +976,9 @@ impl<B: MemoryBackend> Core<B> {
                             instructions - li < u64::from(self.config.rob_entries)
                         });
                         let stall = if overlapped { exposed / MLP_SERIALIZATION } else { exposed };
-                        topdown.mem += stall;
+                        if !functional {
+                            topdown.mem += stall;
+                        }
                         cycles += stall;
                         last_miss_instr = Some(instructions);
                     }
@@ -876,7 +988,9 @@ impl<B: MemoryBackend> Core<B> {
             // --- Synthetic backend stalls ---
             if let Some((class, extra)) = instr.exec_stall {
                 let extra = f64::from(extra);
-                topdown.add_stall(class, extra);
+                if !functional {
+                    topdown.add_stall(class, extra);
+                }
                 cycles += extra;
             }
 
@@ -1234,6 +1348,96 @@ mod tests {
             );
         }
         assert_eq!(replayer.predictor().branches(), 0, "replay must not train the predictor");
+    }
+
+    #[test]
+    fn batched_run_matches_chunked_run() {
+        // run_batch over arbitrary slice boundaries — including empty
+        // and single-instruction batches, and batches longer than the
+        // staging buffer — must equal run_chunk over the same stream.
+        let trace = mixed_trace(2 * STREAM_BATCH as u64 + 1717);
+        let mut reference_core = Core::new(CoreConfig::paper(), stall_backend());
+        let reference = reference_core.run(trace.clone());
+
+        for splits in [
+            vec![0usize, 1, 2, 49, 1000, 1001, trace.len() - 1],
+            vec![4095, STREAM_BATCH, STREAM_BATCH, 4097],
+            vec![trace.len()],
+            (0..trace.len()).step_by(611).collect::<Vec<_>>(),
+        ] {
+            let mut core = Core::new(CoreConfig::paper(), stall_backend());
+            let mut state = core.begin_run();
+            let mut prev = 0usize;
+            for (i, &end) in splits.iter().chain(std::iter::once(&trace.len())).enumerate() {
+                if i == 0 && end == 0 {
+                    // An empty non-drain batch must be a no-op.
+                    core.run_batch(&mut state, &[], false);
+                    continue;
+                }
+                let cut = core.run_batch(&mut state, &trace[prev..end], end == trace.len());
+                assert_eq!(cut.consumed as usize, end, "batch must consume its whole input");
+                prev = end;
+            }
+            let batched = core.finish_run(state);
+            assert_eq!(batched, reference, "splits {splits:?} diverged");
+        }
+    }
+
+    #[test]
+    fn batches_and_chunks_interleave() {
+        // A run may mix the slice entry point with the iterator entry
+        // point segment by segment; the window hand-off is shared.
+        let trace = mixed_trace(3000);
+        let mut reference_core = Core::new(CoreConfig::paper(), stall_backend());
+        let reference = reference_core.run(trace.clone());
+
+        let mut core = Core::new(CoreConfig::paper(), stall_backend());
+        let mut state = core.begin_run();
+        core.run_batch(&mut state, &trace[..700], false);
+        core.run_chunk(&mut state, trace[700..1400].iter().copied(), false);
+        core.run_batch(&mut state, &trace[1400..1401], false);
+        core.run_chunk(&mut state, trace[1401..].iter().copied(), true);
+        assert_eq!(core.finish_run(state), reference);
+    }
+
+    #[test]
+    fn functional_warmup_tail_keeps_the_clock_and_drops_attribution() {
+        // Functional warming must leave every architectural output —
+        // the clock, the backend, the starvation FIFO — bit-identical
+        // to timed replay; only the top-down buckets go unaccumulated.
+        let trace = mixed_trace(4000);
+        let mut recorder = Core::new(CoreConfig::paper(), stall_backend());
+        let mut tape = WarmupTape::new();
+        let mut state = recorder.begin_run();
+        recorder.run_chunk_mode(
+            &mut state,
+            trace.iter().copied(),
+            true,
+            &mut WarmupMode::Record(&mut tape),
+        );
+
+        let mut timed = Core::new(CoreConfig::paper(), stall_backend());
+        let mut cursor = tape.cursor();
+        let timed_report = timed.run_warmup_tail_mode(trace.iter().copied(), &mut cursor, false);
+        cursor.finish().expect("tape sized to the stream");
+
+        let mut functional = Core::new(CoreConfig::paper(), stall_backend());
+        let mut cursor = tape.cursor();
+        let fn_report = functional.run_warmup_tail_mode(trace.iter().copied(), &mut cursor, true);
+        cursor.finish().expect("tape sized to the stream");
+
+        assert_eq!(fn_report.instructions, timed_report.instructions);
+        assert_eq!(fn_report.cycles, timed_report.cycles, "functional clock diverged");
+        for class in StallClass::ALL {
+            assert_eq!(fn_report.topdown.stall(class), 0.0, "{class:?} bucket must stay empty");
+        }
+        assert_eq!(functional.backend().prefetches, timed.backend().prefetches);
+        let mut st = SnapWriter::new();
+        timed.save_starved_state(&mut st);
+        let mut sf = SnapWriter::new();
+        functional.save_starved_state(&mut sf);
+        assert_eq!(st.bytes(), sf.bytes(), "starvation FIFO diverged");
+        assert_eq!(functional.predictor().branches(), 0);
     }
 
     #[test]

@@ -136,7 +136,10 @@ impl Mmu {
     ///
     /// A TLB hit serves the cached PTE without touching the page table —
     /// hit lookup plus stamp update is O(1); only misses (and demand
-    /// allocations) walk the table and run the LRU victim scan.
+    /// allocations) walk the table and run the LRU victim scan. Inlined:
+    /// this sits on the L1-hit fast path, where the TLB hit is usually
+    /// the only work besides the L1 probe.
+    #[inline]
     pub fn translate(&mut self, vaddr: VirtAddr) -> (PhysAddr, Option<Temperature>) {
         let page_bytes = self.page_size().bytes();
         let vpn = self.page_size().page_of(vaddr).raw();

@@ -1,6 +1,6 @@
 //! BRRIP — Bimodal Re-Reference Interval Prediction.
 
-use trrip_core::{restore_rrip_sets, save_rrip_sets, BrripCore, RripSet, RrpvWidth};
+use trrip_core::{BrripCore, RripTable, RrpvSet, RrpvWidth};
 use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::srrip::Srrip;
@@ -15,7 +15,7 @@ use crate::{ReplacementPolicy, RequestInfo};
 /// inversion is part of validating the simulator.
 #[derive(Debug, Clone)]
 pub struct Brrip {
-    sets: Vec<RripSet>,
+    sets: RripTable,
     core: BrripCore,
     width: RrpvWidth,
 }
@@ -29,12 +29,7 @@ impl Brrip {
     /// Panics if `sets` or `ways` is zero.
     #[must_use]
     pub fn new(sets: usize, ways: usize, width: RrpvWidth) -> Brrip {
-        assert!(sets > 0, "cache must have at least one set");
-        Brrip {
-            sets: (0..sets).map(|_| RripSet::new(ways, width)).collect(),
-            core: BrripCore::new(width),
-            width,
-        }
+        Brrip { sets: RripTable::new(sets, ways, width), core: BrripCore::new(width), width }
     }
 }
 
@@ -44,19 +39,19 @@ impl ReplacementPolicy for Brrip {
     }
 
     fn on_hit(&mut self, set: usize, way: usize, _req: &RequestInfo) {
-        self.core.on_hit(&mut self.sets[set], way);
+        self.core.on_hit(&mut self.sets.set_mut(set), way);
     }
 
     fn choose_victim(&mut self, set: usize, _req: &RequestInfo, candidates: &[usize]) -> usize {
-        Srrip::rrip_victim(&mut self.sets[set], self.width, candidates)
+        Srrip::rrip_victim(&mut self.sets.set_mut(set), self.width, candidates)
     }
 
     fn on_fill(&mut self, set: usize, way: usize, _req: &RequestInfo) {
-        self.core.on_fill(&mut self.sets[set], way);
+        self.core.on_fill(&mut self.sets.set_mut(set), way);
     }
 
     fn on_invalidate(&mut self, set: usize, way: usize) {
-        self.sets[set].invalidate(way);
+        self.sets.set_mut(set).invalidate(way);
     }
 
     fn per_line_overhead_bits(&self) -> u32 {
@@ -64,12 +59,12 @@ impl ReplacementPolicy for Brrip {
     }
 
     fn save_state(&self, w: &mut SnapWriter) {
-        save_rrip_sets(&self.sets, w);
+        self.sets.save(w);
         self.core.save(w);
     }
 
     fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
-        restore_rrip_sets(&mut self.sets, r)?;
+        self.sets.restore(r)?;
         self.core.restore(r)
     }
 }
@@ -87,7 +82,7 @@ mod tests {
         let mut distant = 0;
         for _ in 0..64 {
             p.on_fill(0, 0, &req);
-            if p.sets[0].rrpv(0) == Rrpv::distant(w) {
+            if p.sets.rrpv(0, 0) == Rrpv::distant(w) {
                 distant += 1;
             }
         }

@@ -11,7 +11,7 @@
 //! that treating every instruction line as hot (`percentile_hot = 100%`)
 //! behaves like CLIP and gives up most of the selective-priority benefit.
 
-use trrip_core::{restore_rrip_sets, save_rrip_sets, RripSet, Rrpv, RrpvWidth, SrripCore};
+use trrip_core::{RripTable, Rrpv, RrpvSet, RrpvWidth, SrripCore};
 use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::dueling::{DuelChoice, SetDueling};
@@ -22,7 +22,7 @@ use crate::{ReplacementPolicy, RequestInfo};
 /// promote-data and demote-data variants.
 #[derive(Debug, Clone)]
 pub struct Clip {
-    sets: Vec<RripSet>,
+    sets: RripTable,
     core: SrripCore,
     dueling: SetDueling,
     width: RrpvWidth,
@@ -37,9 +37,8 @@ impl Clip {
     /// Panics if `sets` or `ways` is zero.
     #[must_use]
     pub fn new(sets: usize, ways: usize, width: RrpvWidth) -> Clip {
-        assert!(sets > 0, "cache must have at least one set");
         Clip {
-            sets: (0..sets).map(|_| RripSet::new(ways, width)).collect(),
+            sets: RripTable::new(sets, ways, width),
             core: SrripCore::new(width),
             dueling: SetDueling::paper_defaults(sets),
             width,
@@ -61,37 +60,37 @@ impl ReplacementPolicy for Clip {
 
     fn on_hit(&mut self, set: usize, way: usize, req: &RequestInfo) {
         if req.kind.is_instruction() {
-            self.core.on_hit(&mut self.sets[set], way);
+            self.core.on_hit(&mut self.sets.set_mut(set), way);
             return;
         }
         match self.dueling.choice_for_set(set) {
             // Variant A: default promotion for data lines.
-            DuelChoice::A => self.core.on_hit(&mut self.sets[set], way),
+            DuelChoice::A => self.core.on_hit(&mut self.sets.set_mut(set), way),
             // Variant B: data lines never reach immediate; step up by one.
             DuelChoice::B => {
-                let stepped = self.sets[set].rrpv(way).promoted();
+                let stepped = self.sets.rrpv(set, way).promoted();
                 let floor = Rrpv::near();
-                self.sets[set].set_rrpv(way, stepped.max(floor));
+                self.sets.set_rrpv(set, way, stepped.max(floor));
             }
         }
     }
 
     fn choose_victim(&mut self, set: usize, _req: &RequestInfo, candidates: &[usize]) -> usize {
         self.dueling.record_miss(set);
-        Srrip::rrip_victim(&mut self.sets[set], self.width, candidates)
+        Srrip::rrip_victim(&mut self.sets.set_mut(set), self.width, candidates)
     }
 
     fn on_fill(&mut self, set: usize, way: usize, req: &RequestInfo) {
         if req.kind.is_instruction() {
             // Code Line Preservation: instructions insert at immediate.
-            self.sets[set].set_rrpv(way, Rrpv::immediate());
+            self.sets.set_rrpv(set, way, Rrpv::immediate());
         } else {
-            self.core.on_fill(&mut self.sets[set], way);
+            self.core.on_fill(&mut self.sets.set_mut(set), way);
         }
     }
 
     fn on_invalidate(&mut self, set: usize, way: usize) {
-        self.sets[set].invalidate(way);
+        self.sets.set_mut(set).invalidate(way);
     }
 
     fn per_line_overhead_bits(&self) -> u32 {
@@ -103,12 +102,12 @@ impl ReplacementPolicy for Clip {
     }
 
     fn save_state(&self, w: &mut SnapWriter) {
-        save_rrip_sets(&self.sets, w);
+        self.sets.save(w);
         self.dueling.save(w);
     }
 
     fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
-        restore_rrip_sets(&mut self.sets, r)?;
+        self.sets.restore(r)?;
         self.dueling.restore(r)
     }
 }
@@ -122,7 +121,7 @@ mod tests {
         let mut p = Clip::new(64, 8, RrpvWidth::W2);
         let req = RequestInfo::ifetch(0x40);
         p.on_fill(1, 0, &req);
-        assert_eq!(p.sets[1].rrpv(0), Rrpv::immediate());
+        assert_eq!(p.sets.rrpv(1, 0), Rrpv::immediate());
     }
 
     #[test]
@@ -130,7 +129,7 @@ mod tests {
         let mut p = Clip::new(64, 8, RrpvWidth::W2);
         let req = RequestInfo::data_load(0x40);
         p.on_fill(1, 0, &req);
-        assert_eq!(p.sets[1].rrpv(0), Rrpv::intermediate(RrpvWidth::W2));
+        assert_eq!(p.sets.rrpv(1, 0), Rrpv::intermediate(RrpvWidth::W2));
     }
 
     #[test]
@@ -145,7 +144,7 @@ mod tests {
         for _ in 0..5 {
             p.on_hit(b_set, 0, &req);
         }
-        assert_eq!(p.sets[b_set].rrpv(0), Rrpv::near());
+        assert_eq!(p.sets.rrpv(b_set, 0), Rrpv::near());
     }
 
     #[test]
@@ -155,7 +154,7 @@ mod tests {
         let a_set = 0; // set 0 is always an A leader
         p.on_fill(a_set, 0, &req);
         p.on_hit(a_set, 0, &req);
-        assert_eq!(p.sets[a_set].rrpv(0), Rrpv::immediate());
+        assert_eq!(p.sets.rrpv(a_set, 0), Rrpv::immediate());
     }
 
     #[test]
@@ -164,9 +163,9 @@ mod tests {
         let req = RequestInfo::ifetch(0x40);
         for set in [0usize, 1] {
             p.on_fill(set, 0, &req);
-            p.sets[set].set_rrpv(0, Rrpv::distant(RrpvWidth::W2));
+            p.sets.set_rrpv(set, 0, Rrpv::distant(RrpvWidth::W2));
             p.on_hit(set, 0, &req);
-            assert_eq!(p.sets[set].rrpv(0), Rrpv::immediate());
+            assert_eq!(p.sets.rrpv(set, 0), Rrpv::immediate());
         }
     }
 }

@@ -1,6 +1,6 @@
 //! DRRIP — Dynamic RRIP via SRRIP/BRRIP set-dueling.
 
-use trrip_core::{restore_rrip_sets, save_rrip_sets, BrripCore, RripSet, RrpvWidth, SrripCore};
+use trrip_core::{BrripCore, RripTable, RrpvSet, RrpvWidth, SrripCore};
 use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::dueling::{DuelChoice, SetDueling};
@@ -15,7 +15,7 @@ use crate::{ReplacementPolicy, RequestInfo};
 /// workloads do not need (§4.4).
 #[derive(Debug, Clone)]
 pub struct Drrip {
-    sets: Vec<RripSet>,
+    sets: RripTable,
     srrip: SrripCore,
     brrip: BrripCore,
     dueling: SetDueling,
@@ -30,9 +30,8 @@ impl Drrip {
     /// Panics if `sets` or `ways` is zero.
     #[must_use]
     pub fn new(sets: usize, ways: usize, width: RrpvWidth) -> Drrip {
-        assert!(sets > 0, "cache must have at least one set");
         Drrip {
-            sets: (0..sets).map(|_| RripSet::new(ways, width)).collect(),
+            sets: RripTable::new(sets, ways, width),
             srrip: SrripCore::new(width),
             brrip: BrripCore::new(width),
             dueling: SetDueling::paper_defaults(sets),
@@ -54,23 +53,23 @@ impl ReplacementPolicy for Drrip {
 
     fn on_hit(&mut self, set: usize, way: usize, _req: &RequestInfo) {
         // Both policies promote identically on hit.
-        self.srrip.on_hit(&mut self.sets[set], way);
+        self.srrip.on_hit(&mut self.sets.set_mut(set), way);
     }
 
     fn choose_victim(&mut self, set: usize, _req: &RequestInfo, candidates: &[usize]) -> usize {
         self.dueling.record_miss(set);
-        Srrip::rrip_victim(&mut self.sets[set], self.width, candidates)
+        Srrip::rrip_victim(&mut self.sets.set_mut(set), self.width, candidates)
     }
 
     fn on_fill(&mut self, set: usize, way: usize, _req: &RequestInfo) {
         match self.dueling.choice_for_set(set) {
-            DuelChoice::A => self.srrip.on_fill(&mut self.sets[set], way),
-            DuelChoice::B => self.brrip.on_fill(&mut self.sets[set], way),
+            DuelChoice::A => self.srrip.on_fill(&mut self.sets.set_mut(set), way),
+            DuelChoice::B => self.brrip.on_fill(&mut self.sets.set_mut(set), way),
         }
     }
 
     fn on_invalidate(&mut self, set: usize, way: usize) {
-        self.sets[set].invalidate(way);
+        self.sets.set_mut(set).invalidate(way);
     }
 
     fn per_line_overhead_bits(&self) -> u32 {
@@ -82,13 +81,13 @@ impl ReplacementPolicy for Drrip {
     }
 
     fn save_state(&self, w: &mut SnapWriter) {
-        save_rrip_sets(&self.sets, w);
+        self.sets.save(w);
         self.brrip.save(w);
         self.dueling.save(w);
     }
 
     fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
-        restore_rrip_sets(&mut self.sets, r)?;
+        self.sets.restore(r)?;
         self.brrip.restore(r)?;
         self.dueling.restore(r)
     }
@@ -107,13 +106,13 @@ mod tests {
         // Set 0 is an A (SRRIP) leader with stride 8.
         assert_eq!(p.policy_for_set(0), DuelChoice::A);
         p.on_fill(0, 0, &req);
-        assert_eq!(p.sets[0].rrpv(0), Rrpv::intermediate(w));
+        assert_eq!(p.sets.rrpv(0, 0), Rrpv::intermediate(w));
         // Set 4 is a B (BRRIP) leader: most fills distant.
         assert_eq!(p.policy_for_set(4), DuelChoice::B);
         let mut distant = 0;
         for _ in 0..31 {
             p.on_fill(4, 1, &req);
-            if p.sets[4].rrpv(1) == Rrpv::distant(w) {
+            if p.sets.rrpv(4, 1) == Rrpv::distant(w) {
                 distant += 1;
             }
         }

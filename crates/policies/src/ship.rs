@@ -10,9 +10,9 @@
 //! predicted dead-on-arrival and inserted at *distant*.
 
 use serde::{Deserialize, Serialize};
-use trrip_core::{restore_rrip_sets, save_rrip_sets, RripSet, Rrpv, RrpvWidth, SrripCore};
+use trrip_core::{RripTable, Rrpv, RrpvSet, RrpvWidth, SrripCore};
 use trrip_mem::VirtAddr;
-use trrip_snap::{SnapError, SnapReader, SnapWriter};
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::srrip::Srrip;
 use crate::{ReplacementPolicy, RequestInfo};
@@ -64,7 +64,7 @@ struct LineMeta {
 /// SHiP-PC over SRRIP, instruction lines only.
 #[derive(Debug, Clone)]
 pub struct Ship {
-    sets: Vec<RripSet>,
+    sets: RripTable,
     meta: Vec<LineMeta>,
     shct: Vec<u8>,
     core: SrripCore,
@@ -87,7 +87,7 @@ impl Ship {
         assert!(config.shct_entries.is_power_of_two(), "SHCT entry count must be a power of two");
         let counter_max = (1u8 << config.counter_bits) - 1;
         Ship {
-            sets: (0..sets).map(|_| RripSet::new(ways, width)).collect(),
+            sets: RripTable::new(sets, ways, width),
             meta: vec![LineMeta::default(); sets * ways],
             // Counters start weakly re-referenced so cold-start fills are
             // not all predicted dead.
@@ -136,11 +136,11 @@ impl ReplacementPolicy for Ship {
             self.shct[e] = (self.shct[e] + 1).min(self.counter_max());
             self.meta[idx].outcome = true;
         }
-        self.core.on_hit(&mut self.sets[set], way);
+        self.core.on_hit(&mut self.sets.set_mut(set), way);
     }
 
     fn choose_victim(&mut self, set: usize, _req: &RequestInfo, candidates: &[usize]) -> usize {
-        Srrip::rrip_victim(&mut self.sets[set], self.width, candidates)
+        Srrip::rrip_victim(&mut self.sets.set_mut(set), self.width, candidates)
     }
 
     fn on_evict(&mut self, set: usize, way: usize) {
@@ -166,23 +166,23 @@ impl ReplacementPolicy for Ship {
                 // distant lines evict unreferenced and re-train to dead).
                 self.escape_counter = (self.escape_counter + 1) % 32;
                 if self.escape_counter == 0 {
-                    self.core.on_fill(&mut self.sets[set], way);
+                    self.core.on_fill(&mut self.sets.set_mut(set), way);
                 } else {
-                    self.sets[set].set_rrpv(way, Rrpv::distant(self.width));
+                    self.sets.set_rrpv(set, way, Rrpv::distant(self.width));
                 }
             } else {
-                self.core.on_fill(&mut self.sets[set], way);
+                self.core.on_fill(&mut self.sets.set_mut(set), way);
             }
         } else {
             // Data lines: plain SRRIP, no tracking.
             self.meta[idx] = LineMeta::default();
-            self.core.on_fill(&mut self.sets[set], way);
+            self.core.on_fill(&mut self.sets.set_mut(set), way);
         }
     }
 
     fn on_invalidate(&mut self, set: usize, way: usize) {
         self.meta[set * self.ways + way] = LineMeta::default();
-        self.sets[set].invalidate(way);
+        self.sets.set_mut(set).invalidate(way);
     }
 
     fn per_line_overhead_bits(&self) -> u32 {
@@ -195,7 +195,7 @@ impl ReplacementPolicy for Ship {
     }
 
     fn save_state(&self, w: &mut SnapWriter) {
-        save_rrip_sets(&self.sets, w);
+        self.sets.save(w);
         w.usize(self.meta.len());
         for m in &self.meta {
             w.u64(u64::from(m.signature));
@@ -207,7 +207,7 @@ impl ReplacementPolicy for Ship {
     }
 
     fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
-        restore_rrip_sets(&mut self.sets, r)?;
+        self.sets.restore(r)?;
         r.expect_len("SHiP line metadata", self.meta.len())?;
         for m in &mut self.meta {
             let signature = r.u64()?;
@@ -254,7 +254,7 @@ mod tests {
         }
         assert_eq!(p.counter_for_pc(req.pc), 0);
         p.on_fill(0, 0, &req);
-        assert_eq!(p.sets[0].rrpv(0), Rrpv::distant(RrpvWidth::W2));
+        assert_eq!(p.sets.rrpv(0, 0), Rrpv::distant(RrpvWidth::W2));
     }
 
     #[test]
@@ -272,7 +272,7 @@ mod tests {
         assert_eq!(p.counter_for_pc(req.pc), 1);
         p.on_evict(0, 0);
         p.on_fill(0, 0, &req);
-        assert_eq!(p.sets[0].rrpv(0), Rrpv::intermediate(RrpvWidth::W2));
+        assert_eq!(p.sets.rrpv(0, 0), Rrpv::intermediate(RrpvWidth::W2));
     }
 
     #[test]
@@ -293,7 +293,7 @@ mod tests {
         let req = RequestInfo::data_load(0x9000);
         let before = p.counter_for_pc(req.pc);
         p.on_fill(0, 1, &req);
-        assert_eq!(p.sets[0].rrpv(1), Rrpv::intermediate(RrpvWidth::W2));
+        assert_eq!(p.sets.rrpv(0, 1), Rrpv::intermediate(RrpvWidth::W2));
         p.on_evict(0, 1);
         // Dead data eviction must not train the SHCT.
         assert_eq!(p.counter_for_pc(req.pc), before);

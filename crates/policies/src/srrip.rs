@@ -1,7 +1,7 @@
 //! SRRIP — Static Re-Reference Interval Prediction (the paper's baseline).
 
-use trrip_core::{restore_rrip_sets, save_rrip_sets, RripSet, RrpvWidth, SrripCore};
-use trrip_snap::{SnapError, SnapReader, SnapWriter};
+use trrip_core::{RripTable, RrpvSet, RrpvWidth, SrripCore};
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::{ReplacementPolicy, RequestInfo};
 
@@ -23,7 +23,7 @@ use crate::{ReplacementPolicy, RequestInfo};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Srrip {
-    sets: Vec<RripSet>,
+    sets: RripTable,
     core: SrripCore,
     width: RrpvWidth,
 }
@@ -36,17 +36,16 @@ impl Srrip {
     /// Panics if `sets` or `ways` is zero.
     #[must_use]
     pub fn new(sets: usize, ways: usize, width: RrpvWidth) -> Srrip {
-        assert!(sets > 0, "cache must have at least one set");
-        Srrip {
-            sets: (0..sets).map(|_| RripSet::new(ways, width)).collect(),
-            core: SrripCore::new(width),
-            width,
-        }
+        Srrip { sets: RripTable::new(sets, ways, width), core: SrripCore::new(width), width }
     }
 
     /// Chooses a victim restricted to `candidates` using the common RRIP
     /// mechanism: repeatedly age until a candidate is distant.
-    pub(crate) fn rrip_victim(set: &mut RripSet, width: RrpvWidth, candidates: &[usize]) -> usize {
+    pub(crate) fn rrip_victim<S: RrpvSet + ?Sized>(
+        set: &mut S,
+        width: RrpvWidth,
+        candidates: &[usize],
+    ) -> usize {
         loop {
             if let Some(&way) = candidates.iter().find(|&&way| set.rrpv(way).is_distant(width)) {
                 return way;
@@ -65,19 +64,19 @@ impl ReplacementPolicy for Srrip {
     }
 
     fn on_hit(&mut self, set: usize, way: usize, _req: &RequestInfo) {
-        self.core.on_hit(&mut self.sets[set], way);
+        self.core.on_hit(&mut self.sets.set_mut(set), way);
     }
 
     fn choose_victim(&mut self, set: usize, _req: &RequestInfo, candidates: &[usize]) -> usize {
-        Srrip::rrip_victim(&mut self.sets[set], self.width, candidates)
+        Srrip::rrip_victim(&mut self.sets.set_mut(set), self.width, candidates)
     }
 
     fn on_fill(&mut self, set: usize, way: usize, _req: &RequestInfo) {
-        self.core.on_fill(&mut self.sets[set], way);
+        self.core.on_fill(&mut self.sets.set_mut(set), way);
     }
 
     fn on_invalidate(&mut self, set: usize, way: usize) {
-        self.sets[set].invalidate(way);
+        self.sets.set_mut(set).invalidate(way);
     }
 
     fn per_line_overhead_bits(&self) -> u32 {
@@ -85,11 +84,11 @@ impl ReplacementPolicy for Srrip {
     }
 
     fn save_state(&self, w: &mut SnapWriter) {
-        save_rrip_sets(&self.sets, w);
+        self.sets.save(w);
     }
 
     fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
-        restore_rrip_sets(&mut self.sets, r)
+        self.sets.restore(r)
     }
 }
 
@@ -135,7 +134,7 @@ mod tests {
         let v = p.choose_victim(0, &req, &[1]);
         assert_eq!(v, 1);
         // Way 0 aged from immediate to near as a side effect.
-        assert_eq!(p.sets[0].rrpv(0), Rrpv::near());
+        assert_eq!(p.sets.rrpv(0, 0), Rrpv::near());
     }
 
     #[test]

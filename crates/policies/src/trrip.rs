@@ -6,10 +6,8 @@
 //! arrives with each access and influences only the RRPV written at that
 //! moment, so the per-line overhead is exactly the baseline RRPV bits.
 
-use trrip_core::{
-    restore_rrip_sets, save_rrip_sets, RripSet, RrpvWidth, TrripPolicy, TrripVariant,
-};
-use trrip_snap::{SnapError, SnapReader, SnapWriter};
+use trrip_core::{RripTable, RrpvSet, RrpvWidth, TrripPolicy, TrripVariant};
+use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::srrip::Srrip;
 use crate::{ReplacementPolicy, RequestInfo};
@@ -29,7 +27,7 @@ use crate::{ReplacementPolicy, RequestInfo};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Trrip {
-    sets: Vec<RripSet>,
+    sets: RripTable,
     policy: TrripPolicy,
     width: RrpvWidth,
 }
@@ -42,9 +40,8 @@ impl Trrip {
     /// Panics if `sets` or `ways` is zero.
     #[must_use]
     pub fn new(sets: usize, ways: usize, variant: TrripVariant, width: RrpvWidth) -> Trrip {
-        assert!(sets > 0, "cache must have at least one set");
         Trrip {
-            sets: (0..sets).map(|_| RripSet::new(ways, width)).collect(),
+            sets: RripTable::new(sets, ways, width),
             policy: TrripPolicy::new(variant, width),
             width,
         }
@@ -76,20 +73,20 @@ impl ReplacementPolicy for Trrip {
     }
 
     fn on_hit(&mut self, set: usize, way: usize, req: &RequestInfo) {
-        self.policy.on_hit(&mut self.sets[set], way, Trrip::effective_temperature(req));
+        self.policy.on_hit(&mut self.sets.set_mut(set), way, Trrip::effective_temperature(req));
     }
 
     fn choose_victim(&mut self, set: usize, _req: &RequestInfo, candidates: &[usize]) -> usize {
         // Eviction is untouched RRIP (Algorithm 1 line 14).
-        Srrip::rrip_victim(&mut self.sets[set], self.width, candidates)
+        Srrip::rrip_victim(&mut self.sets.set_mut(set), self.width, candidates)
     }
 
     fn on_fill(&mut self, set: usize, way: usize, req: &RequestInfo) {
-        self.policy.on_fill(&mut self.sets[set], way, Trrip::effective_temperature(req));
+        self.policy.on_fill(&mut self.sets.set_mut(set), way, Trrip::effective_temperature(req));
     }
 
     fn on_invalidate(&mut self, set: usize, way: usize) {
-        self.sets[set].invalidate(way);
+        self.sets.set_mut(set).invalidate(way);
     }
 
     fn per_line_overhead_bits(&self) -> u32 {
@@ -100,11 +97,11 @@ impl ReplacementPolicy for Trrip {
     fn save_state(&self, w: &mut SnapWriter) {
         // The TRRIP policy core is stateless (§3.4): per-set RRPVs are
         // the entire architectural state.
-        save_rrip_sets(&self.sets, w);
+        self.sets.save(w);
     }
 
     fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
-        restore_rrip_sets(&mut self.sets, r)
+        self.sets.restore(r)
     }
 }
 
@@ -142,7 +139,7 @@ mod tests {
         let mut trrip = Trrip::new(1, 4, TrripVariant::V1, RrpvWidth::W2);
         let tagged_data = RequestInfo::data_load(0x100).with_temperature(Some(Temperature::Hot));
         trrip.on_fill(0, 0, &tagged_data);
-        assert_eq!(trrip.sets[0].rrpv(0), Rrpv::intermediate(RrpvWidth::W2));
+        assert_eq!(trrip.sets.rrpv(0, 0), Rrpv::intermediate(RrpvWidth::W2));
     }
 
     #[test]

@@ -48,6 +48,13 @@ pub struct SystemBackend {
     costly: Option<CostlyMissTracker>,
     code_regions: Vec<(u64, u64, CodeRegion)>,
     hot_range: Option<(u64, u64)>,
+    /// L1 fast-path counters, kept as plain fields on the per-access
+    /// path and published to the `trrip-obs` registry only at phase
+    /// boundaries ([`SystemBackend::flush_fastpath_counters`]) — shared
+    /// atomic counters would put cross-thread traffic on the hottest
+    /// loop in the simulator.
+    fastpath_hits: u64,
+    fastpath_bails: u64,
 }
 
 impl std::fmt::Debug for SystemBackend {
@@ -100,6 +107,23 @@ impl SystemBackend {
             costly: None,
             code_regions,
             hot_range,
+            fastpath_hits: 0,
+            fastpath_bails: 0,
+        }
+    }
+
+    /// Publishes the L1 fast-path hit/bail tallies accumulated since the
+    /// last flush to the observability registry
+    /// (`cache.l1_fastpath_hit` / `cache.l1_fastpath_bail`) and resets
+    /// them. Called at phase boundaries, never per access.
+    pub fn flush_fastpath_counters(&mut self) {
+        if self.fastpath_hits > 0 {
+            trrip_obs::counter!("cache.l1_fastpath_hit").add(self.fastpath_hits);
+            self.fastpath_hits = 0;
+        }
+        if self.fastpath_bails > 0 {
+            trrip_obs::counter!("cache.l1_fastpath_bail").add(self.fastpath_bails);
+            self.fastpath_bails = 0;
         }
     }
 
@@ -245,29 +269,43 @@ impl Snapshot for SystemBackend {
 
 impl MemoryBackend for SystemBackend {
     fn ifetch(&mut self, pc: VirtAddr, caused_starvation: bool, now: u64) -> MemLatency {
+        // The MMU translation stays on the fast path: TLB hit/miss
+        // statistics and page-walk state are architectural, and the
+        // temperature attribute feeds the L1's (policy-visible) hit hook.
         let (pa, temperature) = self.mmu.translate(pc);
         let req = MemoryRequest::fetch(pa, pc)
             .with_temperature(temperature)
             .with_starvation(caused_starvation);
-        let out = self.hierarchy.access(&req);
-
-        if out.l1_miss() {
-            self.observe_l2(pa, self.is_hot_code(pc));
-            // Next-line instruction prefetch (Table 1's stride/next-line
-            // prefetcher on the instruction side).
-            let vline = pc.raw() >> 6;
-            for next in self.next_line.propose(LineAddr(vline)) {
-                let next_pc = VirtAddr::new(next.raw() << 6);
-                self.prefetch_ifetch(next_pc, now);
+        let out = match self.hierarchy.access_l1(&req) {
+            // Fast path: one L1-I set probe, nothing below is touched and
+            // no prefetch/profiling machinery runs.
+            Some(out) => {
+                self.fastpath_hits += 1;
+                out
             }
-        }
-        if out.l2_miss() {
-            let region = self.region_of(pc);
-            if let Some(costly) = &mut self.costly {
-                costly.record(pc, out.latency, region);
+            None => {
+                self.fastpath_bails += 1;
+                let out = self.hierarchy.access_beyond_l1(&req);
+                self.observe_l2(pa, self.is_hot_code(pc));
+                // Next-line instruction prefetch (Table 1's stride/next-line
+                // prefetcher on the instruction side).
+                let vline = pc.raw() >> 6;
+                for next in self.next_line.propose(LineAddr(vline)) {
+                    let next_pc = VirtAddr::new(next.raw() << 6);
+                    self.prefetch_ifetch(next_pc, now);
+                }
+                if out.l2_miss() {
+                    let region = self.region_of(pc);
+                    if let Some(costly) = &mut self.costly {
+                        costly.record(pc, out.latency, region);
+                    }
+                }
+                out
             }
-        }
+        };
 
+        // Timeliness applies even to L1 hits: the line may have been
+        // installed by a prefetch that is still physically in flight.
         let cycles = self.timeliness(pa, out.latency, now);
         MemLatency {
             cycles,
@@ -279,12 +317,21 @@ impl MemoryBackend for SystemBackend {
     fn dread(&mut self, addr: VirtAddr, pc: VirtAddr) -> MemLatency {
         let (pa, _) = self.mmu.translate(addr);
         let req = MemoryRequest::load(pa, pc);
-        let out = self.hierarchy.access(&req);
-        if out.l1_miss() {
-            self.observe_l2(pa, false);
-        }
-        // Stride prefetcher trains on the demand stream. The proposal
-        // buffer is owned by the backend and reused every access.
+        let out = match self.hierarchy.access_l1(&req) {
+            Some(out) => {
+                self.fastpath_hits += 1;
+                out
+            }
+            None => {
+                self.fastpath_bails += 1;
+                let out = self.hierarchy.access_beyond_l1(&req);
+                self.observe_l2(pa, false);
+                out
+            }
+        };
+        // Stride prefetcher trains on the demand stream — on hits too,
+        // so it runs after the fast path as well. The proposal buffer is
+        // owned by the backend and reused every access.
         let mut proposals = std::mem::take(&mut self.stride_proposals);
         self.data_stride.observe(pc, pa, &mut proposals);
         for &proposal in &proposals {
@@ -302,10 +349,18 @@ impl MemoryBackend for SystemBackend {
     fn dwrite(&mut self, addr: VirtAddr, pc: VirtAddr) -> MemLatency {
         let (pa, _) = self.mmu.translate(addr);
         let req = MemoryRequest::store(pa, pc);
-        let out = self.hierarchy.access(&req);
-        if out.l1_miss() {
-            self.observe_l2(pa, false);
-        }
+        let out = match self.hierarchy.access_l1(&req) {
+            Some(out) => {
+                self.fastpath_hits += 1;
+                out
+            }
+            None => {
+                self.fastpath_bails += 1;
+                let out = self.hierarchy.access_beyond_l1(&req);
+                self.observe_l2(pa, false);
+                out
+            }
+        };
         MemLatency {
             cycles: out.latency,
             l1_hit: out.served_by == ServedBy::L1,

@@ -293,8 +293,37 @@ impl<'w> SimRun<'w> {
         assert!(self.measuring.is_none(), "fast-forward after measurement started");
         if self.config.fast_forward > 0 {
             let _span = trrip_obs::span!("fast_forward");
-            let _ = self.core.run(stream.take(self.config.fast_forward as usize));
+            let mut state = self.core.begin_run();
+            self.run_batches(&mut state, stream, self.config.fast_forward, true);
+            self.core.backend_mut().flush_fastpath_counters();
         }
+    }
+
+    /// Feeds up to `limit` instructions from `stream` to the core via
+    /// the slice entry point ([`Core::run_batch`]): each decoded source
+    /// batch flows through as one contiguous slice, with no per-
+    /// instruction iterator dispatch. Bit-identical to
+    /// `run_chunk(stream.take(limit), drain)` — pinned by the core's
+    /// batch/chunk equivalence tests.
+    fn run_batches<S: TraceSource>(
+        &mut self,
+        state: &mut RunState,
+        stream: &mut SourceIter<S>,
+        limit: u64,
+        drain: bool,
+    ) -> ChunkCut {
+        let mut remaining = limit as usize;
+        while remaining > 0 {
+            let batch = stream.next_slice(remaining);
+            if batch.is_empty() {
+                break;
+            }
+            remaining -= batch.len();
+            self.core.run_batch(state, batch, false);
+        }
+        // Empty final batch: a no-op without drain, the window flush
+        // with it.
+        self.core.run_batch(state, &[], drain)
     }
 
     /// [`SimRun::fast_forward`] while **recording** the warmup's
@@ -340,6 +369,33 @@ impl<'w> SimRun<'w> {
         stream: &mut SourceIter<S>,
         tape: &WarmupTape,
     ) {
+        self.fast_forward_replayed_mode(stream, tape, false);
+    }
+
+    /// [`SimRun::fast_forward_replayed`] with an optional
+    /// **functional-warming** mode: `functional = true` replays the tail
+    /// through [`Core::run_warmup_tail_mode`] with per-cause stall
+    /// attribution (the top-down buckets) skipped — the clock and every
+    /// piece of microarchitectural state still evolve exactly as in
+    /// timed replay, so the warmed machine is bit-identical and any
+    /// measurement that follows is unaffected (pinned by
+    /// `tests/warm_prefix_equivalence.rs`).
+    ///
+    /// The mode is only reachable here, at the warmup-tail seam — the
+    /// measure phase has no functional path, and this method (like every
+    /// fast-forward variant) panics once measurement has started.
+    /// Activation is journaled as a `functional_warming` event and
+    /// counted on `warm.functional_mode`.
+    ///
+    /// # Panics
+    ///
+    /// As [`SimRun::fast_forward_replayed`], and if called mid-measure.
+    pub fn fast_forward_replayed_mode<S: TraceSource>(
+        &mut self,
+        stream: &mut SourceIter<S>,
+        tape: &WarmupTape,
+        functional: bool,
+    ) {
         assert!(self.measuring.is_none(), "fast-forward after measurement started");
         assert_eq!(
             tape.instructions(),
@@ -348,15 +404,29 @@ impl<'w> SimRun<'w> {
         );
         if self.config.fast_forward > 0 {
             let _span = trrip_obs::span!("warmup_tail");
+            if functional {
+                crate::warmstats::count_functional_mode();
+                trrip_obs::event(
+                    "functional_warming",
+                    &[
+                        ("benchmark", trrip_obs::Field::Str(&self.workload.spec.name)),
+                        ("policy", trrip_obs::Field::Str(self.config.hierarchy.l2_policy.name())),
+                        ("instructions", trrip_obs::Field::U64(self.config.fast_forward)),
+                    ],
+                );
+            }
             let mut cursor = tape.cursor();
-            let report = self
-                .core
-                .run_warmup_tail(stream.take(self.config.fast_forward as usize), &mut cursor);
+            let report = self.core.run_warmup_tail_mode(
+                stream.take(self.config.fast_forward as usize),
+                &mut cursor,
+                functional,
+            );
             assert_eq!(
                 report.instructions, self.config.fast_forward,
                 "stream ended inside the warmup window"
             );
             cursor.finish().expect("warmup tape consumed exactly");
+            self.core.backend_mut().flush_fastpath_counters();
         }
     }
 
@@ -393,8 +463,11 @@ impl<'w> SimRun<'w> {
         drain: bool,
     ) -> ChunkCut {
         let _span = trrip_obs::span!("measure");
-        let state = self.measuring.as_mut().expect("begin_measure first");
-        self.core.run_chunk(state, stream.take(limit as usize), drain)
+        let mut state = self.measuring.take().expect("begin_measure first");
+        let cut = self.run_batches(&mut state, stream, limit, drain);
+        self.measuring = Some(state);
+        self.core.backend_mut().flush_fastpath_counters();
+        cut
     }
 
     /// Starts one shard segment's tally: the core tally rebases (clock
@@ -471,6 +544,7 @@ impl<'w> SimRun<'w> {
         let state = self.measuring.take().expect("begin_measure first");
         let result = self.core.finish_run(state);
         let backend = self.core.backend_mut();
+        backend.flush_fastpath_counters();
         let reuse = backend.take_reuse();
         let costly = backend.take_costly();
         let h: &Hierarchy = backend.hierarchy();

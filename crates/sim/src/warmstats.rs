@@ -28,6 +28,10 @@ pub struct WarmupCounters {
     /// Full warmups with no recording at all (no checkpoint store
     /// attached to the engine).
     pub cold_warmups: u64,
+    /// Tail replays that ran in functional-warming mode (state updates
+    /// without stall attribution) — always a subset of `tail_replays`'
+    /// seam, never a measure-phase path.
+    pub functional_modes: u64,
 }
 
 impl WarmupCounters {
@@ -40,6 +44,7 @@ impl WarmupCounters {
             tail_replays: self.tail_replays - earlier.tail_replays,
             recorded_warmups: self.recorded_warmups - earlier.recorded_warmups,
             cold_warmups: self.cold_warmups - earlier.cold_warmups,
+            functional_modes: self.functional_modes - earlier.functional_modes,
         }
     }
 }
@@ -54,6 +59,7 @@ pub fn warmup_counters() -> WarmupCounters {
         tail_replays: trrip_obs::counter!("warm.tail_replay").value(),
         recorded_warmups: trrip_obs::counter!("warm.recorded_warmup").value(),
         cold_warmups: trrip_obs::counter!("warm.cold_warmup").value(),
+        functional_modes: trrip_obs::counter!("warm.functional_mode").value(),
     }
 }
 
@@ -75,4 +81,8 @@ pub(crate) fn count_recorded_warmup() {
 
 pub(crate) fn count_cold_warmup() {
     trrip_obs::counter!("warm.cold_warmup").incr();
+}
+
+pub(crate) fn count_functional_mode() {
+    trrip_obs::counter!("warm.functional_mode").incr();
 }

@@ -9,13 +9,15 @@
 //! warmup.
 
 use trrip_core::ClassifierConfig;
+use trrip_cpu::WarmupTape;
 use trrip_policies::PolicyKind;
 use trrip_sim::{
     replay_sweep_warm_prefix, warmup_counters, CheckpointStore, PreparedWorkload, SimConfig,
-    SimResult, TraceStore,
+    SimResult, SimRun, TraceStore,
 };
 use trrip_snap::corrupt;
-use trrip_workloads::WorkloadSpec;
+use trrip_trace::SourceIter;
+use trrip_workloads::{InputSet, TraceGenerator, WorkloadSpec};
 
 /// Every policy the simulator can run, including the non-paper Random
 /// baseline.
@@ -223,6 +225,72 @@ fn corrupt_prefix_falls_back_cold_and_is_rewritten() {
 
     std::fs::remove_dir_all(&trace_dir).ok();
     std::fs::remove_dir_all(&ckpt_dir).ok();
+}
+
+fn walker<'w>(workload: &'w PreparedWorkload, config: &SimConfig) -> TraceGenerator<'w> {
+    TraceGenerator::new(
+        &workload.program,
+        workload.object(config.layout),
+        &workload.spec,
+        InputSet::Eval,
+    )
+}
+
+/// Functional warming (state updates without stall attribution) at the
+/// warmup-tail seam must be invisible in every measured result, for all
+/// ten policies: only warmup *accounting* is skipped, never state.
+#[test]
+fn functional_warming_is_invisible_in_measured_results() {
+    let _serial = counter_guard();
+    let workload = quick_workload("warm-functional");
+    let config = quick_config(PolicyKind::Srrip);
+
+    // One recorded warmup with the neutral policy produces the tape.
+    let mut tape = WarmupTape::new();
+    {
+        let mut run = SimRun::new(&workload, &config);
+        let mut stream = SourceIter::new(walker(&workload, &config));
+        run.fast_forward_recorded(&mut stream, &mut tape);
+    }
+
+    for policy in ALL_POLICIES {
+        let cfg = config.clone().with_policy(policy);
+
+        // Oracle: timed tail replay, then the measured window.
+        let mut timed = SimRun::new(&workload, &cfg);
+        let mut stream = SourceIter::new(walker(&workload, &cfg));
+        timed.fast_forward_replayed(&mut stream, &tape);
+        let a = timed.measure(&mut stream);
+
+        // Functional tail replay of the same stream.
+        let before = warmup_counters();
+        let mut functional = SimRun::new(&workload, &cfg);
+        let mut stream = SourceIter::new(walker(&workload, &cfg));
+        functional.fast_forward_replayed_mode(&mut stream, &tape, true);
+        let delta = warmup_counters().since(&before);
+        assert_eq!(delta.functional_modes, 1, "{policy}: activation must be counted");
+        let b = functional.measure(&mut stream);
+
+        assert_identical(&a, &b, &format!("{policy}: functional warming"));
+    }
+}
+
+/// Functional mode is a warmup-tail concept only: once the measure
+/// phase has started, the seam refuses to run — nothing functional can
+/// ever execute inside a measured window.
+#[test]
+fn functional_mode_is_rejected_inside_the_measure_window() {
+    let workload = quick_workload("warm-functional-routing");
+    let config = quick_config(PolicyKind::Srrip);
+    let mut run = SimRun::new(&workload, &config);
+    let mut stream = SourceIter::new(walker(&workload, &config));
+    run.begin_measure();
+
+    let tape = WarmupTape::new();
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run.fast_forward_replayed_mode(&mut stream, &tape, true);
+    }));
+    assert!(attempt.is_err(), "functional warming inside the measure window must panic");
 }
 
 #[test]

@@ -50,6 +50,32 @@ impl<S: TraceSource> SourceIter<S> {
     pub fn source_mut(&mut self) -> &mut S {
         &mut self.source
     }
+
+    /// Returns the next run of up to `limit` instructions as a
+    /// contiguous slice of the current decoded batch, advancing the
+    /// iterator past it. An empty slice means the source is exhausted
+    /// (or `limit == 0`). Interleaves freely with [`Iterator::next`].
+    ///
+    /// This is the batched fast path: a disk replay's decoded chunk (or
+    /// the walker's batch) flows to the consumer as one slice instead of
+    /// one `next()` call per instruction. The slice never crosses a
+    /// batch boundary, so callers loop until they have their fill.
+    pub fn next_slice(&mut self, limit: usize) -> &[TraceInstr] {
+        if limit == 0 {
+            return &[];
+        }
+        while self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            if self.source.next_batch(&mut self.buf) == 0 {
+                return &[];
+            }
+        }
+        let n = limit.min(self.buf.len() - self.pos);
+        let start = self.pos;
+        self.pos += n;
+        &self.buf[start..start + n]
+    }
 }
 
 impl<S: TraceSource> Iterator for SourceIter<S> {
@@ -107,6 +133,21 @@ mod tests {
         let instrs: Vec<_> = (0..10).map(|i| TraceInstr::simple(0x1000 + i * 4)).collect();
         let collected: Vec<_> = SourceIter::new(VecSource::new(instrs.clone(), 3)).collect();
         assert_eq!(collected, instrs);
+    }
+
+    #[test]
+    fn next_slice_interleaves_with_next() {
+        let instrs: Vec<_> = (0..10).map(|i| TraceInstr::simple(0x1000 + i * 4)).collect();
+        let mut iter = SourceIter::new(VecSource::new(instrs.clone(), 4));
+        assert_eq!(iter.next(), Some(instrs[0]));
+        assert_eq!(iter.next_slice(2), &instrs[1..3]);
+        assert_eq!(iter.next_slice(100), &instrs[3..4], "slice stops at the batch boundary");
+        assert_eq!(iter.next_slice(100), &instrs[4..8]);
+        assert_eq!(iter.next(), Some(instrs[8]));
+        assert_eq!(iter.next_slice(0), &[] as &[TraceInstr]);
+        assert_eq!(iter.next_slice(100), &instrs[9..]);
+        assert!(iter.next_slice(100).is_empty(), "exhausted source yields an empty slice");
+        assert_eq!(iter.next(), None);
     }
 
     #[test]

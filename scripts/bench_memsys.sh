@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Measures the data-oriented memory system: warm measure-path ns/instr
+# (SoA tag stores + batched access + L1-hit fast path), the L1 fast-path
+# hit rate, and the timed-vs-functional warmup tail — and appends the
+# run to BENCH_memsys.json at the repo root. Run it from anywhere; pass
+# extra harness flags through (e.g. --scale 4).
+#
+#   scripts/bench_memsys.sh [harness flags...]
+#
+# The JSON is an array of run objects; every PR that touches the cache
+# stores, the batch path, or the warmup tail should append a fresh entry
+# so regressions are visible in review.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+cargo run --release --bin bench_memsys -- --out "$repo_root" "$@"
+echo "trajectory: $repo_root/BENCH_memsys.json"
