@@ -1,7 +1,8 @@
-//! Wall-clock benchmark of the **data-oriented memory system**: the
+//! Wall-clock benchmark of the **memory-system miss path**: the
 //! per-instruction cost of the warm measure path (SoA tag stores +
-//! batched access + L1-hit fast path) and of the two warmup-tail
-//! flavors (timed replay vs functional warming).
+//! batched access + L1-hit fast path + deferred miss batch + memoized
+//! walker) and of the two warmup-tail flavors (timed replay vs
+//! functional warming).
 //!
 //! Reported metrics:
 //!
@@ -9,16 +10,30 @@
 //!   stream, best of N repetitions;
 //! * **L1 fast-path hit rate** — from the `cache.l1_fastpath_{hit,bail}`
 //!   registry counters the backend flushes at phase boundaries;
+//! * **miss-batch traffic** — `cache.miss_batch.{flushes,deferred,group_len}`;
+//! * **walker memo traffic** — `walk.bb_memo.{hit,miss}`;
+//! * **cold capture** — wall time of a trace capture (walker-bound, no
+//!   timing model) with the memoized vs the fresh walker;
 //! * **warmup tail, timed vs functional** — identical state evolution,
 //!   attribution on vs off.
 //!
 //! Results append to `BENCH_memsys.json` under `--out`
-//! (`scripts/bench_memsys.sh` points `--out` at the repo root).
+//! (`scripts/bench_memsys.sh` points `--out` at the repo root), each
+//! entry labeled with its `variant`.
 //!
-//! `--smoke` (CI) shrinks the run, does a single repetition, asserts the
-//! fast-path counters moved and that the SoA machine state
-//! snapshot-round-trips byte-stably, and skips the JSON append.
+//! `--ablate` additionally measures the miss path with the deferred
+//! batch disabled (`sync`) and with the walker's template cache
+//! disabled (`fresh-walker`), appending one labeled entry per variant —
+//! the simulated cycle count is asserted identical across all three, so
+//! the ablation doubles as a live bit-identity check.
+//!
+//! `--smoke` (CI) shrinks the run, asserts the fast-path / miss-batch /
+//! walker-memo / functional-warming counters all moved, asserts the SoA
+//! machine state snapshot-round-trips byte-stably, gates the measure
+//! path against the committed `BENCH_memsys.json` baseline (>10%
+//! regression fails), and skips the JSON append.
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use trrip_bench::{append_trajectory, HarnessOptions, USAGE};
@@ -45,14 +60,102 @@ fn walker<'w>(workload: &'w PreparedWorkload, config: &SimConfig) -> TraceGenera
     )
 }
 
+/// One measure-path variant: the shipping configuration with either
+/// knob ablated away.
+#[derive(Clone, Copy)]
+struct Variant {
+    name: &'static str,
+    batched: bool,
+    memoized: bool,
+}
+
+const DEFAULT_VARIANT: Variant = Variant { name: "batched+memo", batched: true, memoized: true };
+const ABLATIONS: [Variant; 2] = [
+    Variant { name: "sync", batched: false, memoized: true },
+    Variant { name: "fresh-walker", batched: true, memoized: false },
+];
+
+/// Best-of-`reps` wall time of the warm measure phase under `variant`,
+/// plus the simulated cycle count (identical across variants and
+/// repetitions, or the run is wrong, not just slow).
+fn measure_best(
+    workload: &PreparedWorkload,
+    config: &SimConfig,
+    reps: u32,
+    variant: Variant,
+) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut cycles = None;
+    for _ in 0..reps {
+        let mut run = SimRun::new(workload, config);
+        run.set_miss_batching(variant.batched);
+        let mut generator = walker(workload, config);
+        generator.set_memoization(variant.memoized);
+        let mut stream = SourceIter::new(generator);
+        run.fast_forward(&mut stream);
+        let start = Instant::now();
+        let result = run.measure(&mut stream);
+        best = best.min(start.elapsed().as_secs_f64());
+        assert_eq!(result.core.instructions, config.instructions);
+        match cycles {
+            None => cycles = Some(result.core.cycles),
+            Some(c) => {
+                assert_eq!(c, result.core.cycles, "{}: repetitions must be deterministic", {
+                    variant.name
+                });
+            }
+        }
+    }
+    (best, cycles.expect("at least one repetition"))
+}
+
+/// The most recent committed `batched+memo` measure-path cost, scanned
+/// from a `BENCH_memsys.json` trajectory (entries without a `variant`
+/// field predate the ablation mode and were all default-path runs).
+fn committed_baseline_ns(out_dir: &Path) -> Option<f64> {
+    let candidates = [out_dir.join("BENCH_memsys.json"), PathBuf::from("BENCH_memsys.json")];
+    let text = candidates.iter().find_map(|p| std::fs::read_to_string(p).ok())?;
+    let mut baseline = None;
+    for entry in text.split('{').skip(1) {
+        let variant = field_str(entry, "variant");
+        if variant.is_some_and(|v| v != DEFAULT_VARIANT.name) {
+            continue;
+        }
+        if let Some(ns) = field_f64(entry, "measure_ns_per_instr") {
+            baseline = Some(ns);
+        }
+    }
+    baseline
+}
+
+fn field_str<'a>(entry: &'a str, key: &str) -> Option<&'a str> {
+    let rest = &entry[entry.find(&format!("\"{key}\":"))? + key.len() + 3..];
+    let rest = rest.trim_start().strip_prefix('"')?;
+    rest.split('"').next()
+}
+
+fn field_f64(entry: &str, key: &str) -> Option<f64> {
+    let rest = &entry[entry.find(&format!("\"{key}\":"))? + key.len() + 3..];
+    let number: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    number.parse().ok()
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    args.retain(|a| a != "--smoke");
+    let ablate = args.iter().any(|a| a == "--ablate");
+    args.retain(|a| a != "--smoke" && a != "--ablate");
     let options = match HarnessOptions::try_parse(args) {
         Ok(Some(options)) => options,
         Ok(None) => {
-            println!("{USAGE}\n  --smoke          quick CI correctness pass (no JSON append)");
+            println!(
+                "{USAGE}\n  --smoke          quick CI correctness pass (no JSON append)\n  \
+                 --ablate         also measure sync / fresh-walker ablation variants"
+            );
             return;
         }
         Err(message) => {
@@ -69,15 +172,18 @@ fn main() {
         std::process::exit(2);
     }
     let obs = options.obs_session("bench_memsys");
-    let reps = if smoke { 1 } else { 5 };
+    let reps = if smoke { 3 } else { 5 };
     let workload = workload();
 
     // TRRIP-1 exercises the full policy machinery (temperature lookups,
     // RRPV tables) beyond what the L1 fast path skips.
     let mut config = SimConfig::quick(PolicyKind::Trrip1);
     if smoke {
+        // Large enough that ns/instr is comparable to the committed
+        // full-scale baseline (fixed overheads amortized away), small
+        // enough for CI.
         config.fast_forward = 40_000;
-        config.instructions = 40_000;
+        config.instructions = 200_000;
     } else {
         config.fast_forward = 200_000 * options.scale;
         config.instructions = 1_000_000 * options.scale;
@@ -86,26 +192,64 @@ fn main() {
     // --- Warm measure path: ns per measured instruction. ---
     trrip_obs::progress!("measure path: {} instructions after warmup…", config.instructions);
     let counters_before = trrip_obs::snapshot();
-    let mut measure_s = f64::INFINITY;
-    let mut reference_cycles = None;
-    for _ in 0..reps {
-        let mut run = SimRun::new(&workload, &config);
-        let mut stream = SourceIter::new(walker(&workload, &config));
-        run.fast_forward(&mut stream);
-        let start = Instant::now();
-        let result = run.measure(&mut stream);
-        measure_s = measure_s.min(start.elapsed().as_secs_f64());
-        assert_eq!(result.core.instructions, config.instructions);
-        match reference_cycles {
-            None => reference_cycles = Some(result.core.cycles),
-            Some(c) => assert_eq!(c, result.core.cycles, "repetitions must be deterministic"),
-        }
-    }
+    let (measure_s, default_cycles) = measure_best(&workload, &config, reps, DEFAULT_VARIANT);
     let ns_per_instr = measure_s * 1e9 / config.instructions as f64;
     let counters = trrip_obs::snapshot().since(&counters_before);
     let (fp_hits, fp_bails) =
         (counters.get("cache.l1_fastpath_hit"), counters.get("cache.l1_fastpath_bail"));
     let fp_rate = fp_hits as f64 / (fp_hits + fp_bails).max(1) as f64;
+    let mb_flushes = counters.get("cache.miss_batch.flushes");
+    let mb_deferred = counters.get("cache.miss_batch.deferred");
+    let mb_group_len = counters.get("cache.miss_batch.group_len");
+    let (memo_hits, memo_misses) =
+        (counters.get("walk.bb_memo.hit"), counters.get("walk.bb_memo.miss"));
+
+    // --- Ablation variants: same simulation, one knob off each. ---
+    let mut ablations = Vec::new();
+    if ablate || smoke {
+        for variant in ABLATIONS {
+            trrip_obs::progress!("ablation: {}…", variant.name);
+            let (best_s, cycles) = measure_best(&workload, &config, reps, variant);
+            assert_eq!(
+                cycles, default_cycles,
+                "{}: ablation changed the simulated cycle count — the knob is not \
+                 behavior-preserving",
+                variant.name
+            );
+            ablations.push((variant, best_s));
+        }
+    }
+
+    // --- Cold capture: trace-capture throughput, memoized vs fresh
+    // walker. This is the walker-bound path (no timing model), so it
+    // isolates what the basic-block template cache buys.
+    trrip_obs::progress!("cold capture: memoized vs fresh walker…");
+    let capture_dir = std::env::temp_dir().join("trrip-bench-memsys-capture");
+    std::fs::create_dir_all(&capture_dir).expect("capture dir");
+    let capture_len = (config.fast_forward + config.instructions) as usize;
+    let mut capture_memo_s = f64::INFINITY;
+    let mut capture_fresh_s = f64::INFINITY;
+    for _ in 0..reps {
+        for memoized in [true, false] {
+            let path = capture_dir.join(format!("cap-{memoized}.trrip"));
+            let mut generator = walker(&workload, &config);
+            generator.set_memoization(memoized);
+            let layout = trrip_sim::capture::trace_layout(config.layout);
+            let start = Instant::now();
+            let mut writer =
+                trrip_trace::create(&path, &workload.spec.name, layout).expect("capture writer");
+            writer.write_all(generator.take(capture_len)).expect("capture");
+            writer.finish().expect("finish capture");
+            let elapsed = start.elapsed().as_secs_f64();
+            if memoized {
+                capture_memo_s = capture_memo_s.min(elapsed);
+            } else {
+                capture_fresh_s = capture_fresh_s.min(elapsed);
+            }
+        }
+    }
+    std::fs::remove_dir_all(&capture_dir).ok();
+    let capture_speedup = capture_fresh_s / capture_memo_s.max(1e-12);
 
     // --- Warmup tail: timed replay vs functional warming. ---
     trrip_obs::progress!("warmup tail: timed vs functional over {} instructions…", {
@@ -117,6 +261,7 @@ fn main() {
         let mut stream = SourceIter::new(walker(&workload, &config));
         run.fast_forward_recorded(&mut stream, &mut tape);
     }
+    let tail_before = trrip_obs::snapshot();
     let mut timed_s = f64::INFINITY;
     let mut functional_s = f64::INFINITY;
     for _ in 0..reps {
@@ -132,6 +277,8 @@ fn main() {
         run.fast_forward_replayed_mode(&mut stream, &tape, true);
         functional_s = functional_s.min(start.elapsed().as_secs_f64());
     }
+    let functional_skips =
+        trrip_obs::snapshot().since(&tail_before).get("warm.functional_stats_skips");
 
     println!(
         "memsys, {} warmup / {} measured instructions:",
@@ -141,6 +288,19 @@ fn main() {
     println!(
         "  L1 fast path:       {fp_hits} hits / {fp_bails} bails  ({:.1}% hit)",
         fp_rate * 100.0
+    );
+    println!(
+        "  miss batch:         {mb_deferred} deferred / {mb_flushes} flushes / \
+         {mb_group_len} grouped"
+    );
+    println!("  walker memo:        {memo_hits} hits / {memo_misses} misses");
+    for (variant, best_s) in &ablations {
+        let ns = best_s * 1e9 / config.instructions as f64;
+        println!("  ablation {:>13}:  {best_s:.3} s  ({ns:.1} ns/instr)", variant.name);
+    }
+    println!(
+        "  cold capture:       {capture_memo_s:.3} s memoized vs {capture_fresh_s:.3} s fresh  \
+         ({capture_speedup:.2}x)"
     );
     println!("  warmup tail timed:  {timed_s:.3} s");
     println!(
@@ -154,6 +314,15 @@ fn main() {
         assert!(fp_bails > 0, "no L1 fast-path bails recorded");
         assert!(fp_rate > 0.5, "warm L1 hit rate suspiciously low: {fp_rate:.3}");
 
+        // …and so must the deferred miss batch, the walker's template
+        // cache, and the widened functional-warming stat skips.
+        assert!(mb_deferred > 0, "no beyond-L1 work was ever deferred");
+        assert!(mb_flushes > 0, "the deferred miss batch never flushed");
+        assert!(mb_group_len > 0, "no conflict-class locality in the batch");
+        assert!(memo_hits > 0, "the walker template cache never hit");
+        assert!(memo_misses > 0, "the walker template cache never filled");
+        assert!(functional_skips > 0, "functional warming skipped no stat bookkeeping");
+
         // The SoA machine state must snapshot-round-trip byte-stably.
         let mut run = SimRun::new(&workload, &config);
         let mut stream = SourceIter::new(walker(&workload, &config));
@@ -166,27 +335,59 @@ fn main() {
         restored.save(&mut second);
         assert_eq!(first.bytes(), second.bytes(), "SoA snapshot round-trip drifted");
 
-        println!("smoke OK: fast-path counters moved, SoA snapshot round-trip byte-stable");
+        // Regression gate: the warm measure path must stay within 10%
+        // of the committed trajectory's latest default-variant entry.
+        match committed_baseline_ns(&options.out_dir) {
+            Some(baseline) => {
+                assert!(
+                    ns_per_instr <= baseline * 1.10,
+                    "measure path regressed: {ns_per_instr:.1} ns/instr vs committed \
+                     baseline {baseline:.1} (>10%)"
+                );
+                println!(
+                    "smoke OK: counters moved, snapshot byte-stable, \
+                     {ns_per_instr:.1} ns/instr within 10% of baseline {baseline:.1}"
+                );
+            }
+            None => println!("smoke OK: counters moved, snapshot byte-stable (no baseline found)"),
+        }
         obs.finish(&[("measure_ns_per_instr", ns_per_instr)]);
         return;
     }
 
-    let entry = format!(
-        "  {{\n    \"bench\": \"memsys\",\n    \"policy\": \"trrip-1\",\n    \
-         \"fast_forward\": {ff},\n    \"measured_instructions\": {measured},\n    \
-         \"measure_s\": {measure_s:.4},\n    \
-         \"measure_ns_per_instr\": {ns_per_instr:.2},\n    \
-         \"l1_fastpath_hits\": {fp_hits},\n    \
-         \"l1_fastpath_bails\": {fp_bails},\n    \
-         \"l1_fastpath_hit_rate\": {fp_rate:.4},\n    \
-         \"warmup_tail_timed_s\": {timed_s:.4},\n    \
-         \"warmup_tail_functional_s\": {functional_s:.4}\n  }}",
-        ff = config.fast_forward,
-        measured = config.instructions,
-    );
     std::fs::create_dir_all(&options.out_dir).expect("create out dir");
     let json_path = options.out_dir.join("BENCH_memsys.json");
-    append_trajectory(&json_path, &entry);
+    let mut points = vec![(DEFAULT_VARIANT, measure_s)];
+    points.extend(ablations.iter().map(|(v, s)| (*v, *s)));
+    // The default variant is appended last so the trajectory's newest
+    // default entry — the smoke gate's baseline — is the shipping path.
+    points.reverse();
+    for (variant, best_s) in points {
+        let ns = best_s * 1e9 / config.instructions as f64;
+        let entry = format!(
+            "  {{\n    \"bench\": \"memsys\",\n    \"variant\": \"{name}\",\n    \
+             \"policy\": \"trrip-1\",\n    \
+             \"fast_forward\": {ff},\n    \"measured_instructions\": {measured},\n    \
+             \"measure_s\": {best_s:.4},\n    \
+             \"measure_ns_per_instr\": {ns:.2},\n    \
+             \"l1_fastpath_hits\": {fp_hits},\n    \
+             \"l1_fastpath_bails\": {fp_bails},\n    \
+             \"l1_fastpath_hit_rate\": {fp_rate:.4},\n    \
+             \"miss_batch_deferred\": {mb_deferred},\n    \
+             \"miss_batch_flushes\": {mb_flushes},\n    \
+             \"walk_memo_hits\": {memo_hits},\n    \
+             \"walk_memo_misses\": {memo_misses},\n    \
+             \"capture_memo_s\": {capture_memo_s:.4},\n    \
+             \"capture_fresh_s\": {capture_fresh_s:.4},\n    \
+             \"capture_walker_speedup\": {capture_speedup:.3},\n    \
+             \"warmup_tail_timed_s\": {timed_s:.4},\n    \
+             \"warmup_tail_functional_s\": {functional_s:.4}\n  }}",
+            name = variant.name,
+            ff = config.fast_forward,
+            measured = config.instructions,
+        );
+        append_trajectory(&json_path, &entry);
+    }
     trrip_obs::progress!("trajectory appended to {}", json_path.display());
     obs.finish(&[
         ("measure_ns_per_instr", ns_per_instr),

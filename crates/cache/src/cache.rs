@@ -90,6 +90,12 @@ pub struct Cache {
     instruction: Vec<u64>,
     policy: Box<dyn ReplacementPolicy>,
     stats: AccessStats,
+    /// When false, statistics accumulation is skipped while the
+    /// architectural state (tags, bitmaps, policy) keeps updating.
+    /// Functional warming clears this for segments whose stats nothing
+    /// reads (they are reset when measurement arms). Not part of the
+    /// snapshot stream: it is phase state, not architectural state.
+    stats_enabled: bool,
     num_sets: usize,
     /// `[0, 1, …, ways-1]`, precomputed so victim selection on the miss
     /// path never allocates a candidate list.
@@ -124,6 +130,7 @@ impl Cache {
             instruction: vec![0; bitmap_words(slots)],
             policy,
             stats: AccessStats::default(),
+            stats_enabled: true,
             num_sets,
             all_ways: (0..config.ways).collect(),
             config,
@@ -145,6 +152,14 @@ impl Cache {
     /// Resets statistics (e.g. after cache warm-up).
     pub fn reset_stats(&mut self) {
         self.stats = AccessStats::default();
+    }
+
+    /// Enables or disables statistics accumulation (on by default).
+    /// Replacement state always updates regardless — only the counters
+    /// are gated, which is legal exactly when nothing will read them
+    /// before the next [`Cache::reset_stats`].
+    pub fn set_stats_enabled(&mut self, enabled: bool) {
+        self.stats_enabled = enabled;
     }
 
     /// The replacement policy's display name.
@@ -204,10 +219,12 @@ impl Cache {
         match self.probe(line) {
             Some((set, way)) => {
                 let info = RequestInfo::from(req);
-                if req.attrs.prefetch {
-                    self.stats.prefetch_hits += 1;
-                } else {
-                    self.stats.record_demand(req.kind.is_instruction(), true);
+                if self.stats_enabled {
+                    if req.attrs.prefetch {
+                        self.stats.prefetch_hits += 1;
+                    } else {
+                        self.stats.record_demand(req.kind.is_instruction(), true);
+                    }
                 }
                 self.policy.on_hit(set, way, &info);
                 if req.kind.is_write() {
@@ -216,7 +233,7 @@ impl Cache {
                 true
             }
             None => {
-                if !req.attrs.prefetch {
+                if self.stats_enabled && !req.attrs.prefetch {
                     self.stats.record_demand(req.kind.is_instruction(), false);
                 }
                 false
@@ -253,9 +270,11 @@ impl Cache {
                     instruction: bitmap_get(&self.instruction, slot),
                 };
                 self.policy.on_evict(set, way);
-                self.stats.evictions += 1;
-                if old.dirty {
-                    self.stats.writebacks += 1;
+                if self.stats_enabled {
+                    self.stats.evictions += 1;
+                    if old.dirty {
+                        self.stats.writebacks += 1;
+                    }
                 }
                 (way, Some(old))
             }
@@ -267,7 +286,7 @@ impl Cache {
         bitmap_set(&mut self.valid, slot, true);
         bitmap_set(&mut self.dirty, slot, req.kind.is_write());
         bitmap_set(&mut self.instruction, slot, req.kind.is_instruction());
-        if req.attrs.prefetch {
+        if self.stats_enabled && req.attrs.prefetch {
             self.stats.prefetch_fills += 1;
         }
         self.policy.on_fill(set, way, &info);
@@ -279,7 +298,7 @@ impl Cache {
     /// the statistics.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedLine> {
         let removed = self.extract(line);
-        if removed.is_some() {
+        if self.stats_enabled && removed.is_some() {
             self.stats.back_invalidations += 1;
         }
         removed

@@ -3,6 +3,14 @@
 //! Table 1 attaches a stride prefetcher (including next-line behaviour)
 //! to every cache. The prefetchers only *propose* line addresses; the
 //! hierarchy decides which level to fill.
+//!
+//! Both prefetchers share one proposal contract: `propose_into` APIs
+//! **append** to a caller-owned buffer and never allocate, so the demand
+//! path reuses one buffer for stride and next-line proposals alike. The
+//! stride table is stored **struct-of-arrays** — the probe touches only
+//! the tag and valid arrays unless the entry matches — with the pre-SoA
+//! layout retained verbatim as [`AosStridePrefetcher`], the equivalence
+//! oracle (behaviour and snapshot bytes pinned by this module's tests).
 
 use serde::{Deserialize, Serialize};
 use trrip_mem::{LineAddr, PhysAddr, VirtAddr};
@@ -24,27 +32,27 @@ use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 /// let mut pf = StridePrefetcher::new(64, 2);
 /// let pc = VirtAddr::new(0x400);
 /// let mut proposals = Vec::new(); // reused across the demand stream
-/// pf.observe(pc, PhysAddr::new(0x1000), &mut proposals);
+/// pf.propose_into(pc, PhysAddr::new(0x1000), &mut proposals);
 /// assert!(proposals.is_empty());
-/// pf.observe(pc, PhysAddr::new(0x1040), &mut proposals); // learns stride
+/// pf.propose_into(pc, PhysAddr::new(0x1040), &mut proposals); // learns stride
 /// assert!(proposals.is_empty());
-/// pf.observe(pc, PhysAddr::new(0x1080), &mut proposals); // confirmed
+/// pf.propose_into(pc, PhysAddr::new(0x1080), &mut proposals); // confirmed
 /// assert_eq!(proposals[0].raw(), 0x10c0);
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StridePrefetcher {
-    entries: Vec<StrideEntry>,
+    /// PC tags, one per entry — the array the probe reads first.
+    pc_tags: Vec<u64>,
+    /// Last observed address per entry.
+    last_addrs: Vec<u64>,
+    /// Learned stride per entry.
+    strides: Vec<i64>,
+    /// 2-bit confidence per entry.
+    confidences: Vec<u8>,
+    /// Valid bits, packed 64 per word.
+    valid: Vec<u64>,
     degree: usize,
     mask: usize,
-}
-
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
-struct StrideEntry {
-    pc_tag: u64,
-    last_addr: u64,
-    stride: i64,
-    confidence: u8,
-    valid: bool,
 }
 
 impl StridePrefetcher {
@@ -59,20 +67,163 @@ impl StridePrefetcher {
         assert!(table_entries.is_power_of_two(), "table size must be a power of two");
         assert!(degree > 0, "degree must be positive");
         StridePrefetcher {
-            entries: vec![StrideEntry::default(); table_entries],
+            pc_tags: vec![0; table_entries],
+            last_addrs: vec![0; table_entries],
+            strides: vec![0; table_entries],
+            confidences: vec![0; table_entries],
+            valid: vec![0; table_entries.div_ceil(64)],
             degree,
             mask: table_entries - 1,
         }
     }
 
-    /// Observes a demand access, writing proposed prefetch addresses
-    /// into the caller-provided `proposals` (cleared first). Taking the
-    /// buffer instead of returning one keeps the per-access demand path
-    /// allocation-free: the caller hands the same buffer back every
-    /// access and the capacity of the widest proposal burst is reused
-    /// for the rest of the run.
-    pub fn observe(&mut self, pc: VirtAddr, addr: PhysAddr, proposals: &mut Vec<PhysAddr>) {
-        proposals.clear();
+    #[inline]
+    fn is_valid(&self, index: usize) -> bool {
+        self.valid[index >> 6] & (1 << (index & 63)) != 0
+    }
+
+    #[inline]
+    fn set_valid(&mut self, index: usize) {
+        self.valid[index >> 6] |= 1 << (index & 63);
+    }
+
+    /// Observes a demand access, **appending** proposed prefetch
+    /// addresses to the caller-provided `proposals`. The buffer is never
+    /// cleared here — the caller owns its lifecycle — and never
+    /// allocated for: hand the same buffer back every access and the
+    /// capacity of the widest proposal burst is reused for the rest of
+    /// the run. This is the same contract as
+    /// [`NextLinePrefetcher::propose_into`].
+    pub fn propose_into(&mut self, pc: VirtAddr, addr: PhysAddr, proposals: &mut Vec<PhysAddr>) {
+        let index = ((pc.raw() >> 2) as usize) & self.mask;
+
+        if self.is_valid(index) && self.pc_tags[index] == pc.raw() {
+            let stride = addr.raw() as i64 - self.last_addrs[index] as i64;
+            if stride == self.strides[index] && stride != 0 {
+                self.confidences[index] = (self.confidences[index] + 1).min(3);
+            } else {
+                self.confidences[index] = self.confidences[index].saturating_sub(1);
+                if self.confidences[index] == 0 {
+                    self.strides[index] = stride;
+                }
+            }
+            self.last_addrs[index] = addr.raw();
+            if self.confidences[index] >= 1 && self.strides[index] != 0 {
+                let mut next = addr.raw() as i64;
+                for _ in 0..self.degree {
+                    next += self.strides[index];
+                    if next >= 0 {
+                        proposals.push(PhysAddr::new(next as u64));
+                    }
+                }
+            }
+        } else {
+            self.pc_tags[index] = pc.raw();
+            self.last_addrs[index] = addr.raw();
+            self.strides[index] = 0;
+            self.confidences[index] = 0;
+            self.set_valid(index);
+        }
+    }
+
+    /// Multi-probe entry point: observes a run of demand accesses in
+    /// order, appending every proposal to `proposals`. Equivalent to
+    /// calling [`StridePrefetcher::propose_into`] per access; batching
+    /// keeps the SoA tag array hot when a miss-batch flush trains on
+    /// several accesses back to back.
+    pub fn propose_batch_into(
+        &mut self,
+        accesses: &[(VirtAddr, PhysAddr)],
+        proposals: &mut Vec<PhysAddr>,
+    ) {
+        for &(pc, addr) in accesses {
+            self.propose_into(pc, addr, proposals);
+        }
+    }
+
+    /// Storage cost of the table in bits (for the power model): tag +
+    /// last address (truncated to 32 bits as in real tables) + stride +
+    /// confidence.
+    #[must_use]
+    pub fn storage_bits(&self) -> u64 {
+        self.pc_tags.len() as u64 * (16 + 32 + 16 + 2)
+    }
+}
+
+impl Snapshot for StridePrefetcher {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.pc_tags.len());
+        for i in 0..self.pc_tags.len() {
+            let valid = self.is_valid(i);
+            w.bool(valid);
+            if valid {
+                w.u64(self.pc_tags[i]);
+                w.u64(self.last_addrs[i]);
+                w.i64(self.strides[i]);
+                w.u8(self.confidences[i]);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_len("stride prefetcher entries", self.pc_tags.len())?;
+        self.valid.fill(0);
+        for i in 0..self.pc_tags.len() {
+            self.pc_tags[i] = 0;
+            self.last_addrs[i] = 0;
+            self.strides[i] = 0;
+            self.confidences[i] = 0;
+            if r.bool()? {
+                self.set_valid(i);
+                self.pc_tags[i] = r.u64()?;
+                self.last_addrs[i] = r.u64()?;
+                self.strides[i] = r.i64()?;
+                self.confidences[i] = r.u8()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The pre-SoA stride table, kept verbatim as the equivalence oracle for
+/// [`StridePrefetcher`]: one struct per entry, identical training,
+/// proposal, and snapshot encoding. Test-only by convention (nothing on
+/// the simulation path constructs one).
+#[derive(Debug, Clone)]
+pub struct AosStridePrefetcher {
+    entries: Vec<AosStrideEntry>,
+    degree: usize,
+    mask: usize,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct AosStrideEntry {
+    pc_tag: u64,
+    last_addr: u64,
+    stride: i64,
+    confidence: u8,
+    valid: bool,
+}
+
+impl AosStridePrefetcher {
+    /// As [`StridePrefetcher::new`].
+    ///
+    /// # Panics
+    ///
+    /// As [`StridePrefetcher::new`].
+    #[must_use]
+    pub fn new(table_entries: usize, degree: usize) -> AosStridePrefetcher {
+        assert!(table_entries.is_power_of_two(), "table size must be a power of two");
+        assert!(degree > 0, "degree must be positive");
+        AosStridePrefetcher {
+            entries: vec![AosStrideEntry::default(); table_entries],
+            degree,
+            mask: table_entries - 1,
+        }
+    }
+
+    /// As [`StridePrefetcher::propose_into`].
+    pub fn propose_into(&mut self, pc: VirtAddr, addr: PhysAddr, proposals: &mut Vec<PhysAddr>) {
         let index = ((pc.raw() >> 2) as usize) & self.mask;
         let entry = &mut self.entries[index];
 
@@ -97,7 +248,7 @@ impl StridePrefetcher {
                 }
             }
         } else {
-            *entry = StrideEntry {
+            *entry = AosStrideEntry {
                 pc_tag: pc.raw(),
                 last_addr: addr.raw(),
                 stride: 0,
@@ -107,17 +258,8 @@ impl StridePrefetcher {
         }
     }
 
-    /// Storage cost of the table in bits (for the power model): tag +
-    /// last address (truncated to 32 bits as in real tables) + stride +
-    /// confidence.
-    #[must_use]
-    pub fn storage_bits(&self) -> u64 {
-        self.entries.len() as u64 * (16 + 32 + 16 + 2)
-    }
-}
-
-impl Snapshot for StridePrefetcher {
-    fn save(&self, w: &mut SnapWriter) {
+    /// Snapshot in the exact [`StridePrefetcher`] encoding.
+    pub fn save(&self, w: &mut SnapWriter) {
         w.usize(self.entries.len());
         for e in &self.entries {
             w.bool(e.valid);
@@ -128,21 +270,6 @@ impl Snapshot for StridePrefetcher {
                 w.u8(e.confidence);
             }
         }
-    }
-
-    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
-        r.expect_len("stride prefetcher entries", self.entries.len())?;
-        for e in &mut self.entries {
-            *e = StrideEntry::default();
-            e.valid = r.bool()?;
-            if e.valid {
-                e.pc_tag = r.u64()?;
-                e.last_addr = r.u64()?;
-                e.stride = r.i64()?;
-                e.confidence = r.u8()?;
-            }
-        }
-        Ok(())
     }
 }
 
@@ -165,13 +292,14 @@ impl NextLinePrefetcher {
         NextLinePrefetcher { degree }
     }
 
-    /// Sequential lines following `line`, as an allocation-free iterator
-    /// (the proposal set is dense by construction, so no buffer is
-    /// needed at all). The iterator captures nothing from `self`, so
-    /// callers may keep mutating the owning structure while draining it.
-    pub fn propose(&self, line: LineAddr) -> impl Iterator<Item = LineAddr> {
-        let degree = self.degree as u64;
-        (1..=degree).map(move |i| LineAddr(line.raw() + i))
+    /// **Appends** the `degree` sequential lines following `line` to the
+    /// caller-provided buffer — the same contract as
+    /// [`StridePrefetcher::propose_into`], so one reused buffer serves
+    /// both prefetchers on the demand path.
+    pub fn propose_into(&self, line: LineAddr, proposals: &mut Vec<LineAddr>) {
+        for i in 1..=self.degree as u64 {
+            proposals.push(LineAddr(line.raw() + i));
+        }
     }
 }
 
@@ -187,7 +315,7 @@ mod tests {
 
     fn observe(pf: &mut StridePrefetcher, pc: VirtAddr, addr: u64) -> Vec<PhysAddr> {
         let mut proposals = Vec::new();
-        pf.observe(pc, PhysAddr::new(addr), &mut proposals);
+        pf.propose_into(pc, PhysAddr::new(addr), &mut proposals);
         proposals
     }
 
@@ -246,24 +374,81 @@ mod tests {
     }
 
     #[test]
-    fn stale_proposals_are_cleared_from_a_reused_buffer() {
+    fn propose_into_appends_to_the_reused_buffer() {
         let mut pf = StridePrefetcher::new(16, 1);
         let pc = VirtAddr::new(0x100);
         let mut proposals = Vec::new();
-        pf.observe(pc, PhysAddr::new(0x1000), &mut proposals);
-        pf.observe(pc, PhysAddr::new(0x1100), &mut proposals);
-        pf.observe(pc, PhysAddr::new(0x1200), &mut proposals);
+        pf.propose_into(pc, PhysAddr::new(0x1000), &mut proposals);
+        pf.propose_into(pc, PhysAddr::new(0x1100), &mut proposals);
+        pf.propose_into(pc, PhysAddr::new(0x1200), &mut proposals);
         assert_eq!(proposals, vec![PhysAddr::new(0x1300)]);
-        // A non-proposing access must leave the reused buffer empty, not
-        // carrying last access's proposals.
-        pf.observe(pc, PhysAddr::new(0x9999), &mut proposals);
-        assert!(proposals.is_empty());
+        // Append contract: the caller clears; a second proposing access
+        // extends the buffer.
+        pf.propose_into(pc, PhysAddr::new(0x1300), &mut proposals);
+        assert_eq!(proposals, vec![PhysAddr::new(0x1300), PhysAddr::new(0x1400)]);
+    }
+
+    #[test]
+    fn batch_entry_matches_sequential_singles() {
+        let accesses: Vec<(VirtAddr, PhysAddr)> = (0..60u64)
+            .map(|i| (VirtAddr::new(0x100 + (i % 3) * 4), PhysAddr::new(0x1000 + i * 0x40)))
+            .collect();
+        let mut single = StridePrefetcher::new(16, 2);
+        let mut singles = Vec::new();
+        for &(pc, addr) in &accesses {
+            single.propose_into(pc, addr, &mut singles);
+        }
+        let mut batched = StridePrefetcher::new(16, 2);
+        let mut batch_out = Vec::new();
+        batched.propose_batch_into(&accesses, &mut batch_out);
+        assert_eq!(batch_out, singles);
+        let mut ws = SnapWriter::new();
+        single.save(&mut ws);
+        let mut wb = SnapWriter::new();
+        batched.save(&mut wb);
+        assert_eq!(ws.bytes(), wb.bytes());
+    }
+
+    /// SoA and AoS stride tables agree on every proposal and on the
+    /// snapshot bytes under a mixed access pattern — the SoA layout is a
+    /// pure representation change.
+    #[test]
+    fn soa_matches_aos_oracle() {
+        let mut soa = StridePrefetcher::new(32, 3);
+        let mut aos = AosStridePrefetcher::new(32, 3);
+        let mut state = 0xdead_beef_cafe_f00du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..5000u64 {
+            // A mix of striding PCs, colliding PCs, and noise.
+            let pc = VirtAddr::new(0x100 + (next() % 40) * 4);
+            let addr = if next() % 3 == 0 {
+                PhysAddr::new(next() % 0x10_0000)
+            } else {
+                PhysAddr::new(0x1000 + step * 0x40)
+            };
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            soa.propose_into(pc, addr, &mut a);
+            aos.propose_into(pc, addr, &mut b);
+            assert_eq!(a, b, "step {step}");
+        }
+        let mut ws = SnapWriter::new();
+        soa.save(&mut ws);
+        let mut wa = SnapWriter::new();
+        aos.save(&mut wa);
+        assert_eq!(ws.bytes(), wa.bytes(), "snapshot bytes diverge between layouts");
     }
 
     #[test]
     fn next_line_proposes_sequential_lines() {
         let pf = NextLinePrefetcher::new(2);
-        let proposals: Vec<LineAddr> = pf.propose(LineAddr(10)).collect();
+        let mut proposals = Vec::new();
+        pf.propose_into(LineAddr(10), &mut proposals);
         assert_eq!(proposals, vec![LineAddr(11), LineAddr(12)]);
     }
 }

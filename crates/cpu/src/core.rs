@@ -626,6 +626,9 @@ impl<B: MemoryBackend> Core<B> {
         window.drain(..from_window);
         window.extend(batch[to_process - from_window..].iter().copied());
         state.window = window;
+        // Batch boundary: a natural seam for backends that defer
+        // beyond-L1 work — no instruction is mid-flight here.
+        self.backend.flush_deferred();
         state.cut()
     }
 

@@ -10,6 +10,14 @@ use crate::{ReplacementPolicy, RequestInfo};
 /// victim is the way with the smallest stamp. This is the L1 policy in the
 /// paper's Table 1 configuration and the substrate Emissary builds on.
 ///
+/// The recency clock is **per set**: a touch in one set never changes the
+/// stamps another set will receive. Victim choices are identical to a
+/// global-clock LRU (only the relative order within a set matters), but
+/// the per-set form makes the stamp state independent of how accesses to
+/// *different* sets interleave — which is what lets the deferred
+/// miss-batch pipeline replay fills after later hits to other sets and
+/// still produce byte-identical snapshots.
+///
 /// # Example
 ///
 /// ```
@@ -28,7 +36,7 @@ use crate::{ReplacementPolicy, RequestInfo};
 pub struct Lru {
     ways: usize,
     stamps: Vec<u64>,
-    clock: u64,
+    clocks: Vec<u64>,
 }
 
 impl Lru {
@@ -40,12 +48,12 @@ impl Lru {
     #[must_use]
     pub fn new(sets: usize, ways: usize) -> Lru {
         assert!(sets > 0 && ways > 0, "cache must have at least one set and way");
-        Lru { ways, stamps: vec![0; sets * ways], clock: 0 }
+        Lru { ways, stamps: vec![0; sets * ways], clocks: vec![0; sets] }
     }
 
     fn touch(&mut self, set: usize, way: usize) {
-        self.clock += 1;
-        self.stamps[set * self.ways + way] = self.clock;
+        self.clocks[set] += 1;
+        self.stamps[set * self.ways + way] = self.clocks[set];
     }
 
     /// The least-recently-used way among `candidates` (read-only helper
@@ -88,7 +96,10 @@ impl ReplacementPolicy for Lru {
     }
 
     fn save_state(&self, w: &mut SnapWriter) {
-        w.u64(self.clock);
+        w.usize(self.clocks.len());
+        for &clock in &self.clocks {
+            w.u64(clock);
+        }
         w.usize(self.stamps.len());
         for &stamp in &self.stamps {
             w.u64(stamp);
@@ -96,7 +107,10 @@ impl ReplacementPolicy for Lru {
     }
 
     fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
-        self.clock = r.u64()?;
+        r.expect_len("LRU clock count", self.clocks.len())?;
+        for clock in &mut self.clocks {
+            *clock = r.u64()?;
+        }
         r.expect_len("LRU stamp count", self.stamps.len())?;
         for stamp in &mut self.stamps {
             *stamp = r.u64()?;

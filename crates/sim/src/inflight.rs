@@ -5,6 +5,14 @@
 //! on the per-prefetch path. This table never allocates after
 //! construction: linear probing with backward-shift deletion, and a
 //! preallocated scratch buffer for the expiry sweep.
+//!
+//! The slot array is **struct-of-arrays**: line keys and ready cycles
+//! live in separate parallel arrays, so the probe loop — which reads
+//! only keys until it finds a match or an empty slot — touches half the
+//! bytes the interleaved `(line, ready)` layout did. [`AosInflightTable`]
+//! keeps the pre-SoA layout verbatim as the equivalence oracle: both
+//! layouts must agree on every operation, `len`, and the `"INFL"`
+//! snapshot bytes (pinned by this module's tests).
 
 use trrip_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
@@ -15,14 +23,6 @@ const EMPTY: u64 = u64::MAX;
 /// Fibonacci multiplier spreading near-sequential line addresses across
 /// the table.
 const HASH_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
-
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    line: u64,
-    ready: u64,
-}
-
-const EMPTY_SLOT: Slot = Slot { line: EMPTY, ready: 0 };
 
 /// Fixed-capacity line → ready-cycle map for prefetch timeliness.
 ///
@@ -36,8 +36,12 @@ const EMPTY_SLOT: Slot = Slot { line: EMPTY, ready: 0 };
 /// prefetch hardware does when its request file is exhausted.
 #[derive(Debug)]
 pub struct InflightTable {
-    slots: Box<[Slot]>,
-    /// Index mask (`slots.len() - 1`).
+    /// Line keys, [`EMPTY`] where vacant — the only array the probe
+    /// loop reads.
+    lines: Box<[u64]>,
+    /// Ready cycles, parallel to `lines`; read once on a key match.
+    readys: Box<[u64]>,
+    /// Index mask (`lines.len() - 1`).
     mask: usize,
     /// Right-shift mapping a hashed key to a slot index via high bits.
     shift: u32,
@@ -46,7 +50,7 @@ pub struct InflightTable {
     /// Hard occupancy bound (half the slot array).
     limit: usize,
     /// Reused by [`InflightTable::prune_expired`]; capacity `limit`.
-    scratch: Vec<Slot>,
+    scratch: Vec<(u64, u64)>,
 }
 
 impl InflightTable {
@@ -60,7 +64,8 @@ impl InflightTable {
         assert!(mshr_entries > 0, "MSHR count must be positive");
         let slots = (mshr_entries * 4).next_power_of_two();
         InflightTable {
-            slots: vec![EMPTY_SLOT; slots].into_boxed_slice(),
+            lines: vec![EMPTY; slots].into_boxed_slice(),
+            readys: vec![0; slots].into_boxed_slice(),
             mask: slots - 1,
             shift: 64 - slots.trailing_zeros(),
             len: 0,
@@ -88,11 +93,11 @@ impl InflightTable {
     fn find(&self, line: u64) -> Option<usize> {
         let mut i = self.probe_start(line);
         loop {
-            let slot = self.slots[i];
-            if slot.line == EMPTY {
+            let occupant = self.lines[i];
+            if occupant == EMPTY {
                 return None;
             }
-            if slot.line == line {
+            if occupant == line {
                 return Some(i);
             }
             i = (i + 1) & self.mask;
@@ -102,7 +107,19 @@ impl InflightTable {
     /// The tracked completion cycle for `line`, if any.
     #[must_use]
     pub fn get(&self, line: u64) -> Option<u64> {
-        self.find(line).map(|i| self.slots[i].ready)
+        self.find(line).map(|i| self.readys[i])
+    }
+
+    /// Multi-probe entry point: looks up every line in `lines`, pushing
+    /// one result per query onto `out` in order. Equivalent to calling
+    /// [`InflightTable::get`] per line; batching keeps the key array hot
+    /// across consecutive probes when a miss-batch flush resolves many
+    /// timeliness queries back to back.
+    pub fn get_batch(&self, lines: &[u64], out: &mut Vec<Option<u64>>) {
+        out.reserve(lines.len());
+        for &line in lines {
+            out.push(self.get(line));
+        }
     }
 
     /// Tracks `line` completing at `ready` unless it is already tracked
@@ -113,7 +130,7 @@ impl InflightTable {
         debug_assert_ne!(line, EMPTY, "line address collides with the empty sentinel");
         let mut i = self.probe_start(line);
         loop {
-            let occupant = self.slots[i].line;
+            let occupant = self.lines[i];
             if occupant == line {
                 return;
             }
@@ -121,7 +138,8 @@ impl InflightTable {
                 if self.len >= self.limit {
                     return;
                 }
-                self.slots[i] = Slot { line, ready };
+                self.lines[i] = line;
+                self.readys[i] = ready;
                 self.len += 1;
                 return;
             }
@@ -130,7 +148,10 @@ impl InflightTable {
     }
 
     /// Forgets `line` if tracked (backward-shift deletion, so probe
-    /// chains stay intact without tombstones).
+    /// chains stay intact without tombstones). A no-op when the line is
+    /// not tracked — the deferred miss-batch pipeline relies on this:
+    /// a timeliness-expired removal queued before an expiry sweep
+    /// replays harmlessly after the sweep already dropped the entry.
     pub fn remove(&mut self, line: u64) {
         let Some(mut hole) = self.find(line) else {
             return;
@@ -139,21 +160,23 @@ impl InflightTable {
         let mut i = hole;
         loop {
             i = (i + 1) & self.mask;
-            let slot = self.slots[i];
-            if slot.line == EMPTY {
+            let occupant = self.lines[i];
+            if occupant == EMPTY {
                 break;
             }
-            // `slot` may back-fill the hole only if its home position is
-            // cyclically at or before the hole.
-            let home = self.probe_start(slot.line);
+            // The occupant may back-fill the hole only if its home
+            // position is cyclically at or before the hole.
+            let home = self.probe_start(occupant);
             let home_distance = i.wrapping_sub(home) & self.mask;
             let hole_distance = i.wrapping_sub(hole) & self.mask;
             if home_distance >= hole_distance {
-                self.slots[hole] = slot;
+                self.lines[hole] = occupant;
+                self.readys[hole] = self.readys[i];
                 hole = i;
             }
         }
-        self.slots[hole] = EMPTY_SLOT;
+        self.lines[hole] = EMPTY;
+        self.readys[hole] = 0;
     }
 
     /// Drops every entry whose `ready` cycle is not after `now`
@@ -161,18 +184,19 @@ impl InflightTable {
     /// survivors pass through the preallocated scratch buffer.
     pub fn prune_expired(&mut self, now: u64) {
         self.scratch.clear();
-        for slot in &mut self.slots {
-            if slot.line != EMPTY {
-                if slot.ready > now {
-                    self.scratch.push(*slot);
+        for i in 0..self.lines.len() {
+            if self.lines[i] != EMPTY {
+                if self.readys[i] > now {
+                    self.scratch.push((self.lines[i], self.readys[i]));
                 }
-                *slot = EMPTY_SLOT;
+                self.lines[i] = EMPTY;
+                self.readys[i] = 0;
             }
         }
         self.len = 0;
         let survivors = std::mem::take(&mut self.scratch);
-        for slot in &survivors {
-            self.insert_if_absent(slot.line, slot.ready);
+        for &(line, ready) in &survivors {
+            self.insert_if_absent(line, ready);
         }
         self.scratch = survivors;
     }
@@ -184,20 +208,20 @@ impl Snapshot for InflightTable {
         // just contents) reproduces the exact probe-chain layout, so
         // subsequent insert/remove/prune sequences behave identically.
         w.tag(b"INFL");
-        w.usize(self.slots.len());
+        w.usize(self.lines.len());
         w.usize(self.len);
-        for (i, slot) in self.slots.iter().enumerate() {
-            if slot.line != EMPTY {
+        for i in 0..self.lines.len() {
+            if self.lines[i] != EMPTY {
                 w.usize(i);
-                w.u64(slot.line);
-                w.u64(slot.ready);
+                w.u64(self.lines[i]);
+                w.u64(self.readys[i]);
             }
         }
     }
 
     fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
         r.expect_tag(b"INFL")?;
-        r.expect_len("inflight table capacity", self.slots.len())?;
+        r.expect_len("inflight table capacity", self.lines.len())?;
         let len = r.usize()?;
         if len > self.limit {
             return Err(SnapError::Mismatch(format!(
@@ -205,22 +229,172 @@ impl Snapshot for InflightTable {
                 self.limit
             )));
         }
-        self.slots.fill(EMPTY_SLOT);
+        self.lines.fill(EMPTY);
+        self.readys.fill(0);
         for _ in 0..len {
             let i = r.usize()?;
-            let slot = self.slots.get_mut(i).ok_or_else(|| {
-                SnapError::Corrupt(format!("inflight slot index {i} out of range"))
-            })?;
-            if slot.line != EMPTY {
+            if i >= self.lines.len() {
+                return Err(SnapError::Corrupt(format!("inflight slot index {i} out of range")));
+            }
+            if self.lines[i] != EMPTY {
                 return Err(SnapError::Corrupt(format!("duplicate inflight slot {i}")));
             }
-            *slot = Slot { line: r.u64()?, ready: r.u64()? };
-            if slot.line == EMPTY {
+            self.lines[i] = r.u64()?;
+            self.readys[i] = r.u64()?;
+            if self.lines[i] == EMPTY {
                 return Err(SnapError::Corrupt("inflight slot holds the empty sentinel".into()));
             }
         }
         self.len = len;
         Ok(())
+    }
+}
+
+/// The pre-SoA slot layout, kept verbatim as the equivalence oracle for
+/// [`InflightTable`]: interleaved `(line, ready)` slots, identical
+/// probing, deletion, expiry, and snapshot encoding. Test-only by
+/// convention (nothing on the simulation path constructs one).
+#[derive(Debug)]
+pub struct AosInflightTable {
+    slots: Box<[(u64, u64)]>,
+    mask: usize,
+    shift: u32,
+    len: usize,
+    limit: usize,
+    scratch: Vec<(u64, u64)>,
+}
+
+impl AosInflightTable {
+    /// A table sized for `mshr_entries` simultaneously tracked lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mshr_entries` is zero.
+    #[must_use]
+    pub fn new(mshr_entries: usize) -> AosInflightTable {
+        assert!(mshr_entries > 0, "MSHR count must be positive");
+        let slots = (mshr_entries * 4).next_power_of_two();
+        AosInflightTable {
+            slots: vec![(EMPTY, 0); slots].into_boxed_slice(),
+            mask: slots - 1,
+            shift: 64 - slots.trailing_zeros(),
+            len: 0,
+            limit: slots / 2,
+            scratch: Vec::with_capacity(slots / 2),
+        }
+    }
+
+    /// Live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no fills are in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn probe_start(&self, line: u64) -> usize {
+        ((line.wrapping_mul(HASH_MULT) >> self.shift) as usize) & self.mask
+    }
+
+    fn find(&self, line: u64) -> Option<usize> {
+        let mut i = self.probe_start(line);
+        loop {
+            let (occupant, _) = self.slots[i];
+            if occupant == EMPTY {
+                return None;
+            }
+            if occupant == line {
+                return Some(i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// The tracked completion cycle for `line`, if any.
+    #[must_use]
+    pub fn get(&self, line: u64) -> Option<u64> {
+        self.find(line).map(|i| self.slots[i].1)
+    }
+
+    /// As [`InflightTable::insert_if_absent`].
+    pub fn insert_if_absent(&mut self, line: u64, ready: u64) {
+        let mut i = self.probe_start(line);
+        loop {
+            let (occupant, _) = self.slots[i];
+            if occupant == line {
+                return;
+            }
+            if occupant == EMPTY {
+                if self.len >= self.limit {
+                    return;
+                }
+                self.slots[i] = (line, ready);
+                self.len += 1;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// As [`InflightTable::remove`].
+    pub fn remove(&mut self, line: u64) {
+        let Some(mut hole) = self.find(line) else {
+            return;
+        };
+        self.len -= 1;
+        let mut i = hole;
+        loop {
+            i = (i + 1) & self.mask;
+            let slot = self.slots[i];
+            if slot.0 == EMPTY {
+                break;
+            }
+            let home = self.probe_start(slot.0);
+            let home_distance = i.wrapping_sub(home) & self.mask;
+            let hole_distance = i.wrapping_sub(hole) & self.mask;
+            if home_distance >= hole_distance {
+                self.slots[hole] = slot;
+                hole = i;
+            }
+        }
+        self.slots[hole] = (EMPTY, 0);
+    }
+
+    /// As [`InflightTable::prune_expired`].
+    pub fn prune_expired(&mut self, now: u64) {
+        self.scratch.clear();
+        for slot in &mut self.slots {
+            if slot.0 != EMPTY {
+                if slot.1 > now {
+                    self.scratch.push(*slot);
+                }
+                *slot = (EMPTY, 0);
+            }
+        }
+        self.len = 0;
+        let survivors = std::mem::take(&mut self.scratch);
+        for &(line, ready) in &survivors {
+            self.insert_if_absent(line, ready);
+        }
+        self.scratch = survivors;
+    }
+
+    /// Snapshot in the exact [`InflightTable`] encoding.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.tag(b"INFL");
+        w.usize(self.slots.len());
+        w.usize(self.len);
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.0 != EMPTY {
+                w.usize(i);
+                w.u64(slot.0);
+                w.u64(slot.1);
+            }
+        }
     }
 }
 
@@ -263,6 +437,15 @@ mod tests {
     }
 
     #[test]
+    fn remove_of_untracked_line_is_a_no_op() {
+        let mut t = InflightTable::new(8);
+        t.insert_if_absent(100, 50);
+        t.remove(999);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(100), Some(50));
+    }
+
+    #[test]
     fn prune_matches_retain_semantics() {
         let mut t = InflightTable::new(16);
         for line in 0..20u64 {
@@ -298,6 +481,19 @@ mod tests {
     }
 
     #[test]
+    fn get_batch_matches_single_probes() {
+        let mut t = InflightTable::new(16);
+        for line in (0..40u64).step_by(3) {
+            t.insert_if_absent(line, line + 7);
+        }
+        let queries: Vec<u64> = (0..40).collect();
+        let mut batched = Vec::new();
+        t.get_batch(&queries, &mut batched);
+        let singles: Vec<Option<u64>> = queries.iter().map(|&q| t.get(q)).collect();
+        assert_eq!(batched, singles);
+    }
+
+    #[test]
     fn randomized_against_hashmap_oracle() {
         let mut t = InflightTable::new(32); // limit 64 — never hit below
         let mut oracle = std::collections::HashMap::new();
@@ -330,5 +526,46 @@ mod tests {
             assert_eq!(t.get(line), oracle.get(&line).copied());
             assert_eq!(t.len(), oracle.len());
         }
+    }
+
+    /// SoA and AoS layouts agree on every operation, the length, and the
+    /// snapshot bytes under a randomized op mix — the SoA probe path is
+    /// a pure representation change.
+    #[test]
+    fn soa_matches_aos_oracle() {
+        let mut soa = InflightTable::new(16);
+        let mut aos = AosInflightTable::new(16);
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..6000u64 {
+            let line = next() % 80;
+            match next() % 5 {
+                0..=2 => {
+                    soa.insert_if_absent(line, step);
+                    aos.insert_if_absent(line, step);
+                }
+                3 => {
+                    soa.remove(line);
+                    aos.remove(line);
+                }
+                _ => {
+                    let cutoff = step.saturating_sub(60);
+                    soa.prune_expired(cutoff);
+                    aos.prune_expired(cutoff);
+                }
+            }
+            assert_eq!(soa.get(line), aos.get(line), "step {step}");
+            assert_eq!(soa.len(), aos.len(), "step {step}");
+        }
+        let mut ws = SnapWriter::new();
+        soa.save(&mut ws);
+        let mut wa = SnapWriter::new();
+        aos.save(&mut wa);
+        assert_eq!(ws.bytes(), wa.bytes(), "snapshot bytes diverge between layouts");
     }
 }

@@ -406,6 +406,15 @@ impl<'w> SimRun<'w> {
             let _span = trrip_obs::span!("warmup_tail");
             if functional {
                 crate::warmstats::count_functional_mode();
+                // Widened seam: cache-statistics accumulation is also
+                // skipped for the functional tail. Legal because the
+                // measure phase begins with `reset_stats` (arming), so
+                // nothing reads the counters this would have grown; the
+                // architectural tag/policy state still updates exactly
+                // as in timed replay. TLB statistics are NOT gated —
+                // they are cumulative whole-run observables.
+                self.core.backend_mut().hierarchy_mut().set_stats_enabled(false);
+                trrip_obs::counter!("warm.functional_stats_skips").add(self.config.fast_forward);
                 trrip_obs::event(
                     "functional_warming",
                     &[
@@ -426,8 +435,24 @@ impl<'w> SimRun<'w> {
                 "stream ended inside the warmup window"
             );
             cursor.finish().expect("warmup tape consumed exactly");
+            if functional {
+                self.core.backend_mut().hierarchy_mut().set_stats_enabled(true);
+            }
             self.core.backend_mut().flush_fastpath_counters();
         }
+    }
+
+    /// Enables or disables the backend's deferred miss batch (see
+    /// `SystemBackend::set_miss_batching`); on by default. Exposed for
+    /// equivalence oracles and ablation benchmarks.
+    pub fn set_miss_batching(&mut self, enabled: bool) {
+        self.core.backend_mut().set_miss_batching(enabled);
+    }
+
+    /// Overrides the miss batch's capacity-flush threshold (see
+    /// `SystemBackend::set_batch_capacity`).
+    pub fn set_batch_capacity(&mut self, capacity: usize) {
+        self.core.backend_mut().set_batch_capacity(capacity);
     }
 
     /// **Measure phase**, uninterrupted: arms measurement, runs the

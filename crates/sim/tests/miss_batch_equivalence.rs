@@ -1,0 +1,146 @@
+//! The deferred miss batch must be invisible in the results: a run with
+//! beyond-L1 miss batching enabled — at any batch capacity, i.e. across
+//! any placement of the capacity flush seam — is bit-identical to the
+//! synchronous path that applies every beyond-L1 access in program
+//! order, for all ten policies (including Random, whose RNG stream is
+//! architectural state and would expose any reordering) and with the
+//! reuse/costly profilers armed. Snapshot bytes at the fast-forward
+//! boundary and after the measured window are compared too, so the
+//! equivalence covers every tag store, policy array, prefetch table and
+//! in-flight entry — not just the counters in [`SimResult`].
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use trrip_core::ClassifierConfig;
+use trrip_policies::PolicyKind;
+use trrip_sim::{PreparedWorkload, SimConfig, SimResult, SimRun, SnapWriter};
+use trrip_trace::SourceIter;
+use trrip_workloads::{InputSet, TraceGenerator, WorkloadSpec};
+
+/// Every policy the simulator can run, including the non-paper Random
+/// baseline.
+const ALL_POLICIES: [PolicyKind; 10] = [
+    PolicyKind::Srrip,
+    PolicyKind::Lru,
+    PolicyKind::Random,
+    PolicyKind::Brrip,
+    PolicyKind::Drrip,
+    PolicyKind::Ship,
+    PolicyKind::Clip,
+    PolicyKind::Emissary,
+    PolicyKind::Trrip1,
+    PolicyKind::Trrip2,
+];
+
+/// One shared workload: `prepare` is deterministic and by far the most
+/// expensive step, so every case (and every proptest iteration) reuses
+/// it. Dispatch and calls are kept in the spec defaults, which already
+/// exercise FDIP prefetching — the batch's multi-op-per-instruction
+/// seam.
+fn workload() -> &'static PreparedWorkload {
+    static W: OnceLock<PreparedWorkload> = OnceLock::new();
+    W.get_or_init(|| {
+        let mut spec = WorkloadSpec::named("miss-batch-eq");
+        spec.functions = 50;
+        spec.hot_rotation = 8;
+        PreparedWorkload::prepare(&spec, 300_000, ClassifierConfig::llvm_defaults())
+    })
+}
+
+fn quick_config(policy: PolicyKind) -> SimConfig {
+    let mut c = SimConfig::quick(policy);
+    c.fast_forward = 15_000;
+    c.instructions = 30_000;
+    // The profilers ride the miss path (costly.record is an eager read
+    // at defer time), so they are part of the equivalence bar.
+    c.measure_reuse = true;
+    c.track_costly = true;
+    c
+}
+
+fn walker<'w>(w: &'w PreparedWorkload, config: &SimConfig) -> TraceGenerator<'w> {
+    TraceGenerator::new(&w.program, w.object(config.layout), &w.spec, InputSet::Eval)
+}
+
+/// Runs one full fast-forward + measure with the given batching setup
+/// and returns `(fast-forward snapshot bytes, result, final snapshot
+/// bytes)`. `capacity = None` disables batching (the synchronous
+/// oracle); `Some(c)` batches with a capacity-`c` flush seam.
+fn run(config: &SimConfig, capacity: Option<usize>) -> (Vec<u8>, SimResult, Vec<u8>) {
+    let w = workload();
+    let mut run = SimRun::new(w, config);
+    match capacity {
+        None => run.set_miss_batching(false),
+        Some(c) => run.set_batch_capacity(c),
+    }
+    let mut stream = SourceIter::new(walker(w, config));
+    run.fast_forward(&mut stream);
+
+    let mut ff = SnapWriter::new();
+    run.save_shared(&mut ff);
+    run.save_overlay(&mut ff);
+
+    let result = run.measure(&mut stream);
+
+    let mut end = SnapWriter::new();
+    run.save_shared(&mut end);
+    run.save_overlay(&mut end);
+    (ff.into_bytes(), result, end.into_bytes())
+}
+
+fn assert_identical(a: &SimResult, b: &SimResult, what: &str) {
+    assert_eq!(a.core, b.core, "{what}: core results diverge");
+    assert_eq!(a.l1i, b.l1i, "{what}: L1-I stats diverge");
+    assert_eq!(a.l1d, b.l1d, "{what}: L1-D stats diverge");
+    assert_eq!(a.l2, b.l2, "{what}: L2 stats diverge");
+    assert_eq!(a.slc, b.slc, "{what}: SLC stats diverge");
+    assert_eq!(a.tlb, b.tlb, "{what}: TLB stats diverge");
+    assert_eq!(a.pages, b.pages, "{what}: page stats diverge");
+    assert_eq!(a.reuse_base, b.reuse_base, "{what}: reuse histograms diverge");
+    assert_eq!(a.reuse_hot_only, b.reuse_hot_only, "{what}: hot-only histograms diverge");
+    let (ca, cb) = (a.costly.as_ref().expect("armed"), b.costly.as_ref().expect("armed"));
+    assert_eq!(ca.distinct_lines(), cb.distinct_lines(), "{what}: costly lines diverge");
+    assert_eq!(ca.cost_by_region(), cb.cost_by_region(), "{what}: costly regions diverge");
+}
+
+/// Capacity 1 flushes on every defer — including between a demand miss
+/// and the FDIP prefetches the same instruction issues, the tightest
+/// seam there is. Capacity 3 lands flushes at arbitrary offsets inside
+/// FDIP prefetch trains; 64 is the shipping default, dominated by the
+/// batch-boundary and conflict-class seams instead.
+#[test]
+fn batched_run_is_bit_identical_for_all_ten_policies() {
+    for policy in ALL_POLICIES {
+        let config = quick_config(policy);
+        let (sync_ff, sync_result, sync_end) = run(&config, None);
+        for capacity in [1, 3, 64] {
+            let (ff, result, end) = run(&config, Some(capacity));
+            let what = format!("{policy}, capacity {capacity}");
+            assert_eq!(sync_ff, ff, "{what}: fast-forward snapshots diverge");
+            assert_identical(&sync_result, &result, &what);
+            assert_eq!(sync_end, end, "{what}: final snapshots diverge");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any batch capacity places the capacity flush seam at a different
+    /// set of program points; none of them may be observable, under any
+    /// policy.
+    #[test]
+    fn any_flush_point_is_invisible(
+        capacity in 1usize..=96,
+        policy_idx in 0usize..ALL_POLICIES.len(),
+    ) {
+        let config = quick_config(ALL_POLICIES[policy_idx]);
+        let (sync_ff, sync_result, sync_end) = run(&config, None);
+        let (ff, result, end) = run(&config, Some(capacity));
+        let what = format!("{}, capacity {capacity}", ALL_POLICIES[policy_idx]);
+        prop_assert_eq!(sync_ff, ff, "{}: fast-forward snapshots diverge", what);
+        assert_identical(&sync_result, &result, &what);
+        prop_assert_eq!(sync_end, end, "{}: final snapshots diverge", what);
+    }
+}

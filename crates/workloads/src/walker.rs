@@ -61,6 +61,50 @@ struct Frame {
     return_pc: Option<VirtAddr>,
 }
 
+/// Memoized expansion state of one basic block under one placement: the
+/// per-visit invariants of the `step` body — decoded block properties,
+/// the block's placed base address and layout successor, and the
+/// (shifted, clamped) successor weights whose derivation is the
+/// expensive part of `choose_successor`.
+///
+/// The key is `(function, block)` **plus placement**: a generator is
+/// constructed for one `(program, object)` pair, so the placement
+/// component is fixed for its lifetime and the cache never needs
+/// invalidation. Per-visit randomness (successor draw, memory/stall
+/// samples, scan cursors, stack depth) is *not* cached — the memoized
+/// path performs exactly the same RNG draws in exactly the same order
+/// as fresh expansion, which is what keeps traces byte-identical
+/// (pinned by `tests/walker_memoization.rs`).
+#[derive(Debug, Clone)]
+struct BlockTemplate {
+    info: BlockInfo,
+    /// Successor block ids, in CFG order.
+    successors: Vec<usize>,
+    /// Input-shifted, clamped edge weights, aligned with `successors`.
+    weights: Vec<f64>,
+    weights_total: f64,
+    has_exit_successor: bool,
+    exit_block: usize,
+}
+
+/// The per-visit scalar facts the emission body needs about a block —
+/// computed fresh from `program`/`object` or copied out of a
+/// [`BlockTemplate`].
+#[derive(Debug, Clone, Copy)]
+struct BlockInfo {
+    addr: VirtAddr,
+    n: u32,
+    is_entry: bool,
+    is_ret_block: bool,
+    load_density: f32,
+    store_density: f32,
+    scan: bool,
+    dispatch: bool,
+    call: Option<CallTarget>,
+    successor_count: usize,
+    fallthrough: Option<usize>,
+}
+
 /// The trace generator; an infinite [`Iterator`] over [`TraceInstr`].
 ///
 /// # Example
@@ -95,6 +139,16 @@ pub struct TraceGenerator<'a> {
     cold_ring: Vec<u64>,
     cold_ring_pos: usize,
     blocks_in_invocation: u32,
+    /// Basic-block expansion memo, `[fid][block]`, filled on first
+    /// visit. Skipped entirely (left empty) when `memoize` is off, so
+    /// the fresh path stays the unchanged oracle.
+    templates: Vec<Vec<Option<BlockTemplate>>>,
+    memoize: bool,
+    /// Memo hit/miss tallies, published as `walk.bb_memo.{hit,miss}`
+    /// when the generator drops (plain fields on the hot path, same
+    /// discipline as the simulator's fast-path counters).
+    memo_hits: u64,
+    memo_misses: u64,
 }
 
 impl<'a> TraceGenerator<'a> {
@@ -131,14 +185,33 @@ impl<'a> TraceGenerator<'a> {
             cold_ring: Vec::with_capacity(COLD_RING_ENTRIES),
             cold_ring_pos: 0,
             blocks_in_invocation: 0,
+            templates: program.functions.iter().map(|f| vec![None; f.blocks.len()]).collect(),
+            memoize: true,
+            memo_hits: 0,
+            memo_misses: 0,
         }
+    }
+
+    /// Enables or disables basic-block memoization (on by default). The
+    /// fresh-expansion path is retained verbatim as the equivalence
+    /// oracle; both paths draw from the RNG identically, so traces are
+    /// byte-identical either way.
+    pub fn set_memoization(&mut self, enabled: bool) {
+        self.memoize = enabled;
+    }
+
+    /// Memo `(hits, misses)` so far — misses count first visits that
+    /// built a template.
+    #[must_use]
+    pub fn memo_counts(&self) -> (u64, u64) {
+        (self.memo_hits, self.memo_misses)
     }
 
     /// Consumes the generator and returns the collected basic-block
     /// profile (the instrumentation-PGO output of this run).
     #[must_use]
-    pub fn into_profile(self) -> Profile {
-        self.profile
+    pub fn into_profile(mut self) -> Profile {
+        std::mem::replace(&mut self.profile, Profile::zeroed(self.program))
     }
 
     // ---- driver ----
@@ -405,25 +478,35 @@ impl<'a> TraceGenerator<'a> {
                 self.profile.record(fid, block);
                 self.blocks_in_invocation += 1;
 
-                let blk = &self.program.functions[fid].blocks[block];
-                let n = blk.instructions().max(1);
-                let addr = self.object.block_addrs[fid][block];
-                let is_entry = block == 0;
-                let is_ret_block = blk.successors.is_empty();
-                let (load_d, store_d, scan, dispatch) =
-                    (blk.load_density, blk.store_density, blk.scan, blk.indirect_dispatch);
+                let (info, successor) = if self.memoize {
+                    self.ensure_template(fid, block);
+                    let info = self.templates[fid][block].as_ref().expect("template built").info;
+                    (info, self.choose_successor_memo(fid, block))
+                } else {
+                    (self.block_info_fresh(fid, block), self.choose_successor(fid, block))
+                };
+                let BlockInfo {
+                    addr,
+                    n,
+                    is_entry,
+                    is_ret_block,
+                    load_density: load_d,
+                    store_density: store_d,
+                    scan,
+                    dispatch,
+                    call: block_call,
+                    successor_count,
+                    fallthrough,
+                } = info;
 
-                let successor = self.choose_successor(fid, block);
-                let fallthrough = self.object.layout_next[fid][block];
                 let need_term = is_ret_block
                     || dispatch
                     || match successor {
-                        Some(s) => blk.successors.len() >= 2 || fallthrough != Some(s),
+                        Some(s) => successor_count >= 2 || fallthrough != Some(s),
                         None => true,
                     };
                 // A return block never calls (builder invariant).
-                let call = self.program.functions[fid].blocks[block]
-                    .call
+                let call = block_call
                     .filter(|_| !is_ret_block && self.frames.len() <= MAX_CALL_DEPTH && n >= 3);
 
                 let term_slots = u32::from(need_term);
@@ -531,6 +614,77 @@ impl<'a> TraceGenerator<'a> {
         }
     }
 
+    /// Reads the block's per-visit scalar facts directly from the
+    /// program/object — the unmemoized oracle path.
+    fn block_info_fresh(&self, fid: usize, block: usize) -> BlockInfo {
+        let blk = &self.program.functions[fid].blocks[block];
+        BlockInfo {
+            addr: self.object.block_addrs[fid][block],
+            n: blk.instructions().max(1),
+            is_entry: block == 0,
+            is_ret_block: blk.successors.is_empty(),
+            load_density: blk.load_density,
+            store_density: blk.store_density,
+            scan: blk.scan,
+            dispatch: blk.indirect_dispatch,
+            call: blk.call,
+            successor_count: blk.successors.len(),
+            fallthrough: self.object.layout_next[fid][block],
+        }
+    }
+
+    /// Builds the block's [`BlockTemplate`] on first visit (a memo
+    /// miss); later visits are hits.
+    fn ensure_template(&mut self, fid: usize, block: usize) {
+        if self.templates[fid][block].is_some() {
+            self.memo_hits += 1;
+            return;
+        }
+        self.memo_misses += 1;
+        let info = self.block_info_fresh(fid, block);
+        let blk = &self.program.functions[fid].blocks[block];
+        let exit_block = self.program.functions[fid].blocks.len() - 1;
+        let shift = if self.input == InputSet::Eval { self.spec.input_shift } else { 0.0 };
+        let weights: Vec<f64> = blk
+            .successors
+            .iter()
+            .map(|&(s, p)| {
+                let h = hash01(fid as u64, (block * 131 + s) as u64, self.spec.eval_seed);
+                (p + shift * (h - 0.5) * 2.0).clamp(0.02, 0.98)
+            })
+            .collect();
+        self.templates[fid][block] = Some(BlockTemplate {
+            info,
+            successors: blk.successors.iter().map(|&(s, _)| s).collect(),
+            weights_total: weights.iter().sum(),
+            weights,
+            has_exit_successor: blk.successors.iter().any(|&(s, _)| s == exit_block),
+            exit_block,
+        });
+    }
+
+    /// The memoized twin of [`TraceGenerator::choose_successor`]: the
+    /// same decision procedure and the same single RNG draw per choice,
+    /// with the weight derivation (per-edge hash, shift, clamp, vector
+    /// build) served from the template instead of recomputed per visit.
+    fn choose_successor_memo(&mut self, fid: usize, block: usize) -> Option<usize> {
+        let tmpl = self.templates[fid][block].as_ref().expect("template built");
+        if tmpl.successors.is_empty() {
+            return None;
+        }
+        if self.blocks_in_invocation > INVOCATION_BLOCK_CAP && tmpl.has_exit_successor {
+            return Some(tmpl.exit_block);
+        }
+        let mut draw = self.rng.gen::<f64>() * tmpl.weights_total;
+        for (i, w) in tmpl.weights.iter().enumerate() {
+            draw -= w;
+            if draw <= 0.0 {
+                return Some(tmpl.successors[i]);
+            }
+        }
+        Some(tmpl.successors[tmpl.successors.len() - 1])
+    }
+
     fn resolve_callee(&mut self, fid: usize, target: CallTarget) -> Option<usize> {
         match target {
             CallTarget::Function(c) => Some(c),
@@ -556,6 +710,17 @@ impl<'a> TraceGenerator<'a> {
             None => {
                 self.frames.pop();
             }
+        }
+    }
+}
+
+impl Drop for TraceGenerator<'_> {
+    fn drop(&mut self) {
+        if self.memo_hits > 0 {
+            trrip_obs::counter!("walk.bb_memo.hit").add(self.memo_hits);
+        }
+        if self.memo_misses > 0 {
+            trrip_obs::counter!("walk.bb_memo.miss").add(self.memo_misses);
         }
     }
 }

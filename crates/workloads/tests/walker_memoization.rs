@@ -1,0 +1,98 @@
+//! Memoized walker ≡ fresh expansion, pinned over every workload spec.
+//!
+//! The walker caches each basic block's static expansion (address,
+//! densities, successor weights) in a [`BlockTemplate`] keyed by
+//! `(function, block)`. The cache must be invisible: for any spec, any
+//! input set, and any code placement, a memoized generator must emit the
+//! exact instruction stream — and collect the exact profile — of a fresh
+//! generator that re-derives everything per visit. These tests walk the
+//! full calibrated suites (ten proxy benchmarks + five mobile
+//! components) with both generators in lockstep.
+//!
+//! [`BlockTemplate`]: ../src/walker.rs
+
+use trrip_compiler::{classify_functions, Linker, ObjectFile, Program};
+use trrip_workloads::{build_program, mobile, proxy, InputSet, TraceGenerator, WorkloadSpec};
+
+/// Instructions per lockstep walk. Long enough to leave the entry
+/// function, recurse through calls, and hit the invocation block cap's
+/// forced-exit path on loop-heavy specs.
+const WALK: usize = 12_000;
+
+/// Walks `spec` on `object` with a memoized and a fresh generator in
+/// lockstep, asserting instruction-by-instruction equality, profile
+/// equality, and that the memo actually engaged.
+fn assert_memo_matches_fresh(
+    program: &Program,
+    object: &ObjectFile,
+    spec: &WorkloadSpec,
+    input: InputSet,
+) {
+    let mut memo = TraceGenerator::new(program, object, spec, input);
+    let mut fresh = TraceGenerator::new(program, object, spec, input);
+    fresh.set_memoization(false);
+
+    for i in 0..WALK {
+        assert_eq!(
+            memo.next(),
+            fresh.next(),
+            "memoized walk diverged from fresh at instruction {i} of {} ({input:?})",
+            spec.name
+        );
+    }
+
+    let (hits, misses) = memo.memo_counts();
+    assert!(hits > 0, "{}: memoized walk never hit its template cache", spec.name);
+    assert!(misses > 0, "{}: memoized walk never built a template", spec.name);
+    assert_eq!(fresh.memo_counts(), (0, 0), "fresh walk must not touch the cache");
+
+    assert_eq!(
+        memo.into_profile(),
+        fresh.into_profile(),
+        "{}: memoized and fresh walks collected different profiles",
+        spec.name
+    );
+}
+
+#[test]
+fn memoized_walk_matches_fresh_on_every_proxy_spec() {
+    for spec in proxy::all() {
+        let program = build_program(&spec);
+        let object = Linker::new().link_source_order(&program);
+        assert_memo_matches_fresh(&program, &object, &spec, InputSet::Eval);
+    }
+}
+
+#[test]
+fn memoized_walk_matches_fresh_on_every_mobile_spec() {
+    // Mobile specs also cover the train input, so both seed/shift
+    // parameterizations of the RNG stream are pinned.
+    for spec in mobile::all() {
+        let program = build_program(&spec);
+        let object = Linker::new().link_source_order(&program);
+        assert_memo_matches_fresh(&program, &object, &spec, InputSet::Eval);
+        assert_memo_matches_fresh(&program, &object, &spec, InputSet::Train);
+    }
+}
+
+#[test]
+fn memoized_walk_matches_fresh_under_pgo_placement() {
+    // Templates cache placement-derived addresses, so a different layout
+    // of the same program must re-derive — and still match — fresh
+    // expansion. Train a profile, relink PGO, and walk that object.
+    let spec = proxy::by_name("sqlite").expect("calibrated spec");
+    let program = build_program(&spec);
+    let linker = Linker::new();
+    let plain = linker.link_source_order(&program);
+
+    let mut trainer = TraceGenerator::new(&program, &plain, &spec, InputSet::Train);
+    for _ in 0..200_000 {
+        let _ = trainer.next();
+    }
+    let profile = trainer.into_profile();
+    let temps =
+        classify_functions(&program, &profile, trrip_core::ClassifierConfig::llvm_defaults());
+    let pgo = linker.link_pgo(&program, &profile, &temps);
+
+    assert_memo_matches_fresh(&program, &pgo, &spec, InputSet::Eval);
+}

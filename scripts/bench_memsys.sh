@@ -1,15 +1,22 @@
 #!/usr/bin/env sh
 # Measures the data-oriented memory system: warm measure-path ns/instr
-# (SoA tag stores + batched access + L1-hit fast path), the L1 fast-path
-# hit rate, and the timed-vs-functional warmup tail — and appends the
-# run to BENCH_memsys.json at the repo root. Run it from anywhere; pass
-# extra harness flags through (e.g. --scale 4).
+# (SoA tag stores + batched access + L1-hit fast path + deferred miss
+# batch + memoized walker), the L1 fast-path hit rate, the miss-batch
+# and walker-memo counter traffic, cold-capture throughput, and the
+# timed-vs-functional warmup tail — and appends the run to
+# BENCH_memsys.json at the repo root. Run it from anywhere; pass extra
+# harness flags through (e.g. --scale 4).
 #
 #   scripts/bench_memsys.sh [harness flags...]
+#   scripts/bench_memsys.sh --ablate   also append `sync` (miss batching
+#                                      off) and `fresh-walker` (template
+#                                      cache off) ablation entries
 #
-# The JSON is an array of run objects; every PR that touches the cache
-# stores, the batch path, or the warmup tail should append a fresh entry
-# so regressions are visible in review.
+# The JSON is an array of run objects, each labeled with its `variant`;
+# every PR that touches the cache stores, the batch path, the walker, or
+# the warmup tail should append a fresh entry so regressions are visible
+# in review. `scripts/bench_summary.sh` collates all BENCH_*.json
+# trajectories into one table.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
