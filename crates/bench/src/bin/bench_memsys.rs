@@ -22,10 +22,11 @@
 //! entry labeled with its `variant`.
 //!
 //! `--ablate` additionally measures the miss path with the deferred
-//! batch disabled (`sync`) and with the walker's template cache
-//! disabled (`fresh-walker`), appending one labeled entry per variant —
-//! the simulated cycle count is asserted identical across all three, so
-//! the ablation doubles as a live bit-identity check.
+//! batch disabled (`sync`), with the walker's template cache disabled
+//! (`fresh-walker`), and with the batch's set-sorted drain forced back
+//! to strict FIFO (`fifo-drain`), appending one labeled entry per
+//! variant — the simulated cycle count is asserted identical across all
+//! four, so the ablation doubles as a live bit-identity check.
 //!
 //! `--smoke` (CI) shrinks the run, asserts the fast-path / miss-batch /
 //! walker-memo / functional-warming counters all moved, asserts the SoA
@@ -67,12 +68,15 @@ struct Variant {
     name: &'static str,
     batched: bool,
     memoized: bool,
+    sorted: bool,
 }
 
-const DEFAULT_VARIANT: Variant = Variant { name: "batched+memo", batched: true, memoized: true };
-const ABLATIONS: [Variant; 2] = [
-    Variant { name: "sync", batched: false, memoized: true },
-    Variant { name: "fresh-walker", batched: true, memoized: false },
+const DEFAULT_VARIANT: Variant =
+    Variant { name: "batched+memo", batched: true, memoized: true, sorted: true };
+const ABLATIONS: [Variant; 3] = [
+    Variant { name: "sync", batched: false, memoized: true, sorted: true },
+    Variant { name: "fresh-walker", batched: true, memoized: false, sorted: true },
+    Variant { name: "fifo-drain", batched: true, memoized: true, sorted: false },
 ];
 
 /// Best-of-`reps` wall time of the warm measure phase under `variant`,
@@ -89,6 +93,7 @@ fn measure_best(
     for _ in 0..reps {
         let mut run = SimRun::new(workload, config);
         run.set_miss_batching(variant.batched);
+        run.set_sorted_replay(variant.sorted);
         let mut generator = walker(workload, config);
         generator.set_memoization(variant.memoized);
         let mut stream = SourceIter::new(generator);
@@ -154,7 +159,8 @@ fn main() {
         Ok(None) => {
             println!(
                 "{USAGE}\n  --smoke          quick CI correctness pass (no JSON append)\n  \
-                 --ablate         also measure sync / fresh-walker ablation variants"
+                 --ablate         also measure sync / fresh-walker / fifo-drain ablation \
+                 variants"
             );
             return;
         }

@@ -44,6 +44,12 @@ options:
                    policy: record the policy-agnostic shared prefix
                    once, warm-start each policy from its overlay or the
                    warmup-tail replay (requires --checkpoint-dir)
+  --ckpt-budget-bytes N
+                   after the sweep, shrink the checkpoint store to at
+                   most N bytes, evicting cheapest-to-rebuild artifacts
+                   first (overlays, then shared prefixes, then full/
+                   segment containers; LRU within each class); requires
+                   --checkpoint-dir
   --metrics        enable phase spans and, on exit, print a telemetry
                    summary (per-phase timings + counter deltas) and
                    write a schema-versioned obs_report.json plus a
@@ -81,6 +87,9 @@ pub struct HarnessOptions {
     /// Share one recorded warmup per workload across every policy
     /// (`--warm-prefix`).
     pub warm_prefix: bool,
+    /// Post-sweep checkpoint-store byte budget
+    /// (`--ckpt-budget-bytes N`); `None` = unbounded.
+    pub ckpt_budget_bytes: Option<u64>,
     /// Enable phase spans and telemetry artifacts (`--metrics`).
     pub metrics: bool,
     /// Event-journal / Chrome-trace directory (`--obs-dir DIR`).
@@ -100,6 +109,7 @@ impl Default for HarnessOptions {
             jobs: trrip_sim::default_jobs(),
             shards: 1,
             warm_prefix: false,
+            ckpt_budget_bytes: None,
             metrics: false,
             obs_dir: None,
             quiet: false,
@@ -241,6 +251,16 @@ impl HarnessOptions {
                     }
                 }
                 "--warm-prefix" => options.warm_prefix = true,
+                "--ckpt-budget-bytes" => {
+                    let v = value_of("--ckpt-budget-bytes")?;
+                    let budget = v.parse().map_err(|_| {
+                        format!("--ckpt-budget-bytes must be a positive integer, got `{v}`")
+                    })?;
+                    if budget == 0 {
+                        return Err("--ckpt-budget-bytes must be at least 1".to_owned());
+                    }
+                    options.ckpt_budget_bytes = Some(budget);
+                }
                 "--metrics" => options.metrics = true,
                 "--obs-dir" => options.obs_dir = Some(PathBuf::from(value_of("--obs-dir")?)),
                 "--quiet" => options.quiet = true,
@@ -248,7 +268,7 @@ impl HarnessOptions {
                     return Err(format!(
                         "unknown argument `{other}` (expected \
                          --scale/--bench/--out/--trace-dir/--checkpoint-dir/--jobs/--shards/\
-                         --warm-prefix/--metrics/--obs-dir/--quiet)"
+                         --warm-prefix/--ckpt-budget-bytes/--metrics/--obs-dir/--quiet)"
                     ))
                 }
             }
@@ -266,6 +286,11 @@ impl HarnessOptions {
         if options.warm_prefix && options.checkpoint_dir.is_none() {
             return Err("--warm-prefix requires --checkpoint-dir (the shared prefix and \
                  per-policy overlays are persisted containers) and therefore --trace-dir"
+                .to_owned());
+        }
+        if options.ckpt_budget_bytes.is_some() && options.checkpoint_dir.is_none() {
+            return Err("--ckpt-budget-bytes requires --checkpoint-dir (the budget bounds the \
+                 persisted checkpoint store) and therefore --trace-dir"
                 .to_owned());
         }
         if options.obs_dir.is_some() && !options.metrics {
@@ -289,6 +314,29 @@ impl HarnessOptions {
     /// combination; `--jobs` caps the worker threads.
     #[must_use]
     pub fn sweep(
+        &self,
+        workloads: &[PreparedWorkload],
+        config: &SimConfig,
+        policies: &[PolicyKind],
+    ) -> SweepResult {
+        let result = self.sweep_engine(workloads, config, policies);
+        if let (Some(budget), Some(dir)) = (self.ckpt_budget_bytes, &self.checkpoint_dir) {
+            let store = CheckpointStore::new(dir);
+            match store.gc_budget(budget) {
+                Ok(report) if report.removed_files > 0 => trrip_obs::progress!(
+                    "checkpoint budget: evicted {} file(s), {} B freed, store now {} B",
+                    report.removed_files,
+                    report.freed_bytes,
+                    store.size_bytes()
+                ),
+                Ok(_) => {}
+                Err(e) => eprintln!("warning: --ckpt-budget-bytes gc failed: {e}"),
+            }
+        }
+        result
+    }
+
+    fn sweep_engine(
         &self,
         workloads: &[PreparedWorkload],
         config: &SimConfig,
@@ -594,6 +642,10 @@ mod tests {
             (&["--checkpoint-dir"], "--checkpoint-dir"),
             (&["--checkpoint-dir", "c"], "--trace-dir"),
             (&["--warm-prefix"], "--warm-prefix"),
+            (&["--ckpt-budget-bytes"], "--ckpt-budget-bytes"),
+            (&["--ckpt-budget-bytes", "0"], "--ckpt-budget-bytes"),
+            (&["--ckpt-budget-bytes", "lots"], "--ckpt-budget-bytes"),
+            (&["--ckpt-budget-bytes", "4096"], "--checkpoint-dir"),
             (&["--obs-dir"], "--obs-dir"),
             (&["--obs-dir", "o"], "--metrics"),
         ] {
@@ -623,6 +675,24 @@ mod tests {
         assert!(ok.warm_prefix && ok.shards == 2);
         // Default: off.
         assert!(!parse(&[]).expect("ok").expect("not help").warm_prefix);
+    }
+
+    #[test]
+    fn ckpt_budget_requires_checkpoint_dir_and_parses_with_it() {
+        // Alone: rejected, naming both the flag and what it needs.
+        let err = parse(&["--ckpt-budget-bytes", "1048576"]).unwrap_err();
+        assert!(err.contains("--ckpt-budget-bytes") && err.contains("--checkpoint-dir"), "{err}");
+        // With traces but no checkpoints: still rejected.
+        let err = parse(&["--ckpt-budget-bytes", "1048576", "--trace-dir", "t"]).unwrap_err();
+        assert!(err.contains("--ckpt-budget-bytes") && err.contains("--checkpoint-dir"), "{err}");
+        // Fully specified: accepted, budget recorded.
+        let ok =
+            parse(&["--ckpt-budget-bytes", "1048576", "--trace-dir", "t", "--checkpoint-dir", "c"])
+                .expect("valid")
+                .expect("not help");
+        assert_eq!(ok.ckpt_budget_bytes, Some(1_048_576));
+        // Default: unbounded.
+        assert!(parse(&[]).expect("ok").expect("not help").ckpt_budget_bytes.is_none());
     }
 
     #[test]

@@ -180,6 +180,14 @@ impl Cache {
         self.policy.extra_storage_bits()
     }
 
+    /// Whether this cache's replacement policy is set-local (decisions
+    /// depend only on the addressed set — see
+    /// [`ReplacementPolicy::set_local`]).
+    #[must_use]
+    pub fn policy_set_local(&self) -> bool {
+        self.policy.set_local()
+    }
+
     fn set_index(&self, line: LineAddr) -> usize {
         (line.raw() as usize) & (self.num_sets - 1)
     }

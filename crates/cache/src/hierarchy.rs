@@ -176,6 +176,18 @@ impl Hierarchy {
         &self.slc
     }
 
+    /// Whether every level's replacement policy is set-local (see
+    /// [`Cache::policy_set_local`]): accesses touching different sets
+    /// then commute through the whole hierarchy, so a replay engine may
+    /// group them by set without changing any replacement decision.
+    #[must_use]
+    pub fn replacement_is_set_local(&self) -> bool {
+        self.l1i.policy_set_local()
+            && self.l1d.policy_set_local()
+            && self.l2.policy_set_local()
+            && self.slc.policy_set_local()
+    }
+
     /// Resets all statistics (after warm-up / fast-forward).
     pub fn reset_stats(&mut self) {
         self.l1i.reset_stats();

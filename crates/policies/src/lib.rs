@@ -101,6 +101,20 @@ pub trait ReplacementPolicy: Send {
         0
     }
 
+    /// Whether every observable decision this policy makes depends only
+    /// on the state of the set it is asked about. Set-local policies
+    /// (LRU's per-set recency stacks, SRRIP/TRRIP's per-set RRPV
+    /// arrays, Emissary's per-set priority bits) commute across sets:
+    /// a replay engine may reorder accesses that touch different sets
+    /// without changing any decision the policy will ever make. Policies
+    /// with cross-set state — a global RNG stream (Random), a global
+    /// insertion throttle (BRRIP), PSEL set-dueling counters
+    /// (DRRIP/CLIP), a shared signature table (SHiP) — must keep the
+    /// default `false`: their decisions observe the global access order.
+    fn set_local(&self) -> bool {
+        false
+    }
+
     /// Appends the policy's architectural state (RRPV arrays, LRU
     /// stacks, predictor tables, PSEL counters…) to `w`. Configuration
     /// is *not* written — restore into an instance freshly built by

@@ -95,6 +95,12 @@ impl ReplacementPolicy for Lru {
         (usize::BITS - (self.ways - 1).leading_zeros()).max(1)
     }
 
+    fn set_local(&self) -> bool {
+        // Recency stamps and their clock are per-set (precisely so that
+        // replay engines may reorder across sets).
+        true
+    }
+
     fn save_state(&self, w: &mut SnapWriter) {
         w.usize(self.clocks.len());
         for &clock in &self.clocks {

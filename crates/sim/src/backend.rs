@@ -61,6 +61,18 @@ impl DeferredOp {
     }
 }
 
+/// The in-flight-table mutation a deferred op performs, split out by the
+/// set-sorted drain: cache mutations group by conflict class, but the
+/// in-flight table is global, order-sensitive state (insert-if-absent
+/// semantics, the MSHR-pressure prune) and must be replayed in original
+/// FIFO order.
+#[derive(Debug, Clone, Copy)]
+enum InflightAction {
+    None,
+    Insert { line: u64, ready: u64, now: u64 },
+    Remove { line: u64 },
+}
+
 /// Implements [`MemoryBackend`] over the full memory system.
 ///
 /// Responsibilities beyond forwarding accesses:
@@ -136,6 +148,16 @@ pub struct SystemBackend {
     batching: bool,
     batch_capacity: usize,
     batch: Vec<DeferredOp>,
+    /// Whether a flush may drain the queue grouped by conflict class
+    /// instead of strict FIFO (on by default; effective only when every
+    /// level's policy is set-local — `set_local_hierarchy`, fixed at
+    /// construction).
+    set_sorted: bool,
+    set_local_hierarchy: bool,
+    /// Scratch for the set-sorted drain (sort order + per-op in-flight
+    /// actions), kept across flushes to avoid reallocation.
+    sort_scratch: Vec<u32>,
+    action_scratch: Vec<InflightAction>,
     pending_classes: [u64; MAX_CONFLICT_CLASSES / 64],
     pending_fdip: usize,
     class_mask: u64,
@@ -199,6 +221,7 @@ impl SystemBackend {
             .min(hierarchy.slc().config().num_sets())
             .min(MAX_CONFLICT_CLASSES);
 
+        let set_local_hierarchy = hierarchy.replacement_is_set_local();
         SystemBackend {
             mmu,
             hierarchy,
@@ -217,6 +240,10 @@ impl SystemBackend {
             batching: true,
             batch_capacity: DEFAULT_BATCH_CAPACITY,
             batch: Vec::with_capacity(DEFAULT_BATCH_CAPACITY),
+            set_sorted: true,
+            set_local_hierarchy,
+            sort_scratch: Vec::new(),
+            action_scratch: Vec::new(),
             pending_classes: [0; MAX_CONFLICT_CLASSES / 64],
             pending_fdip: 0,
             class_mask: (classes - 1) as u64,
@@ -240,6 +267,17 @@ impl SystemBackend {
     pub fn set_batch_capacity(&mut self, capacity: usize) {
         self.flush_batch();
         self.batch_capacity = capacity.max(1);
+    }
+
+    /// Enables or disables the set-sorted drain (on by default). When
+    /// on — and every level's replacement policy is set-local — a flush
+    /// replays the queue grouped by conflict class for set locality; the
+    /// strict-FIFO drain is retained as the equivalence oracle and for
+    /// ablation. Any queued work is flushed (under the outgoing mode)
+    /// before switching.
+    pub fn set_sorted_replay(&mut self, enabled: bool) {
+        self.flush_batch();
+        self.set_sorted = enabled;
     }
 
     /// Publishes the tallies accumulated since the last flush to the
@@ -378,10 +416,11 @@ impl SystemBackend {
         }
     }
 
-    /// Drains the deferred queue, replaying ops in FIFO order — the
-    /// synchronous path's exact mutation sequence. Flushing is safe at
-    /// *any* program point (the synchronous path had already applied
-    /// these mutations by now); only deferring needs the class guard.
+    /// Drains the deferred queue — the synchronous path's exact mutation
+    /// sequence, replayed either in strict FIFO order or (set-sorted
+    /// drain) grouped by conflict class. Flushing is safe at *any*
+    /// program point (the synchronous path had already applied these
+    /// mutations by now); only deferring needs the class guard.
     fn flush_batch(&mut self) {
         if self.batch.is_empty() {
             return;
@@ -390,17 +429,101 @@ impl SystemBackend {
         self.pending_classes = [0; MAX_CONFLICT_CLASSES / 64];
         self.pending_fdip = 0;
         let mut ops = std::mem::take(&mut self.batch);
+        if self.set_sorted && self.set_local_hierarchy && ops.len() > 1 {
+            self.drain_set_sorted(&ops);
+        } else {
+            let mut prev_class = u64::MAX;
+            for &op in &ops {
+                let class = op.line() & self.class_mask;
+                if class == prev_class {
+                    self.mb_group_len += 1;
+                }
+                prev_class = class;
+                self.replay(op);
+            }
+        }
+        ops.clear();
+        self.batch = ops; // keep the allocation
+    }
+
+    /// The set-sorted drain: replays the queue's **cache** mutations
+    /// grouped by conflict class (a stable sort, so intra-class FIFO
+    /// order — the only order cache state can observe when every
+    /// policy is set-local, since distinct classes touch disjoint sets
+    /// at every level), then applies the **in-flight-table** mutations
+    /// in original FIFO order (that table is global, order-sensitive
+    /// state). Bit-identical to the FIFO drain by construction; the
+    /// grouping buys set locality — consecutive ops hit the same sets'
+    /// tag and policy words.
+    fn drain_set_sorted(&mut self, ops: &[DeferredOp]) {
+        self.sort_scratch.clear();
+        self.sort_scratch.extend(0..ops.len() as u32);
+        let mask = self.class_mask;
+        self.sort_scratch.sort_by_key(|&i| ops[i as usize].line() & mask);
+        self.action_scratch.clear();
+        self.action_scratch.resize(ops.len(), InflightAction::None);
+
+        let order = std::mem::take(&mut self.sort_scratch);
         let mut prev_class = u64::MAX;
-        for &op in &ops {
-            let class = op.line() & self.class_mask;
+        for &i in &order {
+            let op = ops[i as usize];
+            let class = op.line() & mask;
             if class == prev_class {
                 self.mb_group_len += 1;
             }
             prev_class = class;
-            self.replay(op);
+            match op {
+                DeferredOp::StridePrefetch { req } => {
+                    self.hierarchy.prefetch(&req);
+                }
+                DeferredOp::FdipPrefetch { req, line, now, predicted } => {
+                    // Valid here exactly as in FIFO order: the
+                    // prediction (or re-probe) depends only on
+                    // same-class predecessors, whose relative order the
+                    // stable sort preserves.
+                    let (level, latency) = match predicted {
+                        Some(outcome) => {
+                            debug_assert_eq!(
+                                outcome,
+                                self.hierarchy.probe(LineAddr(line), true),
+                                "deferred FDIP prefetch diverged from its probe prediction"
+                            );
+                            outcome
+                        }
+                        None => self.hierarchy.probe(LineAddr(line), true),
+                    };
+                    if level == ServedBy::L1 {
+                        continue; // already resident
+                    }
+                    self.hierarchy.prefetch(&req);
+                    self.action_scratch[i as usize] =
+                        InflightAction::Insert { line, ready: now + latency, now };
+                }
+                DeferredOp::InflightRemove { line } => {
+                    self.action_scratch[i as usize] = InflightAction::Remove { line };
+                }
+            }
         }
-        ops.clear();
-        self.batch = ops; // keep the allocation
+        self.sort_scratch = order;
+
+        let actions = std::mem::take(&mut self.action_scratch);
+        for &action in &actions {
+            match action {
+                InflightAction::None => {}
+                InflightAction::Insert { line, ready, now } => {
+                    self.inflight.insert_if_absent(line, ready);
+                    // Bound the in-flight set (a real FDIP queue is
+                    // small) — same pressure seam as the FIFO replay.
+                    if self.inflight.len() > MSHR_ENTRIES {
+                        self.inflight.prune_expired(now);
+                    }
+                }
+                InflightAction::Remove { line } => {
+                    self.inflight.remove(line);
+                }
+            }
+        }
+        self.action_scratch = actions;
     }
 
     fn replay(&mut self, op: DeferredOp) {

@@ -76,15 +76,20 @@ use crate::system::SimRun;
 
 /// Checkpoint file magic: `b"TRRIPCKP"`.
 pub const MAGIC: [u8; 8] = *b"TRRIPCKP";
-/// Current checkpoint format version. v3 containers carry a
-/// [`CheckpointKind`] tag so one store holds full states, shared
+/// Current checkpoint format version. v4 compresses the snapshot
+/// payload as a [`trrip_pack::pack_stream`] — per 64 KiB block the best
+/// of RLE / delta-pack / LZ / raw, each block tagged with its codec and
+/// the checksum of its *uncompressed* bytes, so the kind-aware choice
+/// (RLE for valid/dirty/instr bitmaps, delta for sorted tag arrays, LZ
+/// for the rest) falls out of per-block selection. v3 containers carry
+/// a [`CheckpointKind`] tag so one store holds full states, shared
 /// prefixes, and policy overlays side by side. v2 introduced the bitmap
-/// cache-tag encoding and the segmented run-tally layout. v1 and v2
-/// files remain readable: a pre-v3 body restores as
-/// [`CheckpointKind::Full`], and the component encodings inside
-/// payloads are tag-dispatched (see `trrip_cache::Cache` and
+/// cache-tag encoding and the segmented run-tally layout. v1–v3 files
+/// remain readable: a pre-v4 payload is stored verbatim, a pre-v3 body
+/// restores as [`CheckpointKind::Full`], and the component encodings
+/// inside payloads are tag-dispatched (see `trrip_cache::Cache` and
 /// `trrip_cpu::RunState`).
-pub const VERSION: u16 = 3;
+pub const VERSION: u16 = 4;
 
 /// What a v3 container holds (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,6 +179,12 @@ impl From<std::io::Error> for CheckpointError {
 
 impl From<SnapError> for CheckpointError {
     fn from(e: SnapError) -> CheckpointError {
+        CheckpointError::Corrupt(e.to_string())
+    }
+}
+
+impl From<trrip_pack::PackError> for CheckpointError {
+    fn from(e: trrip_pack::PackError) -> CheckpointError {
         CheckpointError::Corrupt(e.to_string())
     }
 }
@@ -319,7 +330,10 @@ pub fn write_checkpoint_kind(
     let mut body = SnapWriter::new();
     body.u8(kind.as_u8());
     meta.save(&mut body);
-    body.bytes_field(payload);
+    // v4: the snapshot payload rests as a checksummed pack stream —
+    // per-block codec selection gives bitmaps RLE, sorted tag arrays
+    // delta, and everything else LZ (or raw when incompressible).
+    body.bytes_field(&trrip_pack::pack_stream(payload, &[]));
     let body = body.into_bytes();
     let mut checksum = Checksum::new();
     checksum.update(&body);
@@ -449,7 +463,12 @@ pub fn read_checkpoint(
         CheckpointKind::Full
     };
     let meta = CheckpointMeta::restore(&mut r)?;
-    let payload = r.bytes_field()?.to_vec();
+    let stored = r.bytes_field()?;
+    let payload = if version >= 4 {
+        trrip_pack::unpack_stream(stored, &[])?
+    } else {
+        stored.to_vec() // pre-v4 payloads rest uncompressed
+    };
     r.finish()?;
     Ok((kind, meta, payload))
 }
@@ -1051,6 +1070,103 @@ impl CheckpointStore {
             ],
         );
         Ok(report)
+    }
+
+    /// Shrinks the store to at most `budget_bytes` of container files by
+    /// evicting the cheapest-to-rebuild artifacts first: policy overlays
+    /// (class 0 — a single policy's state delta, seconds to regenerate),
+    /// then shared warm prefixes (class 1 — one warm pass shared across
+    /// policies), then full and segment containers (class 2 — a whole
+    /// fast-forward to rebuild). Within a class, eviction is LRU by file
+    /// modification time. Each victim is journaled as a `ckpt_evicted`
+    /// event carrying its rebuild class.
+    ///
+    /// Only published `.ckpt` files are candidates; in-flight `*.tmp.*`
+    /// files are never touched, so a concurrent writer's temp+rename
+    /// publish cannot be broken regardless of budget pressure (the same
+    /// grace guarantee [`CheckpointStore::gc`] gives, trivially — a
+    /// publishing artifact is a temp file until its rename). A save that
+    /// races an eviction atomically recreates its container, and a later
+    /// budget pass converges by evicting it again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-listing failures; deletions that race
+    /// another process's deletion are not errors.
+    pub fn gc_budget(&self, budget_bytes: u64) -> Result<GcReport, std::io::Error> {
+        let mut report = GcReport::default();
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+            Err(e) => return Err(e),
+        };
+        let mut candidates: Vec<(u8, std::time::SystemTime, u64, PathBuf, String)> = Vec::new();
+        let mut total: u64 = 0;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            let Some(stem) = name.strip_suffix(".ckpt") else { continue };
+            let Ok(metadata) = entry.metadata() else { continue };
+            let bytes = metadata.len();
+            total += bytes;
+            // Unknown mtimes sort oldest: a file the filesystem cannot
+            // date is not worth protecting over a dated one.
+            let mtime = metadata.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            let stem = stem.to_string();
+            candidates.push((rebuild_class(&stem), mtime, bytes, path, stem));
+        }
+        if total <= budget_bytes {
+            return Ok(report);
+        }
+        candidates.sort_by_key(|a| (a.0, a.1));
+        for (class, _, bytes, path, stem) in candidates {
+            if total <= budget_bytes {
+                break;
+            }
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                // Another process got there first; the bytes are freed
+                // either way.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+            total = total.saturating_sub(bytes);
+            report.removed_files += 1;
+            report.freed_bytes += bytes;
+            trrip_obs::event(
+                "ckpt_evicted",
+                &[
+                    ("file", trrip_obs::Field::Str(&stem)),
+                    ("bytes", trrip_obs::Field::U64(bytes)),
+                    ("class", trrip_obs::Field::U64(u64::from(class))),
+                    ("class_name", trrip_obs::Field::Str(class_name(class))),
+                ],
+            );
+        }
+        trrip_obs::counter!("ckpt.evicted_files").add(report.removed_files as u64);
+        trrip_obs::counter!("ckpt.evicted_bytes").add(report.freed_bytes);
+        Ok(report)
+    }
+}
+
+/// Rebuild-cost class of a store file, from the store's own naming
+/// scheme: overlays carry an `-ovl-` tag, shared prefixes a `-shared-`
+/// tag; everything else is a full or segment container.
+fn rebuild_class(stem: &str) -> u8 {
+    if stem.contains("-ovl-") {
+        0
+    } else if stem.contains("-shared-") {
+        1
+    } else {
+        2
+    }
+}
+
+fn class_name(class: u8) -> &'static str {
+    match class {
+        0 => "overlay",
+        1 => "prefix",
+        _ => "full",
     }
 }
 

@@ -455,6 +455,13 @@ impl<'w> SimRun<'w> {
         self.core.backend_mut().set_batch_capacity(capacity);
     }
 
+    /// Enables or disables the set-sorted batch drain (see
+    /// `SystemBackend::set_sorted_replay`); on by default. Exposed for
+    /// equivalence oracles and ablation benchmarks.
+    pub fn set_sorted_replay(&mut self, enabled: bool) {
+        self.core.backend_mut().set_sorted_replay(enabled);
+    }
+
     /// **Measure phase**, uninterrupted: arms measurement, runs the
     /// configured instruction window, and collects the result.
     pub fn measure<S: TraceSource>(&mut self, stream: &mut SourceIter<S>) -> SimResult {

@@ -2,11 +2,13 @@
 //! to an uninterrupted run — for every policy, at the fast-forward
 //! boundary and mid-measure — and damaged files must be rejected.
 
+use proptest::prelude::*;
 use trrip_core::ClassifierConfig;
 use trrip_policies::PolicyKind;
 use trrip_sim::{
-    read_checkpoint, simulate, warmup_config_hash, CheckpointError, CheckpointStore,
-    PreparedWorkload, SimConfig, SimResult, SimRun, SnapReader, SnapWriter, Snapshot,
+    read_checkpoint, simulate, warmup_config_hash, write_checkpoint_kind, CheckpointError,
+    CheckpointStore, PreparedWorkload, SimConfig, SimResult, SimRun, SnapReader, SnapWriter,
+    Snapshot,
 };
 use trrip_snap::corrupt;
 use trrip_trace::SourceIter;
@@ -244,12 +246,12 @@ fn store_keys_by_policy_config_and_fingerprint() {
 }
 
 /// A **v2 container** — written byte-for-byte the way PR 4's writer
-/// laid files out (version 2, no kind byte) — must restore under the
-/// v3 reader and measure bit-identically. The fixture is hand-rolled
-/// here so the legacy layout stays pinned even though no current code
-/// path produces it.
+/// laid files out (version 2, no kind byte, uncompressed payload) —
+/// must restore under the current reader and measure bit-identically.
+/// The fixture is hand-rolled here so the legacy layout stays pinned
+/// even though no current code path produces it.
 #[test]
-fn v2_container_fixture_restores_under_v3() {
+fn v2_container_fixture_restores_under_the_current_reader() {
     let w = quick_workload();
     let config = quick_config(PolicyKind::Emissary);
     let dir = std::env::temp_dir().join("trrip-ckpt-v2-compat-test");
@@ -300,6 +302,77 @@ fn v2_container_fixture_restores_under_v3() {
     for _ in (&mut stream).take(config.fast_forward as usize) {}
     let result = warm.measure(&mut stream);
     assert_identical(&uninterrupted, &result, "v2 fixture restore");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A **v3 container** — version 3, kind byte, *uncompressed* payload,
+/// exactly as PR 8's writer laid files out before the v4 compression
+/// bump — must restore under the v4 reader and measure bit-identically.
+#[test]
+fn v3_container_fixture_restores_under_v4() {
+    let w = quick_workload();
+    let config = quick_config(PolicyKind::Trrip2);
+    let dir = std::env::temp_dir().join("trrip-ckpt-v3-compat-test");
+    std::fs::remove_dir_all(&dir).ok();
+    let store = CheckpointStore::new(&dir);
+
+    let uninterrupted = simulate(&w, &config);
+
+    // The same fast-forward state v3 would have captured…
+    let mut run = SimRun::new(&w, &config);
+    let mut stream = walker(&w, &config);
+    run.fast_forward(&mut stream);
+    let mut payload = SnapWriter::new();
+    run.save(&mut payload);
+    drop(run);
+
+    // …in the exact v3 byte layout: magic, version=3, body_len, then a
+    // body of kind + meta + the RAW (uncompressed) payload, then the
+    // checksum.
+    let mut body = SnapWriter::new();
+    body.u8(0); // CheckpointKind::Full
+    body.str(&w.spec.name);
+    body.str(config.hierarchy.l2_policy.name());
+    body.u64(trrip_sim::capture::workload_fingerprint(&w, &config));
+    body.u64(warmup_config_hash(&config));
+    body.u64(config.fast_forward);
+    body.bool(false); // mid_measure
+    body.bytes_field(payload.bytes());
+    let body = body.into_bytes();
+    let mut hash = trrip_trace::format::Checksum::new();
+    hash.update(&body);
+    let mut file = Vec::new();
+    file.extend_from_slice(b"TRRIPCKP");
+    file.extend_from_slice(&3u16.to_le_bytes());
+    file.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    file.extend_from_slice(&body);
+    file.extend_from_slice(&hash.value().to_le_bytes());
+
+    let path = store.path_for(&w, &config);
+    std::fs::create_dir_all(path.parent().expect("store dir")).expect("mkdir");
+    std::fs::write(&path, &file).expect("write v3 fixture");
+
+    let (kind, meta, _) = read_checkpoint(&path).expect("v3 file must read");
+    assert_eq!(kind, trrip_sim::CheckpointKind::Full);
+    assert!(!meta.mid_measure);
+    let mut warm = store.load(&w, &config).expect("load").expect("key match");
+    let mut stream = walker(&w, &config);
+    for _ in (&mut stream).take(config.fast_forward as usize) {}
+    let result = warm.measure(&mut stream);
+    assert_identical(&uninterrupted, &result, "v3 fixture restore");
+
+    // And re-saving through the current writer shrinks the file: the v4
+    // payload rests compressed.
+    let mut run = SimRun::new(&w, &config);
+    let mut stream = walker(&w, &config);
+    run.fast_forward(&mut stream);
+    let v4_path = store.save(&run).expect("save v4");
+    let v4_len = std::fs::metadata(&v4_path).expect("meta").len();
+    assert!(
+        v4_len < file.len() as u64,
+        "v4 container ({v4_len} B) must undercut the v3 layout ({} B)",
+        file.len()
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -424,6 +497,102 @@ fn gc_never_breaks_a_concurrent_writers_rename() {
     // nothing, so deleting it was legal. A fresh save must land.)
     store.save(&run).expect("save after the race");
     assert!(store.has(&w, &config), "a post-race save's container must be loadable");
+
+    // The budgeted gc under maximum pressure (1-byte budget: evict
+    // everything, always) gives the same guarantee: it only ever sees
+    // published `.ckpt` files, so a concurrent writer's temp+rename is
+    // untouchable by construction and every racing save lands.
+    stop.store(false, std::sync::atomic::Ordering::Relaxed);
+    std::thread::scope(|scope| {
+        let collector = scope.spawn(|| {
+            let mut gcs = 0u32;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                store.gc_budget(1).expect("gc_budget");
+                gcs += 1;
+            }
+            gcs
+        });
+        for _ in 0..50 {
+            store.save(&run).expect("a racing budget gc must never break a save");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let gcs = collector.join().expect("gc thread");
+        assert!(gcs > 0, "the budget-gc loop must actually have raced the saver");
+    });
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("dir")
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+        .collect();
+    assert!(leftovers.is_empty(), "all racing writes completed their rename: {leftovers:?}");
+    store.save(&run).expect("save after the budget race");
+    assert!(store.has(&w, &config), "a post-race save's container must be loadable");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `gc_budget(n)` shrinks the store to the budget by rebuild-cost class
+/// — overlays first, then shared prefixes, then full containers, LRU
+/// within a class — journals each victim, and never touches in-flight
+/// temp files or files the store did not name.
+#[test]
+fn gc_budget_evicts_cheapest_to_rebuild_first_and_converges() {
+    let dir = std::env::temp_dir().join("trrip-ckpt-gc-budget-test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("test dir");
+    let store = CheckpointStore::new(&dir);
+
+    // The store's own naming shapes, planted directly (gc_budget
+    // classifies by name and size, not content), with distinct sizes so
+    // byte accounting identifies exactly who was evicted.
+    let overlay = dir.join("w-pgo-lru-ff100-ovl-0000000000000001-0000000000000002.ckpt");
+    let prefix = dir.join("w-pgo-shared-ff100-0000000000000001-0000000000000003.ckpt");
+    let full_old = dir.join("w-pgo-lru-ff100-0000000000000001-0000000000000002.ckpt");
+    let full_new = dir.join("w-pgo-srrip-ff100-0000000000000001-0000000000000004.ckpt");
+    let tmp = dir.join("w-pgo-lru-ff100-0000000000000001-0000000000000002.tmp.1.0");
+    let foreign = dir.join("README.txt");
+    std::fs::write(&overlay, vec![0u8; 100]).expect("overlay");
+    std::fs::write(&prefix, vec![0u8; 200]).expect("prefix");
+    std::fs::write(&full_old, vec![0u8; 300]).expect("full old");
+    std::thread::sleep(std::time::Duration::from_millis(20)); // distinct mtimes
+    std::fs::write(&full_new, vec![0u8; 400]).expect("full new");
+    std::fs::write(&tmp, vec![0u8; 50]).expect("tmp");
+    std::fs::write(&foreign, b"not a container").expect("foreign");
+    assert_eq!(store.size_bytes(), 1000, "temp and foreign files don't count");
+
+    let evicted_before = trrip_obs::counter!("ckpt.evicted_files").value();
+
+    // Under budget: nothing moves.
+    let report = store.gc_budget(2000).expect("gc_budget");
+    assert_eq!(report, trrip_sim::GcReport::default());
+    assert_eq!(store.size_bytes(), 1000);
+
+    // Tightest class goes first: the overlay (class 0) alone gets under
+    // 950, even though evicting any larger file would too.
+    let report = store.gc_budget(950).expect("gc_budget");
+    assert_eq!((report.removed_files, report.freed_bytes), (1, 100), "overlay first");
+    assert!(!overlay.exists() && prefix.exists() && full_old.exists() && full_new.exists());
+
+    // Then the shared prefix (class 1), then the OLDER full container
+    // (class 2, LRU) — and eviction stops the moment the store fits.
+    let report = store.gc_budget(600).expect("gc_budget");
+    assert_eq!((report.removed_files, report.freed_bytes), (2, 500), "prefix, then LRU full");
+    assert!(!prefix.exists() && !full_old.exists());
+    assert!(full_new.exists(), "the most recently used full container is kept");
+    assert_eq!(store.size_bytes(), 400);
+
+    // Convergence under any budget: the store ends at/under budget, and
+    // in-flight temps and unknown files are never candidates.
+    let report = store.gc_budget(100).expect("gc_budget");
+    assert_eq!((report.removed_files, report.freed_bytes), (1, 400));
+    assert_eq!(store.size_bytes(), 0);
+    assert!(tmp.exists(), "a concurrent writer's in-flight temp is never evicted");
+    assert!(foreign.exists(), "unknown files are not the store's to delete");
+
+    assert_eq!(
+        trrip_obs::counter!("ckpt.evicted_files").value() - evicted_before,
+        4,
+        "every victim is counted"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -471,4 +640,80 @@ fn checkpointed_sweep_matches_other_engines() {
     }
     std::fs::remove_dir_all(&trace_dir).ok();
     std::fs::remove_dir_all(&ckpt_dir).ok();
+}
+
+// ---- v4 container robustness on arbitrary section shapes ----
+
+/// Payloads shaped like real snapshot sections: noise (raw / LZ),
+/// byte runs (the RLE shape of valid/dirty/instr bitmaps), and sorted
+/// stride-64 word arrays (the delta shape of tag stores) — so the
+/// proptest drives every codec the v4 pack stream can pick.
+fn arb_section_payload() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop_oneof![
+            prop::collection::vec(any::<u8>(), 0..3000),
+            (any::<u8>(), 1usize..3000).prop_map(|(b, n)| vec![b; n]),
+            (any::<u64>(), 1usize..300).prop_map(|(base, n)| {
+                (0..n as u64).flat_map(|i| base.wrapping_add(i * 64).to_le_bytes()).collect()
+            }),
+        ],
+        1..8,
+    )
+    .prop_map(|blocks| blocks.concat())
+}
+
+/// A unique on-disk path per proptest case.
+fn unique_ckpt_path() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join("trrip-ckpt-v4-prop-test");
+    std::fs::create_dir_all(&dir).expect("test dir");
+    dir.join(format!("case-{}-{}.ckpt", std::process::id(), NEXT.fetch_add(1, Ordering::Relaxed)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// write → read is the identity on arbitrary section shapes (the
+    /// compressed payload round-trips exactly), any flipped byte at or
+    /// after the checksummed body is rejected, and any truncation is
+    /// rejected — damage never yields a silently different payload.
+    #[test]
+    fn v4_container_round_trips_and_rejects_damage(
+        payload in arb_section_payload(),
+        victim in any::<u32>(),
+        flip in 1u8..=255,
+    ) {
+        let meta = trrip_sim::CheckpointMeta {
+            benchmark: "prop".into(),
+            policy: "lru".into(),
+            fingerprint: 0x1234_5678_9abc_def0,
+            config_hash: 42,
+            stream_position: 7,
+            mid_measure: false,
+        };
+        let path = unique_ckpt_path();
+        write_checkpoint_kind(&path, trrip_sim::CheckpointKind::Full, &meta, &payload)
+            .expect("write v4");
+        let (kind, got_meta, got_payload) = read_checkpoint(&path).expect("read v4");
+        prop_assert_eq!(kind, trrip_sim::CheckpointKind::Full);
+        prop_assert_eq!(&got_meta, &meta);
+        prop_assert_eq!(&got_payload, &payload, "compressed payload must round-trip exactly");
+
+        let pristine = std::fs::read(&path).expect("read back");
+        // Flip one byte anywhere in the checksummed region (body +
+        // trailing checksum; the 18-byte header has its own checks).
+        let target = 18 + victim as usize % (pristine.len() - 18);
+        corrupt::flip_byte(&path, target, flip);
+        prop_assert!(read_checkpoint(&path).is_err(), "flip at {} accepted", target);
+
+        // Any truncation is rejected (the body length must match the
+        // file exactly).
+        corrupt::plant_file(&path, &pristine);
+        let keep = (victim as usize ^ flip as usize) % pristine.len();
+        corrupt::truncate_file(&path, keep);
+        prop_assert!(read_checkpoint(&path).is_err(), "{}-byte prefix accepted", keep);
+
+        std::fs::remove_file(&path).ok();
+    }
 }

@@ -7,7 +7,10 @@
 //! reuse/costly profilers armed. Snapshot bytes at the fast-forward
 //! boundary and after the measured window are compared too, so the
 //! equivalence covers every tag store, policy array, prefetch table and
-//! in-flight entry — not just the counters in [`SimResult`].
+//! in-flight entry — not just the counters in [`SimResult`]. The
+//! set-sorted drain (flushes replay grouped by conflict class when
+//! every policy is set-local) is held to the same bar against the
+//! strict-FIFO drain.
 
 use std::sync::OnceLock;
 
@@ -66,10 +69,23 @@ fn walker<'w>(w: &'w PreparedWorkload, config: &SimConfig) -> TraceGenerator<'w>
 /// Runs one full fast-forward + measure with the given batching setup
 /// and returns `(fast-forward snapshot bytes, result, final snapshot
 /// bytes)`. `capacity = None` disables batching (the synchronous
-/// oracle); `Some(c)` batches with a capacity-`c` flush seam.
+/// oracle); `Some(c)` batches with a capacity-`c` flush seam and the
+/// default set-sorted drain.
 fn run(config: &SimConfig, capacity: Option<usize>) -> (Vec<u8>, SimResult, Vec<u8>) {
+    run_with_drain(config, capacity, true)
+}
+
+/// As [`run`], with the batch drain order made explicit: `sorted =
+/// false` forces the strict-FIFO drain even where the set-sorted drain
+/// would engage.
+fn run_with_drain(
+    config: &SimConfig,
+    capacity: Option<usize>,
+    sorted: bool,
+) -> (Vec<u8>, SimResult, Vec<u8>) {
     let w = workload();
     let mut run = SimRun::new(w, config);
+    run.set_sorted_replay(sorted);
     match capacity {
         None => run.set_miss_batching(false),
         Some(c) => run.set_batch_capacity(c),
@@ -120,6 +136,28 @@ fn batched_run_is_bit_identical_for_all_ten_policies() {
             assert_eq!(sync_ff, ff, "{what}: fast-forward snapshots diverge");
             assert_identical(&sync_result, &result, &what);
             assert_eq!(sync_end, end, "{what}: final snapshots diverge");
+        }
+    }
+}
+
+/// The set-sorted drain (the default) against the strict-FIFO drain
+/// oracle, policy by policy: for the set-local policies (LRU, SRRIP,
+/// EMISSARY, TRRIP) the sorted drain actually engages and reorders
+/// cache mutations across conflict classes; for the global-state
+/// policies (Random, BRRIP, DRRIP, SHiP, CLIP) it must recognise the
+/// hierarchy as order-sensitive and fall back to FIFO. Either way:
+/// bit-identical snapshots and results.
+#[test]
+fn set_sorted_drain_is_bit_identical_to_fifo_drain() {
+    for policy in ALL_POLICIES {
+        let config = quick_config(policy);
+        for capacity in [3usize, 64] {
+            let (fifo_ff, fifo_result, fifo_end) = run_with_drain(&config, Some(capacity), false);
+            let (ff, result, end) = run_with_drain(&config, Some(capacity), true);
+            let what = format!("{policy}, capacity {capacity}, sorted vs FIFO");
+            assert_eq!(fifo_ff, ff, "{what}: fast-forward snapshots diverge");
+            assert_identical(&fifo_result, &result, &what);
+            assert_eq!(fifo_end, end, "{what}: final snapshots diverge");
         }
     }
 }

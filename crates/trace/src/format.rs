@@ -6,14 +6,39 @@
 //! file   := header chunk* footer?
 //! header := magic:8 version:u16 layout:u8 flags:u8 chunk_capacity:u32
 //!           instructions:u64 checksum:u64 name_len:u16 name:name_len
-//! chunk  := record_count:u32 payload_len:u32 payload:payload_len
-//! footer := entry_count:u64 (offset:u64 state:u64)* footer_checksum:u64
-//!           footer_len:u64 index_magic:8
+//!           dict_len:u32 dict:dict_len                      (v2+)
+//! chunk  := record_count:u32 comp_len:u32 raw_len:u32 codec:u8
+//!           payload:comp_len                                (v2+)
+//!           (raw_len is the columnar payload's length — the codec's
+//!            decompressed size, before de-columnarization)
+//!        |  record_count:u32 payload_len:u32 payload        (v1)
+//! footer := entry_count:u64 (offset:u64 raw_len:u64 state:u64)*
+//!           footer_checksum:u64 footer_len:u64 index_magic:8 (v2+)
+//!        |  ... (offset:u64 state:u64)* ...                  (v1)
 //! ```
 //!
 //! All fixed-width fields are little-endian. `instructions` and
 //! `checksum` ([`Checksum`] over every chunk payload byte) sit at fixed
 //! offsets so the writer can patch them when the stream ends.
+//!
+//! # Compression (format v2)
+//!
+//! Since v2 each chunk's record payload is first regrouped into
+//! columnar field streams ([`columnarize`] — flags, PC deltas, branch
+//! deltas, memory deltas, stall pairs each contiguous) and then
+//! compressed independently with [`trrip_pack::compress_auto`] — the
+//! frame records the codec tag and both lengths, and an incompressible
+//! chunk falls back to a raw copy, so a v2 file is never larger than
+//! its v1 encoding plus a handful of bytes per chunk. The header may
+//! carry a compression **dictionary** (hot-PC placement bytes the
+//! capture derives from the workload's code layout) that seeds the LZ
+//! window of every chunk; it travels in the
+//! file so replays are self-contained. Crucially the header checksum,
+//! the per-chunk accumulator states in the index footer, and the record
+//! codec all operate on the *uncompressed* payload bytes — compression
+//! is a pure storage transform, invisible to positioning and
+//! verification semantics, which is what keeps
+//! [`crate::StreamingReplay::open_at`] an exact seek.
 //!
 //! # The chunk index footer
 //!
@@ -60,8 +85,19 @@ pub const MAGIC: [u8; 8] = *b"TRRIPTRC";
 pub const INDEX_MAGIC: [u8; 8] = *b"TRRIPIDX";
 /// Header `flags` bit: the file ends with a chunk-index footer.
 pub const FLAG_CHUNK_INDEX: u8 = 1 << 0;
-/// Current format version.
-pub const VERSION: u16 = 1;
+/// Current format version: v2, per-chunk compressed payloads.
+pub const VERSION: u16 = 2;
+/// Oldest version this reader still speaks (v1: uncompressed chunks,
+/// no header dictionary, 16-byte index entries).
+pub const MIN_VERSION: u16 = 1;
+/// Bytes of a v2 chunk frame (`record_count:u32 comp_len:u32
+/// raw_len:u32 codec:u8`).
+pub const CHUNK_FRAME_LEN: usize = 13;
+/// Bytes of a v1 chunk frame (`record_count:u32 payload_len:u32`).
+pub const CHUNK_FRAME_LEN_V1: usize = 8;
+/// Longest header dictionary the format allows, enforced by writer
+/// (panic at capture time) and reader (corrupt-header error) alike.
+pub const MAX_DICT_LEN: usize = 64 * 1024;
 /// Records per full chunk (the streaming granularity). 64 Ki records
 /// decode to ~2.2 MiB in memory — large enough to amortize syscalls,
 /// small enough that replay memory stays flat.
@@ -145,6 +181,12 @@ pub struct TraceMeta {
     /// Whether the file ends with a chunk-index footer
     /// ([`FLAG_CHUNK_INDEX`]); pre-index files read as `false`.
     pub has_index: bool,
+    /// Format version the file was written under (controls the chunk
+    /// frame and index-entry layouts; see the module docs).
+    pub version: u16,
+    /// Compression dictionary seeding every chunk's LZ window (v2+);
+    /// empty for v1 files and dictionary-less captures.
+    pub dict: Vec<u8>,
 }
 
 /// Everything that can go wrong reading a trace.
@@ -173,7 +215,10 @@ impl fmt::Display for TraceError {
             TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
             TraceError::BadMagic => f.write_str("not a trrip trace (bad magic)"),
             TraceError::UnsupportedVersion(v) => {
-                write!(f, "unsupported trace format version {v} (this reader speaks {VERSION})")
+                write!(
+                    f,
+                    "unsupported trace format version {v} (this reader speaks {MIN_VERSION}..={VERSION})"
+                )
             }
             TraceError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
             TraceError::ChecksumMismatch { expected, found } => {
@@ -209,6 +254,12 @@ pub use trrip_snap::{push_signed, push_varint, unzigzag, zigzag, Checksum};
 
 impl From<trrip_snap::SnapError> for TraceError {
     fn from(e: trrip_snap::SnapError) -> TraceError {
+        TraceError::Corrupt(e.to_string())
+    }
+}
+
+impl From<trrip_pack::PackError> for TraceError {
+    fn from(e: trrip_pack::PackError) -> TraceError {
         TraceError::Corrupt(e.to_string())
     }
 }
@@ -382,13 +433,168 @@ pub fn decode_record(
     Ok(instr)
 }
 
-/// Serializes the header for `meta` (count/checksum as currently known).
+// --- Columnar chunk transform (format v2) ------------------------------
+
+/// Copies one varint's bytes from `src[*pos..]` to `dst` without
+/// decoding it (the continuation bit delimits it).
+fn copy_varint(src: &[u8], pos: &mut usize, dst: &mut Vec<u8>) -> Result<(), TraceError> {
+    loop {
+        let &byte = src
+            .get(*pos)
+            .ok_or_else(|| TraceError::Corrupt("varint runs past its stream".into()))?;
+        *pos += 1;
+        dst.push(byte);
+        if byte & 0x80 == 0 {
+            return Ok(());
+        }
+    }
+}
+
+/// Rearranges a chunk's row-encoded records into the **columnar** form
+/// v2 files store on disk: one contiguous stream per field kind —
+/// flags, PC deltas, branch-target deltas, memory deltas, stall pairs —
+/// prefixed by the four variable stream lengths (the flags stream is
+/// exactly `record_count` bytes, so its length is implicit):
+///
+/// ```text
+/// cols := pc_len:varint branch_len:varint mem_len:varint stall_len:varint
+///         flags:record_count pc:pc_len branch:branch_len
+///         mem:mem_len stall:stall_len
+/// ```
+///
+/// Interleaved row records put high-entropy memory deltas between every
+/// repetitive flags/PC byte, which caps what any general codec can find;
+/// grouped by kind, each stream is self-similar (sequential flow is a
+/// run of `0x00` PC deltas, loop flags repeat verbatim) and
+/// [`trrip_pack::compress_auto`] gets long matches again. The transform
+/// is exactly reversible ([`decolumnarize`]) and byte-lossless, so
+/// checksums and index accumulator states keep covering the row bytes —
+/// positioning and verification semantics don't know it exists.
+///
+/// # Errors
+///
+/// [`TraceError::Corrupt`] when `rows` is not exactly `record_count`
+/// well-formed records.
+pub fn columnarize(rows: &[u8], record_count: u32, out: &mut Vec<u8>) -> Result<(), TraceError> {
+    out.clear();
+    let n = record_count as usize;
+    let mut flags_s = Vec::with_capacity(n);
+    let mut pc_s = Vec::new();
+    let mut branch_s = Vec::new();
+    let mut mem_s = Vec::new();
+    let mut stall_s = Vec::new();
+    let mut pos = 0;
+    for _ in 0..n {
+        let &flags = rows
+            .get(pos)
+            .ok_or_else(|| TraceError::Corrupt("record flags run past chunk payload".into()))?;
+        pos += 1;
+        flags_s.push(flags);
+        copy_varint(rows, &mut pos, &mut pc_s)?;
+        if flags & FLAG_BRANCH != 0 {
+            copy_varint(rows, &mut pos, &mut branch_s)?;
+        }
+        if flags & FLAG_MEM != 0 {
+            copy_varint(rows, &mut pos, &mut mem_s)?;
+        }
+        if flags & FLAG_STALL != 0 {
+            let pair = rows
+                .get(pos..pos + 2)
+                .ok_or_else(|| TraceError::Corrupt("stall pair runs past chunk payload".into()))?;
+            stall_s.extend_from_slice(pair);
+            pos += 2;
+        }
+    }
+    if pos != rows.len() {
+        return Err(TraceError::Corrupt(format!(
+            "{} trailing bytes after last record of chunk",
+            rows.len() - pos
+        )));
+    }
+    push_varint(out, pc_s.len() as u64);
+    push_varint(out, branch_s.len() as u64);
+    push_varint(out, mem_s.len() as u64);
+    push_varint(out, stall_s.len() as u64);
+    out.extend_from_slice(&flags_s);
+    out.extend_from_slice(&pc_s);
+    out.extend_from_slice(&branch_s);
+    out.extend_from_slice(&mem_s);
+    out.extend_from_slice(&stall_s);
+    Ok(())
+}
+
+/// Inverts [`columnarize`]: reassembles the row-encoded record bytes
+/// from a columnar chunk payload. Bounds-checked throughout — arbitrary
+/// `cols` bytes produce [`TraceError::Corrupt`], never a panic.
+///
+/// # Errors
+///
+/// [`TraceError::Corrupt`] when the stream lengths disagree with the
+/// payload size or any stream ends before its last record's field.
+pub fn decolumnarize(cols: &[u8], record_count: u32, out: &mut Vec<u8>) -> Result<(), TraceError> {
+    out.clear();
+    let n = record_count as usize;
+    let mut pos = 0;
+    let mut lens = [0usize; 4];
+    for len in &mut lens {
+        let raw = read_varint(cols, &mut pos)?;
+        if raw > cols.len() as u64 {
+            return Err(TraceError::Corrupt(format!("columnar stream claims {raw} bytes")));
+        }
+        *len = raw as usize;
+    }
+    let [pc_len, branch_len, mem_len, stall_len] = lens;
+    let need = lens
+        .iter()
+        .try_fold(n, |acc, &len| acc.checked_add(len))
+        .filter(|&need| pos + need == cols.len())
+        .ok_or_else(|| {
+            TraceError::Corrupt("columnar stream lengths disagree with the payload".into())
+        })?;
+    let flags_s = &cols[pos..pos + n];
+    pos += n;
+    let pc_s = &cols[pos..pos + pc_len];
+    pos += pc_len;
+    let branch_s = &cols[pos..pos + branch_len];
+    pos += branch_len;
+    let mem_s = &cols[pos..pos + mem_len];
+    pos += mem_len;
+    let stall_s = &cols[pos..pos + stall_len];
+    out.reserve(need);
+    let (mut pc_pos, mut branch_pos, mut mem_pos, mut stall_pos) = (0, 0, 0, 0);
+    for &flags in flags_s {
+        out.push(flags);
+        copy_varint(pc_s, &mut pc_pos, out)?;
+        if flags & FLAG_BRANCH != 0 {
+            copy_varint(branch_s, &mut branch_pos, out)?;
+        }
+        if flags & FLAG_MEM != 0 {
+            copy_varint(mem_s, &mut mem_pos, out)?;
+        }
+        if flags & FLAG_STALL != 0 {
+            let pair = stall_s
+                .get(stall_pos..stall_pos + 2)
+                .ok_or_else(|| TraceError::Corrupt("stall stream ends mid-pair".into()))?;
+            out.extend_from_slice(pair);
+            stall_pos += 2;
+        }
+    }
+    if pc_pos != pc_len || branch_pos != branch_len || mem_pos != mem_len || stall_pos != stall_len
+    {
+        return Err(TraceError::Corrupt("columnar streams longer than their records use".into()));
+    }
+    Ok(())
+}
+
+/// Serializes the header for `meta` (count/checksum as currently known)
+/// under `meta.version`'s layout.
 ///
 /// # Panics
 ///
-/// Panics if the workload name exceeds [`MAX_NAME_LEN`] — the reader
-/// would reject such a file, so writing it would only produce a capture
-/// that can never replay.
+/// Panics if the workload name exceeds [`MAX_NAME_LEN`], the dictionary
+/// exceeds [`MAX_DICT_LEN`], or a pre-v2 version carries a dictionary —
+/// the reader would reject such a file, so writing it would only
+/// produce a capture that can never replay.
 #[must_use]
 pub fn encode_header(meta: &TraceMeta) -> Vec<u8> {
     let name = meta.name.as_bytes();
@@ -397,9 +603,15 @@ pub fn encode_header(meta: &TraceMeta) -> Vec<u8> {
         "workload name is {} bytes, format limit is {MAX_NAME_LEN}",
         name.len()
     );
-    let mut buf = Vec::with_capacity(HEADER_FIXED_LEN + name.len());
+    assert!(
+        meta.dict.len() <= MAX_DICT_LEN,
+        "dictionary is {} bytes, format limit is {MAX_DICT_LEN}",
+        meta.dict.len()
+    );
+    assert!(meta.version >= 2 || meta.dict.is_empty(), "v1 headers have no dictionary field");
+    let mut buf = Vec::with_capacity(HEADER_FIXED_LEN + name.len() + 4 + meta.dict.len());
     buf.extend_from_slice(&MAGIC);
-    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&meta.version.to_le_bytes());
     buf.push(meta.layout.as_u8());
     buf.push(if meta.has_index { FLAG_CHUNK_INDEX } else { 0 });
     buf.extend_from_slice(&meta.chunk_capacity.to_le_bytes());
@@ -407,6 +619,10 @@ pub fn encode_header(meta: &TraceMeta) -> Vec<u8> {
     buf.extend_from_slice(&meta.checksum.to_le_bytes());
     buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
     buf.extend_from_slice(name);
+    if meta.version >= 2 {
+        buf.extend_from_slice(&(meta.dict.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&meta.dict);
+    }
     buf
 }
 

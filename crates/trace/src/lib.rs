@@ -45,4 +45,4 @@ pub use reader::{decode_chunk, open, probe, TraceReader};
 pub use source::{SourceIter, TraceSource};
 pub use stats::records_decoded;
 pub use stream::StreamingReplay;
-pub use writer::{create, TraceWriter};
+pub use writer::{create, create_with_dict, TraceWriter};

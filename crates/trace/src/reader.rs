@@ -7,8 +7,9 @@ use std::path::Path;
 use trrip_cpu::TraceInstr;
 
 use crate::format::{
-    decode_record, Checksum, DeltaState, TraceError, TraceLayout, TraceMeta, FLAG_CHUNK_INDEX,
-    HEADER_FIXED_LEN, MAGIC, MAX_NAME_LEN, VERSION,
+    decode_record, decolumnarize, Checksum, DeltaState, TraceError, TraceLayout, TraceMeta,
+    CHUNK_FRAME_LEN, FLAG_CHUNK_INDEX, HEADER_FIXED_LEN, MAGIC, MAX_DICT_LEN, MAX_NAME_LEN,
+    MIN_VERSION, VERSION,
 };
 use crate::index::ChunkIndex;
 use crate::source::TraceSource;
@@ -28,6 +29,10 @@ pub struct TraceReader<R: Read> {
     remaining: u64,
     checksum: Checksum,
     payload: Vec<u8>,
+    /// Compressed-chunk scratch (v2 files), reused across reads.
+    comp: Vec<u8>,
+    /// Columnar-payload scratch (v2 files), reused across reads.
+    cols: Vec<u8>,
 }
 
 impl<R: Read> TraceReader<R> {
@@ -45,7 +50,7 @@ impl<R: Read> TraceReader<R> {
             return Err(TraceError::BadMagic);
         }
         let version = u16::from_le_bytes([fixed[8], fixed[9]]);
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(TraceError::UnsupportedVersion(version));
         }
         let layout = TraceLayout::from_u8(fixed[10])
@@ -65,13 +70,39 @@ impl<R: Read> TraceReader<R> {
         source.read_exact(&mut name_bytes)?;
         let name = String::from_utf8(name_bytes)
             .map_err(|_| TraceError::Corrupt("workload name is not UTF-8".into()))?;
+        let dict = if version >= 2 {
+            let mut dict_len = [0u8; 4];
+            source.read_exact(&mut dict_len)?;
+            let dict_len = u32::from_le_bytes(dict_len) as usize;
+            if dict_len > MAX_DICT_LEN {
+                return Err(TraceError::Corrupt(format!(
+                    "implausible dictionary length {dict_len}"
+                )));
+            }
+            let mut dict = vec![0u8; dict_len];
+            source.read_exact(&mut dict)?;
+            dict
+        } else {
+            Vec::new()
+        };
 
         Ok(TraceReader {
             source,
-            meta: TraceMeta { name, layout, instructions, checksum, chunk_capacity, has_index },
+            meta: TraceMeta {
+                name,
+                layout,
+                instructions,
+                checksum,
+                chunk_capacity,
+                has_index,
+                version,
+                dict,
+            },
             remaining: instructions,
             checksum: Checksum::new(),
             payload: Vec::new(),
+            comp: Vec::new(),
+            cols: Vec::new(),
         })
     }
 
@@ -87,12 +118,16 @@ impl<R: Read> TraceReader<R> {
         self.remaining
     }
 
-    /// Reads the next chunk's raw bytes into `payload` without decoding
-    /// any records, returning the chunk's record count; `0` means the
-    /// trace is complete (and the checksum verified). Framing is
-    /// validated and the payload checksum accumulated here, so a caller
-    /// draining raw chunks still detects damaged payload bytes — the
-    /// split that lets the fan-out engine decode chunks on parallel
+    /// Reads the next chunk's payload bytes into `payload` without
+    /// decoding any records, returning the chunk's record count; `0`
+    /// means the trace is complete (and the checksum verified). On a v2
+    /// file the on-disk bytes are decompressed and de-columnarized here
+    /// — `payload` always holds the row-encoded record bytes, so
+    /// downstream consumers
+    /// (decode, fan-out, checksum) are format-version agnostic. Framing
+    /// is validated and the payload checksum accumulated here, so a
+    /// caller draining raw chunks still detects damaged payload bytes —
+    /// the split that lets the fan-out engine decode chunks on parallel
     /// workers while one thread owns the file.
     ///
     /// # Errors
@@ -109,34 +144,58 @@ impl<R: Read> TraceReader<R> {
             return Ok(0);
         }
 
-        let mut frame = [0u8; 8];
-        self.source.read_exact(&mut frame)?;
-        let record_count = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes"));
-        let payload_len = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
-        if record_count == 0 {
-            return Err(TraceError::Corrupt("empty chunk".into()));
-        }
-        if u64::from(record_count) > self.remaining {
-            return Err(TraceError::Corrupt(format!(
-                "chunk holds {record_count} records but only {} remain",
-                self.remaining
-            )));
-        }
-        if record_count > self.meta.chunk_capacity {
-            return Err(TraceError::Corrupt(format!(
-                "chunk holds {record_count} records, capacity is {}",
-                self.meta.chunk_capacity
-            )));
-        }
-        if payload_len > MAX_CHUNK_PAYLOAD {
-            return Err(TraceError::Corrupt(format!("implausible chunk payload {payload_len}")));
-        }
-
-        payload.resize(payload_len as usize, 0);
-        self.source.read_exact(payload)?;
+        let record_count = if self.meta.version >= 2 {
+            let mut frame = [0u8; CHUNK_FRAME_LEN];
+            self.source.read_exact(&mut frame)?;
+            let record_count = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes"));
+            let comp_len = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+            let raw_len = u32::from_le_bytes(frame[8..12].try_into().expect("4 bytes"));
+            let codec = trrip_pack::Codec::from_u8(frame[12])
+                .map_err(|e| TraceError::Corrupt(e.to_string()))?;
+            self.validate_record_count(record_count)?;
+            if raw_len > MAX_CHUNK_PAYLOAD {
+                return Err(TraceError::Corrupt(format!("implausible chunk payload {raw_len}")));
+            }
+            // `compress_auto` never emits more bytes than raw (the raw
+            // fallback wins ties), so a larger comp_len is corruption.
+            if comp_len > raw_len {
+                return Err(TraceError::Corrupt(format!(
+                    "compressed chunk ({comp_len} bytes) larger than its payload ({raw_len})"
+                )));
+            }
+            self.comp.resize(comp_len as usize, 0);
+            self.source.read_exact(&mut self.comp)?;
+            // Two storage transforms to undo: the codec, then the
+            // columnar grouping — `payload` hands out row bytes, so
+            // downstream consumers stay format-version agnostic.
+            trrip_pack::decompress(
+                codec,
+                &self.comp,
+                &self.meta.dict,
+                raw_len as usize,
+                &mut self.cols,
+            )
+            .map_err(|e| TraceError::Corrupt(e.to_string()))?;
+            decolumnarize(&self.cols, record_count, payload)?;
+            record_count
+        } else {
+            let mut frame = [0u8; 8];
+            self.source.read_exact(&mut frame)?;
+            let record_count = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes"));
+            let payload_len = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+            self.validate_record_count(record_count)?;
+            if payload_len > MAX_CHUNK_PAYLOAD {
+                return Err(TraceError::Corrupt(format!(
+                    "implausible chunk payload {payload_len}"
+                )));
+            }
+            payload.resize(payload_len as usize, 0);
+            self.source.read_exact(payload)?;
+            record_count
+        };
         self.checksum.update(payload);
         trrip_obs::counter!("trace.chunks_read").incr();
-        trrip_obs::counter!("trace.bytes_read").add(u64::from(payload_len));
+        trrip_obs::counter!("trace.bytes_read").add(payload.len() as u64);
 
         self.remaining -= u64::from(record_count);
         if self.remaining == 0 {
@@ -168,6 +227,25 @@ impl<R: Read> TraceReader<R> {
             decode_chunk(&self.payload, record_count, out)?;
         }
         Ok(record_count as usize)
+    }
+
+    fn validate_record_count(&self, record_count: u32) -> Result<(), TraceError> {
+        if record_count == 0 {
+            return Err(TraceError::Corrupt("empty chunk".into()));
+        }
+        if u64::from(record_count) > self.remaining {
+            return Err(TraceError::Corrupt(format!(
+                "chunk holds {record_count} records but only {} remain",
+                self.remaining
+            )));
+        }
+        if record_count > self.meta.chunk_capacity {
+            return Err(TraceError::Corrupt(format!(
+                "chunk holds {record_count} records, capacity is {}",
+                self.meta.chunk_capacity
+            )));
+        }
+        Ok(())
     }
 
     fn verify_checksum(&self) -> Result<(), TraceError> {

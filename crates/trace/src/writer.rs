@@ -7,22 +7,30 @@ use std::path::Path;
 use trrip_cpu::TraceInstr;
 
 use crate::format::{
-    encode_header, encode_record, Checksum, DeltaState, TraceLayout, TraceMeta, CHECKSUM_OFFSET,
-    CHUNK_CAPACITY, INSTRUCTIONS_OFFSET,
+    columnarize, encode_header, encode_record, Checksum, DeltaState, TraceLayout, TraceMeta,
+    CHECKSUM_OFFSET, CHUNK_CAPACITY, CHUNK_FRAME_LEN, INSTRUCTIONS_OFFSET, VERSION,
 };
 use crate::index::{encode_footer, IndexEntry};
 
 /// Writes a trace file incrementally: records accumulate into fixed-size
-/// chunks that are flushed as they fill, so capture memory stays O(chunk)
-/// regardless of trace length. [`TraceWriter::finish`] appends the
-/// chunk-index footer (byte offsets + checksum accumulator states, so
-/// positioned replays seek instead of skipping), then seeks back and
-/// patches the instruction count and checksum into the header.
+/// chunks that are compressed ([`trrip_pack::compress_auto`], raw
+/// fallback when incompressible) and flushed as they fill, so capture
+/// memory stays O(chunk) regardless of trace length.
+/// [`TraceWriter::finish`] appends the chunk-index footer (byte offsets,
+/// uncompressed lengths and checksum accumulator states, so positioned
+/// replays seek instead of skipping), then seeks back and patches the
+/// instruction count and checksum into the header. The checksum and the
+/// index states cover the *uncompressed* payload bytes — compression is
+/// a storage transform only.
 #[derive(Debug)]
 pub struct TraceWriter<W: Write + Seek> {
     sink: W,
     meta: TraceMeta,
     chunk: Vec<u8>,
+    /// Columnar-transform scratch, reused across flushes.
+    cols: Vec<u8>,
+    /// Compressed-chunk scratch, reused across flushes.
+    comp: Vec<u8>,
     chunk_records: u32,
     state: DeltaState,
     checksum: Checksum,
@@ -55,10 +63,32 @@ impl<W: Write + Seek> TraceWriter<W> {
     ///
     /// Panics if `chunk_capacity` is zero.
     pub fn with_chunk_capacity(
+        sink: W,
+        name: &str,
+        layout: TraceLayout,
+        chunk_capacity: u32,
+    ) -> io::Result<TraceWriter<W>> {
+        TraceWriter::with_dict(sink, name, layout, chunk_capacity, Vec::new())
+    }
+
+    /// [`TraceWriter::with_chunk_capacity`] plus a compression
+    /// dictionary that seeds every chunk's LZ window. The dictionary is
+    /// stored in the header, so the capture stays self-contained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures writing the header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_capacity` is zero or the dictionary exceeds
+    /// [`crate::format::MAX_DICT_LEN`].
+    pub fn with_dict(
         mut sink: W,
         name: &str,
         layout: TraceLayout,
         chunk_capacity: u32,
+        dict: Vec<u8>,
     ) -> io::Result<TraceWriter<W>> {
         assert!(chunk_capacity > 0, "chunk capacity must be positive");
         let meta = TraceMeta {
@@ -68,6 +98,8 @@ impl<W: Write + Seek> TraceWriter<W> {
             checksum: 0,
             chunk_capacity,
             has_index: true,
+            version: VERSION,
+            dict,
         };
         let header = encode_header(&meta);
         sink.write_all(&header)?;
@@ -75,6 +107,8 @@ impl<W: Write + Seek> TraceWriter<W> {
             sink,
             meta,
             chunk: Vec::with_capacity(chunk_capacity as usize * 4),
+            cols: Vec::new(),
+            comp: Vec::new(),
             chunk_records: 0,
             state: DeltaState::new(),
             checksum: Checksum::new(),
@@ -114,12 +148,25 @@ impl<W: Write + Seek> TraceWriter<W> {
         if self.chunk_records == 0 {
             return Ok(());
         }
-        self.index.push(IndexEntry { offset: self.next_offset, state: self.checksum.state() });
+        self.index.push(IndexEntry {
+            offset: self.next_offset,
+            raw_len: self.chunk.len() as u64,
+            state: self.checksum.state(),
+        });
         self.checksum.update(&self.chunk);
+        // Group the row bytes by field kind before compression: each
+        // columnar stream is self-similar, which is where the codec's
+        // ratio comes from. Checksums and index states stay over the
+        // row bytes — the transform is storage-only.
+        columnarize(&self.chunk, self.chunk_records, &mut self.cols)
+            .expect("writer-encoded records are well-formed");
+        let codec = trrip_pack::compress_auto(&self.cols, &self.meta.dict, &mut self.comp);
         self.sink.write_all(&self.chunk_records.to_le_bytes())?;
-        self.sink.write_all(&(self.chunk.len() as u32).to_le_bytes())?;
-        self.sink.write_all(&self.chunk)?;
-        self.next_offset += 8 + self.chunk.len() as u64;
+        self.sink.write_all(&(self.comp.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&(self.cols.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&[codec as u8])?;
+        self.sink.write_all(&self.comp)?;
+        self.next_offset += CHUNK_FRAME_LEN as u64 + self.comp.len() as u64;
         self.chunk.clear();
         self.chunk_records = 0;
         self.state = DeltaState::new();
@@ -151,7 +198,11 @@ impl<W: Write + Seek> TraceWriter<W> {
         // End-of-chunks sentinel: beyond-the-end seeks land here with
         // the final accumulator state, so even a fully skipped replay
         // verifies the header checksum.
-        self.index.push(IndexEntry { offset: self.next_offset, state: self.checksum.state() });
+        self.index.push(IndexEntry {
+            offset: self.next_offset,
+            raw_len: 0,
+            state: self.checksum.state(),
+        });
         self.sink.write_all(&encode_footer(&self.index))?;
         self.meta.checksum = self.checksum.value();
         let end = self.sink.stream_position()?;
@@ -181,8 +232,24 @@ pub fn create(
     name: &str,
     layout: TraceLayout,
 ) -> io::Result<TraceWriter<BufWriter<File>>> {
+    create_with_dict(path, name, layout, Vec::new())
+}
+
+/// [`create`] with a compression dictionary (hot-PC placement bytes;
+/// see [`trrip_pack::placement_dictionary`]) seeding every chunk's LZ
+/// window.
+///
+/// # Errors
+///
+/// Propagates file-creation and header I/O failures.
+pub fn create_with_dict(
+    path: &Path,
+    name: &str,
+    layout: TraceLayout,
+    dict: Vec<u8>,
+) -> io::Result<TraceWriter<BufWriter<File>>> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    TraceWriter::new(BufWriter::new(File::create(path)?), name, layout)
+    TraceWriter::with_dict(BufWriter::new(File::create(path)?), name, layout, CHUNK_CAPACITY, dict)
 }

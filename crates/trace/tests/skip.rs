@@ -11,7 +11,7 @@ use std::path::PathBuf;
 
 use trrip_cpu::TraceInstr;
 use trrip_snap::corrupt;
-use trrip_trace::{records_decoded, SourceIter, StreamingReplay, TraceWriter};
+use trrip_trace::{probe, read_index, records_decoded, SourceIter, StreamingReplay, TraceWriter};
 
 fn mixed_trace(n: u64) -> Vec<TraceInstr> {
     let mut x = 0x0123_4567_89ab_cdefu64;
@@ -119,20 +119,35 @@ fn open_at_yields_the_exact_suffix_and_seeks_or_skips_decode() {
 
     // Damage inside the bytes a seek actually READS is still caught:
     // the seeded accumulator state continues into the suffix and the
-    // end-of-trace checksum fails.
-    // ~2.4 kB before EOF lies well inside the last chunk's payload
-    // (chunks run ~3.3 kB here; the footer is ~200 bytes).
+    // end-of-trace checksum fails. Chunk payloads are compressed, so
+    // the victim byte is computed from the index — squarely inside the
+    // LAST chunk's compressed payload, which the seek-to-chunk-8 path
+    // must read.
     let tail_path = write_file("seek-tail-damaged", &bytes);
-    corrupt::flip_byte(&tail_path, bytes.len() - 2400, 0x10);
-    let opened = StreamingReplay::open_at(&tail_path, 8 * u64::from(CHUNK));
-    let failed = match opened {
-        Err(_) => true, // damage landed in the footer → index rejected → skip path hits it
-        Ok(replay) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            SourceIter::new(replay).count()
-        }))
-        .is_err(),
-    };
+    let index = read_index(&tail_path, &probe(&tail_path).expect("probe"))
+        .expect("read index")
+        .expect("fresh captures carry an index");
+    let last = index.entry(9);
+    let comp_len = index.entry(10).offset - last.offset - 13; // minus the frame
+    assert!(
+        index.entry(10).offset < bytes.len() as u64 && comp_len > 2,
+        "index must describe the chunk region"
+    );
+    corrupt::flip_byte(&tail_path, last.offset as usize + 13 + comp_len as usize / 2, 0x10);
+    let replay = StreamingReplay::open_at(&tail_path, 8 * u64::from(CHUNK)).expect("open");
+    let failed =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| SourceIter::new(replay).count()))
+            .is_err();
     assert!(failed, "damage in the read suffix must not pass the seek path");
+
+    // The capture really is compressed: the on-disk chunk region is
+    // smaller than the uncompressed payload the index accounts for.
+    let (mut disk, mut raw) = (0u64, 0u64);
+    for k in 0..index.chunks() {
+        disk += index.entry(k + 1).offset - index.entry(k).offset - 13;
+        raw += index.entry(k).raw_len;
+    }
+    assert!(disk < raw, "compressed chunks ({disk} B) must undercut raw payload ({raw} B)");
 
     // A damaged FOOTER quietly demotes positioning to the skip path —
     // same records, no error.
@@ -148,7 +163,37 @@ fn open_at_yields_the_exact_suffix_and_seeks_or_skips_decode() {
         "the fallback is the raw skip, still decode-free for the prefix"
     );
 
-    for path in [indexed, old_header, damaged_indexed, damaged_old, tail_path, footer_path].iter() {
+    // A dictionary-bearing capture (the dict seeds every chunk's LZ
+    // window and travels in the header) seeks exactly like a plain one.
+    let dict = trrip_pack::placement_dictionary(
+        &(0..256u64).map(|i| 0x8000 + i * 4).collect::<Vec<_>>(),
+        4096,
+    );
+    let mut writer = TraceWriter::with_dict(
+        std::io::Cursor::new(Vec::new()),
+        "skip-dict",
+        trrip_trace::TraceLayout::Foreign,
+        CHUNK,
+        dict,
+    )
+    .expect("header");
+    writer.write_all(instrs.iter().copied()).expect("records");
+    let mut cursor = writer.finish_into_inner().expect("finish");
+    let dict_path = write_file("seek-dict", &std::mem::take(cursor.get_mut()));
+    for skip in [0u64, 999, 4001, 10_000] {
+        let replay = StreamingReplay::open_at(&dict_path, skip).expect("open_at");
+        let suffix: Vec<TraceInstr> = SourceIter::new(replay).collect();
+        assert_eq!(
+            suffix,
+            &instrs[(skip as usize).min(instrs.len())..],
+            "dict capture, skip {skip}"
+        );
+    }
+
+    for path in
+        [indexed, old_header, damaged_indexed, damaged_old, tail_path, footer_path, dict_path]
+            .iter()
+    {
         std::fs::remove_file(path).ok();
     }
 }

@@ -1,0 +1,107 @@
+//! Backward compatibility with format v1, pinned by a hand-rolled byte
+//! fixture. v1 files have no dictionary field, uncompressed 8-byte
+//! chunk frames, and 16-byte index-footer entries; every capture made
+//! before the compression bump must keep replaying — including the
+//! `open_at` seek path over the old footer layout — without re-capture.
+
+use std::io::Cursor;
+
+use trrip_cpu::TraceInstr;
+use trrip_trace::format::{
+    encode_record, Checksum, DeltaState, FLAG_CHUNK_INDEX, INDEX_MAGIC, MAGIC,
+};
+use trrip_trace::{SourceIter, StreamingReplay, TraceLayout, TraceReader};
+
+/// Builds a v1 file byte by byte: 6 instructions in chunks of 4, with
+/// the v1 chunk-index footer. Mirrors the v1 writer exactly — if the
+/// current reader drifts from these bytes, old captures are orphaned.
+fn v1_fixture(instrs: &[TraceInstr], chunk_capacity: u32) -> Vec<u8> {
+    let name = b"v1-fixture";
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&1u16.to_le_bytes()); // version 1, by hand
+    bytes.push(TraceLayout::Foreign.as_u8());
+    bytes.push(FLAG_CHUNK_INDEX);
+    bytes.extend_from_slice(&chunk_capacity.to_le_bytes());
+    bytes.extend_from_slice(&(instrs.len() as u64).to_le_bytes());
+    let checksum_at = bytes.len();
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // checksum, patched below
+    bytes.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    bytes.extend_from_slice(name);
+    // No dict_len field: v1 headers end at the name.
+
+    let mut checksum = Checksum::new();
+    let mut index = Vec::new(); // (offset, state) pairs, v1 layout
+    for chunk in instrs.chunks(chunk_capacity as usize) {
+        let mut payload = Vec::new();
+        let mut state = DeltaState::new();
+        for instr in chunk {
+            encode_record(&mut payload, &mut state, instr);
+        }
+        index.push((bytes.len() as u64, checksum.state()));
+        checksum.update(&payload);
+        bytes.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+    }
+    index.push((bytes.len() as u64, checksum.state()));
+    bytes[checksum_at..checksum_at + 8].copy_from_slice(&checksum.value().to_le_bytes());
+
+    // v1 footer: 16-byte (offset, state) entries.
+    let mut body = Vec::new();
+    body.extend_from_slice(&(index.len() as u64).to_le_bytes());
+    for (offset, state) in &index {
+        body.extend_from_slice(&offset.to_le_bytes());
+        body.extend_from_slice(&state.to_le_bytes());
+    }
+    let mut footer_check = Checksum::new();
+    footer_check.update(&body);
+    let footer_len = (body.len() + 8) as u64;
+    body.extend_from_slice(&footer_check.value().to_le_bytes());
+    body.extend_from_slice(&footer_len.to_le_bytes());
+    body.extend_from_slice(&INDEX_MAGIC);
+    bytes.extend_from_slice(&body);
+    bytes
+}
+
+fn fixture_instrs() -> Vec<TraceInstr> {
+    vec![
+        TraceInstr::simple(0x40_0000),
+        TraceInstr::jump(0x40_0004, 0x50_0000),
+        TraceInstr::load(0x50_0000, 0x8000_0040),
+        TraceInstr::cond(0x50_0004, true, 0x40_0000),
+        TraceInstr::store(0x40_0000, 0x8000_0080),
+        TraceInstr::simple(0x40_0004),
+    ]
+}
+
+#[test]
+fn v1_fixture_replays_under_the_v2_reader() {
+    let instrs = fixture_instrs();
+    let bytes = v1_fixture(&instrs, 4);
+
+    let mut reader = TraceReader::new(Cursor::new(&bytes)).expect("v1 header must parse");
+    assert_eq!(reader.meta().version, 1);
+    assert_eq!(reader.meta().name, "v1-fixture");
+    assert!(reader.meta().dict.is_empty(), "v1 files carry no dictionary");
+    assert!(reader.meta().has_index);
+    assert_eq!(reader.meta().instructions, instrs.len() as u64);
+    assert_eq!(reader.read_to_end().expect("v1 chunks must decode"), instrs);
+}
+
+#[test]
+fn v1_fixture_seeks_through_its_16_byte_index_entries() {
+    let instrs = fixture_instrs();
+    let bytes = v1_fixture(&instrs, 4);
+    let dir = std::env::temp_dir().join("trrip-trace-v1-fixture-test");
+    std::fs::create_dir_all(&dir).expect("test dir");
+    let path = dir.join(format!("v1-{}.trrip", std::process::id()));
+    std::fs::write(&path, &bytes).expect("write fixture");
+
+    for skip in [0u64, 3, 4, 5, 6, 100] {
+        let replay = StreamingReplay::open_at(&path, skip).expect("open_at");
+        let suffix: Vec<TraceInstr> = SourceIter::new(replay).collect();
+        assert_eq!(suffix, &instrs[(skip as usize).min(instrs.len())..], "v1 skip {skip}");
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Measures compression wherever bytes rest: trace-capture bytes per
+# instruction and compressed/raw payload ratio (format v2 columnar
+# chunks), the checkpoint suite's footprint ratio and on-disk store
+# size (format v4 packed sections), per-section-kind codec ratios
+# (RLE bitmaps / delta tag arrays / LZ code / raw noise), pack_stream
+# compress/decompress MB/s, and the warm checkpointed sweep's wall time
+# against the in-memory walker sweep — and appends the run to
+# BENCH_pack.json at the repo root. Every sweep result is asserted
+# bit-identical across the walker, cold, and warm engines for all ten
+# policies. Run it from anywhere; pass extra harness flags through
+# (e.g. --scale 4 --jobs 8).
+#
+#   scripts/bench_pack.sh [harness flags...]
+#
+# The JSON is an array of run objects; every PR that touches the codec,
+# the trace or checkpoint formats, or the store should append a fresh
+# entry so footprint regressions are visible in review.
+# `scripts/bench_summary.sh` collates all BENCH_*.json trajectories
+# into one table.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+cargo run --release --bin bench_pack -- --out "$repo_root" "$@"
+echo "trajectory: $repo_root/BENCH_pack.json"

@@ -26,6 +26,7 @@ import sys
 # Headline metric per benchmark: (field, True if lower is better).
 HEADLINE = {
     "memsys": ("measure_ns_per_instr", True),
+    "pack": ("trace_bytes_per_instr", True),
     "checkpoint_warm_start": ("warm_start_speedup", False),
     "distributed_claims": ("coordination_overhead_1_worker", True),
     "replay_fanout": ("replay_speedup", False),
